@@ -1,0 +1,138 @@
+// E2 — the lock-granularity question (§4.2.1): "it is not clear in joint
+// authoring applications whether locks should be applied at the
+// granularity of sections, paragraphs, sentences or even words."
+//
+// Four authors edit one synthetic document (8 sections x 5 paragraphs x 4
+// sentences x 8 words) for 30 virtual minutes; edit positions are
+// zipf-skewed toward the document's hot front.  The same workload runs
+// once per granularity; each edit exclusively locks the region containing
+// its position.
+//
+// Reported series (one row per granularity):
+//   wait_ms_mean / waits      — blocking caused by false sharing
+//   regions                   — lock-table size (management overhead)
+//   edits_done                — throughput over the session
+//
+// Expected shape: waits collapse as granularity refines (document >>
+// section > paragraph > sentence > word) while the region count — the
+// overhead axis — explodes in the same direction; the practical optimum
+// sits in the middle, which is exactly why the paper calls it unclear.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr int kUsers = 4;
+constexpr sim::Duration kSession = sim::minutes(30);
+constexpr sim::Duration kEditHold = sim::msec(400);
+constexpr double kThinkMeanMs = 500.0;
+
+std::string make_document() {
+  std::string text;
+  for (int s = 0; s < 8; ++s) {
+    if (s > 0) text += "\n\n";
+    text += "# Section " + std::to_string(s);
+    for (int p = 0; p < 5; ++p) {
+      text += "\n\n";
+      for (int sent = 0; sent < 4; ++sent) {
+        for (int w = 0; w < 8; ++w) {
+          text += "w" + std::to_string(s) + std::to_string(p) +
+                  std::to_string(sent) + std::to_string(w);
+          text += w + 1 < 8 ? " " : "";
+        }
+        text += sent + 1 < 4 ? ". " : ".";
+      }
+    }
+  }
+  return text;
+}
+
+struct Result {
+  util::Summary wait_us;
+  double waits = 0;
+  double regions = 0;
+  double edits = 0;
+};
+
+Result run_granularity(groupware::Granularity g) {
+  Platform platform(88);
+  auto& sim = platform.simulator();
+  const std::string text = make_document();
+  const auto regions = groupware::split_regions("doc", text, g);
+
+  ccontrol::LockManager locks(sim, {.style = ccontrol::LockStyle::kStrict});
+  Result result;
+  result.regions = static_cast<double>(regions.size());
+
+  // Hot spots are WORDS (people fight over the same phrases), so the
+  // contended positions nest cleanly: hot word c hot sentence c hot
+  // paragraph c hot section.
+  const auto words =
+      groupware::split_regions("doc", text, groupware::Granularity::kWord);
+
+  std::function<void(int)> user_loop = [&](int user) {
+    if (sim.now() >= kSession) return;
+    const auto id = static_cast<ccontrol::ClientId>(user + 1);
+    // Hot-spot position: zipf over word ranks.
+    const auto pos = words[sim.rng().zipf(words.size(), 1.05)].begin;
+    const std::string region = groupware::region_at("doc", text, g, pos);
+    locks.acquire(region, id, ccontrol::LockMode::kExclusive,
+                  [&, id, region](const ccontrol::LockGrant& grant) {
+                    if (!grant.granted) return;
+                    result.wait_us.add(static_cast<double>(grant.waited));
+                    result.edits += 1;
+                    sim.schedule_after(kEditHold, [&, id, region] {
+                      locks.release(region, id);
+                    });
+                  });
+    sim.schedule_after(
+        static_cast<sim::Duration>(sim.rng().exponential(kThinkMeanMs) *
+                                   1000) +
+            kEditHold,
+        [&, user] { user_loop(user); });
+  };
+  for (int u = 0; u < kUsers; ++u) user_loop(u);
+  sim.run_until(kSession + sim::sec(30));
+  result.waits = static_cast<double>(locks.stats().waits);
+  return result;
+}
+
+void run(benchmark::State& state, groupware::Granularity g) {
+  Result r;
+  for (auto _ : state) r = run_granularity(g);
+  state.counters["wait_ms_mean"] = r.wait_us.mean() / 1000.0;
+  state.counters["wait_ms_p95"] = r.wait_us.p95() / 1000.0;
+  state.counters["waits"] = r.waits;
+  state.counters["regions"] = r.regions;
+  state.counters["edits_done"] = r.edits;
+}
+
+void BM_Document(benchmark::State& s) {
+  run(s, groupware::Granularity::kDocument);
+}
+void BM_Section(benchmark::State& s) {
+  run(s, groupware::Granularity::kSection);
+}
+void BM_Paragraph(benchmark::State& s) {
+  run(s, groupware::Granularity::kParagraph);
+}
+void BM_Sentence(benchmark::State& s) {
+  run(s, groupware::Granularity::kSentence);
+}
+void BM_Word(benchmark::State& s) { run(s, groupware::Granularity::kWord); }
+
+BENCHMARK(BM_Document)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Section)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Paragraph)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sentence)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Word)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,183 @@
+// E4 — access control (§4.2.1 Security): the classic mechanisms vs the
+// dynamic fine-grained role-based scheme.
+//
+// Two measurements:
+//
+//   1. Check cost (real CPU time — these are genuine micro-benchmarks):
+//      ACL and matrix checks vs role-policy checks as the rule base grows
+//      (sweep over rule counts).  This quantifies the "potential added
+//      complexity" the paper worries about.
+//
+//   2. Policy-change latency (virtual time): how long until a rights
+//      change takes effect —
+//        admin ACL edit (instant, single administrator),
+//        negotiated change with prompt voters,
+//        negotiated change decided by the voting-window deadline.
+//
+// Expected shape: role checks cost more than ACL checks and grow with
+// rule count (the price of expressiveness); negotiated changes trade
+// seconds of latency for multi-party consent.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+access::RolePolicy build_policy(int n_rules) {
+  access::RolePolicy policy;
+  policy.define_role("reader");
+  policy.define_role("commenter", "reader");
+  policy.define_role("editor", "commenter");
+  for (int i = 0; i < n_rules; ++i) {
+    const std::string object = "doc" + std::to_string(i % 16);
+    const access::Region region{static_cast<std::size_t>(i) * 10,
+                                static_cast<std::size_t>(i) * 10 + 100};
+    switch (i % 3) {
+      case 0:
+        policy.grant_role("reader", object, access::kRead, region);
+        break;
+      case 1:
+        policy.grant_role("editor", object, access::kWrite, region);
+        break;
+      default:
+        policy.deny_role("commenter", object, access::kWrite, region);
+        break;
+    }
+  }
+  policy.assign(1, "editor");
+  return policy;
+}
+
+void BM_AclCheck(benchmark::State& state) {
+  access::AccessControlList acl;
+  const auto n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i)
+    acl.grant("doc" + std::to_string(i % 16),
+              static_cast<access::ClientId>(i % 8 + 1),
+              access::kRead | access::kWrite);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hits += acl.check(1, "doc3", access::kWrite) ? 1 : 0);
+  }
+  state.counters["entries"] = static_cast<double>(n);
+}
+
+void BM_MatrixCheck(benchmark::State& state) {
+  access::AccessMatrix matrix;
+  const auto n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i)
+    matrix.add(static_cast<access::ClientId>(i % 8 + 1),
+               "doc" + std::to_string(i % 16), access::kRead);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hits += matrix.check(1, "doc3", access::kRead) ? 1 : 0);
+  }
+  state.counters["entries"] = static_cast<double>(n);
+}
+
+void BM_RolePolicyCheck(benchmark::State& state) {
+  const auto policy = build_policy(static_cast<int>(state.range(0)));
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hits += policy.check(1, "doc3", access::kWrite, 350) ? 1 : 0);
+  }
+  state.counters["rules"] = static_cast<double>(state.range(0));
+}
+
+// --- policy-change propagation latency (virtual time) ---------------------
+
+void BM_ChangeLatency_AdminAcl(benchmark::State& state) {
+  double latency_ms = 0;
+  for (auto _ : state) {
+    Platform platform(7);
+    access::AccessControlList acl;
+    const auto before = platform.simulator().now();
+    acl.grant("doc", 3, access::kWrite);  // single administrator, instant
+    latency_ms = sim::to_ms(platform.simulator().now() - before);
+  }
+  state.counters["change_latency_ms"] = latency_ms;
+  state.counters["parties_consulted"] = 0;
+}
+
+void BM_ChangeLatency_NegotiatedPromptVotes(benchmark::State& state) {
+  double latency_ms = 0;
+  for (auto _ : state) {
+    Platform platform(7);
+    auto& sim = platform.simulator();
+    access::RolePolicy policy;
+    policy.define_role("editor");
+    access::RightsNegotiator negotiator(
+        sim, policy,
+        {.policy = access::VotePolicy::kMajority,
+         .voting_window = sim::sec(30)});
+    negotiator.set_approvers({1, 2, 3});
+    const auto start = sim.now();
+    sim::TimePoint decided = 0;
+    const auto id = negotiator.propose(
+        3,
+        {.kind = access::ProposedChange::Kind::kAssignRole,
+         .role = "editor",
+         .client = 3,
+         .object = {},
+         .region = {},
+         .rights = 0},
+        [&](bool) { decided = sim.now(); });
+    // Approvers read the ballot and respond after human-scale delays.
+    sim.schedule_after(sim::sec(2), [&] { negotiator.vote(id, 1, true); });
+    sim.schedule_after(sim::sec(5), [&] { negotiator.vote(id, 2, true); });
+    sim.run();
+    latency_ms = sim::to_ms(decided - start);
+  }
+  state.counters["change_latency_ms"] = latency_ms;
+  state.counters["parties_consulted"] = 3;
+}
+
+void BM_ChangeLatency_NegotiatedDeadline(benchmark::State& state) {
+  double latency_ms = 0;
+  for (auto _ : state) {
+    Platform platform(7);
+    auto& sim = platform.simulator();
+    access::RolePolicy policy;
+    policy.define_role("editor");
+    access::RightsNegotiator negotiator(
+        sim, policy,
+        {.policy = access::VotePolicy::kMajority,
+         .voting_window = sim::sec(30)});
+    negotiator.set_approvers({1, 2, 3});
+    const auto start = sim.now();
+    sim::TimePoint decided = 0;
+    const auto id = negotiator.propose(
+        3,
+        {.kind = access::ProposedChange::Kind::kAssignRole,
+         .role = "editor",
+         .client = 3,
+         .object = {},
+         .region = {},
+         .rights = 0},
+        [&](bool) { decided = sim.now(); });
+    sim.schedule_after(sim::sec(2), [&] { negotiator.vote(id, 1, true); });
+    // The other approvers never answer: the window decides.
+    sim.run();
+    latency_ms = sim::to_ms(decided - start);
+  }
+  state.counters["change_latency_ms"] = latency_ms;
+  state.counters["parties_consulted"] = 3;
+}
+
+BENCHMARK(BM_AclCheck)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_MatrixCheck)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_RolePolicyCheck)->Arg(8)->Arg(64)->Arg(512);
+BENCHMARK(BM_ChangeLatency_AdminAcl)->Iterations(1);
+BENCHMARK(BM_ChangeLatency_NegotiatedPromptVotes)->Iterations(1);
+BENCHMARK(BM_ChangeLatency_NegotiatedDeadline)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

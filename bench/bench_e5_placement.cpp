@@ -1,0 +1,168 @@
+// E5 — management (§4.2.1): object placement for geographically dispersed
+// groups.
+//
+// A session cluster is created at the London site of a three-site domain
+// (London + Manchester on fast national links, San Francisco across an
+// intercontinental path).  The access pattern is measured, then each
+// placement policy proposes a home for the cluster; we report the mean
+// and worst usage-weighted access RTT the group experiences before and
+// after migration.
+//
+// Two scenarios:
+//   balanced  — all sites access equally ("each site requiring similar
+//               real-time response");
+//   sf_heavy  — the San Francisco site dominates the access pattern.
+//
+// Expected shape: static leaves the worst site with the full
+// intercontinental RTT; load-balancing is blind to the group and can even
+// pick a bad node; group-aware(kWorstCase) minimizes the slowest member's
+// RTT and group-aware(kMean) follows the traffic — the "group aware
+// policies" the paper calls for.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr net::NodeId kLondon = 1;
+constexpr net::NodeId kManchester = 2;
+constexpr net::NodeId kSanFrancisco = 3;
+/// A mid-Atlantic hub no user sits at — the node only a worst-case-aware
+/// policy would ever pick.
+constexpr net::NodeId kNewYork = 4;
+
+struct Setup {
+  Platform platform{9};
+  mgmt::Domain domain{platform.network()};
+  mgmt::UsageMonitor usage;
+
+  Setup() {
+    auto& net = platform.network();
+    net.set_default_link(net::LinkModel::lan());
+    net.set_symmetric_link(kLondon, kManchester, net::LinkModel::wan());
+    net.set_symmetric_link(kLondon, kSanFrancisco,
+                           net::LinkModel::intercontinental());
+    net.set_symmetric_link(kManchester, kSanFrancisco,
+                           net::LinkModel::intercontinental());
+    const net::LinkModel atlantic{.latency = sim::msec(70),
+                                  .jitter = sim::msec(10),
+                                  .bandwidth_bps = 2e6,
+                                  .loss = 0.005};
+    net.set_symmetric_link(kNewYork, kLondon, atlantic);
+    net.set_symmetric_link(kNewYork, kManchester, atlantic);
+    net.set_symmetric_link(kNewYork, kSanFrancisco, atlantic);
+    domain.add_node(kLondon);
+    domain.add_node(kManchester);
+    domain.add_node(kSanFrancisco);
+    domain.add_node(kNewYork);
+    domain.create_cluster("session", kLondon);
+  }
+};
+
+void record_pattern(mgmt::UsageMonitor& usage, bool sf_heavy) {
+  if (sf_heavy) {
+    usage.record("session", kLondon, 10);
+    usage.record("session", kManchester, 10);
+    usage.record("session", kSanFrancisco, 80);
+  } else {
+    usage.record("session", kLondon, 33);
+    usage.record("session", kManchester, 33);
+    usage.record("session", kSanFrancisco, 34);
+  }
+}
+
+struct Rtts {
+  double mean_ms = 0;
+  double worst_ms = 0;
+};
+
+Rtts group_rtts(const mgmt::Domain& domain, const mgmt::UsageMonitor& usage,
+                const std::string& cluster) {
+  const auto home = domain.location(cluster);
+  Rtts out;
+  double total = 0, weight = 0;
+  for (const auto& [node, count] : usage.pattern(cluster)) {
+    const double rtt =
+        2.0 * sim::to_ms(domain.latency(*home, node));
+    out.worst_ms = std::max(out.worst_ms, rtt);
+    total += rtt * static_cast<double>(count);
+    weight += static_cast<double>(count);
+  }
+  out.mean_ms = weight > 0 ? total / weight : 0;
+  return out;
+}
+
+using PolicyFactory = std::unique_ptr<mgmt::PlacementPolicy> (*)();
+
+void run(benchmark::State& state, PolicyFactory make_policy, bool sf_heavy) {
+  Rtts before, after;
+  double migrations = 0;
+  for (auto _ : state) {
+    Setup setup;
+    record_pattern(setup.usage, sf_heavy);
+    before = group_rtts(setup.domain, setup.usage, "session");
+    mgmt::MigrationManager mgr(setup.domain, setup.usage, make_policy());
+    mgr.evaluate("session");
+    after = group_rtts(setup.domain, setup.usage, "session");
+    migrations = static_cast<double>(mgr.migrations());
+  }
+  state.counters["rtt_mean_ms_before"] = before.mean_ms;
+  state.counters["rtt_mean_ms_after"] = after.mean_ms;
+  state.counters["rtt_worst_ms_before"] = before.worst_ms;
+  state.counters["rtt_worst_ms_after"] = after.worst_ms;
+  state.counters["migrations"] = migrations;
+}
+
+std::unique_ptr<mgmt::PlacementPolicy> make_static() {
+  return std::make_unique<mgmt::StaticPolicy>();
+}
+std::unique_ptr<mgmt::PlacementPolicy> make_load_balance() {
+  return std::make_unique<mgmt::LoadBalancingPolicy>();
+}
+std::unique_ptr<mgmt::PlacementPolicy> make_group_worst() {
+  return std::make_unique<mgmt::GroupAwarePolicy>(
+      mgmt::GroupAwarePolicy::Metric::kWorstCase);
+}
+std::unique_ptr<mgmt::PlacementPolicy> make_group_mean() {
+  return std::make_unique<mgmt::GroupAwarePolicy>(
+      mgmt::GroupAwarePolicy::Metric::kMean);
+}
+
+void BM_Static_Balanced(benchmark::State& s) { run(s, make_static, false); }
+void BM_LoadBalance_Balanced(benchmark::State& s) {
+  run(s, make_load_balance, false);
+}
+void BM_GroupAwareWorst_Balanced(benchmark::State& s) {
+  run(s, make_group_worst, false);
+}
+void BM_GroupAwareMean_Balanced(benchmark::State& s) {
+  run(s, make_group_mean, false);
+}
+void BM_Static_SfHeavy(benchmark::State& s) { run(s, make_static, true); }
+void BM_LoadBalance_SfHeavy(benchmark::State& s) {
+  run(s, make_load_balance, true);
+}
+void BM_GroupAwareWorst_SfHeavy(benchmark::State& s) {
+  run(s, make_group_worst, true);
+}
+void BM_GroupAwareMean_SfHeavy(benchmark::State& s) {
+  run(s, make_group_mean, true);
+}
+
+BENCHMARK(BM_Static_Balanced)->Iterations(1);
+BENCHMARK(BM_LoadBalance_Balanced)->Iterations(1);
+BENCHMARK(BM_GroupAwareWorst_Balanced)->Iterations(1);
+BENCHMARK(BM_GroupAwareMean_Balanced)->Iterations(1);
+BENCHMARK(BM_Static_SfHeavy)->Iterations(1);
+BENCHMARK(BM_LoadBalance_SfHeavy)->Iterations(1);
+BENCHMARK(BM_GroupAwareWorst_SfHeavy)->Iterations(1);
+BENCHMARK(BM_GroupAwareMean_SfHeavy)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// E6 — continuous-media QoS under congestion (§4.2.2-ii): end-to-end
+// monitoring and dynamic re-negotiation vs no QoS management.
+//
+// A 25 fps / 4000 B video stream crosses a 1 Mbps access link.  From t=10s
+// to t=40s a bulk transfer injects 600 kbps of cross traffic; the stream's
+// 800 kbps no longer fits.  Three managements:
+//
+//   none        — the source blasts 25 fps regardless (open loop);
+//   monitor     — violations are detected and counted but nothing reacts
+//                 (monitoring without management);
+//   adaptive    — the full loop: monitor verdicts drive media scaling
+//                 down during congestion and probe back up after.
+//
+// Reported series: mean latency during congestion, late frames, monitor
+// violations, fps at the end.
+//
+// Expected shape: with no management latency grows unboundedly (queueing)
+// and most frames are late; the adaptive loop holds latency near the
+// bound by sacrificing frame rate, then recovers to 25 fps.
+#include <benchmark/benchmark.h>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr sim::Duration kRunTime = sim::sec(70);
+constexpr sim::Duration kCongestStart = sim::sec(10);
+constexpr sim::Duration kCongestEnd = sim::sec(40);
+
+streams::QosSpec video() {
+  return {.fps = 25, .frame_bytes = 4000,
+          .latency_bound = sim::msec(200),
+          .jitter_bound = sim::msec(50),
+          .min_fps = 5};
+}
+
+struct Result {
+  double mean_latency_congested_ms = 0;
+  double late_frames = 0;
+  double violations = 0;
+  double final_fps = 0;
+  double frames_delivered = 0;
+};
+
+enum class Management { kNone, kMonitorOnly, kAdaptive };
+
+Result run_qos(Management mgmt) {
+  Platform platform(13);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link({.latency = sim::msec(20), .jitter = sim::msec(2),
+                        .bandwidth_bps = 1e6, .loss = 0.0});
+
+  streams::MediaSource src(sim, 1, video());
+  streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+  streams::MediaSink sink(net, {2, 1});
+
+  streams::QosManager qos_mgr(10e6);
+  std::unique_ptr<streams::QosMonitor> monitor;
+  std::unique_ptr<streams::QosAdaptor> adaptor;
+  if (mgmt != Management::kNone) {
+    monitor = std::make_unique<streams::QosMonitor>(sim, sink, video());
+    if (mgmt == Management::kAdaptive) {
+      adaptor = std::make_unique<streams::QosAdaptor>(*monitor, qos_mgr,
+                                                      src, video());
+    }
+  }
+
+  // Measure latency of frames arriving during the congestion window.
+  util::Summary congested_latency;
+  double late = 0;
+  sink.on_frame([&](const streams::Frame&, sim::Duration latency) {
+    if (sim.now() >= kCongestStart && sim.now() < kCongestEnd + sim::sec(5))
+      congested_latency.add(static_cast<double>(latency));
+    if (latency > video().latency_bound) late += 1;
+  });
+
+  // Cross traffic: 600 kbps in 15 kB bursts every 200 ms.
+  const int bursts =
+      static_cast<int>((kCongestEnd - kCongestStart) / sim::msec(200));
+  for (int i = 0; i < bursts; ++i) {
+    sim.schedule_at(kCongestStart + i * sim::msec(200), [&net] {
+      net::Message chunk{.src = {1, 9}, .dst = {2, 9}, .payload = {}};
+      chunk.wire_size = 15'000;
+      net.send(std::move(chunk));
+    });
+  }
+
+  src.start();
+  sim.run_until(kRunTime);
+
+  Result r;
+  r.mean_latency_congested_ms = congested_latency.mean() / 1000.0;
+  r.late_frames = late;
+  r.violations =
+      monitor ? static_cast<double>(monitor->violations()) : -1;
+  r.final_fps = src.fps();
+  r.frames_delivered = static_cast<double>(sink.frames_received());
+  return r;
+}
+
+void run(benchmark::State& state, Management mgmt) {
+  Result r;
+  for (auto _ : state) r = run_qos(mgmt);
+  state.counters["congested_latency_ms"] = r.mean_latency_congested_ms;
+  state.counters["late_frames"] = r.late_frames;
+  state.counters["violations"] = r.violations;
+  state.counters["final_fps"] = r.final_fps;
+  state.counters["frames_delivered"] = r.frames_delivered;
+}
+
+void BM_NoManagement(benchmark::State& s) { run(s, Management::kNone); }
+void BM_MonitorOnly(benchmark::State& s) {
+  run(s, Management::kMonitorOnly);
+}
+void BM_AdaptiveRenegotiation(benchmark::State& s) {
+  run(s, Management::kAdaptive);
+}
+
+BENCHMARK(BM_NoManagement)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MonitorOnly)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AdaptiveRenegotiation)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

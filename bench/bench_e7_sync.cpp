@@ -1,0 +1,142 @@
+// E7 — real-time synchronization (§4.2.2-iii): continuous (lip sync) and
+// event-driven synchronization quality.
+//
+// Continuous: 50 fps audio on a fast path, 25 fps video on a slow jittery
+// path; the regulator slides the video playout clock toward the audio.
+// Sweep over the regulator state (off / on) and the video path's extra
+// latency.  Reported: mean and max |skew| after convergence (samples from
+// the second half of the run), corrections issued.
+//
+// Event-driven: cue points registered on a stream's timeline; sweep the
+// poll period.  Reported: firing error p95 — the cost of coarser polling.
+//
+// Expected shape: regulator off leaves |skew| equal to the path offset
+// (well past the 80 ms lip-sync bound); regulator on pulls it inside the
+// bound at every offset.  Event-sync error grows linearly with the poll
+// period.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+struct LipSyncResult {
+  double mean_abs_skew_ms = 0;
+  double max_abs_skew_ms = 0;
+  double corrections = 0;
+};
+
+LipSyncResult run_lipsync(bool regulator_on, sim::Duration video_delay) {
+  Platform platform(19);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_link(1, 2, {.latency = sim::msec(5), .jitter = sim::msec(1),
+                      .bandwidth_bps = 10e6, .loss = 0});
+  net.set_link(1, 3, {.latency = video_delay, .jitter = sim::msec(10),
+                      .bandwidth_bps = 10e6, .loss = 0});
+
+  streams::QosSpec audio{.fps = 50, .frame_bytes = 320,
+                         .latency_bound = sim::msec(150),
+                         .jitter_bound = sim::msec(30), .min_fps = 50};
+  streams::QosSpec video{.fps = 25, .frame_bytes = 4000,
+                         .latency_bound = sim::msec(300),
+                         .jitter_bound = sim::msec(60), .min_fps = 5};
+  streams::MediaSource audio_src(sim, 1, audio);
+  streams::MediaSource video_src(sim, 2, video);
+  streams::StreamBinding ab(net, audio_src, {1, 1}, net::Address{2, 1});
+  streams::StreamBinding vb(net, video_src, {1, 2}, net::Address{3, 1});
+  streams::MediaSink audio_sink(net, {2, 1});
+  streams::MediaSink video_sink(net, {3, 1});
+  streams::ContinuousSync sync(sim, audio_sink, video_sink,
+                               {.check_period = sim::msec(100),
+                                .skew_bound = sim::msec(80),
+                                .correction_gain = 0.5});
+  if (regulator_on) sync.start();
+  audio_src.start();
+  video_src.start();
+
+  // Steady-state skew sampling over the second half of a 20 s run.
+  util::Summary abs_skew;
+  sim::PeriodicTimer sampler(sim, sim::msec(100), [&] {
+    if (sim.now() < sim::sec(10)) return;
+    const auto a = audio_sink.playout_position();
+    const auto v = video_sink.playout_position();
+    if (a >= 0 && v >= 0)
+      abs_skew.add(std::abs(static_cast<double>(a - v)));
+  });
+  sampler.start();
+  sim.run_until(sim::sec(20));
+
+  return {abs_skew.mean() / 1000.0, abs_skew.max() / 1000.0,
+          static_cast<double>(sync.corrections())};
+}
+
+void run_lip(benchmark::State& state, bool on) {
+  const auto delay = sim::msec(state.range(0));
+  LipSyncResult r;
+  for (auto _ : state) r = run_lipsync(on, delay);
+  state.counters["video_path_ms"] = static_cast<double>(state.range(0));
+  state.counters["abs_skew_ms_mean"] = r.mean_abs_skew_ms;
+  state.counters["abs_skew_ms_max"] = r.max_abs_skew_ms;
+  state.counters["corrections"] = r.corrections;
+}
+
+void BM_LipSync_RegulatorOff(benchmark::State& s) { run_lip(s, false); }
+void BM_LipSync_RegulatorOn(benchmark::State& s) { run_lip(s, true); }
+
+// --- event-driven synchronization ----------------------------------------
+
+void BM_EventSync_FiringError(benchmark::State& state) {
+  const auto poll = sim::msec(state.range(0));
+  double p95 = 0, fired = 0;
+  for (auto _ : state) {
+    Platform platform(19);
+    auto& sim = platform.simulator();
+    auto& net = platform.network();
+    streams::QosSpec video{.fps = 25, .frame_bytes = 4000,
+                           .latency_bound = sim::msec(300),
+                           .jitter_bound = sim::msec(60), .min_fps = 5};
+    streams::MediaSource src(sim, 1, video);
+    streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+    streams::MediaSink sink(net, {2, 1});
+    streams::EventSync cues(sim, sink, poll);
+    int count = 0;
+    for (int i = 1; i <= 50; ++i)
+      cues.at(i * sim::msec(97), [&count](std::int64_t) { ++count; });
+    src.start();
+    sim.run_until(sim::sec(10));
+    p95 = cues.firing_error().p95() / 1000.0;
+    fired = count;
+  }
+  state.counters["poll_ms"] = static_cast<double>(state.range(0));
+  state.counters["firing_error_ms_p95"] = p95;
+  state.counters["cues_fired"] = fired;
+}
+
+BENCHMARK(BM_LipSync_RegulatorOff)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LipSync_RegulatorOn)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EventSync_FiringError)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(50)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

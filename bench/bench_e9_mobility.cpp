@@ -1,0 +1,202 @@
+// E9 — mobility (§3.3.3, §4.2.2): disconnected operation in numbers.
+//
+// Part 1: availability — fraction of a field worker's reads served while
+// fully disconnected, as a function of how much of the working set was
+// hoarded (sweep hoard fraction).  Working set: 100 job objects; reads
+// zipf-skewed.
+//
+// Part 2: reintegration — cost of returning with an operation log of N
+// entries: virtual time and wire bytes for one bulk RPC vs replaying the
+// writes one RPC each over the same link (the "bulk updates" claim).
+//
+// Part 3: conflicts — fraction of reintegrated entries conflicting as a
+// function of how much the office mutated the shared set meanwhile.
+//
+// Expected shape: availability tracks the hoard fraction (with zipf skew
+// it beats the fraction itself); bulk reintegration beats per-op replay
+// on both time and bytes, and the gap widens with log size; conflicts
+// scale with office write rate.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr int kObjects = 250;
+
+std::vector<std::string> all_keys() {
+  std::vector<std::string> keys;
+  keys.reserve(kObjects);
+  for (int i = 0; i < kObjects; ++i)
+    keys.push_back("job/" + std::to_string(i));
+  return keys;
+}
+
+void BM_Availability_vs_HoardFraction(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  double availability = 0;
+  for (auto _ : state) {
+    Platform platform(41);
+    auto& sim = platform.simulator();
+    auto& net = platform.network();
+    net.set_default_link(net::LinkModel::lan());
+    mobile::ShareServer server(net, {100, 1});
+    const auto keys = all_keys();
+    for (const auto& k : keys) server.store().write(k, "content of " + k);
+
+    mobile::MobileHost host(net, {1, 1}, {100, 1});
+    // Hoard the hottest prefix (the worker knows today's jobs).
+    std::vector<std::string> hoard(
+        keys.begin(),
+        keys.begin() + static_cast<long>(fraction * kObjects));
+    if (!hoard.empty()) host.hoard(hoard, nullptr);
+    sim.run();
+    host.set_connectivity(net::Connectivity::kDisconnected);
+
+    int served = 0;
+    const int kReads = 1000;
+    for (int i = 0; i < kReads; ++i) {
+      const auto idx = sim.rng().zipf(kObjects, 1.1);
+      host.read(keys[idx], [&](bool ok, auto) { served += ok ? 1 : 0; });
+    }
+    availability = static_cast<double>(served) / kReads;
+  }
+  state.counters["hoard_pct"] = static_cast<double>(state.range(0));
+  state.counters["availability"] = availability;
+}
+
+void BM_Reintegration_Bulk(benchmark::State& state) {
+  const auto log_size = static_cast<int>(state.range(0));
+  double reintegration_ms = 0, wire_bytes = 0;
+  for (auto _ : state) {
+    Platform platform(43);
+    auto& sim = platform.simulator();
+    auto& net = platform.network();
+    net.set_default_link(net::LinkModel::lan());  // hoard at the depot
+    mobile::ShareServer server(net, {100, 1});
+    const auto keys = all_keys();
+    for (const auto& k : keys) server.store().write(k, "v0");
+    mobile::MobileHost host(net, {1, 1}, {100, 1});
+    host.set_call_options({.timeout = sim::sec(30), .retries = 4,
+                           .backoff = 2.0});
+    host.hoard(keys, nullptr);
+    sim.run();
+    host.set_connectivity(net::Connectivity::kDisconnected);
+    for (int i = 0; i < log_size; ++i)
+      host.write(keys[static_cast<std::size_t>(i)], "field edit",
+                 [](bool) {});
+    // The worker reconnects over packet radio (still in the field).
+    net.set_default_link(net::LinkModel::radio());
+    host.set_connectivity(net::Connectivity::kFull);
+    const auto bytes_before = net.stats().bytes_sent;
+    const auto t0 = sim.now();
+    sim::TimePoint done_at = 0;
+    host.reintegrate([&](std::size_t, const auto&) { done_at = sim.now(); });
+    sim.run();
+    reintegration_ms = sim::to_ms(done_at - t0);
+    wire_bytes = static_cast<double>(net.stats().bytes_sent - bytes_before);
+  }
+  state.counters["log_entries"] = static_cast<double>(log_size);
+  state.counters["reintegration_ms"] = reintegration_ms;
+  state.counters["wire_bytes"] = wire_bytes;
+}
+
+void BM_Reintegration_PerOpReplay(benchmark::State& state) {
+  const auto log_size = static_cast<int>(state.range(0));
+  double reintegration_ms = 0, wire_bytes = 0;
+  for (auto _ : state) {
+    Platform platform(43);
+    auto& sim = platform.simulator();
+    auto& net = platform.network();
+    net.set_default_link(net::LinkModel::radio());
+    mobile::ShareServer server(net, {100, 1});
+    const auto keys = all_keys();
+    for (const auto& k : keys) server.store().write(k, "v0");
+    mobile::MobileHost host(net, {1, 1}, {100, 1});
+    // Sane per-op budget for small writes over radio (the 30 s bulk
+    // budget would make every lost datagram cost half a minute).
+    host.set_call_options({.timeout = sim::sec(1), .retries = 8,
+                           .backoff = 1.5});
+    sim.run();
+    // The naive return: one "write" RPC per logged operation, replayed
+    // serially (as a replay agent would).
+    const auto bytes_before = net.stats().bytes_sent;
+    const auto t0 = sim.now();
+    sim::TimePoint done_at = 0;
+    std::function<void(int)> replay = [&](int i) {
+      if (i == log_size) {
+        done_at = sim.now();
+        return;
+      }
+      host.write(keys[static_cast<std::size_t>(i)], "field edit",
+                 [&replay, i](bool) { replay(i + 1); });
+    };
+    replay(0);
+    sim.run();
+    reintegration_ms = sim::to_ms(done_at - t0);
+    wire_bytes = static_cast<double>(net.stats().bytes_sent - bytes_before);
+  }
+  state.counters["log_entries"] = static_cast<double>(log_size);
+  state.counters["reintegration_ms"] = reintegration_ms;
+  state.counters["wire_bytes"] = wire_bytes;
+}
+
+void BM_Conflicts_vs_OfficeWrites(benchmark::State& state) {
+  const double office_rate = static_cast<double>(state.range(0)) / 100.0;
+  double conflict_fraction = 0;
+  for (auto _ : state) {
+    Platform platform(47);
+    auto& sim = platform.simulator();
+    auto& net = platform.network();
+    net.set_default_link(net::LinkModel::lan());
+    mobile::ShareServer server(net, {100, 1});
+    const auto keys = all_keys();
+    for (const auto& k : keys) server.store().write(k, "v0");
+    mobile::MobileHost host(net, {1, 1}, {100, 1});
+    host.hoard(keys, nullptr);
+    sim.run();
+    host.set_connectivity(net::Connectivity::kDisconnected);
+    const int kEdits = 50;
+    for (int i = 0; i < kEdits; ++i)
+      host.write(keys[static_cast<std::size_t>(i)], "field edit",
+                 [](bool) {});
+    // The office touches a random subset while the worker is away.
+    for (int i = 0; i < kEdits; ++i) {
+      if (sim.rng().bernoulli(office_rate))
+        server.store().write(keys[static_cast<std::size_t>(i)],
+                             "office edit");
+    }
+    host.set_connectivity(net::Connectivity::kFull);
+    std::size_t conflicts = 0;
+    host.reintegrate([&](std::size_t, const auto& c) {
+      conflicts = c.size();
+    });
+    sim.run();
+    conflict_fraction = static_cast<double>(conflicts) / kEdits;
+  }
+  state.counters["office_write_pct"] = static_cast<double>(state.range(0));
+  state.counters["conflict_fraction"] = conflict_fraction;
+}
+
+BENCHMARK(BM_Availability_vs_HoardFraction)
+    ->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100)
+    ->Iterations(1);
+BENCHMARK(BM_Reintegration_Bulk)
+    ->Arg(10)->Arg(50)->Arg(200)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Reintegration_PerOpReplay)
+    ->Arg(10)->Arg(50)->Arg(200)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Conflicts_vs_OfficeWrites)
+    ->Arg(0)->Arg(20)->Arg(50)->Arg(100)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

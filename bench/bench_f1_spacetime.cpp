@@ -1,0 +1,130 @@
+// F1 — Figure 1, the space-time matrix.
+//
+// Reproduces the paper's groupware classification as measurements: one
+// session per quadrant, same workload (two participants exchanging 200
+// shared-workspace updates), infrastructure chosen by the quadrant's
+// recommendations (link regime, ordering, awareness digest cadence).
+//
+// Reported series (one row per quadrant):
+//   interact_ms_mean / interact_ms_p95 — update propagation to the peer
+//   awareness_ms_p95                   — activity event -> peer awareness
+//   msgs_per_update                    — protocol overhead
+//
+// Expected shape: co-located quadrants are an order of magnitude faster
+// than remote ones; synchronous quadrants deliver awareness immediately
+// while asynchronous ones batch it into digests (larger awareness_ms but
+// fewer deliveries).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+struct QuadrantResult {
+  util::Summary interact_us;
+  util::Summary awareness_us;
+  double msgs_per_update = 0;
+};
+
+QuadrantResult run_quadrant(groupware::Place place, groupware::Tempo tempo) {
+  Platform platform(1234);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+
+  const groupware::SpaceTimeClass klass{place, tempo};
+  net.set_default_link(klass.recommended_link());
+
+  const std::vector<net::Address> members = {{1, 10}, {2, 10}};
+  groups::ChannelConfig config;
+  config.ordering = klass.recommended_ordering();
+  // Retransmission timeout must exceed the link RTT or every datagram is
+  // resent while its ack is still in flight.
+  config.retransmit_timeout =
+      4 * klass.recommended_link().latency + sim::msec(20);
+  groups::GroupChannel a(net, members[0], 1, config);
+  groups::GroupChannel b(net, members[1], 1, config);
+  a.set_members(members);
+  b.set_members(members);
+
+  QuadrantResult result;
+  b.on_deliver([&](const groups::Delivery& d) {
+    result.interact_us.add(static_cast<double>(sim.now() - d.sent_at));
+  });
+  a.on_deliver([](const groups::Delivery&) {});
+
+  awareness::SpatialModel space;
+  space.place(1, {0, 0});
+  space.place(2, {2, 0});
+  awareness::AwarenessEngine engine(
+      sim, space,
+      {.full_threshold = tempo == groupware::Tempo::kSame ? 0.4 : 0.99,
+       .digest_period = klass.recommended_digest_period(),
+       .interest_decay = sim::sec(60)});
+  engine.subscribe(2, [&](const awareness::ActivityEvent& e, double, bool) {
+    result.awareness_us.add(static_cast<double>(sim.now() - e.at));
+  });
+
+  const int kUpdates = 200;
+  // Asynchronous work spreads updates out (think time); synchronous work
+  // is bursty.  Inter-update gaps are exponential — real activity is
+  // aperiodic, and a periodic workload would alias against the digest
+  // timer and distort the notification measurements.
+  const double mean_gap_us =
+      tempo == groupware::Tempo::kSame ? 50e3 : 10e6;
+  sim::TimePoint when = 0;
+  for (int i = 0; i < kUpdates; ++i) {
+    when += static_cast<sim::Duration>(
+        sim.rng().exponential(mean_gap_us));
+    sim.schedule_at(when, [&, i] {
+      a.broadcast("update " + std::to_string(i));
+      engine.publish({1, "workspace", "edits", sim.now()});
+    });
+  }
+  sim.run_until(when + sim::sec(60));
+  result.msgs_per_update =
+      static_cast<double>(net.stats().sent) / kUpdates;
+  return result;
+}
+
+void run(benchmark::State& state, groupware::Place place,
+         groupware::Tempo tempo) {
+  QuadrantResult result;
+  for (auto _ : state) result = run_quadrant(place, tempo);
+  state.counters["interact_ms_mean"] = result.interact_us.mean() / 1000.0;
+  state.counters["interact_ms_p95"] = result.interact_us.p95() / 1000.0;
+  state.counters["awareness_ms_p95"] = result.awareness_us.p95() / 1000.0;
+  state.counters["awareness_deliveries"] =
+      static_cast<double>(result.awareness_us.count());
+  state.counters["msgs_per_update"] = result.msgs_per_update;
+}
+
+void BM_FaceToFace(benchmark::State& state) {
+  run(state, groupware::Place::kSame, groupware::Tempo::kSame);
+}
+void BM_Asynchronous(benchmark::State& state) {
+  run(state, groupware::Place::kSame, groupware::Tempo::kDifferent);
+}
+void BM_SynchronousDistributed(benchmark::State& state) {
+  run(state, groupware::Place::kDifferent, groupware::Tempo::kSame);
+}
+void BM_AsynchronousDistributed(benchmark::State& state) {
+  run(state, groupware::Place::kDifferent, groupware::Tempo::kDifferent);
+}
+
+BENCHMARK(BM_FaceToFace)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Asynchronous)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynchronousDistributed)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AsynchronousDistributed)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

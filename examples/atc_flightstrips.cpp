@@ -1,0 +1,152 @@
+// Air traffic control flight strips: the Lancaster study from §2.3.
+//
+// Two controllers and a chief work a sector's flight progress board.  The
+// board is the "publicly available workspace": every strip manipulation
+// feeds the awareness engine so colleagues can monitor the sector 'at a
+// glance', and the audit trail provides the public history /
+// accountability the ethnography identified.  The example also shows why
+// the fielded design kept strip placement MANUAL: the automatic mode
+// silently absorbs a new arrival that the manual mode forces a controller
+// to consciously place (and notice).
+//
+// Build & run:  ./atc_flightstrips
+#include <cstdio>
+#include <string>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+constexpr ccontrol::ClientId kController1 = 1;
+constexpr ccontrol::ClientId kController2 = 2;
+constexpr ccontrol::ClientId kChief = 3;
+
+const char* kind_name(groupware::BoardEvent::Kind k) {
+  using K = groupware::BoardEvent::Kind;
+  switch (k) {
+    case K::kAdd: return "adds strip";
+    case K::kMove: return "re-orders strip";
+    case K::kAmend: return "amends strip";
+    case K::kCock: return "cocks strip";
+    case K::kUncock: return "straightens strip";
+    case K::kRemove: return "hands off strip";
+  }
+  return "?";
+}
+}  // namespace
+
+int main() {
+  Platform platform(/*seed=*/3);
+  auto& sim = platform.simulator();
+
+  // The sector suite: both controllers sit at the same board (same
+  // place / same time — face-to-face on the space-time matrix), the
+  // chief supervises from across the room.
+  groupware::Session session(
+      "sector-DCS", {groupware::Place::kSame, groupware::Tempo::kSame});
+  std::printf("session: %s (%s)\n\n", session.name().c_str(),
+              session.classification().quadrant());
+
+  awareness::SpatialModel suite;
+  suite.place(kController1, {0, 0});
+  suite.place(kController2, {1, 0});
+  suite.place(kChief, {6, 0});
+  for (auto c : {kController1, kController2, kChief}) {
+    suite.set_focus(c, 10);
+    suite.set_nimbus(c, 10);
+  }
+  awareness::AwarenessEngine engine(sim, suite,
+                                    {.full_threshold = 0.4,
+                                     .digest_period = sim::sec(10),
+                                     .interest_decay = sim::minutes(5)});
+  engine.subscribe(kController2, [&](const awareness::ActivityEvent& e,
+                                     double, bool) {
+    std::printf("    (controller 2 notices: user %u %s %s)\n", e.actor,
+                e.verb.c_str(), e.object.c_str());
+  });
+
+  groupware::FlightProgressBoard board(groupware::StripPlacement::kManual);
+  board.on_event([&](const groupware::BoardEvent& e) {
+    engine.publish({e.controller, "strip/" + e.callsign, kind_name(e.kind),
+                    e.at});
+  });
+
+  auto at = [&](sim::Duration when, auto fn) { sim.schedule_at(when, fn); };
+
+  at(sim::sec(1), [&] {
+    std::printf("[%5.0f s] controller 1 places BA123 at the top (manual)\n",
+                sim::to_sec(sim.now()));
+    board.add_strip("DCS",
+                    {.callsign = "BA123", .origin = "EGLL",
+                     .destination = "EGCC", .eta = sim::minutes(12),
+                     .flight_level = 310},
+                    0, kController1, sim.now());
+  });
+  at(sim::sec(3), [&] {
+    board.add_strip("DCS",
+                    {.callsign = "AF456", .origin = "LFPG",
+                     .destination = "EGPH", .eta = sim::minutes(8),
+                     .flight_level = 350},
+                    0, kController1, sim.now());
+    std::printf("[%5.0f s] controller 1 places AF456 ABOVE BA123 — the "
+                "ordering encodes 'AF456 first'\n",
+                sim::to_sec(sim.now()));
+  });
+  at(sim::sec(10), [&] {
+    std::printf("[%5.0f s] controller 1 issues a clearance to AF456\n",
+                sim::to_sec(sim.now()));
+    board.amend("AF456", "descend FL280", kController1, sim.now());
+  });
+  at(sim::sec(20), [&] {
+    std::printf("[%5.0f s] controller 2 cocks BA123 — level conflict "
+                "brewing, needs attention\n",
+                sim::to_sec(sim.now()));
+    board.set_cocked("BA123", true, kController2, sim.now());
+  });
+  at(sim::sec(30), [&] {
+    std::printf("[%5.0f s] controller 1 resolves it and straightens the "
+                "strip\n",
+                sim::to_sec(sim.now()));
+    board.amend("BA123", "climb FL330", kController1, sim.now());
+    board.set_cocked("BA123", false, kController1, sim.now());
+  });
+  at(sim::sec(40), [&] {
+    std::printf("[%5.0f s] AF456 leaves the sector (handoff)\n",
+                sim::to_sec(sim.now()));
+    board.remove("AF456", kController1, sim.now());
+  });
+
+  platform.run_until(sim::sec(60));
+
+  // 'At a glance' readings from the board.
+  std::printf("\nboard state: %zu strip(s) in rack DCS, anticipated load "
+              "next 15 min: %zu\n",
+              board.rack("DCS").size(),
+              board.anticipated_load("DCS", 0, sim::minutes(15)));
+
+  // The naive automation for contrast: automatic insertion never makes
+  // anyone look at the new arrival.
+  groupware::FlightProgressBoard autoboard(
+      groupware::StripPlacement::kAutomatic);
+  autoboard.add_strip("DCS", {.callsign = "XX1", .eta = sim::minutes(20)},
+                      std::nullopt, kController1);
+  autoboard.add_strip("DCS", {.callsign = "XX2", .eta = sim::minutes(5)},
+                      std::nullopt, kController1);
+  std::printf("\nautomatic board for contrast: positions chosen silently "
+              "(%s first) — no controller attention drawn\n",
+              autoboard.rack("DCS")[0].callsign.c_str());
+  const bool manual_needs_slot =
+      !board.add_strip("DCS", {.callsign = "XX3"}, std::nullopt,
+                       kController1);
+  std::printf("manual board refuses a strip without an explicit slot: %s\n",
+              manual_needs_slot ? "yes (the designed friction)" : "NO");
+
+  // Accountability: the public history.
+  std::printf("\naudit trail (public history of the sector):\n");
+  for (const auto& e : board.audit()) {
+    std::printf("  [%5.0f s] controller %u %s %s\n", sim::to_sec(e.at),
+                e.controller, kind_name(e.kind), e.callsign.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Media space: §3.3.2 — "embed multimedia communication technology within
+// the workplace to provide an augmented reality".
+//
+// Three researchers at two sites share a media space.  Doors control
+// social accessibility (open / knock / closed), glances support Cruiser-
+// style social browsing, Portholes snapshots give everyone background
+// awareness of the community, and a knock negotiation escalates a glance
+// into a sustained conversation — which then carries real audio with a
+// QoS contract.
+//
+// Build & run:  ./media_space
+#include <cstdio>
+#include <string>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+constexpr ccontrol::ClientId kDai = 1;   // London
+constexpr ccontrol::ClientId kEve = 2;   // London
+constexpr ccontrol::ClientId kFay = 3;   // Lancaster
+}  // namespace
+
+int main() {
+  Platform platform(123);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link(net::LinkModel::lan());
+  net.set_symmetric_link(1, 3, net::LinkModel::wan());
+  net.set_symmetric_link(2, 3, net::LinkModel::wan());
+
+  // Awareness ties the media space into the rest of the workspace.
+  awareness::SpatialModel suite;
+  suite.place(kDai, {0, 0});
+  suite.place(kEve, {2, 0});
+  suite.place(kFay, {6, 0});
+  awareness::AwarenessEngine engine(sim, suite);
+  engine.subscribe(kEve, [&](const awareness::ActivityEvent& e, double,
+                             bool) {
+    std::printf("  (eve notices: user %u %s %s)\n", e.actor,
+                e.verb.c_str(), e.object.c_str());
+  });
+
+  groupware::MediaSpace space(sim, net, &engine,
+                              {.knock_timeout = sim::sec(10),
+                               .snapshot_period = sim::sec(30),
+                               .snapshot_bytes = 6000});
+  space.add_office(kDai, 1);
+  space.add_office(kEve, 2);
+  space.add_office(kFay, 3);
+
+  space.on_knock([&](ccontrol::ClientId occupant, ccontrol::ClientId from) {
+    std::printf("[%5.0f s] user %u's door: knock knock (user %u)\n",
+                sim::to_sec(sim.now()), occupant, from);
+  });
+  space.on_snapshot([&](ccontrol::ClientId viewer, ccontrol::ClientId office,
+                        sim::TimePoint) {
+    std::printf("[%5.0f s] portholes: user %u sees a fresh snapshot of "
+                "user %u's office\n",
+                sim::to_sec(sim.now()), viewer, office);
+  });
+
+  // Everyone watches the community via Portholes.
+  space.subscribe_portholes(kDai);
+  space.subscribe_portholes(kEve);
+  space.subscribe_portholes(kFay);
+  space.start_portholes();
+
+  auto at = [&](sim::Duration t, auto fn) { sim.schedule_at(t, fn); };
+
+  at(sim::sec(5), [&] {
+    std::printf("[%5.0f s] dai glances into eve's (open) office: %s\n",
+                sim::to_sec(sim.now()),
+                space.glance(kDai, kEve) ==
+                        groupware::AttemptResult::kAccepted
+                    ? "accepted"
+                    : "not accepted");
+  });
+  at(sim::sec(10), [&] {
+    std::printf("[%5.0f s] fay needs focus: door to KNOCK\n",
+                sim::to_sec(sim.now()));
+    space.set_door(kFay, groupware::DoorState::kKnock);
+  });
+  at(sim::sec(15), [&] {
+    std::printf("[%5.0f s] dai tries to connect to fay...\n",
+                sim::to_sec(sim.now()));
+    space.connect(kDai, kFay);
+  });
+  at(sim::sec(18), [&] {
+    std::printf("[%5.0f s] fay accepts the knock\n", sim::to_sec(sim.now()));
+    space.answer(kFay, kDai, true);
+    std::printf("          dai<->fay connected: %s\n",
+                space.connected(kDai, kFay) ? "yes" : "no");
+  });
+
+  // The accepted connection carries audio with a QoS contract over the WAN.
+  streams::QosSpec audio{.fps = 50, .frame_bytes = 320,
+                         .latency_bound = sim::msec(150),
+                         .jitter_bound = sim::msec(40), .min_fps = 25};
+  streams::MediaSource dai_mic(sim, 1, audio);
+  streams::StreamBinding audio_bind(net, dai_mic, {1, 40},
+                                    net::Address{3, 40});
+  streams::MediaSink fay_speaker(net, {3, 40});
+  streams::QosMonitor audio_mon(sim, fay_speaker, audio);
+  // Count QoS violations only while the conversation is live (a monitor
+  // watching a stopped stream reports empty windows).
+  bool mic_on = false;
+  std::uint64_t live_violations = 0;
+  audio_mon.on_report([&](const streams::QosReport&, streams::QosVerdict v) {
+    if (mic_on && v != streams::QosVerdict::kHealthy) ++live_violations;
+  });
+  at(sim::sec(19), [&] {
+    dai_mic.start();
+    mic_on = true;
+  });
+  at(sim::sec(40), [&] {
+    mic_on = false;
+    dai_mic.stop();
+    space.disconnect(kDai, kFay);
+    std::printf("[%5.0f s] conversation over; link torn down\n",
+                sim::to_sec(sim.now()));
+  });
+
+  at(sim::sec(45), [&] {
+    std::printf("[%5.0f s] fay goes heads-down: door CLOSED\n",
+                sim::to_sec(sim.now()));
+    space.set_door(kFay, groupware::DoorState::kClosed);
+  });
+  at(sim::sec(50), [&] {
+    std::printf("[%5.0f s] eve glances at fay: %s (closed doors refuse "
+                "and publish no snapshots)\n",
+                sim::to_sec(sim.now()),
+                space.glance(kEve, kFay) ==
+                        groupware::AttemptResult::kRefused
+                    ? "refused"
+                    : "?!");
+  });
+
+  platform.run_until(sim::sec(70));
+
+  const auto& st = space.stats();
+  std::printf("\nmedia space stats: %llu glances (%llu refused), %llu "
+              "knocks (%llu expired), %llu connections, %llu snapshots\n",
+              static_cast<unsigned long long>(st.glances),
+              static_cast<unsigned long long>(st.glances_refused),
+              static_cast<unsigned long long>(st.knocks),
+              static_cast<unsigned long long>(st.knock_timeouts),
+              static_cast<unsigned long long>(st.connections),
+              static_cast<unsigned long long>(st.snapshots_delivered));
+  std::printf("audio while connected: %llu frames, %llu QoS violations\n",
+              static_cast<unsigned long long>(fay_speaker.frames_received()),
+              static_cast<unsigned long long>(live_violations));
+  return 0;
+}

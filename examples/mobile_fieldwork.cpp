@@ -1,0 +1,133 @@
+// Mobile fieldwork: the MOST-project scenario from §3.3.3 / §4.2.2.
+//
+// A utilities field engineer hoards the day's job sheets before leaving
+// the depot, loses connectivity in the field, keeps reading and updating
+// the cached sheets (disconnected operation), passes through a town with
+// packet-radio coverage (partial connectivity), and finally returns to
+// the depot where the operation log reintegrates in one bulk update —
+// colliding with an office edit made meanwhile.
+//
+// Build & run:  ./mobile_fieldwork
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+int main() {
+  Platform platform(/*seed=*/5);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link(net::LinkModel::lan());
+  net.set_radio_model(net::LinkModel::radio());
+
+  mobile::ShareServer depot(net, {100, 1});
+  depot.store().write("job/117", "inspect transformer, substation A");
+  depot.store().write("job/118", "replace fuse, pole 22");
+  depot.store().write("job/119", "meter reading, plant 9");
+  depot.store().write("map/sector4", "grid reference data...");
+
+  mobile::MobileHost engineer(net, {1, 1}, {100, 1},
+                              mobile::ConflictPolicy::kManual);
+  engineer.on_conflict([&](const mobile::Conflict& c) {
+    std::printf("[%6.1f s] CONFLICT on %s\n    field copy:  \"%s\"\n"
+                "    office copy: \"%s\"\n    (manual policy: office copy "
+                "kept; field note queued for the engineer)\n",
+                sim::to_sec(sim.now()), c.key.c_str(),
+                c.local_value.c_str(), c.server_value.c_str());
+  });
+
+  auto log = [&](const char* msg) {
+    std::printf("[%6.1f s] %s\n", sim::to_sec(sim.now()), msg);
+  };
+
+  // 08:00 — at the depot: hoard the day's work.
+  sim.schedule_at(sim::sec(1), [&] {
+    log("at depot: hoarding job sheets over the LAN");
+    engineer.hoard({"job/117", "job/118", "job/119", "map/sector4"},
+                   [&](std::size_t n) {
+                     std::printf("[%6.1f s] hoarded %zu objects\n",
+                                 sim::to_sec(sim.now()), n);
+                   });
+  });
+
+  // 08:30 — driving out: fully disconnected.
+  sim.schedule_at(sim::sec(10), [&] {
+    log("leaving coverage: DISCONNECTED");
+    engineer.set_connectivity(net::Connectivity::kDisconnected);
+  });
+
+  // Field work against the cache.
+  sim.schedule_at(sim::sec(20), [&] {
+    engineer.read("job/117", [&](bool ok, auto v) {
+      std::printf("[%6.1f s] read job/117 from cache: %s (\"%s\")\n",
+                  sim::to_sec(sim.now()), ok ? "hit" : "MISS",
+                  v.value_or("-").c_str());
+    });
+    engineer.write("job/117", "inspect transformer — DONE, minor corrosion",
+                   [](bool) {});
+    log("logged completion of job/117 (offline)");
+  });
+  sim.schedule_at(sim::sec(30), [&] {
+    engineer.write("job/118", "replace fuse — DONE", [](bool) {});
+    log("logged completion of job/118 (offline)");
+    // An unhoarded object is a honest miss in the field.
+    engineer.read("job/999", [&](bool ok, auto) {
+      std::printf("[%6.1f s] read job/999: %s (not hoarded)\n",
+                  sim::to_sec(sim.now()), ok ? "hit?!" : "miss, as expected");
+    });
+  });
+
+  // Meanwhile, the office amends job/119 — the future conflict.
+  sim.schedule_at(sim::sec(35), [&] {
+    depot.store().write("job/119", "meter reading CANCELLED by customer");
+    log("(office) job/119 amended on the depot server");
+  });
+  sim.schedule_at(sim::sec(40), [&] {
+    engineer.write("job/119", "meter reading — DONE, 48213 kWh",
+                   [](bool) {});
+    log("logged completion of job/119 (offline) — office change unknown");
+  });
+
+  // 12:00 — passing through town: packet radio (partial connectivity).
+  sim.schedule_at(sim::sec(50), [&] {
+    log("entering town: PARTIAL connectivity (packet radio)");
+    engineer.set_connectivity(net::Connectivity::kPartial);
+    // Reads now reach the server, slowly, over the radio.
+    engineer.read("job/117", [&](bool ok, auto v) {
+      std::printf("[%6.1f s] radio read of job/117: %s \"%s\"\n",
+                  sim::to_sec(sim.now()), ok ? "ok" : "fail",
+                  v.value_or("-").c_str());
+    });
+  });
+
+  // 17:00 — back at the depot: full connectivity, bulk reintegration.
+  sim.schedule_at(sim::sec(70), [&] {
+    log("back at depot: FULL connectivity, reintegrating");
+    engineer.set_connectivity(net::Connectivity::kFull);
+    engineer.reintegrate([&](std::size_t applied,
+                             const std::vector<mobile::Conflict>& conflicts) {
+      std::printf("[%6.1f s] reintegration: %zu applied, %zu conflict(s)\n",
+                  sim::to_sec(sim.now()), applied, conflicts.size());
+    });
+  });
+
+  platform.run_until(sim::sec(120));
+
+  std::printf("\nfinal depot state:\n");
+  for (const auto& key : depot.store().keys()) {
+    std::printf("  %-12s = \"%s\"\n", key.c_str(),
+                depot.store().read(key).value_or("").c_str());
+  }
+  const auto& st = engineer.stats();
+  std::printf("\nengineer stats: %llu cache hits, %llu misses, "
+              "%llu logged writes, %llu reintegrated, %llu conflicts\n",
+              static_cast<unsigned long long>(st.cache_hits),
+              static_cast<unsigned long long>(st.cache_misses),
+              static_cast<unsigned long long>(st.logged_writes),
+              static_cast<unsigned long long>(st.reintegrated),
+              static_cast<unsigned long long>(st.conflicts));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest complete coop program.
+//
+// Two users on different hosts join a session, share a whiteboard object
+// through a totally-ordered group channel, and receive awareness of each
+// other's activity.  Everything runs on the deterministic simulator: the
+// program prints the same trace on every machine.
+//
+// Build & run:  ./quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+int main() {
+  Platform platform(/*seed=*/7);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+
+  // A campus network: sub-millisecond latency between the two hosts.
+  net.set_default_link(net::LinkModel::lan());
+
+  // --- 1. A session classified on the space-time matrix -------------------
+  groupware::Session session(
+      "whiteboard", {groupware::Place::kDifferent, groupware::Tempo::kSame});
+  std::printf("session '%s' is: %s\n", session.name().c_str(),
+              session.classification().quadrant());
+
+  // --- 2. Reliable, totally-ordered group communication --------------------
+  const net::McastId group = 1;
+  const std::vector<net::Address> members = {{1, 10}, {2, 10}};
+  groups::ChannelConfig config;
+  config.ordering = session.classification().recommended_ordering();
+
+  groups::GroupChannel alice(net, members[0], group, config);
+  groups::GroupChannel bob(net, members[1], group, config);
+  alice.set_members(members);
+  bob.set_members(members);
+
+  std::vector<std::string> alice_sees, bob_sees;
+  alice.on_deliver([&](const groups::Delivery& d) {
+    alice_sees.push_back(d.payload);
+  });
+  bob.on_deliver([&](const groups::Delivery& d) {
+    bob_sees.push_back(d.payload);
+  });
+
+  // --- 3. Awareness: who is doing what, weighted by proximity -------------
+  awareness::SpatialModel space;
+  space.place(/*alice=*/1, {0, 0});
+  space.place(/*bob=*/2, {3, 0});
+  awareness::AwarenessEngine engine(sim, space);
+  engine.subscribe(2, [&](const awareness::ActivityEvent& e, double w,
+                          bool digest) {
+    std::printf("[%6.1f ms] bob's awareness: user %u %s %s (weight %.2f%s)\n",
+                sim::to_ms(sim.now()), e.actor, e.verb.c_str(),
+                e.object.c_str(), w, digest ? ", digest" : "");
+  });
+
+  // --- 4. Drive the session ------------------------------------------------
+  sim.schedule_at(sim::msec(10), [&] {
+    alice.broadcast("draw circle at (2,3)");
+    engine.publish({1, "whiteboard", "draws on", sim.now()});
+  });
+  sim.schedule_at(sim::msec(25), [&] {
+    bob.broadcast("label the circle 'server'");
+    engine.publish({2, "whiteboard", "annotates", sim.now()});
+  });
+
+  platform.run_until(sim::sec(1));
+
+  // --- 5. Both replicas saw the same totally-ordered stream ----------------
+  std::printf("\nalice's whiteboard log:\n");
+  for (const auto& s : alice_sees) std::printf("  %s\n", s.c_str());
+  std::printf("bob's whiteboard log:\n");
+  for (const auto& s : bob_sees) std::printf("  %s\n", s.c_str());
+  std::printf("replicas agree: %s\n",
+              alice_sees == bob_sees ? "yes" : "NO (bug!)");
+  return alice_sees == bob_sees ? 0 : 1;
+}

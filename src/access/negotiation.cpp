@@ -1,0 +1,119 @@
+#include "access/negotiation.hpp"
+
+#include <utility>
+
+namespace coop::access {
+
+std::uint64_t RightsNegotiator::propose(ClientId proposer,
+                                        ProposedChange change,
+                                        DecisionFn done) {
+  (void)proposer;  // recorded implicitly: proposers vote like anyone else
+  const std::uint64_t id = next_id_++;
+  ++stats_.proposals;
+  Proposal p;
+  p.change = std::move(change);
+  p.done = std::move(done);
+  p.deadline = sim_.schedule_after(config_.voting_window, [this, id] {
+    auto it = open_.find(id);
+    if (it == open_.end()) return;
+    it->second.deadline = sim::kInvalidEvent;
+    ++stats_.expired;
+    decide(id, tally(it->second), /*by_deadline=*/true);
+  });
+  if (approvers_.empty()) {
+    // Nobody to consult: auto-accept.
+    open_[id] = std::move(p);
+    decide(id, true, false);
+    return id;
+  }
+  if (ballot_) {
+    for (ClientId a : approvers_) ballot_(id, a, p.change);
+  }
+  open_[id] = std::move(p);
+  return id;
+}
+
+void RightsNegotiator::vote(std::uint64_t proposal_id, ClientId voter,
+                            bool approve) {
+  auto it = open_.find(proposal_id);
+  if (it == open_.end()) return;
+  if (approvers_.count(voter) == 0) return;  // only approvers vote
+  it->second.votes[voter] = approve;
+  if (const std::optional<bool> outcome = settled(it->second)) {
+    decide(proposal_id, *outcome, /*by_deadline=*/false);
+  }
+}
+
+std::optional<bool> RightsNegotiator::settled(const Proposal& p) const {
+  const std::size_t n = approvers_.size();
+  std::size_t yes = 0, no = 0;
+  for (const auto& [who, v] : p.votes) v ? ++yes : ++no;
+  const std::size_t outstanding = n - yes - no;
+  switch (config_.policy) {
+    case VotePolicy::kAny:
+      if (yes > 0) return true;
+      if (no == n) return false;
+      break;
+    case VotePolicy::kMajority:
+      if (yes * 2 > n) return true;
+      if (no * 2 >= n && yes + outstanding <= n / 2) return false;
+      break;
+    case VotePolicy::kUnanimous:
+      if (no > 0) return false;
+      if (yes == n) return true;
+      break;
+  }
+  return std::nullopt;
+}
+
+bool RightsNegotiator::tally(const Proposal& p) const {
+  std::size_t yes = 0, no = 0;
+  for (const auto& [who, v] : p.votes) v ? ++yes : ++no;
+  switch (config_.policy) {
+    case VotePolicy::kAny:
+      return yes > 0;
+    case VotePolicy::kMajority:
+      return yes > no && yes > 0;
+    case VotePolicy::kUnanimous:
+      return no == 0 && yes == approvers_.size();
+  }
+  return false;
+}
+
+void RightsNegotiator::apply(const ProposedChange& change) {
+  switch (change.kind) {
+    case ProposedChange::Kind::kGrantRole:
+      policy_.grant_role(change.role, change.object, change.rights,
+                         change.region);
+      break;
+    case ProposedChange::Kind::kDenyRole:
+      policy_.deny_role(change.role, change.object, change.rights,
+                        change.region);
+      break;
+    case ProposedChange::Kind::kAssignRole:
+      policy_.assign(change.client, change.role);
+      break;
+    case ProposedChange::Kind::kUnassignRole:
+      policy_.unassign(change.client, change.role);
+      break;
+  }
+}
+
+void RightsNegotiator::decide(std::uint64_t id, bool accepted,
+                              bool by_deadline) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Proposal p = std::move(it->second);
+  open_.erase(it);
+  if (!by_deadline && p.deadline != sim::kInvalidEvent)
+    sim_.cancel(p.deadline);
+  if (accepted) {
+    ++stats_.accepted;
+    apply(p.change);
+  } else {
+    ++stats_.rejected;
+  }
+  if (p.done) p.done(accepted);
+}
+
+}  // namespace coop::access

@@ -1,0 +1,120 @@
+// Negotiated access-control change — §4.2.1: "It is also likely that such
+// changes will be made as a result of *negotiation* between parties
+// involved."
+//
+// A rights change is proposed, the designated approvers vote within a
+// timeout, and the decision policy (any / majority / unanimous) determines
+// the outcome.  Non-votes count as abstentions; at the deadline the policy
+// is evaluated over the votes received.  An accepted proposal is applied
+// to the RolePolicy atomically and the change notification fires through
+// the policy's visibility hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "access/roles.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::access {
+
+/// What a proposal wants to change.
+struct ProposedChange {
+  enum class Kind : std::uint8_t {
+    kGrantRole,     ///< grant `rights` on object/region to `role`
+    kDenyRole,      ///< add a negative right
+    kAssignRole,    ///< put `client` into `role`
+    kUnassignRole,  ///< remove `client` from `role`
+  };
+  Kind kind = Kind::kGrantRole;
+  Role role;
+  ClientId client = 0;
+  std::string object;
+  Region region;
+  RightSet rights = 0;
+};
+
+enum class VotePolicy : std::uint8_t { kAny, kMajority, kUnanimous };
+
+struct NegotiationConfig {
+  VotePolicy policy = VotePolicy::kMajority;
+  sim::Duration voting_window = sim::sec(30);
+};
+
+struct NegotiationStats {
+  std::uint64_t proposals = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;  ///< decided at deadline (not by early votes)
+};
+
+/// The negotiation arbiter, colocated with the session's RolePolicy.
+class RightsNegotiator {
+ public:
+  using DecisionFn = std::function<void(bool accepted)>;
+  /// Ballot callback: approvers are asked to vote on a proposal.
+  using BallotFn = std::function<void(std::uint64_t proposal_id,
+                                      ClientId approver,
+                                      const ProposedChange& change)>;
+
+  RightsNegotiator(sim::Simulator& sim, RolePolicy& policy,
+                   NegotiationConfig config = {})
+      : sim_(sim), policy_(policy), config_(config) {}
+
+  RightsNegotiator(const RightsNegotiator&) = delete;
+  RightsNegotiator& operator=(const RightsNegotiator&) = delete;
+
+  /// Declares who must be consulted for changes (e.g. current owners).
+  void set_approvers(std::set<ClientId> approvers) {
+    approvers_ = std::move(approvers);
+  }
+
+  void on_ballot(BallotFn fn) { ballot_ = std::move(fn); }
+
+  /// Opens a proposal.  Approvers receive ballots; @p done fires once
+  /// with the outcome.  A proposer who is also an approver still votes
+  /// explicitly.  Returns the proposal id.
+  std::uint64_t propose(ClientId proposer, ProposedChange change,
+                        DecisionFn done);
+
+  /// Records a vote.  Early decision fires as soon as the outcome is
+  /// mathematically settled.
+  void vote(std::uint64_t proposal_id, ClientId voter, bool approve);
+
+  [[nodiscard]] const NegotiationStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t open_proposals() const noexcept {
+    return open_.size();
+  }
+
+ private:
+  struct Proposal {
+    ProposedChange change;
+    DecisionFn done;
+    std::map<ClientId, bool> votes;
+    sim::EventId deadline = sim::kInvalidEvent;
+  };
+
+  void decide(std::uint64_t id, bool accepted, bool by_deadline);
+  /// Evaluates the policy; nullopt = undecided (more votes could flip it).
+  [[nodiscard]] std::optional<bool> settled(const Proposal& p) const;
+  [[nodiscard]] bool tally(const Proposal& p) const;
+  void apply(const ProposedChange& change);
+
+  sim::Simulator& sim_;
+  RolePolicy& policy_;
+  NegotiationConfig config_;
+  std::set<ClientId> approvers_;
+  BallotFn ballot_;
+  std::map<std::uint64_t, Proposal> open_;
+  std::uint64_t next_id_ = 1;
+  NegotiationStats stats_;
+};
+
+}  // namespace coop::access

@@ -1,0 +1,160 @@
+// Classic access control — the baseline the paper critiques in §4.2.1:
+// "Most existing approaches to access control in distributed systems are
+// based on the classic Access Matrix.  Specific mechanisms derived from
+// this matrix include access control lists and capabilities."
+//
+// coop implements all three derivations so the role-based scheme
+// (access/roles.hpp) can be compared against them in experiment E4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"  // ClientId
+
+namespace coop::access {
+
+using ClientId = ccontrol::ClientId;
+
+/// Rights bitmask.
+enum Right : std::uint8_t {
+  kRead = 1u << 0,
+  kWrite = 1u << 1,
+  kAnnotate = 1u << 2,  ///< add comments without touching the base text
+  kGrant = 1u << 3,     ///< may confer own rights on others
+};
+
+using RightSet = std::uint8_t;
+
+[[nodiscard]] constexpr bool has_right(RightSet set, Right r) noexcept {
+  return (set & r) != 0;
+}
+
+/// The full subject × object matrix (conceptual model; dense bookkeeping).
+class AccessMatrix {
+ public:
+  void set(ClientId subject, const std::string& object, RightSet rights) {
+    if (rights == 0) {
+      matrix_.erase({subject, object});
+    } else {
+      matrix_[{subject, object}] = rights;
+    }
+  }
+
+  void add(ClientId subject, const std::string& object, RightSet rights) {
+    matrix_[{subject, object}] |= rights;
+  }
+
+  void revoke(ClientId subject, const std::string& object, RightSet rights) {
+    auto it = matrix_.find({subject, object});
+    if (it == matrix_.end()) return;
+    it->second &= static_cast<RightSet>(~rights);
+    if (it->second == 0) matrix_.erase(it);
+  }
+
+  [[nodiscard]] bool check(ClientId subject, const std::string& object,
+                           Right r) const {
+    auto it = matrix_.find({subject, object});
+    return it != matrix_.end() && has_right(it->second, r);
+  }
+
+  [[nodiscard]] RightSet rights(ClientId subject,
+                                const std::string& object) const {
+    auto it = matrix_.find({subject, object});
+    return it == matrix_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::size_t entries() const noexcept {
+    return matrix_.size();
+  }
+
+ private:
+  std::map<std::pair<ClientId, std::string>, RightSet> matrix_;
+};
+
+/// Column view: per-object list of (subject, rights) — the ACL mechanism.
+class AccessControlList {
+ public:
+  void grant(const std::string& object, ClientId subject, RightSet rights) {
+    lists_[object][subject] |= rights;
+  }
+
+  void revoke(const std::string& object, ClientId subject) {
+    auto it = lists_.find(object);
+    if (it != lists_.end()) it->second.erase(subject);
+  }
+
+  [[nodiscard]] bool check(ClientId subject, const std::string& object,
+                           Right r) const {
+    auto it = lists_.find(object);
+    if (it == lists_.end()) return false;
+    auto sit = it->second.find(subject);
+    return sit != it->second.end() && has_right(sit->second, r);
+  }
+
+  [[nodiscard]] std::vector<ClientId> subjects(
+      const std::string& object) const {
+    std::vector<ClientId> out;
+    auto it = lists_.find(object);
+    if (it == lists_.end()) return out;
+    for (const auto& [s, rights] : it->second) out.push_back(s);
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::map<ClientId, RightSet>> lists_;
+};
+
+/// Row view: unforgeable tokens held by subjects — the capability
+/// mechanism.  Simulated unforgeability: capabilities carry an id minted
+/// by the store; validation checks the id is live and unrevoked.
+class CapabilityStore {
+ public:
+  struct Capability {
+    std::uint64_t id = 0;
+    std::string object;
+    RightSet rights = 0;
+  };
+
+  /// Mints a capability for @p object with @p rights.
+  Capability mint(const std::string& object, RightSet rights) {
+    const std::uint64_t id = next_id_++;
+    live_[id] = {object, rights};
+    return {id, object, rights};
+  }
+
+  /// Derives a weaker capability from an existing one (delegation).
+  std::optional<Capability> attenuate(const Capability& cap,
+                                      RightSet subset) {
+    if (!valid(cap)) return std::nullopt;
+    const RightSet r = cap.rights & subset;
+    if (r == 0) return std::nullopt;
+    return mint(cap.object, r);
+  }
+
+  /// Checks the capability grants @p r on its object, and is unrevoked
+  /// and untampered (rights/object must match the minting record).
+  [[nodiscard]] bool check(const Capability& cap, Right r) const {
+    return valid(cap) && has_right(cap.rights, r);
+  }
+
+  /// Revokes a capability by id.  Note the paper's complaint holds:
+  /// finding *which* ids to revoke for a subject needs external indexing.
+  void revoke(std::uint64_t id) { live_.erase(id); }
+
+  [[nodiscard]] bool valid(const Capability& cap) const {
+    auto it = live_.find(cap.id);
+    return it != live_.end() && it->second.first == cap.object &&
+           it->second.second == cap.rights;
+  }
+
+ private:
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::pair<std::string, RightSet>> live_;
+};
+
+}  // namespace coop::access

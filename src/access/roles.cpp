@@ -1,0 +1,161 @@
+#include "access/roles.hpp"
+
+#include <algorithm>
+
+namespace coop::access {
+
+bool RolePolicy::define_role(const Role& role, std::optional<Role> parent) {
+  if (parent && hierarchy_.find(*parent) == hierarchy_.end()) return false;
+  hierarchy_[role] = std::move(parent);
+  notify("role " + role + " defined");
+  return true;
+}
+
+void RolePolicy::assign(ClientId who, const Role& role) {
+  assignments_[who].insert(role);
+  notify("client " + std::to_string(who) + " -> role " + role);
+}
+
+void RolePolicy::unassign(ClientId who, const Role& role) {
+  auto it = assignments_.find(who);
+  if (it == assignments_.end()) return;
+  if (it->second.erase(role) > 0)
+    notify("client " + std::to_string(who) + " leaves role " + role);
+}
+
+std::set<Role> RolePolicy::roles_of(ClientId who) const {
+  auto it = assignments_.find(who);
+  return it == assignments_.end() ? std::set<Role>{} : it->second;
+}
+
+std::vector<Role> RolePolicy::chain(const Role& role) const {
+  std::vector<Role> out;
+  std::optional<Role> cur = role;
+  while (cur) {
+    out.push_back(*cur);
+    auto it = hierarchy_.find(*cur);
+    if (it == hierarchy_.end()) break;
+    cur = it->second;
+    if (out.size() > hierarchy_.size()) break;  // cycle guard
+  }
+  return out;
+}
+
+void RolePolicy::add_rule(Rule rule, const std::string& description) {
+  rules_.push_back(std::move(rule));
+  notify(description);
+}
+
+void RolePolicy::notify(const std::string& description) {
+  if (on_change_) on_change_(description);
+}
+
+void RolePolicy::grant_role(const Role& role, const std::string& object,
+                            RightSet rights, Region region) {
+  add_rule({Rule::Subject::kRole, role, 0, object, region, rights, false},
+           "grant role " + role + " on " + object);
+}
+
+void RolePolicy::deny_role(const Role& role, const std::string& object,
+                           RightSet rights, Region region) {
+  add_rule({Rule::Subject::kRole, role, 0, object, region, rights, true},
+           "deny role " + role + " on " + object);
+}
+
+void RolePolicy::grant_client(ClientId who, const std::string& object,
+                              RightSet rights, Region region) {
+  add_rule({Rule::Subject::kClient, {}, who, object, region, rights, false},
+           "grant client " + std::to_string(who) + " on " + object);
+}
+
+void RolePolicy::deny_client(ClientId who, const std::string& object,
+                             RightSet rights, Region region) {
+  add_rule({Rule::Subject::kClient, {}, who, object, region, rights, true},
+           "deny client " + std::to_string(who) + " on " + object);
+}
+
+bool RolePolicy::check(ClientId who, const std::string& object, Right r,
+                       std::optional<std::size_t> pos) const {
+  // Build the subject's role closure with depth ranks: a client's own
+  // role outranks rules inherited from its parents.  Rank scheme:
+  // client rule = 1'000'000; role at depth d in its chain = 1000 - d.
+  std::map<Role, int> role_rank;
+  auto ait = assignments_.find(who);
+  if (ait != assignments_.end()) {
+    for (const Role& held : ait->second) {
+      const std::vector<Role> c = chain(held);
+      for (std::size_t d = 0; d < c.size(); ++d) {
+        const int rank = 1000 - static_cast<int>(d);
+        auto [it, inserted] = role_rank.try_emplace(c[d], rank);
+        if (!inserted) it->second = std::max(it->second, rank);
+      }
+    }
+  }
+
+  const Rule* best = nullptr;
+  int best_subject_rank = -1;
+  std::size_t best_width = Region::kWholeObject;
+
+  for (const Rule& rule : rules_) {
+    if (rule.object != object) continue;
+    if (!has_right(rule.rights, r)) continue;
+    if (pos) {
+      if (!rule.region.contains(*pos)) continue;
+    } else {
+      // Whole-object question: only whole-object rules apply.
+      if (!rule.region.whole()) continue;
+    }
+    int subject_rank = -1;
+    if (rule.subject_kind == Rule::Subject::kClient) {
+      if (rule.client != who) continue;
+      subject_rank = 1'000'000;
+    } else {
+      auto rit = role_rank.find(rule.role);
+      if (rit == role_rank.end()) continue;
+      subject_rank = rit->second;
+    }
+    const std::size_t width = rule.region.width();
+
+    // Specificity: subject rank first, then region narrowness, then — at
+    // a full tie — denial beats grant.
+    bool better = false;
+    if (best == nullptr) {
+      better = true;
+    } else if (subject_rank != best_subject_rank) {
+      better = subject_rank > best_subject_rank;
+    } else if (width != best_width) {
+      better = width < best_width;
+    } else if (rule.deny && !best->deny) {
+      better = true;
+    }
+    if (better) {
+      best = &rule;
+      best_subject_rank = subject_rank;
+      best_width = width;
+    }
+  }
+  return best != nullptr && !best->deny;
+}
+
+std::vector<std::string> RolePolicy::explain(
+    const std::string& object) const {
+  std::vector<std::string> out;
+  for (const Rule& rule : rules_) {
+    if (rule.object != object) continue;
+    std::string line = rule.deny ? "DENY  " : "ALLOW ";
+    if (rule.subject_kind == Rule::Subject::kClient) {
+      line += "client " + std::to_string(rule.client);
+    } else {
+      line += "role " + rule.role;
+    }
+    line += " rights=" + std::to_string(rule.rights);
+    if (!rule.region.whole()) {
+      line += " region=[" + std::to_string(rule.region.begin) + "," +
+              std::to_string(rule.region.end) + ")";
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace coop::access

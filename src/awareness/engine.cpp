@@ -1,0 +1,94 @@
+#include "awareness/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::awareness {
+
+AwarenessEngine::AwarenessEngine(sim::Simulator& sim, SpatialModel& space,
+                                 EngineConfig config)
+    : sim_(sim),
+      space_(space),
+      config_(config),
+      digest_timer_(sim, config.digest_period, [this] { flush_digests(); }) {
+  digest_timer_.start();
+}
+
+AwarenessEngine::~AwarenessEngine() { digest_timer_.stop(); }
+
+void AwarenessEngine::subscribe(ClientId observer, DeliverFn fn) {
+  observers_[observer].deliver = std::move(fn);
+}
+
+void AwarenessEngine::unsubscribe(ClientId observer) {
+  observers_.erase(observer);
+}
+
+double AwarenessEngine::interest(ClientId observer,
+                                 const std::string& object) const {
+  auto it = last_touch_.find({observer, object});
+  if (it == last_touch_.end()) return 0.0;
+  const auto age = static_cast<double>(sim_.now() - it->second);
+  const auto tau = static_cast<double>(config_.interest_decay);
+  if (tau <= 0) return 0.0;
+  return std::exp(-age / tau);
+}
+
+double AwarenessEngine::weight(ClientId observer, ClientId actor,
+                               const std::string& object) const {
+  const double spatial = space_.awareness(observer, actor);
+  const double temporal = interest(observer, object);
+  // Temporal interest raises the floor: someone editing "my" section is
+  // relevant however far away they sit in the space.
+  return std::clamp(spatial + temporal * (1.0 - spatial), 0.0, 1.0);
+}
+
+void AwarenessEngine::mark_interest(ClientId observer,
+                                    const std::string& object) {
+  last_touch_[{observer, object}] = sim_.now();
+}
+
+void AwarenessEngine::publish(const ActivityEvent& event) {
+  ++stats_.published;
+  // The action itself refreshes the actor's interest in the object.
+  last_touch_[{event.actor, event.object}] = sim_.now();
+
+  for (auto& [observer, state] : observers_) {
+    if (observer == event.actor) continue;
+    const double w = weight(observer, event.actor, event.object);
+    if (w <= 0.0) {
+      ++stats_.suppressed;
+      continue;
+    }
+    if (w >= config_.full_threshold) {
+      ++stats_.immediate;
+      stats_.notification_time.add(
+          static_cast<double>(sim_.now() - event.at));
+      if (state.deliver) state.deliver(event, w, /*via_digest=*/false);
+    } else {
+      auto [it, inserted] = state.pending.try_emplace(event.object,
+                                                      event, w);
+      if (!inserted) {
+        ++stats_.coalesced;
+        it->second = {event, std::max(w, it->second.second)};
+      }
+    }
+  }
+}
+
+void AwarenessEngine::flush_digests() {
+  for (auto& [observer, state] : observers_) {
+    if (state.pending.empty()) continue;
+    auto pending = std::move(state.pending);
+    state.pending.clear();
+    for (auto& [object, entry] : pending) {
+      ++stats_.digested;
+      stats_.notification_time.add(
+          static_cast<double>(sim_.now() - entry.first.at));
+      if (state.deliver)
+        state.deliver(entry.first, entry.second, /*via_digest=*/true);
+    }
+  }
+}
+
+}  // namespace coop::awareness

@@ -1,0 +1,117 @@
+// The awareness engine: activity events weighted by spatial and temporal
+// metrics, delivered immediately, digested, or suppressed.
+//
+// §4.2.1: "provide explicit awareness mechanisms for both synchronous and
+// asynchronous modes of working.  This work often uses spatial and temporal
+// metrics to generate awareness weightings defining the impact of actions
+// on other users."
+//
+// Weighting = spatial awareness (focus/nimbus overlap) raised by a
+// temporal *interest* term: an observer who recently worked on the same
+// object stays highly aware of changes to it even from across the space
+// (their attention lingers).  Interest decays exponentially.
+//
+// Delivery policy per (event, observer):
+//   weight >= full_threshold  -> immediate callback (notification time ~0)
+//   0 < weight < threshold    -> batched into a periodic digest; only the
+//                                latest event per object survives batching
+//   weight == 0               -> suppressed entirely
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "awareness/spatial.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace coop::awareness {
+
+/// One observable action in the workspace.
+struct ActivityEvent {
+  ClientId actor = 0;
+  std::string object;  ///< what was touched (document, section, strip...)
+  std::string verb;    ///< what happened ("edit", "annotate", "move"...)
+  sim::TimePoint at = 0;
+};
+
+struct EngineConfig {
+  /// Weight at or above which delivery is immediate.
+  double full_threshold = 0.4;
+  /// Digest flush cadence for peripheral observers.
+  sim::Duration digest_period = sim::sec(5);
+  /// e-folding time of the temporal interest term.
+  sim::Duration interest_decay = sim::sec(60);
+};
+
+struct EngineStats {
+  std::uint64_t published = 0;
+  std::uint64_t immediate = 0;
+  std::uint64_t digested = 0;        ///< events delivered via digests
+  std::uint64_t coalesced = 0;       ///< events replaced inside a digest
+  std::uint64_t suppressed = 0;      ///< weight-zero drops
+  util::Summary notification_time;   ///< publish -> delivery, virtual µs
+};
+
+/// Session-local awareness distributor.  Distribution across sites is the
+/// transport's job (the groupware session publishes into one engine per
+/// site and replicates events over a GroupChannel).
+class AwarenessEngine {
+ public:
+  /// Delivery callback: the event plus the weight it carried for this
+  /// observer.  `via_digest` distinguishes the two delivery paths.
+  using DeliverFn =
+      std::function<void(const ActivityEvent&, double weight, bool via_digest)>;
+
+  AwarenessEngine(sim::Simulator& sim, SpatialModel& space,
+                  EngineConfig config = {});
+  ~AwarenessEngine();
+
+  AwarenessEngine(const AwarenessEngine&) = delete;
+  AwarenessEngine& operator=(const AwarenessEngine&) = delete;
+
+  /// Registers @p observer's callback.
+  void subscribe(ClientId observer, DeliverFn fn);
+  void unsubscribe(ClientId observer);
+
+  /// Publishes an action; the engine fans it out by weight.  The actor
+  /// also gains interest in the object (temporal metric).
+  void publish(const ActivityEvent& event);
+
+  /// Current weight of @p event's relevance for @p observer (spatial ×
+  /// temporal combination) — exposed for visualisation layers.
+  [[nodiscard]] double weight(ClientId observer, ClientId actor,
+                              const std::string& object) const;
+
+  /// Explicitly registers interest (e.g. opening a document) so changes
+  /// to @p object reach @p observer even without spatial overlap.
+  void mark_interest(ClientId observer, const std::string& object);
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Observer {
+    DeliverFn deliver;
+    /// Pending digest: object -> latest event (+ its weight).
+    std::map<std::string, std::pair<ActivityEvent, double>> pending;
+  };
+
+  [[nodiscard]] double interest(ClientId observer,
+                                const std::string& object) const;
+  void flush_digests();
+
+  sim::Simulator& sim_;
+  SpatialModel& space_;
+  EngineConfig config_;
+  std::map<ClientId, Observer> observers_;
+  /// (observer, object) -> last time the observer acted on the object.
+  std::map<std::pair<ClientId, std::string>, sim::TimePoint> last_touch_;
+  sim::PeriodicTimer digest_timer_;
+  EngineStats stats_;
+};
+
+}  // namespace coop::awareness

@@ -1,0 +1,121 @@
+// The spatial model of interaction (Benford & Fahlén, DIVE) — §3.3.2's
+// "spatial model for cooperation in large unbounded space" and the basis
+// of §4.2.1's awareness weightings.
+//
+// Each participant occupies a position in an abstract space and projects
+// two auras: a *focus* (where their attention is directed) and a *nimbus*
+// (where their activity is observable).  The awareness of observer A about
+// observed B combines A's focus at B's position with B's nimbus at A's
+// position — so both parties shape how aware one is of the other.  The
+// space is an abstraction: coordinates can be a virtual room, a document's
+// section layout, or a media-space floor plan.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ccontrol/locks.hpp"  // ClientId
+
+namespace coop::awareness {
+
+using ClientId = ccontrol::ClientId;
+
+/// Position in the abstract cooperation space.
+struct Point {
+  double x = 0;
+  double y = 0;
+};
+
+/// Straight-line distance.
+[[nodiscard]] inline double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Quantized awareness bands used by delivery policies.
+enum class AwarenessLevel : std::uint8_t {
+  kNone,        ///< no mutual aura overlap: silence
+  kPeripheral,  ///< weak overlap: digested/throttled updates
+  kFull,        ///< strong overlap: immediate updates
+};
+
+/// The space and everyone's auras.
+class SpatialModel {
+ public:
+  struct Participant {
+    Point position;
+    double focus_radius = 10.0;
+    double nimbus_radius = 10.0;
+  };
+
+  /// Adds or moves a participant.
+  void place(ClientId who, Point where) {
+    participants_[who].position = where;
+  }
+
+  /// Sets how far @p who's attention reaches.
+  void set_focus(ClientId who, double radius) {
+    participants_[who].focus_radius = std::max(0.0, radius);
+  }
+
+  /// Sets how far @p who's activity projects.
+  void set_nimbus(ClientId who, double radius) {
+    participants_[who].nimbus_radius = std::max(0.0, radius);
+  }
+
+  void remove(ClientId who) { participants_.erase(who); }
+
+  [[nodiscard]] std::optional<Point> position(ClientId who) const {
+    auto it = participants_.find(who);
+    if (it == participants_.end()) return std::nullopt;
+    return it->second.position;
+  }
+
+  /// Awareness of @p observer about @p observed in [0,1]: the product of
+  /// the observer's focus evaluated at the observed's position and the
+  /// observed's nimbus evaluated at the observer's position, each with
+  /// linear falloff.  Unknown participants yield 0.
+  [[nodiscard]] double awareness(ClientId observer, ClientId observed) const {
+    if (observer == observed) return 1.0;
+    auto a = participants_.find(observer);
+    auto b = participants_.find(observed);
+    if (a == participants_.end() || b == participants_.end()) return 0.0;
+    const double d = distance(a->second.position, b->second.position);
+    const double focus = falloff(d, a->second.focus_radius);
+    const double nimbus = falloff(d, b->second.nimbus_radius);
+    return focus * nimbus;
+  }
+
+  /// Quantizes awareness into delivery bands.
+  [[nodiscard]] AwarenessLevel level(ClientId observer,
+                                     ClientId observed,
+                                     double full_threshold = 0.4) const {
+    const double a = awareness(observer, observed);
+    if (a >= full_threshold) return AwarenessLevel::kFull;
+    if (a > 0.0) return AwarenessLevel::kPeripheral;
+    return AwarenessLevel::kNone;
+  }
+
+  [[nodiscard]] std::size_t participant_count() const noexcept {
+    return participants_.size();
+  }
+
+  /// All participants (iteration for engines built on the model).
+  [[nodiscard]] const std::map<ClientId, Participant>& participants() const {
+    return participants_;
+  }
+
+ private:
+  static double falloff(double dist, double radius) {
+    if (radius <= 0.0) return 0.0;
+    return std::max(0.0, 1.0 - dist / radius);
+  }
+
+  std::map<ClientId, Participant> participants_;
+};
+
+}  // namespace coop::awareness

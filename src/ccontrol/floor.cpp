@@ -1,0 +1,161 @@
+#include "ccontrol/floor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::ccontrol {
+
+FloorControl::FloorControl(sim::Simulator& sim, FloorConfig config)
+    : sim_(sim), config_(config) {}
+
+FloorControl::~FloorControl() {
+  if (rotation_timer_ != sim::kInvalidEvent) sim_.cancel(rotation_timer_);
+  for (Pending& p : queue_) {
+    if (p.negotiation_timer != sim::kInvalidEvent)
+      sim_.cancel(p.negotiation_timer);
+  }
+}
+
+void FloorControl::give_floor(ClientId who, GrantFn done,
+                              sim::TimePoint since) {
+  const std::optional<ClientId> prev = holder_;
+  holder_ = who;
+  ++stats_.grants;
+  stats_.wait_time.add(static_cast<double>(sim_.now() - since));
+  if (on_change_) on_change_(prev, holder_);
+  if (config_.policy == FloorPolicy::kRoundRobin) arm_rotation();
+  if (done) done(true);
+}
+
+void FloorControl::arm_rotation() {
+  if (rotation_timer_ != sim::kInvalidEvent) sim_.cancel(rotation_timer_);
+  rotation_timer_ = sim_.schedule_after(config_.rotation_period, [this] {
+    rotation_timer_ = sim::kInvalidEvent;
+    if (!queue_.empty()) {
+      // Rotate: current holder loses the floor, front of queue gets it.
+      next_from_queue();
+    } else if (holder_) {
+      arm_rotation();  // nobody waiting; holder keeps the floor
+    }
+  });
+}
+
+void FloorControl::next_from_queue() {
+  if (queue_.empty()) {
+    const std::optional<ClientId> prev = holder_;
+    holder_.reset();
+    if (on_change_ && prev) on_change_(prev, std::nullopt);
+    return;
+  }
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  if (p.negotiation_timer != sim::kInvalidEvent)
+    sim_.cancel(p.negotiation_timer);
+  give_floor(p.who, std::move(p.done), p.since);
+}
+
+void FloorControl::set_policy(FloorPolicy policy) {
+  if (config_.policy == policy) return;
+  config_.policy = policy;
+  if (policy == FloorPolicy::kRoundRobin) {
+    if (holder_ && rotation_timer_ == sim::kInvalidEvent) arm_rotation();
+  } else if (rotation_timer_ != sim::kInvalidEvent) {
+    sim_.cancel(rotation_timer_);
+    rotation_timer_ = sim::kInvalidEvent;
+  }
+  // Leaving kNegotiation: pending knocks become plain queue entries; their
+  // negotiation timers are disarmed (silence no longer implies consent).
+  if (policy != FloorPolicy::kNegotiation) {
+    for (Pending& p : queue_) {
+      if (p.negotiation_timer != sim::kInvalidEvent) {
+        sim_.cancel(p.negotiation_timer);
+        p.negotiation_timer = sim::kInvalidEvent;
+      }
+    }
+  }
+}
+
+void FloorControl::request(ClientId who, GrantFn done) {
+  if (holder_ == who) {
+    if (done) done(true);  // already holding
+    return;
+  }
+  // Idempotent while queued: a re-sent request (impatient user, lost
+  // notification) must not create a second queue entry — the stale grant
+  // would later hand the floor to someone no longer asking.
+  for (const Pending& p : queue_) {
+    if (p.who == who) return;
+  }
+  if (!holder_) {
+    give_floor(who, std::move(done), sim_.now());
+    return;
+  }
+
+  switch (config_.policy) {
+    case FloorPolicy::kPreemptive:
+      ++stats_.preemptions;
+      give_floor(who, std::move(done), sim_.now());
+      return;
+
+    case FloorPolicy::kExplicitRelease:
+    case FloorPolicy::kRoundRobin:
+      queue_.push_back({who, std::move(done), sim_.now()});
+      if (config_.policy == FloorPolicy::kRoundRobin &&
+          rotation_timer_ == sim::kInvalidEvent) {
+        arm_rotation();
+      }
+      return;
+
+    case FloorPolicy::kNegotiation: {
+      Pending p{who, std::move(done), sim_.now()};
+      if (on_negotiate_) on_negotiate_(*holder_, who);
+      // Silence is consent: auto-grant after the timeout.
+      p.negotiation_timer =
+          sim_.schedule_after(config_.negotiation_timeout, [this, who] {
+            auto it = std::find_if(queue_.begin(), queue_.end(),
+                                   [&](const Pending& q) {
+                                     return q.who == who;
+                                   });
+            if (it == queue_.end()) return;
+            ++stats_.auto_grants;
+            Pending granted = std::move(*it);
+            queue_.erase(it);
+            give_floor(granted.who, std::move(granted.done), granted.since);
+          });
+      queue_.push_back(std::move(p));
+      return;
+    }
+  }
+}
+
+void FloorControl::respond(ClientId holder, bool grant) {
+  if (config_.policy != FloorPolicy::kNegotiation) return;
+  if (!holder_ || *holder_ != holder || queue_.empty()) return;
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+  if (p.negotiation_timer != sim::kInvalidEvent)
+    sim_.cancel(p.negotiation_timer);
+  if (grant) {
+    give_floor(p.who, std::move(p.done), p.since);
+  } else {
+    ++stats_.refusals;
+    if (p.done) p.done(false);
+  }
+}
+
+void FloorControl::release(ClientId who) {
+  if (!holder_ || *holder_ != who) {
+    // Not the holder: retract any queued request instead.
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [&](const Pending& q) { return q.who == who; });
+    if (it != queue_.end()) {
+      if (it->negotiation_timer != sim::kInvalidEvent)
+        sim_.cancel(it->negotiation_timer);
+      queue_.erase(it);
+    }
+    return;
+  }
+  next_from_queue();
+}
+
+}  // namespace coop::ccontrol

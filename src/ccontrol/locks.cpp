@@ -1,0 +1,244 @@
+#include "ccontrol/locks.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::ccontrol {
+
+bool LockManager::compatible(const Entry& e, ClientId client,
+                             LockMode mode) const {
+  if (config_.style == LockStyle::kSoft) return true;  // advisory only
+  for (const Holder& h : e.holders) {
+    if (h.client == client) continue;  // re-entrant with self
+    if (config_.style == LockStyle::kNotify) {
+      // Readers never conflict; writers exclude only other writers.
+      if (mode == LockMode::kShared || h.mode == LockMode::kShared) continue;
+      return false;
+    }
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive)
+      return false;
+  }
+  return true;
+}
+
+void LockManager::grant(Entry& e, const std::string& resource,
+                        ClientId client, LockMode mode, AcquireFn done,
+                        sim::Duration waited) {
+  ++stats_.grants;
+  stats_.wait_time.add(static_cast<double>(waited));
+
+  LockGrant result;
+  result.granted = true;
+  result.waited = waited;
+
+  if (config_.style == LockStyle::kSoft) {
+    // Report the overlap to both sides: the grant lists existing
+    // conflicting holders; each of those holders gets on_conflict.
+    for (const Holder& h : e.holders) {
+      if (h.client == client) continue;
+      const bool overlap =
+          mode == LockMode::kExclusive || h.mode == LockMode::kExclusive;
+      if (!overlap) continue;
+      ++stats_.conflicts;
+      result.conflicts.push_back(h.client);
+      if (observers_.on_conflict)
+        observers_.on_conflict(resource, h.client, client);
+    }
+  }
+
+  // Re-acquisition by an existing holder upgrades/refreshes in place.
+  auto it = std::find_if(e.holders.begin(), e.holders.end(),
+                         [&](const Holder& h) { return h.client == client; });
+  if (it != e.holders.end()) {
+    if (mode == LockMode::kExclusive) it->mode = LockMode::kExclusive;
+    it->last_activity = sim_.now();
+  } else {
+    e.holders.push_back({client, mode, sim_.now()});
+  }
+  if (done) done(result);
+}
+
+void LockManager::acquire(const std::string& resource, ClientId client,
+                          LockMode mode, AcquireFn done) {
+  Entry& e = table_[resource];
+  const bool already_holding =
+      std::any_of(e.holders.begin(), e.holders.end(),
+                  [&](const Holder& h) { return h.client == client; });
+  // A newcomer may not overtake queued waiters even if it is compatible
+  // with the current holders (classic reader-starves-writer hazard);
+  // existing holders may still re-acquire/upgrade.
+  const bool must_queue = !e.waiters.empty() && !already_holding;
+  if (!must_queue && compatible(e, client, mode)) {
+    grant(e, resource, client, mode, std::move(done), 0);
+    return;
+  }
+
+  // kTickle: poke the blocking holders; idle ones are dispossessed.
+  if (config_.style == LockStyle::kTickle) {
+    const sim::TimePoint now = sim_.now();
+    bool transferred = false;
+    for (auto hit = e.holders.begin(); hit != e.holders.end();) {
+      const bool blocks = hit->client != client &&
+                          (mode == LockMode::kExclusive ||
+                           hit->mode == LockMode::kExclusive);
+      if (!blocks) {
+        ++hit;
+        continue;
+      }
+      if (now - hit->last_activity >= config_.tickle_idle_timeout) {
+        ++stats_.transfers;
+        const ClientId old = hit->client;
+        hit = e.holders.erase(hit);
+        if (observers_.on_revoked) observers_.on_revoked(resource, old);
+        transferred = true;
+      } else {
+        ++stats_.tickles;
+        if (observers_.on_tickle)
+          observers_.on_tickle(resource, hit->client, client);
+        ++hit;
+      }
+    }
+    if (transferred && compatible(e, client, mode)) {
+      grant(e, resource, client, mode, std::move(done), 0);
+      return;
+    }
+  }
+
+  // Queue the request.
+  ++stats_.waits;
+  Waiter w;
+  w.client = client;
+  w.mode = mode;
+  w.done = std::move(done);
+  w.since = sim_.now();
+  if (config_.wait_timeout > 0) {
+    w.timeout_timer = sim_.schedule_after(
+        config_.wait_timeout, [this, resource, client] {
+          Entry& entry = table_[resource];
+          auto wit = std::find_if(
+              entry.waiters.begin(), entry.waiters.end(),
+              [&](const Waiter& x) { return x.client == client; });
+          if (wit == entry.waiters.end()) return;
+          ++stats_.timeouts;
+          AcquireFn done = std::move(wit->done);
+          const sim::Duration waited = sim_.now() - wit->since;
+          entry.waiters.erase(wit);
+          if (done) done({.granted = false, .waited = waited, .conflicts = {}});
+        });
+  }
+  table_[resource].waiters.push_back(std::move(w));
+  arm_tickle_recheck(resource);
+}
+
+void LockManager::arm_tickle_recheck(const std::string& resource) {
+  if (config_.style != LockStyle::kTickle) return;
+  Entry& e = table_[resource];
+  if (e.tickle_timer != sim::kInvalidEvent || e.waiters.empty() ||
+      e.holders.empty()) {
+    return;
+  }
+  // Earliest instant any current holder crosses the idle threshold.
+  sim::TimePoint next = e.holders.front().last_activity;
+  for (const Holder& h : e.holders)
+    next = std::min(next, h.last_activity);
+  next += config_.tickle_idle_timeout;
+  const sim::Duration delay = std::max<sim::Duration>(next - sim_.now(), 0);
+  e.tickle_timer = sim_.schedule_after(delay + 1, [this, resource] {
+    Entry& entry = table_[resource];
+    entry.tickle_timer = sim::kInvalidEvent;
+    if (entry.waiters.empty()) return;
+    const sim::TimePoint now = sim_.now();
+    const Waiter& front = entry.waiters.front();
+    for (auto hit = entry.holders.begin(); hit != entry.holders.end();) {
+      const bool blocks = hit->client != front.client &&
+                          (front.mode == LockMode::kExclusive ||
+                           hit->mode == LockMode::kExclusive);
+      if (blocks &&
+          now - hit->last_activity >= config_.tickle_idle_timeout) {
+        ++stats_.transfers;
+        const ClientId old = hit->client;
+        hit = entry.holders.erase(hit);
+        if (observers_.on_revoked) observers_.on_revoked(resource, old);
+      } else {
+        ++hit;
+      }
+    }
+    promote_waiters(resource);
+    arm_tickle_recheck(resource);  // still-active holders: check again
+  });
+}
+
+void LockManager::release(const std::string& resource, ClientId client) {
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return;
+  Entry& e = tit->second;
+  e.holders.erase(
+      std::remove_if(e.holders.begin(), e.holders.end(),
+                     [&](const Holder& h) { return h.client == client; }),
+      e.holders.end());
+  promote_waiters(resource);
+}
+
+void LockManager::promote_waiters(const std::string& resource) {
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return;
+  Entry& e = tit->second;
+  // FIFO promotion: grant from the front while compatible.  Stopping at
+  // the first incompatible waiter prevents writer starvation.
+  while (!e.waiters.empty()) {
+    Waiter& front = e.waiters.front();
+    if (!compatible(e, front.client, front.mode)) break;
+    Waiter w = std::move(front);
+    e.waiters.pop_front();
+    if (w.timeout_timer != sim::kInvalidEvent) sim_.cancel(w.timeout_timer);
+    grant(e, resource, w.client, w.mode, std::move(w.done),
+          sim_.now() - w.since);
+  }
+}
+
+void LockManager::touch(const std::string& resource, ClientId client) {
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return;
+  for (Holder& h : tit->second.holders) {
+    if (h.client == client) h.last_activity = sim_.now();
+  }
+}
+
+void LockManager::register_interest(const std::string& resource,
+                                    ClientId reader) {
+  table_[resource].interested.insert(reader);
+}
+
+void LockManager::unregister_interest(const std::string& resource,
+                                      ClientId reader) {
+  auto tit = table_.find(resource);
+  if (tit != table_.end()) tit->second.interested.erase(reader);
+}
+
+void LockManager::notify_change(const std::string& resource,
+                                ClientId writer) {
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return;
+  for (ClientId reader : tit->second.interested) {
+    if (reader == writer) continue;
+    ++stats_.notifications;
+    if (observers_.on_change) observers_.on_change(resource, reader, writer);
+  }
+}
+
+bool LockManager::holds(const std::string& resource, ClientId client) const {
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return false;
+  return std::any_of(tit->second.holders.begin(), tit->second.holders.end(),
+                     [&](const Holder& h) { return h.client == client; });
+}
+
+std::vector<ClientId> LockManager::holders(const std::string& resource) const {
+  std::vector<ClientId> out;
+  auto tit = table_.find(resource);
+  if (tit == table_.end()) return out;
+  for (const Holder& h : tit->second.holders) out.push_back(h.client);
+  return out;
+}
+
+}  // namespace coop::ccontrol

@@ -1,0 +1,120 @@
+#include "ccontrol/ot.hpp"
+
+#include <algorithm>
+
+namespace coop::ccontrol {
+
+void TextOp::apply(std::string& doc) const {
+  switch (kind) {
+    case Kind::kInsert: {
+      const std::size_t p = std::min(pos, doc.size());
+      doc.insert(p, text);
+      break;
+    }
+    case Kind::kDelete:
+      if (pos < doc.size()) doc.erase(pos, 1);
+      break;
+    case Kind::kNoop:
+      break;
+  }
+}
+
+TextOp transform(const TextOp& a, const TextOp& b) {
+  using Kind = TextOp::Kind;
+  if (a.is_noop() || b.is_noop()) return a;
+
+  TextOp r = a;
+  if (a.kind == Kind::kInsert && b.kind == Kind::kInsert) {
+    // Ties broken by site id so both replicas shift the same insert.
+    if (b.pos < a.pos || (b.pos == a.pos && b.site < a.site))
+      r.pos += b.text.size();
+    return r;
+  }
+  if (a.kind == Kind::kInsert && b.kind == Kind::kDelete) {
+    if (b.pos < a.pos) r.pos -= 1;
+    return r;
+  }
+  if (a.kind == Kind::kDelete && b.kind == Kind::kInsert) {
+    if (b.pos <= a.pos) r.pos += b.text.size();
+    return r;
+  }
+  // delete vs delete (both single character)
+  if (b.pos < a.pos) {
+    r.pos -= 1;
+  } else if (b.pos == a.pos) {
+    r = TextOp::noop();  // both removed the same character
+  }
+  return r;
+}
+
+OtLink::Message OtLink::generate(const TextOp& op) {
+  Message msg{op, generated_, received_};
+  outgoing_.emplace_back(generated_, op);
+  ++generated_;
+  return msg;
+}
+
+TextOp OtLink::receive(const Message& msg) {
+  // Drop operations the peer has acknowledged seeing.
+  while (!outgoing_.empty() && outgoing_.front().first < msg.sender_received)
+    outgoing_.pop_front();
+
+  // Transform the incoming op over every in-flight local op — and each
+  // in-flight op over the incoming one, so future receives see updated
+  // contexts (the Jupiter state-space walk).
+  TextOp incoming = msg.op;
+  for (auto& [idx, local] : outgoing_) {
+    const TextOp incoming_next = transform(incoming, local);
+    local = transform(local, incoming);
+    incoming = incoming_next;
+  }
+  ++received_;
+  return incoming;
+}
+
+OtLink::Message OtClient::local_insert(std::size_t pos, std::string text) {
+  TextOp op = TextOp::insert(pos, std::move(text), site_);
+  op.apply(doc_);
+  return link_.generate(op);
+}
+
+OtLink::Message OtClient::local_delete(std::size_t pos) {
+  TextOp op = TextOp::erase(pos, site_);
+  op.apply(doc_);
+  return link_.generate(op);
+}
+
+std::vector<OtLink::Message> OtClient::local_delete_range(std::size_t pos,
+                                                          std::size_t len) {
+  std::vector<OtLink::Message> msgs;
+  msgs.reserve(len);
+  // Deleting at the same position `len` times removes the whole range.
+  for (std::size_t i = 0; i < len; ++i) msgs.push_back(local_delete(pos));
+  return msgs;
+}
+
+void OtClient::receive(const OtLink::Message& msg) {
+  const TextOp op = link_.receive(msg);
+  op.apply(doc_);
+}
+
+std::vector<OtServer::Outgoing> OtServer::receive(SiteId from,
+                                                  const OtLink::Message& msg) {
+  std::vector<Outgoing> out;
+  auto it = links_.find(from);
+  if (it == links_.end()) return out;
+  const TextOp op = it->second.receive(msg);
+  op.apply(doc_);
+  if (op.is_noop()) {
+    // Still consume a slot on other links?  No: noops need not be
+    // broadcast; other clients' documents are unaffected.
+    return out;
+  }
+  for (auto& [site, link] : links_) {
+    if (site == from) continue;
+    out.push_back({site, link.generate(op)});
+  }
+  return out;
+}
+
+}  // namespace coop::ccontrol

@@ -1,0 +1,70 @@
+// Versioned key-value object store — the "shared information space" of
+// Figure 2 that every concurrency-control scheme in coop mediates access to.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace coop::ccontrol {
+
+/// A single-node versioned store.  Replication and remote access are
+/// layered above (rpc/, groups/); concurrency *control* is layered above
+/// too (locks, transactions, transaction groups) — the store itself is a
+/// plain last-writer state container.
+class ObjectStore {
+ public:
+  /// Current value of @p key, if present.
+  [[nodiscard]] std::optional<std::string> read(const std::string& key) const {
+    auto it = items_.find(key);
+    if (it == items_.end()) return std::nullopt;
+    return it->second.value;
+  }
+
+  /// Overwrites @p key, bumping its version.
+  void write(const std::string& key, std::string value) {
+    auto& item = items_[key];
+    item.value = std::move(value);
+    ++item.version;
+  }
+
+  /// Removes @p key.  Returns true if it existed.
+  bool erase(const std::string& key) { return items_.erase(key) > 0; }
+
+  /// Monotonic per-key version (0 = never written).
+  [[nodiscard]] std::uint64_t version(const std::string& key) const {
+    auto it = items_.find(key);
+    return it == items_.end() ? 0 : it->second.version;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Snapshot of all keys (test/experiment introspection).
+  [[nodiscard]] std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(items_.size());
+    for (const auto& [k, v] : items_) out.push_back(k);
+    return out;
+  }
+
+  bool operator==(const ObjectStore& other) const {
+    if (items_.size() != other.items_.size()) return false;
+    for (const auto& [k, v] : items_) {
+      auto it = other.items_.find(k);
+      if (it == other.items_.end() || it->second.value != v.value)
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Item {
+    std::string value;
+    std::uint64_t version = 0;
+  };
+  std::map<std::string, Item> items_;
+};
+
+}  // namespace coop::ccontrol

@@ -1,0 +1,101 @@
+#include "ccontrol/txgroup.hpp"
+
+#include <utility>
+
+namespace coop::ccontrol {
+
+OpContext TransactionGroup::make_context(ClientId member,
+                                         const std::string& key,
+                                         bool is_write) const {
+  OpContext ctx;
+  ctx.member = member;
+  ctx.is_write = is_write;
+  ctx.key = key;
+  auto it = activity_.find(key);
+  if (it != activity_.end()) {
+    for (ClientId w : it->second.writers)
+      if (w != member) ctx.active_writers.push_back(w);
+    for (ClientId r : it->second.readers)
+      if (r != member) ctx.active_readers.push_back(r);
+  }
+  return ctx;
+}
+
+RuleDecision TransactionGroup::judge(const OpContext& ctx) {
+  const RuleDecision d = rule_ ? rule_(ctx) : RuleDecision::kAllow;
+  if (d == RuleDecision::kAllowNotify && notify_) {
+    // Everyone we overlap with hears about the operation.
+    for (ClientId w : ctx.active_writers) {
+      ++stats_.notifications;
+      notify_(w, ctx);
+    }
+    if (ctx.is_write) {
+      for (ClientId r : ctx.active_readers) {
+        ++stats_.notifications;
+        notify_(r, ctx);
+      }
+    }
+  }
+  return d;
+}
+
+std::optional<std::string> TransactionGroup::read(ClientId member,
+                                                  const std::string& key) {
+  if (!is_member(member)) return std::nullopt;
+  const OpContext ctx = make_context(member, key, /*is_write=*/false);
+  if (judge(ctx) == RuleDecision::kDeny) {
+    ++stats_.denied;
+    return std::nullopt;
+  }
+  ++stats_.reads;
+  return store_.read(key);
+}
+
+bool TransactionGroup::write(ClientId member, const std::string& key,
+                             std::string value) {
+  if (!is_member(member)) return false;
+  const OpContext ctx = make_context(member, key, /*is_write=*/true);
+  if (judge(ctx) == RuleDecision::kDeny) {
+    ++stats_.denied;
+    return false;
+  }
+  ++stats_.writes;
+  store_.write(key, std::move(value));
+  return true;
+}
+
+AccessRule TransactionGroup::serial_rule() {
+  return [](const OpContext& ctx) {
+    if (!ctx.active_writers.empty()) return RuleDecision::kDeny;
+    if (ctx.is_write && !ctx.active_readers.empty())
+      return RuleDecision::kDeny;
+    return RuleDecision::kAllow;
+  };
+}
+
+AccessRule TransactionGroup::cooperative_rule() {
+  return [](const OpContext& ctx) {
+    const bool overlap =
+        !ctx.active_writers.empty() ||
+        (ctx.is_write && !ctx.active_readers.empty());
+    return overlap ? RuleDecision::kAllowNotify : RuleDecision::kAllow;
+  };
+}
+
+AccessRule TransactionGroup::owner_rule(
+    std::map<std::string, ClientId> owners) {
+  return [owners = std::move(owners)](const OpContext& ctx) {
+    auto it = owners.find(ctx.key);
+    if (ctx.is_write) {
+      if (it != owners.end() && it->second != ctx.member)
+        return RuleDecision::kDeny;
+      return RuleDecision::kAllow;
+    }
+    // Reads by non-owners are fine but the owner hears about them.
+    if (it != owners.end() && it->second != ctx.member)
+      return RuleDecision::kAllowNotify;
+    return RuleDecision::kAllow;
+  };
+}
+
+}  // namespace coop::ccontrol

@@ -1,0 +1,148 @@
+// Transaction groups (Skarra & Zdonik): serializability replaced by
+// tailorable access rules based on the semantics of the cooperation.
+//
+// §4.2.1: "Within a transaction group, the notion of serialisability is
+// replaced by access rules based on the semantics of the cooperation.
+// Access rules provide the *policy* of cooperation and these policies can
+// be *tailored* for a particular application by amending the access rules."
+//
+// A TransactionGroup owns a window of cooperative activity over the shared
+// store.  Each member operation is judged by the current AccessRule, which
+// sees who else is actively reading/writing the same object and returns
+// allow / deny / allow-with-notification.  Swapping the rule at runtime
+// *is* the tailoring the paper describes; three canned rules give the
+// spectrum from serializable-equivalent to fully cooperative.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"
+#include "ccontrol/store.hpp"
+
+namespace coop::ccontrol {
+
+/// Verdict of an access rule for one operation.
+enum class RuleDecision : std::uint8_t {
+  kAllow,        ///< proceed silently
+  kDeny,         ///< refuse the operation
+  kAllowNotify,  ///< proceed, and tell overlapping members
+};
+
+/// What a rule sees when judging an operation.
+struct OpContext {
+  ClientId member = 0;
+  bool is_write = false;
+  std::string key;
+  /// Members with an active write on the same key (excluding `member`).
+  std::vector<ClientId> active_writers;
+  /// Members with an active read on the same key (excluding `member`).
+  std::vector<ClientId> active_readers;
+};
+
+/// The tailorable cooperation policy.
+using AccessRule = std::function<RuleDecision(const OpContext&)>;
+
+struct TxGroupStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t notifications = 0;
+};
+
+/// A cooperating group over one store.
+class TransactionGroup {
+ public:
+  explicit TransactionGroup(ObjectStore& store) : store_(store) {
+    rule_ = cooperative_rule();
+  }
+
+  TransactionGroup(const TransactionGroup&) = delete;
+  TransactionGroup& operator=(const TransactionGroup&) = delete;
+
+  // --- membership & policy -------------------------------------------------
+
+  void join(ClientId member) { members_.insert(member); }
+  void leave(ClientId member) {
+    members_.erase(member);
+    end_activity(member);
+  }
+  [[nodiscard]] bool is_member(ClientId m) const {
+    return members_.count(m) != 0;
+  }
+
+  /// Replaces the cooperation policy — the "tailoring" operation.
+  void set_rule(AccessRule rule) { rule_ = std::move(rule); }
+
+  /// Notification sink: fired at each overlapped member when a rule
+  /// returns kAllowNotify.
+  void on_notify(
+      std::function<void(ClientId notified, const OpContext&)> fn) {
+    notify_ = std::move(fn);
+  }
+
+  // --- activity windows -----------------------------------------------------
+
+  /// Declares that @p member is actively working on @p key; rules judge
+  /// later operations by others against this set.
+  void begin_activity(ClientId member, const std::string& key,
+                      bool writing) {
+    auto& a = activity_[key];
+    (writing ? a.writers : a.readers).insert(member);
+  }
+
+  /// Ends all of @p member's declared activity (checkpoint/done).
+  void end_activity(ClientId member) {
+    for (auto& [key, a] : activity_) {
+      a.writers.erase(member);
+      a.readers.erase(member);
+    }
+  }
+
+  // --- operations -----------------------------------------------------------
+
+  /// Reads @p key under the current rule; nullopt if denied or absent.
+  std::optional<std::string> read(ClientId member, const std::string& key);
+
+  /// Writes @p key under the current rule; false if denied.
+  bool write(ClientId member, const std::string& key, std::string value);
+
+  [[nodiscard]] const TxGroupStats& stats() const noexcept { return stats_; }
+
+  // --- canned policies -------------------------------------------------------
+
+  /// Serializable-equivalent: any overlap with an active writer (or a
+  /// write over active readers) is denied — behaves like locks.
+  static AccessRule serial_rule();
+
+  /// Fully cooperative: everything allowed; overlaps produce
+  /// notifications so the social protocol can engage (Figure 2b).
+  static AccessRule cooperative_rule();
+
+  /// Ownership policy: only the registered owner may write a key; reads
+  /// by others are allowed with notification to the owner.
+  static AccessRule owner_rule(std::map<std::string, ClientId> owners);
+
+ private:
+  OpContext make_context(ClientId member, const std::string& key,
+                         bool is_write) const;
+  RuleDecision judge(const OpContext& ctx);
+
+  ObjectStore& store_;
+  AccessRule rule_;
+  std::set<ClientId> members_;
+  struct Activity {
+    std::set<ClientId> readers;
+    std::set<ClientId> writers;
+  };
+  std::map<std::string, Activity> activity_;
+  std::function<void(ClientId, const OpContext&)> notify_;
+  TxGroupStats stats_;
+};
+
+}  // namespace coop::ccontrol

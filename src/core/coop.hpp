@@ -1,0 +1,90 @@
+// coop — the CSCW-aware Open Distributed Processing platform.
+//
+// Umbrella header: include this to get the whole public API.  The
+// Platform object bundles the two process-wide substrates (the
+// deterministic simulator and the network fabric) that every other
+// component is constructed against.
+//
+// Layer map (bottom-up; see DESIGN.md for the full inventory):
+//
+//   sim/        discrete-event kernel, deterministic randomness
+//   util/       codec, statistics
+//   time/       Lamport & vector clocks
+//   net/        simulated internetwork: links, faults, mobility, multicast
+//   groups/     membership, reliable multicast, FIFO/causal/total order
+//   rpc/        request-response, trader, group RPC with deadlines
+//   ccontrol/   transactions, cooperative locks, transaction groups,
+//               operational transformation, floor control
+//   access/     matrix/ACL/capabilities, dynamic fine-grained roles,
+//               rights negotiation
+//   awareness/  focus/nimbus spatial model, weighted event engine
+//   streams/    continuous media, QoS contracts & renegotiation, sync
+//   mobile/     hoarding, disconnected operation, reintegration
+//   mgmt/       clusters, usage monitoring, group-aware placement
+//   workflow/   speech-act conversations, office procedures
+//   groupware/  sessions, hyperdocuments, shared editor, conferencing,
+//               flight-strip board
+#pragma once
+
+#include "access/negotiation.hpp"
+#include "access/rights.hpp"
+#include "access/roles.hpp"
+#include "awareness/engine.hpp"
+#include "awareness/spatial.hpp"
+#include "ccontrol/floor.hpp"
+#include "ccontrol/locks.hpp"
+#include "ccontrol/ot.hpp"
+#include "ccontrol/store.hpp"
+#include "ccontrol/transactions.hpp"
+#include "ccontrol/txgroup.hpp"
+#include "groups/group_channel.hpp"
+#include "groups/membership.hpp"
+#include "groupware/conference.hpp"
+#include "groupware/document.hpp"
+#include "groupware/editor.hpp"
+#include "groupware/flightstrips.hpp"
+#include "groupware/mediaspace.hpp"
+#include "groupware/session.hpp"
+#include "groupware/views.hpp"
+#include "mgmt/placement.hpp"
+#include "mobile/host.hpp"
+#include "mobile/share_server.hpp"
+#include "net/fifo_channel.hpp"
+#include "net/network.hpp"
+#include "rpc/group_rpc.hpp"
+#include "rpc/rpc.hpp"
+#include "rpc/trader.hpp"
+#include "sim/simulator.hpp"
+#include "streams/stream.hpp"
+#include "streams/sync.hpp"
+#include "util/stats.hpp"
+#include "workflow/procedure.hpp"
+#include "workflow/speech_acts.hpp"
+
+namespace coop {
+
+/// The process-wide substrate pair every component is built against.
+class Platform {
+ public:
+  /// Same seed => byte-identical experiment runs.
+  explicit Platform(std::uint64_t seed = 42) : sim_(seed), net_(sim_) {}
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return net_; }
+
+  /// Runs the virtual world to quiescence (or the event cap).
+  std::size_t run(std::size_t max_events = sim::Simulator::kNoEventLimit) {
+    return sim_.run(max_events);
+  }
+  /// Runs the virtual world up to an absolute time.
+  std::size_t run_until(sim::TimePoint t) { return sim_.run_until(t); }
+
+ private:
+  sim::Simulator sim_;
+  net::Network net_;
+};
+
+}  // namespace coop

@@ -1,0 +1,467 @@
+#include "groups/group_channel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace coop::groups {
+
+namespace {
+
+/// Pending-table key: per-sender sequence numbers are unique, so the pair
+/// (sender slot, seq) identifies any message in the group.
+std::uint64_t pending_key(std::size_t sender, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(sender) << 40) | seq;
+}
+
+}  // namespace
+
+GroupChannel::GroupChannel(net::Network& net, net::Address self,
+                           net::McastId group, ChannelConfig config)
+    : net_(net), self_(self), group_(group), config_(config) {
+  net_.attach(self_, *this);
+  net_.mcast_join(group_, self_);
+}
+
+GroupChannel::~GroupChannel() {
+  for (auto& [key, p] : pending_) {
+    if (p.timer != sim::kInvalidEvent) net_.simulator().cancel(p.timer);
+  }
+  net_.mcast_leave(group_, self_);
+  net_.detach(self_);
+}
+
+void GroupChannel::set_members(const std::vector<net::Address>& members) {
+  members_ = members;
+  alive_.assign(members_.size(), true);
+  next_expected_.assign(members_.size(), 1);
+  seen_.assign(members_.size(), {});
+  next_req_.assign(members_.size(), 1);
+  stashed_reqs_.assign(members_.size(), {});
+  vclock_ = logical::VectorClock(members_.size());
+  auto it = std::find(members_.begin(), members_.end(), self_);
+  assert(it != members_.end() && "self must be a group member");
+  self_index_ = static_cast<std::size_t>(it - members_.begin());
+}
+
+bool GroupChannel::is_sequencer() const noexcept {
+  // The lowest-numbered live slot sequences; failure promotes the next.
+  for (std::size_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) return i == self_index_;
+  }
+  return false;
+}
+
+std::size_t GroupChannel::sequencer_slot() const {
+  std::size_t slot = 0;
+  while (slot < alive_.size() && !alive_[slot]) ++slot;
+  return slot;
+}
+
+void GroupChannel::take_over_sequencing() {
+  // Resume from what we have delivered ourselves: the contiguous prefix
+  // of each sender's seen set.  The resync flag lets the first request
+  // per sender jump over messages lost with the old sequencer.
+  resync_ = true;
+  next_total_seq_ = 1;
+  for (std::size_t s = 0; s < seen_.size(); ++s) {
+    std::uint64_t next = next_req_[s];
+    while (seen_[s].count(next) != 0) ++next;
+    next_req_[s] = next;
+  }
+}
+
+std::string GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
+                                      std::uint64_t total_seq,
+                                      sim::TimePoint sent_at,
+                                      const logical::VectorClock& vc,
+                                      const std::string& payload) const {
+  util::Writer w;
+  w.put(MsgType::kData)
+      .put(static_cast<std::uint32_t>(sender))
+      .put(seq)
+      .put(total_seq)
+      .put(static_cast<std::uint32_t>(self_index_))  // sequencing epoch
+      .put(sent_at);
+  vc.encode(w);
+  w.put_string(payload);
+  return w.take();
+}
+
+std::uint64_t GroupChannel::broadcast(std::string payload) {
+  assert(!members_.empty() && "set_members before broadcast");
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.broadcasts;
+  const sim::TimePoint now = net_.simulator().now();
+
+  if (config_.ordering == Ordering::kTotal && !is_sequencer()) {
+    // Ship an ordering request to the sequencer; our message comes back to
+    // us (and everyone) inside the sequencer's totally ordered stream.
+    util::Writer w;
+    w.put(MsgType::kTotalReq)
+        .put(static_cast<std::uint32_t>(self_index_))
+        .put(seq)
+        .put(now)
+        .put_string(payload);
+    const std::string wire = w.take();
+
+    const std::size_t seq_slot = sequencer_slot();
+    Pending p;
+    p.wire = wire;
+    p.awaiting = {seq_slot};
+    p.is_total_req = true;
+    pending_[pending_key(self_index_, seq)] = std::move(p);
+    net_.send({.src = self_, .dst = members_[seq_slot], .payload = wire});
+    arm_retransmit(pending_key(self_index_, seq));
+    return seq;
+  }
+
+  std::uint64_t total_seq = 0;
+  if (config_.ordering == Ordering::kCausal) vclock_.tick(self_index_);
+  if (config_.ordering == Ordering::kTotal) total_seq = next_total_seq_++;
+
+  const std::string wire =
+      encode_data(self_index_, seq, total_seq, now, vclock_, payload);
+  send_data(pending_key(self_index_, seq), wire);
+
+  // Local delivery.  kTotal delivers at sequencing time (which, for the
+  // sequencer itself, is right now); others echo immediately.
+  if (config_.ordering == Ordering::kTotal) {
+    seen_[self_index_].insert(seq);
+    epoch_ = static_cast<std::uint32_t>(self_index_);
+    next_expected_total_ = total_seq + 1;
+    deliver_now({.sender = self_index_,
+                 .sender_addr = self_,
+                 .seq = seq,
+                 .total_seq = total_seq,
+                 .payload = std::move(payload),
+                 .sent_at = now});
+  } else if (config_.local_echo) {
+    seen_[self_index_].insert(seq);
+    if (config_.ordering == Ordering::kFifo)
+      next_expected_[self_index_] = seq + 1;
+    deliver_now({.sender = self_index_,
+                 .sender_addr = self_,
+                 .seq = seq,
+                 .total_seq = 0,
+                 .payload = std::move(payload),
+                 .sent_at = now});
+  }
+  return seq;
+}
+
+void GroupChannel::send_data(std::uint64_t key, const std::string& wire) {
+  Pending p;
+  p.wire = wire;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != self_index_ && alive_[i]) p.awaiting.insert(i);
+  }
+  if (p.awaiting.empty()) return;  // singleton group: nothing on the wire
+  pending_[key] = std::move(p);
+  net_.multicast(group_, {.src = self_, .dst = {}, .payload = wire});
+  arm_retransmit(key);
+}
+
+void GroupChannel::arm_retransmit(std::uint64_t key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  it->second.timer = net_.simulator().schedule_after(
+      config_.retransmit_timeout, [this, key] {
+        auto pit = pending_.find(key);
+        if (pit == pending_.end()) return;
+        Pending& p = pit->second;
+        p.timer = sim::kInvalidEvent;
+        if (++p.retries > config_.max_retransmits) {
+          ++stats_.gave_up;
+          pending_.erase(pit);
+          return;
+        }
+        // Unicast retransmission to just the members still missing.
+        for (std::size_t slot : p.awaiting) {
+          if (!alive_[slot]) continue;
+          ++stats_.retransmits;
+          net_.send({.src = self_, .dst = members_[slot], .payload = p.wire});
+        }
+        arm_retransmit(key);
+      });
+}
+
+void GroupChannel::mark_failed(const net::Address& member) {
+  auto it = std::find(members_.begin(), members_.end(), member);
+  if (it == members_.end()) return;
+  const auto slot = static_cast<std::size_t>(it - members_.begin());
+  if (!alive_[slot]) return;
+  const bool was_sequencer = slot == sequencer_slot();
+  alive_[slot] = false;
+  const std::size_t new_seq_slot = sequencer_slot();
+
+  for (auto pit = pending_.begin(); pit != pending_.end();) {
+    Pending& p = pit->second;
+    if (p.is_total_req && p.awaiting.count(slot) != 0 && was_sequencer) {
+      // Re-route the ordering request to the promoted sequencer.
+      p.awaiting.erase(slot);
+      if (new_seq_slot < members_.size() && new_seq_slot != self_index_) {
+        p.awaiting.insert(new_seq_slot);
+        net_.send({.src = self_, .dst = members_[new_seq_slot],
+                   .payload = p.wire});
+        ++pit;
+        continue;
+      }
+    } else {
+      p.awaiting.erase(slot);
+    }
+    if (p.awaiting.empty()) {
+      if (p.timer != sim::kInvalidEvent)
+        net_.simulator().cancel(p.timer);
+      pit = pending_.erase(pit);
+    } else {
+      ++pit;
+    }
+  }
+
+  if (config_.ordering == Ordering::kTotal && was_sequencer &&
+      is_sequencer()) {
+    take_over_sequencing();
+    // Requests that reached us before the promotion may be stashed
+    // already: sequence whatever is now eligible.
+    for (std::size_t s = 0; s < members_.size(); ++s)
+      sequence_ready_reqs(s);
+  }
+}
+
+void GroupChannel::on_message(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  const auto type = r.get<MsgType>();
+  if (r.failed()) return;
+  switch (type) {
+    case MsgType::kData:
+      handle_data(msg);
+      break;
+    case MsgType::kAck:
+      handle_ack(msg);
+      break;
+    case MsgType::kTotalReq:
+      handle_total_req(msg);
+      break;
+  }
+}
+
+void GroupChannel::handle_ack(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  r.get<MsgType>();
+  const auto sender = r.get<std::uint32_t>();
+  const auto seq = r.get<std::uint64_t>();
+  const auto acker = r.get<std::uint32_t>();
+  if (r.failed()) return;
+  auto it = pending_.find(pending_key(sender, seq));
+  if (it == pending_.end()) return;
+  it->second.awaiting.erase(acker);
+  if (it->second.awaiting.empty()) {
+    if (it->second.timer != sim::kInvalidEvent)
+      net_.simulator().cancel(it->second.timer);
+    pending_.erase(it);
+  }
+}
+
+void GroupChannel::handle_total_req(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  r.get<MsgType>();
+  const auto sender = r.get<std::uint32_t>();
+  const auto seq = r.get<std::uint64_t>();
+  const auto sent_at = r.get<sim::TimePoint>();
+  std::string payload = r.get_string();
+  if (r.failed() || sender >= members_.size()) return;
+
+  // Ack the request so the originator stops retransmitting.
+  util::Writer w;
+  w.put(MsgType::kAck).put(sender).put(seq).put(
+      static_cast<std::uint32_t>(self_index_));
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take()});
+
+  if (!is_sequencer()) return;  // stale request to a demoted sequencer
+  if (seq < next_req_[sender] ||
+      stashed_reqs_[sender].count(seq) != 0) {
+    ++stats_.duplicates;  // retransmitted request already sequenced/stashed
+    return;
+  }
+  // Stash, then sequence the sender's requests strictly in seq order so
+  // total order preserves each sender's FIFO order even if the network
+  // delivered the requests out of order.
+  stashed_reqs_[sender][seq] = {sent_at, std::move(payload)};
+  sequence_ready_reqs(sender);
+}
+
+void GroupChannel::sequence_ready_reqs(std::size_t sender) {
+  auto& stash = stashed_reqs_[sender];
+  // Post-failover resync: the first request from a sender may jump over
+  // messages lost with the old sequencer (one jump per sender).
+  if (resync_ && !stash.empty() && stash.begin()->first > next_req_[sender]) {
+    next_req_[sender] = stash.begin()->first;
+  }
+  for (auto it = stash.find(next_req_[sender]); it != stash.end();
+       it = stash.find(next_req_[sender])) {
+    const std::uint64_t seq = it->first;
+    StashedReq req = std::move(it->second);
+    stash.erase(it);
+    ++next_req_[sender];
+    seen_[sender].insert(seq);
+    const std::uint64_t total_seq = next_total_seq_++;
+    const std::string wire = encode_data(sender, seq, total_seq, req.sent_at,
+                                         logical::VectorClock(), req.payload);
+    send_data(pending_key(sender, seq), wire);
+    // The sequencer's own delivery happens at sequencing time, keeping it
+    // consistent with the global order it just defined.
+    epoch_ = static_cast<std::uint32_t>(self_index_);
+    next_expected_total_ = total_seq + 1;
+    deliver_now({.sender = sender,
+                 .sender_addr = members_[sender],
+                 .seq = seq,
+                 .total_seq = total_seq,
+                 .payload = std::move(req.payload),
+                 .sent_at = req.sent_at});
+  }
+}
+
+void GroupChannel::handle_data(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  r.get<MsgType>();
+  const auto sender = r.get<std::uint32_t>();
+  const auto seq = r.get<std::uint64_t>();
+  const auto total_seq = r.get<std::uint64_t>();
+  const auto epoch = r.get<std::uint32_t>();
+  const auto sent_at = r.get<sim::TimePoint>();
+  logical::VectorClock vc = logical::VectorClock::decode(r);
+  std::string payload = r.get_string();
+  if (r.failed() || sender >= members_.size()) return;
+
+  // Always ack — the original ack may have been the lost datagram.  The
+  // ack goes to whoever (re)transmitted this copy: originator or sequencer.
+  util::Writer w;
+  w.put(MsgType::kAck).put(sender).put(seq).put(
+      static_cast<std::uint32_t>(self_index_));
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take()});
+
+  if (!seen_[sender].insert(seq).second) {
+    ++stats_.duplicates;
+    return;
+  }
+
+  // Total order: a message sequenced in an epoch older than the one we
+  // have progressed past can never be delivered consistently — drop it.
+  if (config_.ordering == Ordering::kTotal && epoch < epoch_) {
+    ++stats_.duplicates;
+    return;
+  }
+
+  HeldBack hb;
+  hb.delivery = {.sender = sender,
+                 .sender_addr = members_[sender],
+                 .seq = seq,
+                 .total_seq = total_seq,
+                 .payload = std::move(payload),
+                 .sent_at = sent_at};
+  hb.vclock = std::move(vc);
+  hb.epoch = epoch;
+  try_deliver(std::move(hb));
+}
+
+void GroupChannel::try_deliver(HeldBack hb) {
+  const std::size_t s = hb.delivery.sender;
+  bool deliverable = false;
+  switch (config_.ordering) {
+    case Ordering::kUnordered:
+      deliverable = true;
+      break;
+    case Ordering::kFifo:
+      deliverable = hb.delivery.seq == next_expected_[s];
+      break;
+    case Ordering::kCausal:
+      deliverable = vclock_.deliverable_from(hb.vclock, s);
+      break;
+    case Ordering::kTotal:
+      deliverable =
+          (hb.epoch == epoch_ &&
+           hb.delivery.total_seq == next_expected_total_) ||
+          (hb.epoch > epoch_ && hb.delivery.total_seq == 1);
+      break;
+  }
+  if (!deliverable) {
+    holdback_.push_back(std::move(hb));
+    stats_.held_back_max =
+        std::max<std::uint64_t>(stats_.held_back_max, holdback_.size());
+    return;
+  }
+  // Commit the ordering state, deliver, then drain anything unblocked.
+  switch (config_.ordering) {
+    case Ordering::kFifo:
+      next_expected_[s] = hb.delivery.seq + 1;
+      break;
+    case Ordering::kCausal:
+      vclock_.merge(hb.vclock);
+      break;
+    case Ordering::kTotal:
+      epoch_ = hb.epoch;
+      next_expected_total_ = hb.delivery.total_seq + 1;
+      break;
+    case Ordering::kUnordered:
+      break;
+  }
+  deliver_now(hb.delivery);
+  flush_holdback();
+}
+
+void GroupChannel::flush_holdback() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+      const std::size_t s = it->delivery.sender;
+      bool ok = false;
+      switch (config_.ordering) {
+        case Ordering::kUnordered:
+          ok = true;
+          break;
+        case Ordering::kFifo:
+          ok = it->delivery.seq == next_expected_[s];
+          break;
+        case Ordering::kCausal:
+          ok = vclock_.deliverable_from(it->vclock, s);
+          break;
+        case Ordering::kTotal:
+          ok = (it->epoch == epoch_ &&
+                it->delivery.total_seq == next_expected_total_) ||
+               (it->epoch > epoch_ && it->delivery.total_seq == 1);
+          break;
+      }
+      if (!ok) continue;
+      HeldBack hb = std::move(*it);
+      holdback_.erase(it);
+      switch (config_.ordering) {
+        case Ordering::kFifo:
+          next_expected_[s] = hb.delivery.seq + 1;
+          break;
+        case Ordering::kCausal:
+          vclock_.merge(hb.vclock);
+          break;
+        case Ordering::kTotal:
+          epoch_ = hb.epoch;
+          next_expected_total_ = hb.delivery.total_seq + 1;
+          break;
+        case Ordering::kUnordered:
+          break;
+      }
+      deliver_now(hb.delivery);
+      progress = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+}
+
+void GroupChannel::deliver_now(const Delivery& d) {
+  ++stats_.delivered;
+  if (deliver_) deliver_(d);
+}
+
+}  // namespace coop::groups

@@ -1,0 +1,200 @@
+// Reliable, ordered group communication — the engineering-viewpoint group
+// support the paper calls for in §4.2.2-iv.
+//
+// GroupChannel layers three guarantees over the lossy, reordering simulated
+// network:
+//
+//   1. Reliability: positive acknowledgement with retransmission and
+//      receiver-side duplicate suppression (at-least-once on the wire,
+//      exactly-once delivery to the application).
+//   2. Ordering, selectable per channel:
+//        kUnordered — deliver on arrival,
+//        kFifo      — per-sender sequence order (hold-back queue),
+//        kCausal    — vector-clock causal order (Birman-style CBCAST),
+//        kTotal     — sequencer-based total order (the first live member
+//                     acts as sequencer; all members deliver in the same
+//                     global sequence).
+//   3. Failure masking: members marked failed are dropped from the ack
+//      quorum so the sender does not retransmit forever.
+//
+// Site indices: every member occupies a fixed slot in the member list.
+// Slots are append-only — a failed member's slot is marked dead rather than
+// compacted — so vector-clock components never need remapping mid-session.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "time/logical_clocks.hpp"
+
+namespace coop::groups {
+
+/// Delivery-order guarantee of a channel.
+enum class Ordering : std::uint8_t {
+  kUnordered = 0,
+  kFifo = 1,
+  kCausal = 2,
+  kTotal = 3,
+};
+
+/// What the application sees for each delivered message.
+struct Delivery {
+  std::size_t sender = 0;        ///< site index of the originator
+  net::Address sender_addr;      ///< address of the originator
+  std::uint64_t seq = 0;         ///< per-sender sequence number
+  std::uint64_t total_seq = 0;   ///< global sequence (kTotal only)
+  std::string payload;
+  sim::TimePoint sent_at = 0;    ///< virtual time of the original broadcast
+};
+
+/// Channel tuning knobs.
+struct ChannelConfig {
+  Ordering ordering = Ordering::kFifo;
+  sim::Duration retransmit_timeout = sim::msec(50);
+  int max_retransmits = 10;
+  /// Sender delivers its own broadcast locally without a network round
+  /// trip (kTotal ignores this: local delivery waits for the sequencer).
+  bool local_echo = true;
+};
+
+/// Channel statistics for experiment accounting.
+struct ChannelStats {
+  std::uint64_t broadcasts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t gave_up = 0;        ///< messages that exhausted retries
+  std::uint64_t held_back_max = 0;  ///< high-water mark of hold-back queue
+};
+
+/// One member's endpoint of a reliable ordered group channel.
+class GroupChannel : public net::Endpoint {
+ public:
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  /// Creates the member endpoint and attaches it to the network at
+  /// @p self.  Call set_members() before the first broadcast.
+  GroupChannel(net::Network& net, net::Address self, net::McastId group,
+               ChannelConfig config = {});
+  ~GroupChannel() override;
+
+  GroupChannel(const GroupChannel&) = delete;
+  GroupChannel& operator=(const GroupChannel&) = delete;
+
+  /// Fixes the member list (identical order at every member).  The slot of
+  /// @p self in this list becomes this member's site index.
+  void set_members(const std::vector<net::Address>& members);
+
+  /// Registers the application delivery callback.
+  void on_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Broadcasts @p payload to the group with the configured guarantees.
+  /// Returns this member's per-sender sequence number for the message.
+  std::uint64_t broadcast(std::string payload);
+
+  /// Marks a member failed: no further acks expected from it, pending
+  /// retransmissions to it are abandoned.  (Fed by the membership
+  /// service's failure detector.)
+  ///
+  /// kTotal sequencer failover: if the failed member was the sequencer,
+  /// the lowest surviving slot takes over in a new *epoch*.  Unacked
+  /// ordering requests are re-routed to the new sequencer, which resumes
+  /// sequencing from what it has itself delivered.  Guarantees after
+  /// failover: per-sender order is preserved and survivors agree on the
+  /// new epoch's order; messages the old sequencer acknowledged but did
+  /// not finish relaying may be lost (full atomic view-synchronous
+  /// delivery is out of scope — sessions re-form channels on view
+  /// change when that matters).
+  void mark_failed(const net::Address& member);
+
+  [[nodiscard]] std::size_t self_index() const noexcept { return self_index_; }
+  [[nodiscard]] net::Address self() const noexcept { return self_; }
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return members_.size();
+  }
+  [[nodiscard]] bool is_sequencer() const noexcept;
+
+  void on_message(const net::Message& msg) override;
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kData = 1,      ///< reliable broadcast payload
+    kAck = 2,       ///< receiver ack for kData
+    kTotalReq = 3,  ///< sender -> sequencer ordering request
+  };
+
+  struct Pending {  // sender side: awaiting acks
+    std::string wire;                ///< encoded DATA, for retransmission
+    std::set<std::size_t> awaiting;  ///< member slots yet to ack
+    int retries = 0;
+    sim::EventId timer = sim::kInvalidEvent;
+    bool is_total_req = false;       ///< re-route to new sequencer on fail
+  };
+
+  struct HeldBack {  // receiver side: not yet deliverable
+    Delivery delivery;
+    logical::VectorClock vclock;   // kCausal only
+    std::uint32_t epoch = 0;       // kTotal only: sequencing epoch
+  };
+
+  void send_data(std::uint64_t seq, const std::string& wire);
+  void arm_retransmit(std::uint64_t seq);
+  void handle_data(const net::Message& msg);
+  void handle_ack(const net::Message& msg);
+  void handle_total_req(const net::Message& msg);
+  void sequence_ready_reqs(std::size_t sender);
+  void try_deliver(HeldBack hb);
+  void flush_holdback();
+  void deliver_now(const Delivery& d);
+
+  std::string encode_data(std::size_t sender, std::uint64_t seq,
+                          std::uint64_t total_seq, sim::TimePoint sent_at,
+                          const logical::VectorClock& vc,
+                          const std::string& payload) const;
+
+  net::Network& net_;
+  net::Address self_;
+  net::McastId group_;
+  ChannelConfig config_;
+  std::vector<net::Address> members_;
+  std::vector<bool> alive_;
+  std::size_t self_index_ = 0;
+  DeliverFn deliver_;
+
+  std::uint64_t next_seq_ = 1;                   // own per-sender seq
+  std::map<std::uint64_t, Pending> pending_;     // own unacked broadcasts
+  std::vector<std::uint64_t> next_expected_;     // FIFO: per-sender cursor
+  std::vector<std::set<std::uint64_t>> seen_;    // dedupe per sender
+  std::deque<HeldBack> holdback_;
+  logical::VectorClock vclock_;                  // causal state
+
+  // kTotal sequencer state (only used at the sequencer slot).  Ordering
+  // requests are sequenced in per-sender seq order — not raw arrival
+  // order — so total order preserves each sender's FIFO order even when
+  // the network reorders requests in flight.
+  struct StashedReq {
+    sim::TimePoint sent_at;
+    std::string payload;
+  };
+  std::uint64_t next_total_seq_ = 1;
+  std::uint64_t next_expected_total_ = 1;  // receiver cursor for total order
+  std::uint32_t epoch_ = 0;                // receiver: current sequencer slot
+  bool resync_ = false;  // new sequencer: relax req contiguity once
+  std::vector<std::uint64_t> next_req_;    // per-sender request cursor
+  std::vector<std::map<std::uint64_t, StashedReq>> stashed_reqs_;
+
+  [[nodiscard]] std::size_t sequencer_slot() const;
+  void take_over_sequencing();
+
+  ChannelStats stats_;
+};
+
+}  // namespace coop::groups

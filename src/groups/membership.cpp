@@ -1,0 +1,212 @@
+#include "groups/membership.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace coop::groups {
+
+namespace {
+
+enum MsgType : std::uint8_t {
+  kJoin = 1,
+  kLeave = 2,
+  kHeartbeat = 3,
+  kView = 4,
+  kViewAck = 5,
+};
+
+void encode_address(util::Writer& w, const net::Address& a) {
+  w.put(a.node).put(a.port);
+}
+
+net::Address decode_address(util::Reader& r) {
+  net::Address a;
+  a.node = r.get<net::NodeId>();
+  a.port = r.get<net::PortId>();
+  return a;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- coordinator
+
+MembershipCoordinator::MembershipCoordinator(net::Network& net,
+                                             net::Address self,
+                                             MembershipConfig config)
+    : net_(net),
+      self_(self),
+      config_(config),
+      sweeper_(net.simulator(), config.sweep_period, [this] { sweep(); }) {
+  net_.attach(self_, *this);
+  sweeper_.start();
+}
+
+MembershipCoordinator::~MembershipCoordinator() {
+  sweeper_.stop();
+  net_.detach(self_);
+}
+
+void MembershipCoordinator::bump_view() {
+  ++view_.id;
+  view_.members.clear();
+  view_.members.reserve(states_.size());
+  for (const auto& [addr, st] : states_) view_.members.push_back(addr);
+  if (observer_) observer_(view_);
+  for (const auto& [addr, st] : states_) send_view(addr);
+}
+
+void MembershipCoordinator::send_view(const net::Address& to) {
+  util::Writer w;
+  w.put(kView).put(view_.id).put(
+      static_cast<std::uint32_t>(view_.members.size()));
+  for (const auto& m : view_.members) encode_address(w, m);
+  net_.send({.src = self_, .dst = to, .payload = w.take()});
+}
+
+void MembershipCoordinator::evict(const net::Address& member) {
+  banned_.insert(member);
+  if (states_.erase(member) > 0) bump_view();
+}
+
+void MembershipCoordinator::sweep() {
+  const sim::TimePoint now = net_.simulator().now();
+  std::vector<net::Address> removed;
+  for (auto it = states_.begin(); it != states_.end();) {
+    if (now - it->second.last_heartbeat > config_.failure_timeout) {
+      removed.push_back(it->first);
+      it = states_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!removed.empty()) {
+    bump_view();
+    // Tell the suspects they are out: if the suspicion was a lossy-link
+    // false positive, the still-live member sees a view without itself
+    // and re-joins.  (Administrative evict() deliberately skips this.)
+    for (const auto& addr : removed) send_view(addr);
+    return;  // bump_view already (re)sent the view to the members
+  }
+  // Re-send the current view to any member that has not acked it (repairs
+  // lost VIEW datagrams).
+  for (const auto& [addr, st] : states_) {
+    if (st.acked_view < view_.id) send_view(addr);
+  }
+}
+
+void MembershipCoordinator::on_message(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  const auto type = r.get<std::uint8_t>();
+  if (r.failed()) return;
+  switch (type) {
+    case kJoin: {
+      if (banned_.count(msg.src) != 0) {
+        send_view(msg.src);  // show the banned member it is out
+        break;
+      }
+      auto [it, inserted] = states_.try_emplace(msg.src);
+      it->second.last_heartbeat = net_.simulator().now();
+      if (inserted) {
+        bump_view();
+      } else {
+        send_view(msg.src);  // duplicate join: re-sync the member
+      }
+      break;
+    }
+    case kLeave:
+      if (states_.erase(msg.src) > 0) bump_view();
+      break;
+    case kHeartbeat: {
+      auto it = states_.find(msg.src);
+      if (it != states_.end()) {
+        it->second.last_heartbeat = net_.simulator().now();
+      } else if (banned_.count(msg.src) == 0) {
+        // Heartbeat from a member we evicted (e.g. while it was
+        // disconnected): show it the current view so it notices it is
+        // out and re-joins via its retry timer.
+        send_view(msg.src);
+      }
+      break;
+    }
+    case kViewAck: {
+      const auto id = r.get<std::uint64_t>();
+      auto it = states_.find(msg.src);
+      if (it != states_.end() && !r.failed())
+        it->second.acked_view = std::max(it->second.acked_view, id);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------- member
+
+MembershipMember::MembershipMember(net::Network& net, net::Address self,
+                                   net::Address coordinator,
+                                   MembershipConfig config)
+    : net_(net),
+      self_(self),
+      coordinator_(coordinator),
+      config_(config),
+      heartbeat_(net.simulator(), config.heartbeat_period,
+                 [this] { send_simple(kHeartbeat); }),
+      join_retry_(net.simulator(), config.join_retry_period, [this] {
+        if (joined_ && (!view_ || !view_->contains(self_)))
+          send_simple(kJoin);
+      }) {
+  net_.attach(self_, *this);
+}
+
+MembershipMember::~MembershipMember() {
+  heartbeat_.stop();
+  join_retry_.stop();
+  net_.detach(self_);
+}
+
+void MembershipMember::send_simple(std::uint8_t type) {
+  util::Writer w;
+  w.put(type);
+  net_.send({.src = self_, .dst = coordinator_, .payload = w.take()});
+}
+
+void MembershipMember::join() {
+  joined_ = true;
+  send_simple(kJoin);
+  heartbeat_.start();
+  join_retry_.start();
+}
+
+void MembershipMember::leave() {
+  if (!joined_) return;
+  joined_ = false;
+  heartbeat_.stop();
+  join_retry_.stop();
+  send_simple(kLeave);
+}
+
+void MembershipMember::on_message(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  const auto type = r.get<std::uint8_t>();
+  if (r.failed() || type != kView) return;
+  View v;
+  v.id = r.get<std::uint64_t>();
+  const auto n = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i)
+    v.members.push_back(decode_address(r));
+  if (r.failed()) return;
+
+  // Ack regardless of novelty; the coordinator tracks our progress.
+  util::Writer w;
+  w.put(kViewAck).put(v.id);
+  net_.send({.src = self_, .dst = coordinator_, .payload = w.take()});
+
+  if (!view_ || v.id > view_->id) {
+    view_ = std::move(v);
+    if (on_view_) on_view_(*view_);
+  }
+}
+
+}  // namespace coop::groups

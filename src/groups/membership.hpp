@@ -1,0 +1,150 @@
+// Group membership with heartbeat failure detection and view changes.
+//
+// CSCW sessions are long-lived and people join, leave, crash and roam
+// (§3.1's seamless transitions; §4.2.2's disconnection).  The membership
+// service tracks who is currently in a session and publishes *views* —
+// numbered membership snapshots — to every member.
+//
+// Architecture: a coordinator endpoint (typically co-located with the
+// session's server object) accepts JOIN/LEAVE, expects periodic HEARTBEATs,
+// and sweeps for members whose heartbeats stopped.  Views are disseminated
+// reliably: each member acks the view id it has installed, and the sweep
+// re-sends the current view to anyone behind — so a lost VIEW datagram only
+// delays, never loses, a membership change.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::groups {
+
+/// A numbered membership snapshot.
+struct View {
+  std::uint64_t id = 0;
+  std::vector<net::Address> members;
+
+  [[nodiscard]] bool contains(const net::Address& a) const {
+    for (const auto& m : members)
+      if (m == a) return true;
+    return false;
+  }
+};
+
+/// Tuning for both sides of the membership protocol.
+struct MembershipConfig {
+  sim::Duration heartbeat_period = sim::msec(100);
+  /// A member is suspected failed after this long without a heartbeat.
+  sim::Duration failure_timeout = sim::msec(350);
+  /// Coordinator sweep cadence (failure checks + view re-send).
+  sim::Duration sweep_period = sim::msec(100);
+  /// Member re-sends JOIN at this cadence until a view containing it
+  /// arrives (repairs a lost JOIN datagram, and re-admits a member that a
+  /// lossy link caused the failure detector to evict).
+  sim::Duration join_retry_period = sim::msec(200);
+};
+
+/// Coordinator side: owns the authoritative view.
+class MembershipCoordinator : public net::Endpoint {
+ public:
+  MembershipCoordinator(net::Network& net, net::Address self,
+                        MembershipConfig config = {});
+  ~MembershipCoordinator() override;
+
+  MembershipCoordinator(const MembershipCoordinator&) = delete;
+  MembershipCoordinator& operator=(const MembershipCoordinator&) = delete;
+
+  [[nodiscard]] const View& view() const noexcept { return view_; }
+
+  /// Observer invoked on every view change (for session logic co-located
+  /// with the coordinator).
+  void on_view_change(std::function<void(const View&)> fn) {
+    observer_ = std::move(fn);
+  }
+
+  /// Administratively evicts a member (e.g. access-control revocation).
+  /// The member is also banned: its join/heartbeat traffic is ignored
+  /// until readmit() lifts the ban.
+  void evict(const net::Address& member);
+
+  /// Lifts an administrative ban; the member may join again.
+  void readmit(const net::Address& member) { banned_.erase(member); }
+
+  void on_message(const net::Message& msg) override;
+
+  [[nodiscard]] std::uint64_t view_changes() const noexcept {
+    return view_.id;
+  }
+
+ private:
+  struct MemberState {
+    sim::TimePoint last_heartbeat = 0;
+    std::uint64_t acked_view = 0;
+  };
+
+  void bump_view();
+  void send_view(const net::Address& to);
+  void sweep();
+
+  net::Network& net_;
+  net::Address self_;
+  MembershipConfig config_;
+  View view_;
+  std::map<net::Address, MemberState> states_;
+  std::set<net::Address> banned_;
+  std::function<void(const View&)> observer_;
+  sim::PeriodicTimer sweeper_;
+};
+
+/// Member side: joins, heartbeats, installs views.
+class MembershipMember : public net::Endpoint {
+ public:
+  MembershipMember(net::Network& net, net::Address self,
+                   net::Address coordinator, MembershipConfig config = {});
+  ~MembershipMember() override;
+
+  MembershipMember(const MembershipMember&) = delete;
+  MembershipMember& operator=(const MembershipMember&) = delete;
+
+  /// Announces this member and starts heartbeating.
+  void join();
+
+  /// Gracefully departs (stops heartbeating; coordinator removes us).
+  void leave();
+
+  /// Callback invoked whenever a new view is installed.
+  void on_view(std::function<void(const View&)> fn) {
+    on_view_ = std::move(fn);
+  }
+
+  /// Most recently installed view, if any.
+  [[nodiscard]] const std::optional<View>& view() const noexcept {
+    return view_;
+  }
+
+  [[nodiscard]] bool joined() const noexcept { return joined_; }
+
+  void on_message(const net::Message& msg) override;
+
+ private:
+  void send_simple(std::uint8_t type);
+
+  net::Network& net_;
+  net::Address self_;
+  net::Address coordinator_;
+  MembershipConfig config_;
+  bool joined_ = false;
+  std::optional<View> view_;
+  std::function<void(const View&)> on_view_;
+  sim::PeriodicTimer heartbeat_;
+  sim::PeriodicTimer join_retry_;
+};
+
+}  // namespace coop::groups

@@ -1,0 +1,203 @@
+#include "groupware/document.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::groupware {
+
+DocNodeId HyperDocument::add_base(ClientId author, std::string content,
+                                  sim::TimePoint now) {
+  const DocNodeId id = next_id_++;
+  DocNode node{id, NodeKind::kBase, author, std::move(content), 0, now,
+               false};
+  nodes_[id] = node;
+  base_order_.push_back(id);
+  if (on_change_) on_change_(nodes_[id]);
+  return id;
+}
+
+DocNodeId HyperDocument::attach(ClientId author, DocNodeId target,
+                                NodeKind kind, std::string content,
+                                sim::TimePoint now) {
+  if (kind == NodeKind::kBase) return 0;
+  if (nodes_.find(target) == nodes_.end()) return 0;
+  const DocNodeId id = next_id_++;
+  DocNode node{id, kind, author, std::move(content), target, now, false};
+  nodes_[id] = node;
+  if (on_change_) on_change_(nodes_[id]);
+  return id;
+}
+
+bool HyperDocument::accept_suggestion(DocNodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.kind != NodeKind::kSuggestion ||
+      it->second.resolved) {
+    return false;
+  }
+  auto target = nodes_.find(it->second.attached_to);
+  if (target == nodes_.end() || target->second.kind != NodeKind::kBase)
+    return false;
+  target->second.content = it->second.content;
+  it->second.resolved = true;
+  if (on_change_) on_change_(target->second);
+  return true;
+}
+
+bool HyperDocument::reject_suggestion(DocNodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.kind != NodeKind::kSuggestion ||
+      it->second.resolved) {
+    return false;
+  }
+  it->second.resolved = true;
+  if (on_change_) on_change_(it->second);
+  return true;
+}
+
+const DocNode* HyperDocument::node(DocNodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+std::vector<DocNodeId> HyperDocument::children(DocNodeId id) const {
+  std::vector<DocNodeId> out;
+  for (const auto& [nid, node] : nodes_) {
+    if (node.attached_to == id) out.push_back(nid);
+  }
+  return out;
+}
+
+std::string HyperDocument::text() const {
+  std::string out;
+  for (DocNodeId id : base_order_) {
+    if (!out.empty()) out += "\n\n";
+    out += nodes_.at(id).content;
+  }
+  return out;
+}
+
+std::vector<DocNodeId> HyperDocument::open_suggestions() const {
+  std::vector<DocNodeId> out;
+  for (const auto& [id, node] : nodes_) {
+    if (node.kind == NodeKind::kSuggestion && !node.resolved)
+      out.push_back(id);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- granularity
+
+namespace {
+
+/// Splits on a separator, emitting half-open spans that include the
+/// separator with the preceding span.
+std::vector<std::pair<std::size_t, std::size_t>> spans_by_separator(
+    const std::string& text, const std::string& sep) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t begin = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(sep, begin)) != std::string::npos) {
+    spans.emplace_back(begin, pos + sep.size());
+    begin = pos + sep.size();
+  }
+  if (begin < text.size() || spans.empty())
+    spans.emplace_back(begin, text.size());
+  return spans;
+}
+
+/// Sentence spans: split after '.' followed by whitespace (space or
+/// newline); the separator pair joins the preceding sentence.
+std::vector<std::pair<std::size_t, std::size_t>> sentence_spans(
+    const std::string& text) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] == '.' && (text[i + 1] == ' ' || text[i + 1] == '\n')) {
+      spans.emplace_back(begin, i + 2);
+      begin = i + 2;
+    }
+  }
+  if (begin < text.size() || spans.empty())
+    spans.emplace_back(begin, text.size());
+  return spans;
+}
+
+/// Word spans: one span per word start; trailing whitespace joins the
+/// preceding word and leading whitespace joins the first, so the spans
+/// are contiguous and cover the text.
+std::vector<std::pair<std::size_t, std::size_t>> word_spans(
+    const std::string& text) {
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\n' || c == '\t';
+  };
+  std::vector<std::size_t> starts;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (!is_ws(text[i]) && (i == 0 || is_ws(text[i - 1])))
+      starts.push_back(i);
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  if (starts.empty()) {
+    spans.emplace_back(0, text.size());
+    return spans;
+  }
+  starts.front() = 0;
+  for (std::size_t k = 0; k < starts.size(); ++k) {
+    const std::size_t end =
+        k + 1 < starts.size() ? starts[k + 1] : text.size();
+    spans.emplace_back(starts[k], end);
+  }
+  return spans;
+}
+
+}  // namespace
+
+std::vector<TextRegion> split_regions(const std::string& doc_name,
+                                      const std::string& text,
+                                      Granularity g) {
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::string tag;
+  switch (g) {
+    case Granularity::kDocument:
+      spans.emplace_back(0, text.size());
+      tag = "doc";
+      break;
+    case Granularity::kSection:
+      spans = spans_by_separator(text, "\n\n# ");
+      tag = "sec";
+      break;
+    case Granularity::kParagraph:
+      spans = spans_by_separator(text, "\n\n");
+      tag = "para";
+      break;
+    case Granularity::kSentence:
+      spans = sentence_spans(text);
+      tag = "sent";
+      break;
+    case Granularity::kWord:
+      spans = word_spans(text);
+      tag = "word";
+      break;
+  }
+  std::vector<TextRegion> out;
+  out.reserve(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    out.push_back({doc_name + "/" + tag + "/" + std::to_string(i),
+                   spans[i].first, spans[i].second});
+  }
+  return out;
+}
+
+std::string region_at(const std::string& doc_name, const std::string& text,
+                      Granularity g, std::size_t pos) {
+  const auto regions = split_regions(doc_name, text, g);
+  for (const TextRegion& r : regions) {
+    if (pos >= r.begin && pos < r.end) return r.resource;
+  }
+  // Appending at the very end (or an empty document) maps to the final
+  // region; anything else falls back to the whole document.
+  if (!regions.empty() && pos >= regions.back().begin)
+    return regions.back().resource;
+  return doc_name + "/doc/0";
+}
+
+}  // namespace coop::groupware

@@ -1,0 +1,97 @@
+// The shared text editor: GROVE-style real-time group editing, wired
+// end-to-end — OT engine (ccontrol/ot.hpp) over reliable FIFO channels on
+// the simulated network.
+//
+// Local edits apply immediately (response time ≈ 0, the OT selling point
+// of §4.2.1); remote edits arrive transformed and carry the originating
+// timestamp so notification time is measured directly (Ellis's second
+// real-time requirement).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "ccontrol/ot.hpp"
+#include "net/fifo_channel.hpp"
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+namespace coop::groupware {
+
+/// Hosts the authoritative OT replica and relays transformed operations.
+class EditorServer {
+ public:
+  EditorServer(net::Network& net, net::Address self,
+               std::string initial = {});
+
+  /// Server's view of the document (converged state).
+  [[nodiscard]] const std::string& doc() const { return ot_.doc(); }
+  [[nodiscard]] net::Address address() const { return channel_.self(); }
+  [[nodiscard]] std::size_t client_count() const {
+    return ot_.client_count();
+  }
+
+ private:
+  void handle(const net::Address& from, const std::string& payload);
+
+  net::Network& net_;
+  net::FifoChannel channel_;
+  ccontrol::OtServer ot_;
+  std::map<ccontrol::SiteId, net::Address> client_addrs_;
+};
+
+/// A participant's replica.
+class EditorClient {
+ public:
+  EditorClient(net::Network& net, net::Address self, net::Address server,
+               ccontrol::SiteId site, std::string initial = {});
+
+  /// Announces this client to the server (must precede edits).  The
+  /// server answers with a state snapshot; editing before on_connected
+  /// fires risks losing remote operations that predate the registration.
+  void connect();
+
+  /// True once the server's join snapshot has been installed.
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+
+  /// Fired when the join snapshot lands and editing is safe.
+  void on_connected(std::function<void()> fn) {
+    on_connected_ = std::move(fn);
+  }
+
+  /// Local edits: applied instantly, shipped asynchronously.
+  void insert(std::size_t pos, std::string text);
+  void erase(std::size_t pos, std::size_t len = 1);
+
+  [[nodiscard]] const std::string& doc() const { return ot_.doc(); }
+  [[nodiscard]] ccontrol::SiteId site() const { return ot_.site(); }
+
+  /// Fired when a remote operation lands, with the notification time
+  /// (originating site's send time -> local apply, virtual µs).
+  void on_remote_change(
+      std::function<void(const ccontrol::TextOp&, sim::Duration)> fn) {
+    on_remote_ = std::move(fn);
+  }
+
+  /// Notification-time distribution across all remote ops received.
+  [[nodiscard]] const util::Summary& notification_time() const {
+    return notification_;
+  }
+
+ private:
+  void handle(const net::Address& from, const std::string& payload);
+  void ship(const ccontrol::OtLink::Message& msg);
+
+  net::Network& net_;
+  net::Address server_;
+  net::FifoChannel channel_;
+  ccontrol::OtClient ot_;
+  bool connected_ = false;
+  std::function<void()> on_connected_;
+  std::function<void(const ccontrol::TextOp&, sim::Duration)> on_remote_;
+  util::Summary notification_;
+};
+
+}  // namespace coop::groupware

@@ -1,0 +1,142 @@
+#include "groupware/flightstrips.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::groupware {
+
+void FlightProgressBoard::record(BoardEvent event) {
+  audit_.push_back(event);
+  if (on_event_) on_event_(audit_.back());
+}
+
+std::optional<FlightProgressBoard::Located> FlightProgressBoard::locate(
+    const std::string& callsign) const {
+  for (const auto& [beacon, strips] : racks_) {
+    for (std::size_t i = 0; i < strips.size(); ++i) {
+      if (strips[i].callsign == callsign) return Located{beacon, i};
+    }
+  }
+  return std::nullopt;
+}
+
+bool FlightProgressBoard::add_strip(const std::string& beacon,
+                                    FlightStrip strip,
+                                    std::optional<std::size_t> position,
+                                    ccontrol::ClientId controller,
+                                    sim::TimePoint now) {
+  if (locate(strip.callsign)) return false;  // already on the board
+  auto& rack = racks_[beacon];
+  std::size_t index = 0;
+  if (placement_ == StripPlacement::kManual) {
+    if (!position) return false;  // manual mode demands a deliberate slot
+    index = std::min(*position, rack.size());
+  } else {
+    // Automatic: maintain eta order.
+    index = static_cast<std::size_t>(
+        std::lower_bound(rack.begin(), rack.end(), strip,
+                         [](const FlightStrip& a, const FlightStrip& b) {
+                           return a.eta < b.eta;
+                         }) -
+        rack.begin());
+  }
+  const std::string callsign = strip.callsign;
+  rack.insert(rack.begin() + static_cast<long>(index), std::move(strip));
+  record({BoardEvent::Kind::kAdd, beacon, callsign, controller, now});
+  return true;
+}
+
+bool FlightProgressBoard::move_strip(const std::string& beacon,
+                                     const std::string& callsign,
+                                     std::size_t new_position,
+                                     ccontrol::ClientId controller,
+                                     sim::TimePoint now) {
+  auto rit = racks_.find(beacon);
+  if (rit == racks_.end()) return false;
+  auto& rack = rit->second;
+  auto it = std::find_if(rack.begin(), rack.end(),
+                         [&](const FlightStrip& s) {
+                           return s.callsign == callsign;
+                         });
+  if (it == rack.end()) return false;
+  FlightStrip strip = std::move(*it);
+  rack.erase(it);
+  const std::size_t index = std::min(new_position, rack.size());
+  rack.insert(rack.begin() + static_cast<long>(index), std::move(strip));
+  record({BoardEvent::Kind::kMove, beacon, callsign, controller, now});
+  return true;
+}
+
+bool FlightProgressBoard::amend(const std::string& callsign,
+                                const std::string& instruction,
+                                ccontrol::ClientId controller,
+                                sim::TimePoint now) {
+  const auto loc = locate(callsign);
+  if (!loc) return false;
+  FlightStrip& strip = racks_[loc->beacon][loc->index];
+  if (!strip.instructions.empty()) strip.instructions += "; ";
+  strip.instructions += instruction;
+  record({BoardEvent::Kind::kAmend, loc->beacon, callsign, controller, now});
+  return true;
+}
+
+bool FlightProgressBoard::set_cocked(const std::string& callsign,
+                                     bool cocked,
+                                     ccontrol::ClientId controller,
+                                     sim::TimePoint now) {
+  const auto loc = locate(callsign);
+  if (!loc) return false;
+  racks_[loc->beacon][loc->index].cocked = cocked;
+  record({cocked ? BoardEvent::Kind::kCock : BoardEvent::Kind::kUncock,
+          loc->beacon, callsign, controller, now});
+  return true;
+}
+
+bool FlightProgressBoard::remove(const std::string& callsign,
+                                 ccontrol::ClientId controller,
+                                 sim::TimePoint now) {
+  const auto loc = locate(callsign);
+  if (!loc) return false;
+  auto& rack = racks_[loc->beacon];
+  rack.erase(rack.begin() + static_cast<long>(loc->index));
+  record({BoardEvent::Kind::kRemove, loc->beacon, callsign, controller,
+          now});
+  return true;
+}
+
+std::vector<FlightStrip> FlightProgressBoard::rack(
+    const std::string& beacon) const {
+  auto it = racks_.find(beacon);
+  return it == racks_.end() ? std::vector<FlightStrip>{} : it->second;
+}
+
+const FlightStrip* FlightProgressBoard::strip(
+    const std::string& callsign) const {
+  const auto loc = locate(callsign);
+  if (!loc) return nullptr;
+  return &racks_.at(loc->beacon)[loc->index];
+}
+
+std::size_t FlightProgressBoard::anticipated_load(const std::string& beacon,
+                                                  sim::TimePoint from,
+                                                  sim::TimePoint to) const {
+  auto it = racks_.find(beacon);
+  if (it == racks_.end()) return 0;
+  std::size_t n = 0;
+  for (const FlightStrip& s : it->second) {
+    if (s.eta >= from && s.eta < to) ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> FlightProgressBoard::cocked_strips() const {
+  std::vector<std::string> out;
+  for (const auto& [beacon, strips] : racks_) {
+    for (const FlightStrip& s : strips) {
+      if (s.cocked) out.push_back(s.callsign);
+    }
+  }
+  return out;
+}
+
+}  // namespace coop::groupware

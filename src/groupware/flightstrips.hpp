@@ -1,0 +1,143 @@
+// The electronic flight progress board — the paper's own worked example
+// (§2.3, the Lancaster ATC study).
+//
+// Flight strips are organised in racks per reporting beacon.  The
+// ethnographic findings the design must honour:
+//
+//   * strips are "a publicly available workspace" letting controllers
+//     monitor the overall state 'at a glance' — so every change emits an
+//     activity event for the awareness machinery;
+//   * the board provides "a public history of the state of the sector
+//     ... and with it accountability" — so an audit trail records who
+//     did what, when;
+//   * "manual positioning draws the attention of controllers to the new
+//     arrival" — so the board supports a manual placement mode in which
+//     a new strip REQUIRES an explicit position (automation of the
+//     'tedious' ordering task is deliberately withheld), alongside the
+//     automatic eta-ordered mode a naive design would choose.  E2's
+//     sibling experiment compares the two.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"  // ClientId
+#include "sim/time.hpp"
+
+namespace coop::groupware {
+
+/// One paper strip's electronic replacement.
+struct FlightStrip {
+  std::string callsign;
+  std::string origin;
+  std::string destination;
+  sim::TimePoint eta = 0;      ///< over the rack's beacon
+  int flight_level = 0;
+  std::string instructions;    ///< amended as clearances are issued
+  bool cocked = false;         ///< physically offset to flag attention
+};
+
+/// How new strips are positioned in a rack.
+enum class StripPlacement : std::uint8_t {
+  kManual,     ///< controller must choose the slot (the fielded design)
+  kAutomatic,  ///< inserted in eta order (the "obvious" automation)
+};
+
+/// A change on the board, for awareness distribution and the audit trail.
+struct BoardEvent {
+  enum class Kind : std::uint8_t {
+    kAdd,
+    kMove,
+    kAmend,
+    kCock,
+    kUncock,
+    kRemove,
+  };
+  Kind kind;
+  std::string beacon;
+  std::string callsign;
+  ccontrol::ClientId controller;
+  sim::TimePoint at;
+};
+
+/// The shared board: racks of ordered strips.
+class FlightProgressBoard {
+ public:
+  explicit FlightProgressBoard(StripPlacement placement)
+      : placement_(placement) {}
+
+  /// Adds a strip to @p beacon's rack.  In kManual mode @p position is
+  /// required (nullopt fails — the deliberate friction); in kAutomatic
+  /// mode any supplied position is ignored and eta order is used.
+  bool add_strip(const std::string& beacon, FlightStrip strip,
+                 std::optional<std::size_t> position,
+                 ccontrol::ClientId controller, sim::TimePoint now = 0);
+
+  /// Moves a strip within its rack (controllers re-order to encode
+  /// meaning the eta alone cannot).
+  bool move_strip(const std::string& beacon, const std::string& callsign,
+                  std::size_t new_position, ccontrol::ClientId controller,
+                  sim::TimePoint now = 0);
+
+  /// Appends a clearance to the strip's instructions.
+  bool amend(const std::string& callsign, const std::string& instruction,
+             ccontrol::ClientId controller, sim::TimePoint now = 0);
+
+  /// Cocks (offsets) a strip to flag it for attention, or straightens it.
+  bool set_cocked(const std::string& callsign, bool cocked,
+                  ccontrol::ClientId controller, sim::TimePoint now = 0);
+
+  /// Removes a strip (handoff to the next sector).
+  bool remove(const std::string& callsign, ccontrol::ClientId controller,
+              sim::TimePoint now = 0);
+
+  /// The rack's strips in board order.
+  [[nodiscard]] std::vector<FlightStrip> rack(
+      const std::string& beacon) const;
+
+  [[nodiscard]] const FlightStrip* strip(const std::string& callsign) const;
+
+  /// 'At a glance' derived information: flights expected over @p beacon
+  /// within [from, to) — the anticipated-loading reading experienced
+  /// controllers take from the physical board.
+  [[nodiscard]] std::size_t anticipated_load(const std::string& beacon,
+                                             sim::TimePoint from,
+                                             sim::TimePoint to) const;
+
+  /// Strips currently cocked anywhere (the problems needing attention).
+  [[nodiscard]] std::vector<std::string> cocked_strips() const;
+
+  /// The public history: every change, in order (accountability).
+  [[nodiscard]] const std::vector<BoardEvent>& audit() const {
+    return audit_;
+  }
+
+  /// Live change feed (wired to the awareness engine by the session).
+  void on_event(std::function<void(const BoardEvent&)> fn) {
+    on_event_ = std::move(fn);
+  }
+
+  [[nodiscard]] StripPlacement placement() const noexcept {
+    return placement_;
+  }
+
+ private:
+  struct Located {
+    std::string beacon;
+    std::size_t index;  ///< slot in the rack
+  };
+  [[nodiscard]] std::optional<Located> locate(
+      const std::string& callsign) const;
+  void record(BoardEvent event);
+
+  StripPlacement placement_;
+  std::map<std::string, std::vector<FlightStrip>> racks_;
+  std::vector<BoardEvent> audit_;
+  std::function<void(const BoardEvent&)> on_event_;
+};
+
+}  // namespace coop::groupware

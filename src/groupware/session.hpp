@@ -1,0 +1,98 @@
+// Session classification on Johansen's space-time matrix (Figure 1 of the
+// paper) and the infrastructure defaults each quadrant implies.
+//
+//                    Same Time            Different Time
+//   Same Place       face-to-face         asynchronous interaction
+//   Different Places synchronous distrib. asynchronous distributed
+//
+// The paper stresses that real work "switches rapidly between
+// asynchronous and synchronous interactions" and needs seamless
+// transitions — so the classification is a live property of a Session,
+// not a static type: reclassify() moves a session between quadrants and
+// the recommended infrastructure parameters move with it (experiment F1
+// measures all four corners).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "groups/group_channel.hpp"
+#include "net/link.hpp"
+#include "sim/time.hpp"
+
+namespace coop::groupware {
+
+/// Geographic dimension (logical accessibility, not strict geometry).
+enum class Place : std::uint8_t { kSame, kDifferent };
+
+/// Temporal dimension.
+enum class Tempo : std::uint8_t { kSame, kDifferent };
+
+/// A cell of the matrix.
+struct SpaceTimeClass {
+  Place place = Place::kSame;
+  Tempo tempo = Tempo::kSame;
+
+  [[nodiscard]] const char* quadrant() const noexcept {
+    if (place == Place::kSame && tempo == Tempo::kSame)
+      return "face-to-face interaction";
+    if (place == Place::kSame) return "asynchronous interaction";
+    if (tempo == Tempo::kSame) return "synchronous distributed interaction";
+    return "asynchronous distributed interaction";
+  }
+
+  /// The link regime connecting participants in this quadrant.
+  [[nodiscard]] net::LinkModel recommended_link() const {
+    return place == Place::kSame ? net::LinkModel::lan()
+                                 : net::LinkModel::wan();
+  }
+
+  /// Synchronous quadrants want total order (everyone sees one
+  /// interleaving as it happens); asynchronous ones get by with causal
+  /// order (history coherence without a sequencer round-trip).
+  [[nodiscard]] groups::Ordering recommended_ordering() const {
+    return tempo == Tempo::kSame ? groups::Ordering::kTotal
+                                 : groups::Ordering::kCausal;
+  }
+
+  /// Awareness digest cadence: tight for synchronous work, relaxed for
+  /// asynchronous catch-up.
+  [[nodiscard]] sim::Duration recommended_digest_period() const {
+    return tempo == Tempo::kSame ? sim::msec(500) : sim::sec(30);
+  }
+
+  bool operator==(const SpaceTimeClass&) const = default;
+};
+
+/// A named cooperative session carrying its (mutable) classification.
+class Session {
+ public:
+  Session(std::string name, SpaceTimeClass klass)
+      : name_(std::move(name)), class_(klass) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const SpaceTimeClass& classification() const noexcept {
+    return class_;
+  }
+
+  /// Seamless transition between quadrants (e.g. a co-authoring session
+  /// going synchronous for a review meeting).  Returns true if the
+  /// quadrant actually changed.
+  bool reclassify(SpaceTimeClass next) {
+    if (next == class_) return false;
+    class_ = next;
+    ++transitions_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  std::string name_;
+  SpaceTimeClass class_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace coop::groupware

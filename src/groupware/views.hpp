@@ -1,0 +1,185 @@
+// Relaxed-WYSIWIS shared views — the collaboration-aware presentation
+// layer of §3.2.2.
+//
+// "Collaboration aware solutions provide facilities to explicitly manage
+// the sharing of information, allowing sharing to be presented in a
+// variety of different ways to different users."  And the critique coop
+// answers: "applications tend to encapsulate the decisions as to how
+// information is presented and modified.  This lack of visibility
+// inhibits tailoring of the sharing policy in conferences."
+//
+// A SharedViewSpace holds one shared set of items; every participant owns
+// a ViewSpec — a *named, inspectable, runtime-replaceable* policy (filter
+// + presentation + ordering) deciding how the shared state appears to
+// them.  The spec being a first-class visible object is the point: the
+// sharing policy is not baked into the application.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"  // ClientId
+#include "sim/time.hpp"
+
+namespace coop::groupware {
+
+/// One shared item with its provenance.
+struct ViewItem {
+  std::string key;
+  std::string value;
+  ccontrol::ClientId author = 0;
+  sim::TimePoint modified = 0;
+};
+
+/// A participant's presentation policy — visible and replaceable.
+struct ViewSpec {
+  enum class Order : std::uint8_t { kByKey, kByRecency, kByAuthor };
+
+  /// Human-readable description shown to other participants (the
+  /// visibility requirement).
+  std::string name = "full detail";
+  /// Which items this user sees (nullptr = all).
+  std::function<bool(const ViewItem&)> filter;
+  /// How an item renders for this user (nullptr = "key: value").
+  std::function<std::string(const ViewItem&)> present;
+  Order order = Order::kByKey;
+
+  // ---- canned policies -----------------------------------------------------
+
+  /// Everything, fully rendered.
+  static ViewSpec full_detail() { return {}; }
+
+  /// Keys only — a headline/overview view.
+  static ViewSpec headlines() {
+    ViewSpec spec;
+    spec.name = "headlines";
+    spec.present = [](const ViewItem& item) { return item.key; };
+    return spec;
+  }
+
+  /// Only items authored by @p who, newest first — a review view.
+  static ViewSpec by_author(ccontrol::ClientId who) {
+    ViewSpec spec;
+    spec.name = "items by user " + std::to_string(who);
+    spec.filter = [who](const ViewItem& item) { return item.author == who; };
+    spec.order = Order::kByRecency;
+    return spec;
+  }
+
+  /// Items touched since @p since, newest first — a what's-new view.
+  static ViewSpec recent(sim::TimePoint since) {
+    ViewSpec spec;
+    spec.name = "changes since t=" + std::to_string(since);
+    spec.filter = [since](const ViewItem& item) {
+      return item.modified >= since;
+    };
+    spec.order = Order::kByRecency;
+    return spec;
+  }
+};
+
+/// The shared space plus everyone's view policies.
+class SharedViewSpace {
+ public:
+  // --- shared state ----------------------------------------------------------
+
+  /// Inserts or updates an item.
+  void put(ccontrol::ClientId author, const std::string& key,
+           std::string value, sim::TimePoint now = 0) {
+    auto& item = items_[key];
+    item.key = key;
+    item.value = std::move(value);
+    item.author = author;
+    item.modified = now;
+    if (on_update_) on_update_(item);
+  }
+
+  bool erase(const std::string& key) { return items_.erase(key) > 0; }
+
+  [[nodiscard]] std::optional<ViewItem> get(const std::string& key) const {
+    auto it = items_.find(key);
+    if (it == items_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+
+  /// Observer for every shared-state change (wire to awareness).
+  void on_update(std::function<void(const ViewItem&)> fn) {
+    on_update_ = std::move(fn);
+  }
+
+  // --- view policies ------------------------------------------------------------
+
+  /// Installs (or replaces) @p who's presentation policy — the runtime
+  /// tailoring §3.2.2 asks for.
+  void set_view(ccontrol::ClientId who, ViewSpec spec) {
+    views_[who] = std::move(spec);
+    if (on_view_changed_) on_view_changed_(who, views_[who].name);
+  }
+
+  /// What policy does @p who use?  Visible to everyone by design.
+  [[nodiscard]] std::string describe_view(ccontrol::ClientId who) const {
+    auto it = views_.find(who);
+    return it == views_.end() ? std::string("full detail")
+                              : it->second.name;
+  }
+
+  /// Observer for policy changes (who retailored, to what).
+  void on_view_changed(
+      std::function<void(ccontrol::ClientId, const std::string&)> fn) {
+    on_view_changed_ = std::move(fn);
+  }
+
+  // --- rendering -------------------------------------------------------------------
+
+  /// Renders the shared state the way @p who's spec presents it.
+  [[nodiscard]] std::vector<std::string> render(
+      ccontrol::ClientId who) const {
+    ViewSpec defaults;
+    const ViewSpec* spec = &defaults;
+    if (auto it = views_.find(who); it != views_.end()) spec = &it->second;
+
+    std::vector<const ViewItem*> selected;
+    for (const auto& [key, item] : items_) {
+      if (!spec->filter || spec->filter(item)) selected.push_back(&item);
+    }
+    switch (spec->order) {
+      case ViewSpec::Order::kByKey:
+        break;  // map order is key order already
+      case ViewSpec::Order::kByRecency:
+        std::stable_sort(selected.begin(), selected.end(),
+                         [](const ViewItem* a, const ViewItem* b) {
+                           return a->modified > b->modified;
+                         });
+        break;
+      case ViewSpec::Order::kByAuthor:
+        std::stable_sort(selected.begin(), selected.end(),
+                         [](const ViewItem* a, const ViewItem* b) {
+                           return a->author < b->author;
+                         });
+        break;
+    }
+    std::vector<std::string> out;
+    out.reserve(selected.size());
+    for (const ViewItem* item : selected) {
+      out.push_back(spec->present ? spec->present(*item)
+                                  : item->key + ": " + item->value);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, ViewItem> items_;
+  std::map<ccontrol::ClientId, ViewSpec> views_;
+  std::function<void(const ViewItem&)> on_update_;
+  std::function<void(ccontrol::ClientId, const std::string&)>
+      on_view_changed_;
+};
+
+}  // namespace coop::groupware

@@ -1,0 +1,126 @@
+#include "mgmt/placement.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace coop::mgmt {
+
+bool Domain::create_capsule(const std::string& capsule, net::NodeId node) {
+  if (nodes_.find(node) == nodes_.end()) return false;
+  return capsules_.try_emplace(capsule, node).second;
+}
+
+std::optional<net::NodeId> Domain::capsule_node(
+    const std::string& capsule) const {
+  auto it = capsules_.find(capsule);
+  if (it == capsules_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> Domain::capsule_clusters(
+    const std::string& capsule) const {
+  std::vector<std::string> out;
+  for (const auto& [name, cluster] : clusters_) {
+    if (cluster.capsule == capsule) out.push_back(name);
+  }
+  return out;
+}
+
+bool Domain::move_capsule(const std::string& capsule, net::NodeId to) {
+  auto cit = capsules_.find(capsule);
+  if (cit == capsules_.end() || nodes_.find(to) == nodes_.end())
+    return false;
+  for (auto& [name, cluster] : clusters_) {
+    if (cluster.capsule != capsule) continue;
+    auto from = nodes_.find(cluster.node);
+    if (from != nodes_.end()) from->second.load -= cluster.load;
+    nodes_[to].load += cluster.load;
+    cluster.node = to;
+  }
+  cit->second = to;
+  return true;
+}
+
+void Domain::create_cluster(const std::string& name, net::NodeId node,
+                            double load, const std::string& capsule) {
+  clusters_[name] = {name, node, load, capsule};
+  auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.load += load;
+}
+
+bool Domain::move_cluster(const std::string& name, net::NodeId to) {
+  auto it = clusters_.find(name);
+  if (it == clusters_.end() || nodes_.find(to) == nodes_.end()) return false;
+  auto from = nodes_.find(it->second.node);
+  if (from != nodes_.end()) from->second.load -= it->second.load;
+  nodes_[to].load += it->second.load;
+  it->second.node = to;
+  it->second.capsule.clear();  // independent move leaves the capsule
+  return true;
+}
+
+std::optional<net::NodeId> LoadBalancingPolicy::place(
+    const std::string& cluster, const Domain& domain,
+    const UsageMonitor& usage) const {
+  (void)cluster;
+  (void)usage;
+  const NodeInfo* best = nullptr;
+  for (const auto& [id, info] : domain.nodes()) {
+    const double headroom = info.capacity - info.load;
+    if (best == nullptr ||
+        headroom > best->capacity - best->load) {
+      best = &info;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+std::optional<net::NodeId> GroupAwarePolicy::place(
+    const std::string& cluster, const Domain& domain,
+    const UsageMonitor& usage) const {
+  const auto pattern = usage.pattern(cluster);
+  if (pattern.empty()) return std::nullopt;  // no data: no opinion
+
+  const net::NodeId* best = nullptr;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& [candidate, info] : domain.nodes()) {
+    double score = 0;
+    if (metric_ == Metric::kWorstCase) {
+      for (const auto& [accessor, count] : pattern) {
+        if (count == 0) continue;
+        score = std::max(
+            score, static_cast<double>(domain.latency(candidate, accessor)));
+      }
+    } else {
+      double total = 0, weight = 0;
+      for (const auto& [accessor, count] : pattern) {
+        total += static_cast<double>(domain.latency(candidate, accessor)) *
+                 static_cast<double>(count);
+        weight += static_cast<double>(count);
+      }
+      score = weight > 0 ? total / weight : 0;
+    }
+    if (score < best_score) {
+      best_score = score;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<net::NodeId> MigrationManager::evaluate(
+    const std::string& cluster) {
+  const auto current = domain_.location(cluster);
+  if (!current) return std::nullopt;
+  const auto proposed = policy_->place(cluster, domain_, usage_);
+  if (!proposed || *proposed == *current) return std::nullopt;
+  if (!domain_.move_cluster(cluster, *proposed)) return std::nullopt;
+  ++migrations_;
+  if (on_migrate_) on_migrate_(cluster, *current, *proposed);
+  return proposed;
+}
+
+}  // namespace coop::mgmt

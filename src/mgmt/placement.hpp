@@ -1,0 +1,226 @@
+// Engineering-viewpoint management: object placement and migration with
+// group-aware policies (§4.2.1 Management).
+//
+// "The most important issues identified to date are that of the initial
+// placement of objects (node management) and their subsequent re-location
+// (cluster management). ... objects are likely to be shared by a group of
+// users at geographically dispersed sites with each site requiring
+// similar real-time response. ... management functions must be aware of
+// the pattern of use of objects emanating from groups."
+//
+// The model follows the ODP engineering vocabulary: a Domain of nodes,
+// each hosting capsules, each holding clusters of objects.  For placement
+// purposes coop tracks the cluster (the unit of migration) and the nodes
+// that access it; the UsageMonitor records who accesses what from where —
+// the "mechanism" that "informs" the policies.
+//
+// Policies:
+//   StaticPolicy       — wherever the object was created (the baseline).
+//   LoadBalancingPolicy— least-loaded node, ignoring the group (classic).
+//   GroupAwarePolicy   — node minimizing the worst (or mean) usage-
+//                        weighted RTT across the accessing group.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/stats.hpp"
+
+namespace coop::mgmt {
+
+/// A managed node (engineering viewpoint).
+struct NodeInfo {
+  net::NodeId id = 0;
+  double capacity = 1.0;  ///< abstract processing capacity
+  double load = 0.0;      ///< current utilization in capacity units
+};
+
+/// A cluster: the unit of placement/migration, holding named objects.
+struct Cluster {
+  std::string name;
+  net::NodeId node = 0;   ///< current placement
+  double load = 0.1;      ///< capacity it consumes on its node
+  std::string capsule;    ///< containing capsule ("" = standalone)
+};
+
+/// Records which node each access to each cluster comes from.
+class UsageMonitor {
+ public:
+  void record(const std::string& cluster, net::NodeId from,
+              std::uint64_t weight = 1) {
+    usage_[cluster][from] += weight;
+  }
+
+  /// Per-node access counts for @p cluster.
+  [[nodiscard]] std::map<net::NodeId, std::uint64_t> pattern(
+      const std::string& cluster) const {
+    auto it = usage_.find(cluster);
+    return it == usage_.end() ? std::map<net::NodeId, std::uint64_t>{}
+                              : it->second;
+  }
+
+  /// Ages all counters (multiplies by 1/2) so stale patterns fade and
+  /// policies follow the group as it shifts.
+  void decay() {
+    for (auto& [cluster, by_node] : usage_) {
+      for (auto& [node, count] : by_node) count /= 2;
+    }
+  }
+
+  void forget(const std::string& cluster) { usage_.erase(cluster); }
+
+ private:
+  std::map<std::string, std::map<net::NodeId, std::uint64_t>> usage_;
+};
+
+/// The management domain, in ODP engineering-viewpoint terms: nodes host
+/// *capsules* (address spaces / processes); capsules contain *clusters*
+/// (the unit of migration).  Placement policies reason about clusters;
+/// capsule operations move every contained cluster together (a process
+/// migrating wholesale).
+class Domain {
+ public:
+  explicit Domain(net::Network& net) : net_(net) {}
+
+  void add_node(net::NodeId id, double capacity = 1.0) {
+    nodes_[id] = {id, capacity, 0.0};
+  }
+
+  /// Creates a capsule on @p node.  Returns false if the node is unknown
+  /// or the capsule already exists.
+  bool create_capsule(const std::string& capsule, net::NodeId node);
+
+  /// Moves a capsule — and every cluster inside it — to another node.
+  bool move_capsule(const std::string& capsule, net::NodeId to);
+
+  [[nodiscard]] std::optional<net::NodeId> capsule_node(
+      const std::string& capsule) const;
+
+  /// Clusters currently contained in @p capsule.
+  [[nodiscard]] std::vector<std::string> capsule_clusters(
+      const std::string& capsule) const;
+
+  /// Creates a cluster on @p node.  If @p capsule is given, the cluster
+  /// is placed inside it (and must share its node).
+  void create_cluster(const std::string& name, net::NodeId node,
+                      double load = 0.1, const std::string& capsule = {});
+
+  /// Moves a cluster (adjusting node loads).  A cluster inside a capsule
+  /// leaves it when moved independently.  Returns false if unknown.
+  bool move_cluster(const std::string& name, net::NodeId to);
+
+  [[nodiscard]] std::optional<net::NodeId> location(
+      const std::string& cluster) const {
+    auto it = clusters_.find(cluster);
+    if (it == clusters_.end()) return std::nullopt;
+    return it->second.node;
+  }
+
+  [[nodiscard]] const std::map<net::NodeId, NodeInfo>& nodes() const {
+    return nodes_;
+  }
+
+  /// One-way network latency estimate between two nodes (the policies'
+  /// distance metric); same-node access is free.
+  [[nodiscard]] sim::Duration latency(net::NodeId a, net::NodeId b) const {
+    if (a == b) return 0;
+    return net_.link(a, b).latency;
+  }
+
+ private:
+  net::Network& net_;
+  std::map<net::NodeId, NodeInfo> nodes_;
+  std::map<std::string, Cluster> clusters_;
+  std::map<std::string, net::NodeId> capsules_;
+};
+
+/// Placement decision interface.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  /// Best node for @p cluster given current state; nullopt = no opinion.
+  [[nodiscard]] virtual std::optional<net::NodeId> place(
+      const std::string& cluster, const Domain& domain,
+      const UsageMonitor& usage) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Leaves objects where they are (the do-nothing baseline).
+class StaticPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<net::NodeId> place(
+      const std::string&, const Domain&, const UsageMonitor&) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::string name() const override { return "static"; }
+};
+
+/// Least-loaded node, group-blind.
+class LoadBalancingPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] std::optional<net::NodeId> place(
+      const std::string& cluster, const Domain& domain,
+      const UsageMonitor& usage) const override;
+  [[nodiscard]] std::string name() const override { return "load-balance"; }
+};
+
+/// Minimizes the group's response-time metric.
+class GroupAwarePolicy final : public PlacementPolicy {
+ public:
+  enum class Metric : std::uint8_t {
+    kWorstCase,  ///< minimize the maximum accessor RTT ("each site
+                 ///< requiring similar real-time response")
+    kMean,       ///< minimize usage-weighted mean RTT
+  };
+
+  explicit GroupAwarePolicy(Metric metric = Metric::kWorstCase)
+      : metric_(metric) {}
+
+  [[nodiscard]] std::optional<net::NodeId> place(
+      const std::string& cluster, const Domain& domain,
+      const UsageMonitor& usage) const override;
+  [[nodiscard]] std::string name() const override { return "group-aware"; }
+
+ private:
+  Metric metric_;
+};
+
+/// Periodic migration driver: re-evaluates placements against the policy
+/// and moves clusters whose improvement clears the hysteresis threshold.
+class MigrationManager {
+ public:
+  MigrationManager(Domain& domain, UsageMonitor& usage,
+                   std::unique_ptr<PlacementPolicy> policy)
+      : domain_(domain), usage_(usage), policy_(std::move(policy)) {}
+
+  /// Evaluates one cluster; migrates if the policy proposes a different
+  /// node.  Returns the new node if a migration happened.
+  std::optional<net::NodeId> evaluate(const std::string& cluster);
+
+  /// Fired on each migration: (cluster, from, to).
+  void on_migrate(std::function<void(const std::string&, net::NodeId,
+                                     net::NodeId)>
+                      fn) {
+    on_migrate_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  Domain& domain_;
+  UsageMonitor& usage_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::function<void(const std::string&, net::NodeId, net::NodeId)>
+      on_migrate_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace coop::mgmt

@@ -1,0 +1,215 @@
+#include "mobile/host.hpp"
+
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace coop::mobile {
+
+MobileHost::MobileHost(net::Network& net, net::Address self,
+                       net::Address server, ConflictPolicy policy)
+    : net_(net),
+      self_(self),
+      server_(server),
+      policy_(policy),
+      rpc_(net, self) {}
+
+void MobileHost::set_connectivity(net::Connectivity level) {
+  level_ = level;
+  net_.set_connectivity(self_.node, level);
+}
+
+void MobileHost::hoard(const std::vector<std::string>& keys,
+                       std::function<void(std::size_t)> done) {
+  util::Writer w;
+  w.put(static_cast<std::uint32_t>(keys.size()));
+  for (const std::string& k : keys) w.put_string(k);
+  rpc_.call(server_, "hoard", w.take(),
+            [this, done = std::move(done)](const rpc::RpcResult& res) {
+              if (!res.ok()) {
+                if (done) done(0);
+                return;
+              }
+              util::Reader r(res.reply);
+              const auto n = r.get<std::uint32_t>();
+              std::size_t fetched = 0;
+              for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+                const std::string key = r.get_string();
+                const bool present = r.get<bool>();
+                std::string value = r.get_string();
+                const auto version = r.get<std::uint64_t>();
+                if (r.failed()) break;
+                cache_[key] = {std::move(value), version, present};
+                ++fetched;
+                ++stats_.hoarded;
+              }
+              if (done) done(fetched);
+            },
+            call_opts_);
+}
+
+void MobileHost::read(const std::string& key, ReadFn done) {
+  if (level_ == net::Connectivity::kDisconnected) {
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      ++stats_.cache_misses;
+      done(false, std::nullopt);
+      return;
+    }
+    ++stats_.cache_hits;
+    if (!it->second.present) {
+      done(true, std::nullopt);  // cached absence
+    } else {
+      done(true, it->second.value);
+    }
+    return;
+  }
+  ++stats_.remote_reads;
+  util::Writer w;
+  w.put_string(key);
+  rpc_.call(server_, "read", w.take(),
+            [this, key, done = std::move(done)](const rpc::RpcResult& res) {
+              if (!res.ok()) {
+                // Network trouble mid-transition: degrade to the cache.
+                auto it = cache_.find(key);
+                if (it != cache_.end()) {
+                  ++stats_.cache_hits;
+                  done(true, it->second.present
+                                 ? std::optional<std::string>(it->second.value)
+                                 : std::nullopt);
+                } else {
+                  done(false, std::nullopt);
+                }
+                return;
+              }
+              util::Reader r(res.reply);
+              const bool present = r.get<bool>();
+              std::string value = r.get_string();
+              const auto version = r.get<std::uint64_t>();
+              if (r.failed()) {
+                done(false, std::nullopt);
+                return;
+              }
+              cache_[key] = {value, version, present};
+              done(true, present ? std::optional<std::string>(std::move(value))
+                                 : std::nullopt);
+            },
+            call_opts_);
+}
+
+void MobileHost::write(const std::string& key, std::string value,
+                       WriteFn done) {
+  if (level_ == net::Connectivity::kDisconnected) {
+    ++stats_.logged_writes;
+    const std::uint64_t base =
+        cache_.count(key) != 0 ? cache_[key].version : 0;
+    // Coalesce repeated writes to the same key: the log keeps the first
+    // base version (what we last saw from the server) with the latest
+    // value.
+    for (LogEntry& e : log_) {
+      if (e.key == key) {
+        e.value = std::move(value);
+        cache_[key] = {e.value, e.base_version, true};
+        done(true);
+        return;
+      }
+    }
+    log_.push_back({key, value, base});
+    cache_[key] = {std::move(value), base, true};
+    done(true);
+    return;
+  }
+  ++stats_.remote_writes;
+  util::Writer w;
+  w.put_string(key);
+  w.put_string(value);
+  rpc_.call(server_, "write", w.take(),
+            [this, key, value = std::move(value),
+             done = std::move(done)](const rpc::RpcResult& res) mutable {
+              if (!res.ok()) {
+                done(false);
+                return;
+              }
+              util::Reader r(res.reply);
+              const auto version = r.get<std::uint64_t>();
+              if (!r.failed()) cache_[key] = {std::move(value), version, true};
+              done(true);
+            },
+            call_opts_);
+}
+
+void MobileHost::force_write(const std::string& key,
+                             const std::string& value) {
+  util::Writer w;
+  w.put_string(key);
+  w.put_string(value);
+  rpc_.call(server_, "write", w.take(), [](const rpc::RpcResult&) {},
+            call_opts_);
+}
+
+void MobileHost::reintegrate(
+    std::function<void(std::size_t, const std::vector<Conflict>&)> done) {
+  if (log_.empty()) {
+    done(0, {});
+    return;
+  }
+  util::Writer w;
+  w.put(static_cast<std::uint32_t>(log_.size()));
+  for (const LogEntry& e : log_) {
+    w.put_string(e.key);
+    w.put_string(e.value);
+    w.put(e.base_version);
+  }
+  // Keep local copies for conflict resolution while the RPC is in flight.
+  auto entries = log_;
+  log_.clear();
+  rpc_.call(
+      server_, "bulk", w.take(),
+      [this, entries = std::move(entries),
+       done = std::move(done)](const rpc::RpcResult& res) {
+        std::vector<Conflict> conflicts;
+        if (!res.ok()) {
+          // Reintegration failed wholesale (e.g. dropped back to
+          // disconnected): restore the log for a later attempt.
+          for (const LogEntry& e : entries) log_.push_back(e);
+          done(0, conflicts);
+          return;
+        }
+        util::Reader r(res.reply);
+        const auto n = r.get<std::uint32_t>();
+        std::size_t applied = 0;
+        for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+          const std::string key = r.get_string();
+          const bool ok = r.get<bool>();
+          const auto version = r.get<std::uint64_t>();
+          std::string server_value = r.get_string();
+          if (r.failed()) break;
+          if (ok) {
+            ++applied;
+            ++stats_.reintegrated;
+            if (auto it = cache_.find(key); it != cache_.end())
+              it->second.version = version;
+            continue;
+          }
+          ++stats_.conflicts;
+          Conflict c{key, entries[i].value, std::move(server_value)};
+          switch (policy_) {
+            case ConflictPolicy::kServerWins:
+              cache_[key] = {c.server_value, version, true};
+              break;
+            case ConflictPolicy::kClientWins:
+              force_write(key, c.local_value);
+              break;
+            case ConflictPolicy::kManual:
+              cache_[key] = {c.server_value, version, true};
+              if (on_conflict_) on_conflict_(c);
+              break;
+          }
+          conflicts.push_back(std::move(c));
+        }
+        done(applied, conflicts);
+      },
+      call_opts_);
+}
+
+}  // namespace coop::mobile

@@ -1,0 +1,96 @@
+#include "mobile/share_server.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/codec.hpp"
+
+namespace coop::mobile {
+
+ShareServer::ShareServer(net::Network& net, net::Address self)
+    : server_(net, self) {
+  server_.register_method("read", [this](const std::string& b) {
+    return handle_read(b);
+  });
+  server_.register_method("write", [this](const std::string& b) {
+    return handle_write(b);
+  });
+  server_.register_method("hoard", [this](const std::string& b) {
+    return handle_hoard(b);
+  });
+  server_.register_method("bulk", [this](const std::string& b) {
+    return handle_bulk(b);
+  });
+}
+
+rpc::HandlerResult ShareServer::handle_read(const std::string& body) {
+  util::Reader r(body);
+  const std::string key = r.get_string();
+  if (r.failed()) return rpc::HandlerResult::error("bad read");
+  util::Writer w;
+  const auto value = store_.read(key);
+  w.put(value.has_value());
+  w.put_string(value.value_or(""));
+  w.put(store_.version(key));
+  return rpc::HandlerResult::success(w.take());
+}
+
+rpc::HandlerResult ShareServer::handle_write(const std::string& body) {
+  util::Reader r(body);
+  const std::string key = r.get_string();
+  std::string value = r.get_string();
+  if (r.failed()) return rpc::HandlerResult::error("bad write");
+  store_.write(key, std::move(value));
+  util::Writer w;
+  w.put(store_.version(key));
+  return rpc::HandlerResult::success(w.take());
+}
+
+rpc::HandlerResult ShareServer::handle_hoard(const std::string& body) {
+  util::Reader r(body);
+  const auto n = r.get<std::uint32_t>();
+  std::vector<std::string> keys;
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i)
+    keys.push_back(r.get_string());
+  if (r.failed()) return rpc::HandlerResult::error("bad hoard");
+  util::Writer w;
+  w.put(static_cast<std::uint32_t>(keys.size()));
+  for (const std::string& key : keys) {
+    const auto value = store_.read(key);
+    w.put_string(key);
+    w.put(value.has_value());
+    w.put_string(value.value_or(""));
+    w.put(store_.version(key));
+  }
+  return rpc::HandlerResult::success(w.take());
+}
+
+rpc::HandlerResult ShareServer::handle_bulk(const std::string& body) {
+  util::Reader r(body);
+  const auto n = r.get<std::uint32_t>();
+  util::Writer w;
+  w.put(n);
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    const std::string key = r.get_string();
+    std::string value = r.get_string();
+    const auto base = r.get<std::uint64_t>();
+    if (r.failed()) break;
+    const std::uint64_t current = store_.version(key);
+    w.put_string(key);
+    if (current == base) {
+      store_.write(key, std::move(value));
+      w.put(true);
+      w.put(store_.version(key));
+      w.put_string("");
+    } else {
+      ++bulk_conflicts_;
+      w.put(false);
+      w.put(current);
+      w.put_string(store_.read(key).value_or(""));
+    }
+  }
+  if (r.failed()) return rpc::HandlerResult::error("bad bulk");
+  return rpc::HandlerResult::success(w.take());
+}
+
+}  // namespace coop::mobile

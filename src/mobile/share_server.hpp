@@ -1,0 +1,67 @@
+// The fixed-network side of disconnected operation: a versioned shared
+// store exported over RPC, with hoard (batch fetch) and bulk-reintegration
+// (batch conditional write) operations.
+//
+// §4.2.2 mobility: "new techniques will be required, for example, to cache
+// significant portions of the data on the mobile computer.  Care must also
+// be taken to maintain consistency if data is shared across several
+// mobiles" and "services will take advantage of higher levels of
+// connection to perform bulk updates, e.g. of cached data."
+//
+// Methods exposed:
+//   read   (key)                      -> value?, version
+//   write  (key, value)               -> version
+//   hoard  ([keys])                   -> [(key, value?, version)]
+//   bulk   ([(key, value, base_ver)]) -> [(key, applied?, new/cur ver,
+//                                          server value on conflict)]
+//
+// A bulk entry applies only if its base version still matches the server's
+// current version for the key (first-writer-wins conflict detection, as in
+// Coda's reintegration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ccontrol/store.hpp"
+#include "rpc/rpc.hpp"
+
+namespace coop::mobile {
+
+/// Result of one reintegration entry.
+struct BulkResult {
+  std::string key;
+  bool applied = false;
+  std::uint64_t version = 0;    ///< new version if applied, else current
+  std::string server_value;     ///< present on conflict (for resolution)
+};
+
+/// Hosts the store and its RPC surface.
+class ShareServer {
+ public:
+  ShareServer(net::Network& net, net::Address self);
+
+  [[nodiscard]] net::Address address() const noexcept {
+    return server_.address();
+  }
+  [[nodiscard]] ccontrol::ObjectStore& store() noexcept { return store_; }
+  [[nodiscard]] const ccontrol::ObjectStore& store() const noexcept {
+    return store_;
+  }
+
+  [[nodiscard]] std::uint64_t bulk_conflicts() const noexcept {
+    return bulk_conflicts_;
+  }
+
+ private:
+  rpc::HandlerResult handle_read(const std::string& body);
+  rpc::HandlerResult handle_write(const std::string& body);
+  rpc::HandlerResult handle_hoard(const std::string& body);
+  rpc::HandlerResult handle_bulk(const std::string& body);
+
+  rpc::RpcServer server_;
+  ccontrol::ObjectStore store_;
+  std::uint64_t bulk_conflicts_ = 0;
+};
+
+}  // namespace coop::mobile

@@ -1,0 +1,140 @@
+#include "net/fifo_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace coop::net {
+
+namespace {
+enum WireType : std::uint8_t { kData = 0x71, kAck = 0x72 };
+}  // namespace
+
+FifoChannel::FifoChannel(Network& net, Address self, FifoConfig config)
+    : net_(net), self_(self), config_(config) {
+  net_.attach(self_, *this);
+}
+
+FifoChannel::~FifoChannel() {
+  for (auto& [peer, state] : peers_) {
+    if (state.timer != sim::kInvalidEvent) net_.simulator().cancel(state.timer);
+  }
+  net_.detach(self_);
+}
+
+void FifoChannel::send(const Address& peer, std::string payload) {
+  PeerState& state = peers_[peer];
+  const std::uint64_t seq = state.next_send_seq++;
+  util::Writer w;
+  w.put(kData).put(seq).put_string(payload);
+  std::string wire = w.take();
+  state.unacked[seq] = wire;
+  ++stats_.sent;
+  transmit(peer, seq, wire);
+  if (state.timer == sim::kInvalidEvent) arm_timer(peer);
+}
+
+void FifoChannel::transmit(const Address& peer, std::uint64_t seq,
+                           const std::string& wire) {
+  (void)seq;
+  net_.send({.src = self_, .dst = peer, .payload = wire});
+}
+
+void FifoChannel::arm_timer(const Address& peer) {
+  PeerState& state = peers_[peer];
+  // Exponential backoff capped at max_retransmit_timeout.
+  sim::Duration timeout = config_.retransmit_timeout;
+  for (int i = 0; i < state.retries && timeout < config_.max_retransmit_timeout;
+       ++i) {
+    timeout *= 2;
+  }
+  timeout = std::min(timeout, config_.max_retransmit_timeout);
+  state.timer = net_.simulator().schedule_after(timeout, [this, peer] {
+    auto it = peers_.find(peer);
+    if (it == peers_.end()) return;
+    PeerState& st = it->second;
+    st.timer = sim::kInvalidEvent;
+    if (st.unacked.empty()) return;
+    ++st.retries;
+    if (config_.max_retransmits >= 0 &&
+        st.retries > config_.max_retransmits) {
+      stats_.gave_up += st.unacked.size();
+      st.unacked.clear();
+      return;
+    }
+    // Go-back-N style: retransmit everything outstanding.
+    for (const auto& [seq, wire] : st.unacked) {
+      ++stats_.retransmits;
+      transmit(peer, seq, wire);
+    }
+    arm_timer(peer);
+  });
+}
+
+void FifoChannel::send_ack(const Address& peer, std::uint64_t cumulative) {
+  util::Writer w;
+  w.put(kAck).put(cumulative);
+  net_.send({.src = self_, .dst = peer, .payload = w.take()});
+}
+
+std::size_t FifoChannel::unacked(const Address& peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.unacked.size();
+}
+
+void FifoChannel::on_message(const Message& msg) {
+  util::Reader r(msg.payload);
+  const auto type = r.get<std::uint8_t>();
+  if (r.failed()) return;
+
+  if (type == kAck) {
+    const auto cum = r.get<std::uint64_t>();
+    if (r.failed()) return;
+    auto it = peers_.find(msg.src);
+    if (it == peers_.end()) return;
+    PeerState& state = it->second;
+    const std::size_t before = state.unacked.size();
+    state.unacked.erase(state.unacked.begin(),
+                        state.unacked.upper_bound(cum));
+    if (state.unacked.size() < before) state.retries = 0;
+    if (state.unacked.empty() && state.timer != sim::kInvalidEvent) {
+      net_.simulator().cancel(state.timer);
+      state.timer = sim::kInvalidEvent;
+    }
+    return;
+  }
+  if (type != kData) return;
+
+  const auto seq = r.get<std::uint64_t>();
+  std::string payload = r.get_string();
+  if (r.failed()) return;
+  PeerState& state = peers_[msg.src];
+
+  if (seq < state.next_expected) {
+    ++stats_.duplicates;
+    send_ack(msg.src, state.next_expected - 1);  // re-ack: ack was lost
+    return;
+  }
+  if (seq > state.next_expected) {
+    state.holdback.emplace(seq, std::move(payload));
+    send_ack(msg.src, state.next_expected - 1);
+    return;
+  }
+  // In-order: deliver, then drain the hold-back run.
+  ++stats_.delivered;
+  ++state.next_expected;
+  if (receive_) receive_(msg.src, payload);
+  while (true) {
+    auto hit = state.holdback.find(state.next_expected);
+    if (hit == state.holdback.end()) break;
+    std::string next = std::move(hit->second);
+    state.holdback.erase(hit);
+    ++stats_.delivered;
+    ++state.next_expected;
+    if (receive_) receive_(msg.src, next);
+  }
+  send_ack(msg.src, state.next_expected - 1);
+}
+
+}  // namespace coop::net

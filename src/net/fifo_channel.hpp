@@ -1,0 +1,90 @@
+// Reliable, in-order, point-to-point message channel (TCP-lite) over the
+// lossy, reordering datagram fabric.
+//
+// Several coop protocols — most importantly the OT editor, whose Jupiter
+// links require FIFO channels — need per-peer ordered delivery.  One
+// FifoChannel endpoint multiplexes any number of peers: per-peer send
+// sequence numbers with retransmission until cumulatively acknowledged,
+// and a per-peer receive hold-back queue that releases messages strictly
+// in order with duplicate suppression.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::net {
+
+struct FifoConfig {
+  sim::Duration retransmit_timeout = sim::msec(60);
+  /// Backoff doubles the timeout per consecutive silent retry, up to
+  /// this cap — so a partition costs bounded chatter, not give-up.
+  sim::Duration max_retransmit_timeout = sim::sec(3);
+  /// < 0 means never give up (the default: a reliable FIFO stream that
+  /// drops a message is broken forever, so persistence is the only
+  /// sensible default; bound it only when the application can cope).
+  int max_retransmits = -1;
+};
+
+struct FifoStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t gave_up = 0;
+};
+
+/// One endpoint of (any number of) reliable ordered channels.
+class FifoChannel : public Endpoint {
+ public:
+  using ReceiveFn =
+      std::function<void(const Address& from, const std::string& payload)>;
+
+  FifoChannel(Network& net, Address self, FifoConfig config = {});
+  ~FifoChannel() override;
+
+  FifoChannel(const FifoChannel&) = delete;
+  FifoChannel& operator=(const FifoChannel&) = delete;
+
+  /// Queues @p payload for in-order delivery at @p peer.
+  void send(const Address& peer, std::string payload);
+
+  void on_receive(ReceiveFn fn) { receive_ = std::move(fn); }
+
+  [[nodiscard]] Address self() const noexcept { return self_; }
+  [[nodiscard]] const FifoStats& stats() const noexcept { return stats_; }
+  /// Messages sent to @p peer not yet acknowledged.
+  [[nodiscard]] std::size_t unacked(const Address& peer) const;
+
+  void on_message(const Message& msg) override;
+
+ private:
+  struct PeerState {
+    // Sender side.
+    std::uint64_t next_send_seq = 1;
+    std::map<std::uint64_t, std::string> unacked;  // seq -> wire payload
+    sim::EventId timer = sim::kInvalidEvent;
+    int retries = 0;
+    // Receiver side.
+    std::uint64_t next_expected = 1;
+    std::map<std::uint64_t, std::string> holdback;  // ooo arrivals
+  };
+
+  void transmit(const Address& peer, std::uint64_t seq,
+                const std::string& wire);
+  void arm_timer(const Address& peer);
+  void send_ack(const Address& peer, std::uint64_t cumulative);
+
+  Network& net_;
+  Address self_;
+  FifoConfig config_;
+  std::map<Address, PeerState> peers_;
+  ReceiveFn receive_;
+  FifoStats stats_;
+};
+
+}  // namespace coop::net

@@ -1,0 +1,86 @@
+// Link models: the knobs that turn one simulator into a LAN, a WAN, or a
+// flaky radio channel.
+//
+// A LinkModel captures the four parameters the paper's engineering-viewpoint
+// discussion cares about — latency, jitter, bandwidth and loss — plus a
+// serialization/queueing model so that cross-traffic genuinely congests a
+// link (needed for the QoS experiments, E6).  Mobility (§4.2.2) is modelled
+// by switching a node between connectivity levels, each mapping to a link
+// parameter override.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace coop::net {
+
+/// Static characteristics of a (directed) link.
+struct LinkModel {
+  sim::Duration latency = sim::msec(1);    ///< one-way propagation delay
+  sim::Duration jitter = 0;                ///< uniform ± jitter added
+  double bandwidth_bps = 100e6;            ///< serialization rate
+  double loss = 0.0;                       ///< drop probability per datagram
+
+  /// Serialization delay for a datagram of @p bytes.
+  [[nodiscard]] sim::Duration serialize_time(std::size_t bytes) const {
+    if (bandwidth_bps <= 0) return 0;
+    const double seconds = static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    return static_cast<sim::Duration>(seconds * 1e6);
+  }
+
+  /// Propagation delay sample (latency ± jitter).
+  [[nodiscard]] sim::Duration propagation(sim::Rng& rng) const {
+    if (jitter <= 0) return latency;
+    const auto j = static_cast<sim::Duration>(
+        rng.uniform(-static_cast<double>(jitter),
+                    static_cast<double>(jitter)));
+    const sim::Duration d = latency + j;
+    return d > 0 ? d : 0;
+  }
+
+  // Named presets used across tests, examples and benches -----------------
+
+  /// Same-building Ethernet (co-located quadrants of the space-time matrix).
+  static LinkModel lan() {
+    return {.latency = sim::usec(300), .jitter = sim::usec(100),
+            .bandwidth_bps = 100e6, .loss = 0.0};
+  }
+
+  /// Inter-site leased line / early-90s WAN (remote quadrants).
+  static LinkModel wan() {
+    return {.latency = sim::msec(40), .jitter = sim::msec(8),
+            .bandwidth_bps = 2e6, .loss = 0.005};
+  }
+
+  /// Transcontinental path for geographically dispersed groups.
+  static LinkModel intercontinental() {
+    return {.latency = sim::msec(120), .jitter = sim::msec(20),
+            .bandwidth_bps = 1e6, .loss = 0.01};
+  }
+
+  /// Packet-radio channel: the "partially connected" mobile regime.
+  static LinkModel radio() {
+    return {.latency = sim::msec(150), .jitter = sim::msec(60),
+            .bandwidth_bps = 19'200, .loss = 0.05};
+  }
+};
+
+/// Mobility regimes from §4.2.2-iii "Levels of disconnection".
+enum class Connectivity {
+  kDisconnected,  ///< no datagrams flow in either direction
+  kPartial,       ///< radio-link override applies (low bw, lossy)
+  kFull,          ///< the configured wired link applies
+};
+
+/// Per-directed-link dynamic state: the queueing horizon that produces
+/// congestion when offered load exceeds bandwidth.
+struct LinkState {
+  sim::TimePoint busy_until = 0;   ///< when the serializer frees up
+  std::uint64_t sent = 0;          ///< datagrams accepted
+  std::uint64_t dropped = 0;       ///< datagrams lost (loss or partition)
+  std::uint64_t bytes = 0;         ///< wire bytes accepted
+};
+
+}  // namespace coop::net

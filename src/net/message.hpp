@@ -1,0 +1,63 @@
+// Wire-level message and addressing types for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace coop::net {
+
+/// Identifies a simulated host.
+using NodeId = std::uint32_t;
+
+/// Identifies a service endpoint within a host (like a UDP port).
+using PortId = std::uint16_t;
+
+/// A multicast group address (distinct namespace from unicast nodes).
+using McastId = std::uint32_t;
+
+/// Full endpoint address: host + port.
+struct Address {
+  NodeId node = 0;
+  PortId port = 0;
+
+  bool operator==(const Address&) const = default;
+  auto operator<=>(const Address&) const = default;
+};
+
+/// One datagram in flight.  `payload` carries the application encoding
+/// (util::Writer output); `wire_size` is what the link-bandwidth model
+/// charges, normally payload size plus a fixed header.
+struct Message {
+  Address src;
+  Address dst;
+  std::string payload;
+  std::size_t wire_size = 0;
+  std::uint64_t id = 0;              ///< unique per network, for tracing
+  sim::TimePoint sent_at = 0;        ///< stamped by Network::send
+  bool multicast = false;            ///< delivered via a multicast group
+  McastId group = 0;                 ///< valid when multicast
+
+  /// Simulated UDP/IP-style header overhead charged per datagram.
+  static constexpr std::size_t kHeaderBytes = 32;
+};
+
+/// Receives datagrams delivered by the network.  Implemented by every
+/// protocol entity (RPC endpoints, group members, stream sinks...).
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called at the simulated arrival time of the message.
+  virtual void on_message(const Message& msg) = 0;
+};
+
+}  // namespace coop::net
+
+template <>
+struct std::hash<coop::net::Address> {
+  std::size_t operator()(const coop::net::Address& a) const noexcept {
+    return (static_cast<std::size_t>(a.node) << 16) ^ a.port;
+  }
+};

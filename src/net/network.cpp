@@ -1,0 +1,125 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+namespace coop::net {
+
+void Network::partition(const std::set<NodeId>& side_a,
+                        const std::set<NodeId>& side_b) {
+  partitioned_ = true;
+  side_a_ = side_a;
+  side_b_ = side_b;
+}
+
+bool Network::partition_blocks(NodeId a, NodeId b) const {
+  if (!partitioned_) return false;
+  const bool a_in_a = side_a_.count(a) != 0;
+  const bool b_in_a = side_a_.count(b) != 0;
+  if (side_b_.empty()) {
+    // side_b is the complement: blocked iff the nodes straddle the cut.
+    return a_in_a != b_in_a;
+  }
+  const bool a_in_b = side_b_.count(a) != 0;
+  const bool b_in_b = side_b_.count(b) != 0;
+  return (a_in_a && b_in_b) || (a_in_b && b_in_a);
+}
+
+std::optional<LinkModel> Network::effective_link(NodeId from,
+                                                 NodeId to) const {
+  const Connectivity cf = connectivity(from);
+  const Connectivity ct = connectivity(to);
+  if (cf == Connectivity::kDisconnected || ct == Connectivity::kDisconnected)
+    return std::nullopt;
+  if (cf == Connectivity::kPartial || ct == Connectivity::kPartial)
+    return radio_model_;
+  return link(from, to);
+}
+
+std::uint64_t Network::send(Message msg) {
+  msg.id = next_msg_id_++;
+  msg.sent_at = sim_.now();
+  if (msg.wire_size == 0)
+    msg.wire_size = msg.payload.size() + Message::kHeaderBytes;
+  transmit(std::move(msg));
+  return next_msg_id_ - 1;
+}
+
+std::uint64_t Network::multicast(McastId group, Message msg) {
+  msg.multicast = true;
+  msg.group = group;
+  msg.sent_at = sim_.now();
+  if (msg.wire_size == 0)
+    msg.wire_size = msg.payload.size() + Message::kHeaderBytes;
+  const std::uint64_t id = next_msg_id_++;
+  msg.id = id;
+  auto it = mcast_groups_.find(group);
+  if (it == mcast_groups_.end()) return id;
+  // Snapshot membership: joins/leaves during transit do not affect copies
+  // already in flight (matching IP multicast behaviour).
+  const std::set<Address> members = it->second;
+  for (const Address& member : members) {
+    if (member == msg.src) continue;
+    Message copy = msg;
+    copy.dst = member;
+    transmit(std::move(copy));
+  }
+  return id;
+}
+
+void Network::transmit(Message msg) {
+  ++stats_.sent;
+  stats_.bytes_sent += msg.wire_size;
+
+  const NodeId from = msg.src.node;
+  const NodeId to = msg.dst.node;
+  auto& state = link_states_[key(from, to)];
+
+  if (is_crashed(from) || is_crashed(to) || partition_blocks(from, to)) {
+    ++stats_.dropped_partition;
+    ++state.dropped;
+    return;
+  }
+  const std::optional<LinkModel> model = effective_link(from, to);
+  if (!model) {
+    ++stats_.dropped_partition;
+    ++state.dropped;
+    return;
+  }
+  if (model->loss > 0 && sim_.rng().bernoulli(model->loss)) {
+    ++stats_.dropped_loss;
+    ++state.dropped;
+    return;
+  }
+
+  // Serialization/queueing: the sender's serializer for this directed link
+  // is busy until `busy_until`; a new datagram queues behind it.  This is
+  // the mechanism that lets cross-traffic congest a stream (experiment E6).
+  const sim::TimePoint start = std::max(sim_.now(), state.busy_until);
+  const sim::Duration ser = model->serialize_time(msg.wire_size);
+  state.busy_until = start + ser;
+  ++state.sent;
+  state.bytes += msg.wire_size;
+
+  const sim::TimePoint arrival =
+      state.busy_until + model->propagation(sim_.rng());
+
+  sim_.schedule_at(arrival, [this, msg = std::move(msg)]() mutable {
+    // Faults are re-checked at arrival: a crash or disconnection that
+    // happened while the datagram was in flight still loses it.
+    if (is_crashed(msg.dst.node) ||
+        connectivity(msg.dst.node) == Connectivity::kDisconnected ||
+        partition_blocks(msg.src.node, msg.dst.node)) {
+      ++stats_.dropped_partition;
+      return;
+    }
+    auto it = endpoints_.find(msg.dst);
+    if (it == endpoints_.end()) {
+      ++stats_.dropped_no_endpoint;
+      return;
+    }
+    ++stats_.delivered;
+    it->second->on_message(msg);
+  });
+}
+
+}  // namespace coop::net

@@ -1,0 +1,181 @@
+// The simulated internetwork: hosts, links, unicast, multicast, partitions
+// and mobile connectivity.
+//
+// Network is the single point through which every coop protocol sends
+// datagrams.  It owns link state (so congestion is shared by all traffic on
+// a link), applies loss and partitions, models per-node mobile connectivity
+// levels, and delivers to registered Endpoints at the simulated arrival
+// time.  Delivery is at-most-once and may reorder across messages of
+// different sizes or jitter draws — exactly the properties the reliable
+// multicast and RPC layers must (and do) repair.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::net {
+
+/// Aggregate traffic statistics, for experiment accounting.
+struct NetworkStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_loss = 0;
+  std::uint64_t dropped_partition = 0;
+  std::uint64_t dropped_no_endpoint = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// The simulated network fabric.
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  /// Sets the link model used between any pair without an explicit link.
+  void set_default_link(const LinkModel& model) { default_link_ = model; }
+
+  /// Sets the directed link @p from -> @p to.  Call twice (or use
+  /// set_symmetric_link) for a bidirectional path.
+  void set_link(NodeId from, NodeId to, const LinkModel& model) {
+    links_[key(from, to)] = model;
+  }
+
+  /// Sets both directions between @p a and @p b.
+  void set_symmetric_link(NodeId a, NodeId b, const LinkModel& model) {
+    set_link(a, b, model);
+    set_link(b, a, model);
+  }
+
+  /// Effective model for a directed pair (explicit link or default),
+  /// before mobile-connectivity overrides.
+  [[nodiscard]] const LinkModel& link(NodeId from, NodeId to) const {
+    auto it = links_.find(key(from, to));
+    return it != links_.end() ? it->second : default_link_;
+  }
+
+  // --- endpoints -----------------------------------------------------------
+
+  /// Registers @p ep to receive datagrams addressed to @p addr.  The caller
+  /// keeps ownership and must detach (or outlive the network's last event).
+  void attach(const Address& addr, Endpoint& ep) { endpoints_[addr] = &ep; }
+
+  /// Removes the endpoint registration, if any.
+  void detach(const Address& addr) { endpoints_.erase(addr); }
+
+  // --- faults & mobility ---------------------------------------------------
+
+  /// Cuts all traffic between the two partition sides (nodes listed in
+  /// @p side_a vs everyone else if @p side_b is empty).
+  void partition(const std::set<NodeId>& side_a,
+                 const std::set<NodeId>& side_b = {});
+
+  /// Removes any partition.
+  void heal_partition() { partitioned_ = false; }
+
+  /// Marks a node as crashed: nothing is delivered to or sent from it.
+  void crash(NodeId node) { crashed_.insert(node); }
+
+  /// Restores a crashed node.
+  void recover(NodeId node) { crashed_.erase(node); }
+
+  [[nodiscard]] bool is_crashed(NodeId node) const {
+    return crashed_.count(node) != 0;
+  }
+
+  /// Sets the mobile-connectivity level of a node (§4.2.2).  kPartial
+  /// replaces the node's links with the radio override; kDisconnected
+  /// drops everything.
+  void set_connectivity(NodeId node, Connectivity level) {
+    connectivity_[node] = level;
+  }
+
+  [[nodiscard]] Connectivity connectivity(NodeId node) const {
+    auto it = connectivity_.find(node);
+    return it != connectivity_.end() ? it->second : Connectivity::kFull;
+  }
+
+  /// Overrides the link model applied while a node is kPartial (defaults
+  /// to LinkModel::radio()).
+  void set_radio_model(const LinkModel& model) { radio_model_ = model; }
+
+  // --- multicast -----------------------------------------------------------
+
+  /// Adds @p member to multicast group @p group.
+  void mcast_join(McastId group, const Address& member) {
+    mcast_groups_[group].insert(member);
+  }
+
+  /// Removes @p member from @p group.
+  void mcast_leave(McastId group, const Address& member) {
+    auto it = mcast_groups_.find(group);
+    if (it == mcast_groups_.end()) return;
+    it->second.erase(member);
+    if (it->second.empty()) mcast_groups_.erase(it);
+  }
+
+  [[nodiscard]] std::size_t mcast_size(McastId group) const {
+    auto it = mcast_groups_.find(group);
+    return it != mcast_groups_.end() ? it->second.size() : 0;
+  }
+
+  // --- traffic -------------------------------------------------------------
+
+  /// Sends a unicast datagram.  Returns the assigned message id.
+  std::uint64_t send(Message msg);
+
+  /// Sends one copy of @p msg to every member of @p group (except the
+  /// sender's own address).  Each copy traverses its own link.
+  std::uint64_t multicast(McastId group, Message msg);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// Per-directed-link dynamic counters (congestion inspection in tests).
+  [[nodiscard]] const LinkState* link_state(NodeId from, NodeId to) const {
+    auto it = link_states_.find(key(from, to));
+    return it != link_states_.end() ? &it->second : nullptr;
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+ private:
+  static std::uint64_t key(NodeId from, NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  /// Applies connectivity overrides; nullopt means "no path".
+  [[nodiscard]] std::optional<LinkModel> effective_link(NodeId from,
+                                                        NodeId to) const;
+
+  [[nodiscard]] bool partition_blocks(NodeId a, NodeId b) const;
+
+  void transmit(Message msg);
+
+  sim::Simulator& sim_;
+  LinkModel default_link_ = LinkModel::lan();
+  LinkModel radio_model_ = LinkModel::radio();
+  std::unordered_map<std::uint64_t, LinkModel> links_;
+  std::unordered_map<std::uint64_t, LinkState> link_states_;
+  std::unordered_map<Address, Endpoint*> endpoints_;
+  std::map<McastId, std::set<Address>> mcast_groups_;
+  std::set<NodeId> crashed_;
+  std::unordered_map<NodeId, Connectivity> connectivity_;
+  bool partitioned_ = false;
+  std::set<NodeId> side_a_;
+  std::set<NodeId> side_b_;  // empty => complement of side_a_
+  std::uint64_t next_msg_id_ = 1;
+  NetworkStats stats_;
+};
+
+}  // namespace coop::net

@@ -1,0 +1,81 @@
+#include "rpc/group_rpc.hpp"
+
+#include <utility>
+
+namespace coop::rpc {
+
+void GroupInvoker::invoke(const std::vector<net::Address>& targets,
+                          const std::string& method,
+                          const std::string& request, Callback done,
+                          GroupCallOptions opts) {
+  const std::uint64_t call_id = next_call_id_++;
+  Call& call = calls_[call_id];
+  call.result.replies.assign(targets.size(), {});
+  call.pending = targets.size();
+  call.issued_at = rpc_.simulator().now();
+  call.done = std::move(done);
+  switch (opts.policy) {
+    case ReplyPolicy::kFirst:
+      call.needed = targets.empty() ? 0 : 1;
+      break;
+    case ReplyPolicy::kQuorum:
+      call.needed = opts.quorum;
+      break;
+    case ReplyPolicy::kAll:
+      call.needed = targets.size();
+      break;
+  }
+
+  if (opts.deadline > 0) {
+    call.deadline_timer = rpc_.simulator().schedule_after(
+        opts.deadline, [this, call_id] { finish(call_id, true); });
+  }
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    rpc_.call(
+        targets[i], method, request,
+        [this, call_id, i](const RpcResult& res) {
+          auto it = calls_.find(call_id);
+          if (it == calls_.end() || it->second.completed) return;
+          Call& c = it->second;
+          c.result.replies[i] = res;
+          if (res.ok()) ++c.result.ok_count;
+          if (c.pending > 0) --c.pending;
+          maybe_complete(call_id);
+        },
+        opts.per_call);
+  }
+
+  maybe_complete(call_id);  // empty target list completes immediately
+}
+
+void GroupInvoker::maybe_complete(std::uint64_t call_id) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.completed) return;
+  Call& c = it->second;
+  if (c.result.ok_count >= c.needed) {
+    finish(call_id, false);
+  } else if (c.pending == 0) {
+    finish(call_id, false);  // everyone answered/timed out; policy unmet
+  }
+}
+
+void GroupInvoker::finish(std::uint64_t call_id, bool by_deadline) {
+  auto it = calls_.find(call_id);
+  if (it == calls_.end() || it->second.completed) return;
+  Call& c = it->second;
+  c.completed = true;
+  if (c.deadline_timer != sim::kInvalidEvent) {
+    rpc_.simulator().cancel(c.deadline_timer);
+    c.deadline_timer = sim::kInvalidEvent;
+  }
+  c.result.satisfied = c.result.ok_count >= c.needed;
+  c.result.deadline_hit = by_deadline;
+  c.result.latency = rpc_.simulator().now() - c.issued_at;
+  Callback done = std::move(c.done);
+  GroupResult result = std::move(c.result);
+  calls_.erase(it);
+  if (done) done(result);
+}
+
+}  // namespace coop::rpc

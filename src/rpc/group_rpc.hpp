@@ -1,0 +1,79 @@
+// Group invocation with real-time bounds — §4.2.2-iv: "group RPC protocols
+// are required which provide bounded real-time performance".
+//
+// A group call fans one request out to N servers and collects replies under
+// a *reply policy* (first / quorum-k / all) and an optional *deadline*.  The
+// completion callback fires exactly once: as soon as the policy is
+// satisfied, or at the deadline with whatever arrived (satisfied=false) —
+// the bounded-time behaviour a conference floor-change or camera-start
+// group invocation needs (late stragglers are reported as misses, they do
+// not stall the session).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rpc/rpc.hpp"
+
+namespace coop::rpc {
+
+/// When a group call is considered complete.
+enum class ReplyPolicy : std::uint8_t {
+  kFirst,   ///< first successful reply wins
+  kQuorum,  ///< at least `quorum` successful replies
+  kAll,     ///< every target must reply
+};
+
+struct GroupCallOptions {
+  ReplyPolicy policy = ReplyPolicy::kAll;
+  std::size_t quorum = 0;  ///< used by kQuorum
+  /// Hard real-time bound; 0 means unbounded (wait for per-call timeouts).
+  sim::Duration deadline = 0;
+  CallOptions per_call = {};
+};
+
+/// Aggregate outcome of one group invocation.
+struct GroupResult {
+  bool satisfied = false;              ///< policy met (within deadline)
+  bool deadline_hit = false;           ///< completion forced by deadline
+  std::vector<RpcResult> replies;      ///< indexed like the target list
+  std::size_t ok_count = 0;
+  sim::Duration latency = 0;           ///< issue -> completion
+};
+
+/// Issues group calls through an existing RpcClient.
+class GroupInvoker {
+ public:
+  explicit GroupInvoker(RpcClient& rpc) : rpc_(rpc) {}
+
+  using Callback = std::function<void(const GroupResult&)>;
+
+  /// Fans @p method out to @p targets.  @p done fires exactly once.
+  void invoke(const std::vector<net::Address>& targets,
+              const std::string& method, const std::string& request,
+              Callback done, GroupCallOptions opts = {});
+
+ private:
+  struct Call {
+    GroupResult result;
+    std::size_t pending = 0;
+    std::size_t needed = 0;
+    sim::TimePoint issued_at = 0;
+    sim::EventId deadline_timer = sim::kInvalidEvent;
+    Callback done;
+    bool completed = false;
+  };
+
+  void maybe_complete(std::uint64_t call_id);
+  void finish(std::uint64_t call_id, bool by_deadline);
+
+  RpcClient& rpc_;
+  std::map<std::uint64_t, Call> calls_;
+  std::uint64_t next_call_id_ = 1;
+};
+
+}  // namespace coop::rpc

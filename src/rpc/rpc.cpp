@@ -1,0 +1,173 @@
+#include "rpc/rpc.hpp"
+
+#include <utility>
+
+#include "util/codec.hpp"
+
+namespace coop::rpc {
+
+namespace {
+
+enum WireType : std::uint8_t { kRequest = 1, kReply = 2 };
+
+}  // namespace
+
+// ------------------------------------------------------------------- server
+
+RpcServer::RpcServer(net::Network& net, net::Address self)
+    : net_(net), self_(self) {
+  net_.attach(self_, *this);
+}
+
+RpcServer::~RpcServer() { net_.detach(self_); }
+
+void RpcServer::reply(const net::Address& to, std::uint64_t req_id,
+                      Status status, const std::string& body) {
+  util::Writer w;
+  w.put(kReply).put(req_id).put(status).put_string(body);
+  std::string wire = w.take();
+  replay_[{to, req_id}] = wire;
+  net_.send({.src = self_, .dst = to, .payload = std::move(wire)});
+}
+
+void RpcServer::on_message(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  if (r.get<std::uint8_t>() != kRequest) return;
+  const auto req_id = r.get<std::uint64_t>();
+  const std::string method = r.get_string();
+  const std::string body = r.get_string();
+  if (r.failed()) return;
+
+  // Retried request already executed: replay the cached reply verbatim.
+  if (auto it = replay_.find({msg.src, req_id}); it != replay_.end()) {
+    ++replays_;
+    net_.send({.src = self_, .dst = msg.src, .payload = it->second});
+    return;
+  }
+
+  if (auto async = async_methods_.find(method);
+      async != async_methods_.end()) {
+    const std::pair<net::Address, std::uint64_t> key{msg.src, req_id};
+    if (!in_progress_.insert(key).second) return;  // retry while running
+    ++handled_;
+    async->second(body, [this, key](HandlerResult hr) {
+      in_progress_.erase(key);
+      reply(key.first, key.second,
+            hr.ok ? Status::kOk : Status::kAppError, hr.body);
+    });
+    return;
+  }
+
+  auto handler = methods_.find(method);
+  if (handler == methods_.end()) {
+    reply(msg.src, req_id, Status::kNoSuchMethod, method);
+    return;
+  }
+
+  // Execute now (state mutation is immediate and exactly-once); the reply
+  // leaves after the modelled processing delay.
+  ++handled_;
+  const HandlerResult hr = handler->second(body);
+  const Status status = hr.ok ? Status::kOk : Status::kAppError;
+  if (processing_ > 0) {
+    net_.simulator().schedule_after(
+        processing_, [this, src = msg.src, req_id, status, body = hr.body] {
+          reply(src, req_id, status, body);
+        });
+  } else {
+    reply(msg.src, req_id, status, hr.body);
+  }
+}
+
+// ------------------------------------------------------------------- client
+
+RpcClient::RpcClient(net::Network& net, net::Address self)
+    : net_(net), self_(self) {
+  net_.attach(self_, *this);
+}
+
+RpcClient::~RpcClient() {
+  for (auto& [id, o] : outstanding_) {
+    if (o.timer != sim::kInvalidEvent) net_.simulator().cancel(o.timer);
+  }
+  net_.detach(self_);
+}
+
+void RpcClient::call(const net::Address& server, const std::string& method,
+                     const std::string& request, Callback done,
+                     CallOptions opts) {
+  const std::uint64_t req_id = next_req_id_++;
+  util::Writer w;
+  w.put(static_cast<std::uint8_t>(1) /* kRequest */)
+      .put(req_id)
+      .put_string(method)
+      .put_string(request);
+  Outstanding o;
+  o.server = server;
+  o.wire = w.take();
+  o.done = std::move(done);
+  o.opts = opts;
+  o.issued_at = net_.simulator().now();
+  o.current_timeout = opts.timeout;
+  outstanding_[req_id] = std::move(o);
+  transmit(req_id);
+}
+
+void RpcClient::transmit(std::uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;
+  net_.send({.src = self_, .dst = it->second.server,
+             .payload = it->second.wire});
+  arm_timeout(req_id);
+}
+
+void RpcClient::arm_timeout(std::uint64_t req_id) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;
+  Outstanding& o = it->second;
+  o.timer = net_.simulator().schedule_after(o.current_timeout, [this,
+                                                                req_id] {
+    auto oit = outstanding_.find(req_id);
+    if (oit == outstanding_.end()) return;
+    Outstanding& out = oit->second;
+    out.timer = sim::kInvalidEvent;
+    if (out.attempt >= out.opts.retries) {
+      ++timeouts_;
+      complete(req_id, {.status = Status::kTimeout,
+                        .reply = {},
+                        .rtt = net_.simulator().now() - out.issued_at});
+      return;
+    }
+    ++out.attempt;
+    out.current_timeout = static_cast<sim::Duration>(
+        static_cast<double>(out.current_timeout) * out.opts.backoff);
+    transmit(req_id);
+  });
+}
+
+void RpcClient::complete(std::uint64_t req_id, const RpcResult& result) {
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;
+  Callback done = std::move(it->second.done);
+  if (it->second.timer != sim::kInvalidEvent)
+    net_.simulator().cancel(it->second.timer);
+  outstanding_.erase(it);
+  if (result.ok()) rtts_.add(static_cast<double>(result.rtt));
+  if (done) done(result);
+}
+
+void RpcClient::on_message(const net::Message& msg) {
+  util::Reader r(msg.payload);
+  if (r.get<std::uint8_t>() != kReply) return;
+  const auto req_id = r.get<std::uint64_t>();
+  const auto status = r.get<Status>();
+  std::string body = r.get_string();
+  if (r.failed()) return;
+  auto it = outstanding_.find(req_id);
+  if (it == outstanding_.end()) return;  // late duplicate reply
+  complete(req_id, {.status = status,
+                    .reply = std::move(body),
+                    .rtt = net_.simulator().now() - it->second.issued_at});
+}
+
+}  // namespace coop::rpc

@@ -1,0 +1,170 @@
+// Request/response invocation over the simulated network — the ODP
+// computational-viewpoint operation interface, engineered on datagrams.
+//
+// RpcClient::call provides timeout + retry with exponential backoff;
+// RpcServer dedupes retried requests through a replay cache so application
+// handlers observe *at-most-once* execution even though the transport is
+// at-least-once.  Handlers are synchronous functions; simulated server
+// processing time is modelled with a configurable delay before the reply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace coop::rpc {
+
+/// Outcome of a call.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,        ///< no reply within timeout after all retries
+  kNoSuchMethod = 2,   ///< server has no handler for the method
+  kAppError = 3,       ///< handler reported failure
+};
+
+/// What the caller's completion callback receives.
+struct RpcResult {
+  Status status = Status::kTimeout;
+  std::string reply;
+  sim::Duration rtt = 0;  ///< call issue -> completion (virtual time)
+
+  [[nodiscard]] bool ok() const noexcept { return status == Status::kOk; }
+};
+
+/// Per-call knobs.
+struct CallOptions {
+  sim::Duration timeout = sim::msec(200);  ///< per-attempt timeout
+  int retries = 2;                         ///< additional attempts
+  double backoff = 2.0;                    ///< timeout multiplier per retry
+};
+
+/// A handler returns either a reply body or an application error string.
+struct HandlerResult {
+  bool ok = true;
+  std::string body;
+
+  static HandlerResult success(std::string b) { return {true, std::move(b)}; }
+  static HandlerResult error(std::string b) { return {false, std::move(b)}; }
+};
+
+using MethodFn = std::function<HandlerResult(const std::string& request)>;
+
+/// Asynchronous handler: call @p reply exactly once, possibly after
+/// virtual time has passed (lock waits, negotiations, floor queues).
+using AsyncMethodFn = std::function<void(
+    const std::string& request, std::function<void(HandlerResult)> reply)>;
+
+/// Server side: registers named methods and answers requests.
+class RpcServer : public net::Endpoint {
+ public:
+  RpcServer(net::Network& net, net::Address self);
+  ~RpcServer() override;
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Registers (or replaces) the handler for @p method.
+  void register_method(const std::string& method, MethodFn fn) {
+    methods_[method] = std::move(fn);
+  }
+
+  /// Registers an asynchronous handler: the reply is sent whenever the
+  /// handler completes it.  While a request is in progress, client
+  /// retries are absorbed (neither re-executed nor answered until the
+  /// first execution replies).
+  void register_async_method(const std::string& method, AsyncMethodFn fn) {
+    async_methods_[method] = std::move(fn);
+  }
+
+  /// Models server work: each request's reply is delayed by this much.
+  void set_processing_time(sim::Duration d) noexcept { processing_ = d; }
+
+  [[nodiscard]] net::Address address() const noexcept { return self_; }
+  [[nodiscard]] std::uint64_t requests_handled() const noexcept {
+    return handled_;
+  }
+  [[nodiscard]] std::uint64_t replays_served() const noexcept {
+    return replays_;
+  }
+
+  void on_message(const net::Message& msg) override;
+
+ private:
+  void reply(const net::Address& to, std::uint64_t req_id, Status status,
+             const std::string& body);
+
+  net::Network& net_;
+  net::Address self_;
+  std::map<std::string, MethodFn> methods_;
+  std::map<std::string, AsyncMethodFn> async_methods_;
+  sim::Duration processing_ = 0;
+  // Replay cache: (client address, request id) -> encoded reply.  Grants
+  // at-most-once execution under client retries.
+  std::map<std::pair<net::Address, std::uint64_t>, std::string> replay_;
+  // Async requests currently executing (retries are absorbed).
+  std::set<std::pair<net::Address, std::uint64_t>> in_progress_;
+  std::uint64_t handled_ = 0;
+  std::uint64_t replays_ = 0;
+};
+
+/// Client side: issues calls and dispatches completions.
+class RpcClient : public net::Endpoint {
+ public:
+  using Callback = std::function<void(const RpcResult&)>;
+
+  RpcClient(net::Network& net, net::Address self);
+  ~RpcClient() override;
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Invokes @p method on @p server.  @p done fires exactly once, either
+  /// with the reply or with kTimeout after all retries lapse.
+  void call(const net::Address& server, const std::string& method,
+            const std::string& request, Callback done,
+            CallOptions opts = {});
+
+  [[nodiscard]] net::Address address() const noexcept { return self_; }
+  [[nodiscard]] sim::Simulator& simulator() noexcept {
+    return net_.simulator();
+  }
+  [[nodiscard]] const util::Summary& rtt_summary() const noexcept {
+    return rtts_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+  void on_message(const net::Message& msg) override;
+
+ private:
+  struct Outstanding {
+    net::Address server;
+    std::string wire;  ///< encoded request for retransmission
+    Callback done;
+    CallOptions opts;
+    sim::TimePoint issued_at = 0;
+    int attempt = 0;
+    sim::Duration current_timeout = 0;
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+
+  void transmit(std::uint64_t req_id);
+  void arm_timeout(std::uint64_t req_id);
+  void complete(std::uint64_t req_id, const RpcResult& result);
+
+  net::Network& net_;
+  net::Address self_;
+  std::map<std::uint64_t, Outstanding> outstanding_;
+  std::uint64_t next_req_id_ = 1;
+  util::Summary rtts_;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace coop::rpc

@@ -1,0 +1,114 @@
+// Deterministic random-number generation for reproducible experiments.
+//
+// Every stochastic choice in coop (network jitter, message loss, workload
+// think times) draws from a seeded Rng owned by the Simulator.  Re-running
+// an experiment with the same seed replays the identical event sequence,
+// which is what makes the benchmark harness comparable across machines.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace coop::sim {
+
+/// xoshiro256** PRNG with SplitMix64 seeding.  Small, fast, and fully
+/// deterministic across platforms (unlike std::normal_distribution, whose
+/// algorithm is implementation-defined); coop implements its own variate
+/// transforms below so results are bit-stable everywhere.
+class Rng {
+ public:
+  /// Seeds the generator.  Identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    if (hi <= lo) return lo;
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Bernoulli trial: true with probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Exponential variate with the given mean (inter-arrival times).
+  double exponential(double mean) noexcept {
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  /// Normal variate via Box–Muller (deterministic, platform-stable).
+  double normal(double mean, double stddev) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u = 0.0;
+    while (u == 0.0) u = uniform();
+    const double v = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u));
+    const double theta = 2.0 * 3.14159265358979323846 * v;
+    spare_ = r * std::sin(theta);
+    has_spare_ = true;
+    return mean + stddev * r * std::cos(theta);
+  }
+
+  /// Zipf-like variate over {0..n-1} with skew s (hotspot access patterns).
+  /// Uses inverse-power sampling by rejection-free approximation.
+  std::size_t zipf(std::size_t n, double s) noexcept {
+    if (n <= 1) return 0;
+    // Approximate inverse CDF for the Zipf distribution; adequate for
+    // workload hotspot modelling (we need skew, not exactness).
+    const double u = uniform();
+    const double x =
+        std::pow(static_cast<double>(n), 1.0 - s) * u + (1.0 - u);
+    const double rank = std::pow(x, 1.0 / (1.0 - s));
+    auto idx = static_cast<std::size_t>(rank) - 1;
+    return idx < n ? idx : n - 1;
+  }
+
+  /// Derives an independent child generator (per-node streams).
+  Rng fork() noexcept { return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace coop::sim

@@ -1,0 +1,85 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace coop::sim {
+
+EventId Simulator::schedule_at(TimePoint when, EventFn fn) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = seq;  // seq doubles as the handle; unique per kernel
+  queue_.push(Entry{when, seq, id, std::make_shared<EventFn>(std::move(fn))});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_seq_) return false;
+  // Lazy deletion: mark and skip when popped.  A second cancel of the same
+  // id (or of an already-fired event) reports failure.
+  return cancelled_.insert(id).second && true;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = top.when;
+    ++processed_;
+    (*top.fn)();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(TimePoint t) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.count(top.id) != 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > t) break;
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+void PeriodicTimer::start(Duration initial_delay) {
+  stop();
+  running_ = true;
+  arm(initial_delay >= 0 ? initial_delay : period_);
+}
+
+void PeriodicTimer::stop() {
+  if (pending_ != kInvalidEvent) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+  running_ = false;
+}
+
+void PeriodicTimer::arm(Duration delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    pending_ = kInvalidEvent;
+    if (!running_) return;
+    on_tick_();
+    if (running_) arm(period_);  // on_tick_ may have stopped the timer
+  });
+}
+
+}  // namespace coop::sim

@@ -1,0 +1,154 @@
+// Discrete-event simulation kernel.
+//
+// The Simulator is the substrate on which every coop experiment runs: all
+// "distributed" activity (message transit, timers, user think time, media
+// frame clocks) is expressed as events on one virtual timeline.  The kernel
+// is single-threaded and deterministic — two runs with the same seed process
+// the same events in the same order — which is what lets the benchmark
+// harness reproduce the paper's qualitative claims exactly.
+//
+// Ties are broken by insertion order (a FIFO among same-timestamp events) so
+// that determinism never depends on container iteration order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace coop::sim {
+
+/// Handle for a scheduled event; used to cancel timers.
+using EventId = std::uint64_t;
+
+/// Sentinel returned when no event was scheduled.
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// The event-driven virtual-time kernel.
+///
+/// Typical use:
+/// @code
+///   Simulator sim{/*seed=*/7};
+///   sim.schedule_after(msec(10), [&] { ... });
+///   sim.run();
+/// @endcode
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 42) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Schedules @p fn to run at absolute virtual time @p when (clamped to
+  /// now() if in the past).  Returns a handle usable with cancel().
+  EventId schedule_at(TimePoint when, EventFn fn);
+
+  /// Schedules @p fn to run @p delay after the current time.
+  EventId schedule_after(Duration delay, EventFn fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancels a pending event.  Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Executes the single earliest pending event.  Returns false if the
+  /// queue is empty.
+  bool step();
+
+  /// Runs until no events remain.  Returns the number of events processed.
+  /// @p max_events guards against runaway feedback loops in experiments.
+  std::size_t run(std::size_t max_events = kNoEventLimit);
+
+  /// Runs all events with timestamp <= @p t, then advances the clock to
+  /// exactly @p t.  Returns the number of events processed.
+  std::size_t run_until(TimePoint t);
+
+  /// Runs the simulation forward by @p d.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// The kernel's deterministic random stream.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Total events executed so far (for experiment accounting).
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+  static constexpr std::size_t kNoEventLimit = ~static_cast<std::size_t>(0);
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // insertion order; breaks timestamp ties FIFO
+    EventId id;
+    // `fn` lives outside the priority queue ordering; shared_ptr keeps the
+    // queue's copies cheap if the structure is ever rearranged.
+    std::shared_ptr<EventFn> fn;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<EventId> cancelled_;
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  Rng rng_;
+};
+
+/// A repeating timer bound to a Simulator.  Used for heartbeats, media frame
+/// clocks and monitoring windows.  RAII: destroying (or stop()ping) the
+/// timer cancels the pending tick.
+class PeriodicTimer {
+ public:
+  /// Creates a stopped timer.  Call start().
+  PeriodicTimer(Simulator& sim, Duration period, EventFn on_tick)
+      : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {}
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Begins ticking; first tick fires one period from now (or after
+  /// @p initial_delay if given).
+  void start(Duration initial_delay = -1);
+
+  /// Stops ticking; pending tick is cancelled.
+  void stop();
+
+  /// Changes the period; takes effect from the next tick.
+  void set_period(Duration period) noexcept { period_ = period; }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] Duration period() const noexcept { return period_; }
+
+ private:
+  void arm(Duration delay);
+
+  Simulator& sim_;
+  Duration period_;
+  EventFn on_tick_;
+  EventId pending_ = kInvalidEvent;
+  bool running_ = false;
+};
+
+}  // namespace coop::sim

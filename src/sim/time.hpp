@@ -1,0 +1,42 @@
+// Simulated-time primitives for the coop discrete-event kernel.
+//
+// All of coop models time as a signed 64-bit count of microseconds since the
+// start of the simulation.  A plain integer (rather than std::chrono) keeps
+// the arithmetic in experiment code trivial and makes serialized timestamps
+// portable; helper constructors below give readable literals at call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace coop::sim {
+
+/// A point in simulated time, microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+/// A span of simulated time in microseconds.  May be negative in
+/// intermediate arithmetic (e.g. lateness = deadline - now).
+using Duration = std::int64_t;
+
+/// Duration of @p us microseconds.
+constexpr Duration usec(std::int64_t us) noexcept { return us; }
+
+/// Duration of @p ms milliseconds.
+constexpr Duration msec(std::int64_t ms) noexcept { return ms * 1000; }
+
+/// Duration of @p s seconds.
+constexpr Duration sec(std::int64_t s) noexcept { return s * 1'000'000; }
+
+/// Duration of @p m minutes.
+constexpr Duration minutes(std::int64_t m) noexcept { return m * 60'000'000; }
+
+/// Convert a duration to (fractional) milliseconds, for reporting.
+constexpr double to_ms(Duration d) noexcept {
+  return static_cast<double>(d) / 1000.0;
+}
+
+/// Convert a duration to (fractional) seconds, for reporting.
+constexpr double to_sec(Duration d) noexcept {
+  return static_cast<double>(d) / 1'000'000.0;
+}
+
+}  // namespace coop::sim

@@ -1,0 +1,99 @@
+// Quality-of-service vocabulary for continuous media (§4.2.2-ii).
+//
+// A QosSpec is the contract a stream binding is created with: the
+// throughput, latency and jitter the application needs, plus the floor it
+// can degrade to (scalable media).  A QosReport is what the monitor
+// measures per window; compare() classifies the window against the
+// contract so management can react.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/time.hpp"
+
+namespace coop::streams {
+
+/// The application's requested service level.
+struct QosSpec {
+  double fps = 25.0;                       ///< frames per second
+  std::size_t frame_bytes = 4096;          ///< nominal frame size
+  sim::Duration latency_bound = sim::msec(150);
+  sim::Duration jitter_bound = sim::msec(30);
+  /// Scalable-media floor: re-negotiation may reduce fps to this, never
+  /// below (below it the medium's integrity is destroyed — §4.2.2-i).
+  double min_fps = 5.0;
+
+  /// Offered load in bits per second.
+  [[nodiscard]] double bandwidth_bps() const {
+    return fps * static_cast<double>(frame_bytes) * 8.0;
+  }
+};
+
+/// One monitoring window's achieved service.
+struct QosReport {
+  double achieved_fps = 0;
+  double mean_latency_us = 0;
+  double p95_latency_us = 0;
+  double jitter_us = 0;        ///< mean successive inter-arrival deviation
+  std::uint64_t frames = 0;
+  std::uint64_t late_frames = 0;   ///< latency over bound
+  std::uint64_t lost_frames = 0;   ///< sequence gaps observed
+};
+
+/// Verdict of a window against the contract.
+enum class QosVerdict : std::uint8_t {
+  kHealthy,          ///< all bounds met
+  kDegraded,         ///< a bound is violated but stream is alive
+  kUnacceptable,     ///< below min_fps: integrity of the medium is gone
+};
+
+/// Classifies a window.  @p tolerance loosens the fps test slightly so
+/// boundary jitter does not flap the verdict.
+[[nodiscard]] inline QosVerdict compare(const QosSpec& spec,
+                                        const QosReport& report,
+                                        double tolerance = 0.85) {
+  if (report.achieved_fps < spec.min_fps * tolerance)
+    return QosVerdict::kUnacceptable;
+  if (report.achieved_fps < spec.fps * tolerance)
+    return QosVerdict::kDegraded;
+  if (report.mean_latency_us >
+      static_cast<double>(spec.latency_bound))
+    return QosVerdict::kDegraded;
+  if (report.jitter_us > static_cast<double>(spec.jitter_bound))
+    return QosVerdict::kDegraded;
+  return QosVerdict::kHealthy;
+}
+
+/// ODP interface compatibility checking (§4.2.2: "further research is
+/// needed to identify approaches for the expression of quality of
+/// service properties and compatibility checking between these
+/// properties").  An offered stream interface satisfies a required one
+/// iff it can deliver at least the required rate within the required
+/// latency/jitter bounds.
+[[nodiscard]] inline bool compatible(const QosSpec& offered,
+                                     const QosSpec& required) {
+  return offered.fps >= required.fps &&
+         offered.latency_bound <= required.latency_bound &&
+         offered.jitter_bound <= required.jitter_bound;
+}
+
+/// Contract negotiation between an offer and a requirement: the working
+/// point both sides can live with, or nullopt when none exists.  The
+/// rate is the lower of the two (the sink cannot consume more than it
+/// asked for, the source cannot produce more than it offered) and must
+/// clear the requirement's integrity floor; bounds take the tighter
+/// requirement.
+[[nodiscard]] inline std::optional<QosSpec> negotiate(
+    const QosSpec& offered, const QosSpec& required) {
+  if (offered.latency_bound > required.latency_bound) return std::nullopt;
+  if (offered.jitter_bound > required.jitter_bound) return std::nullopt;
+  const double fps = offered.fps < required.fps ? offered.fps : required.fps;
+  if (fps < required.min_fps) return std::nullopt;
+  QosSpec agreed = required;
+  agreed.fps = fps;
+  agreed.frame_bytes = offered.frame_bytes;
+  return agreed;
+}
+
+}  // namespace coop::streams

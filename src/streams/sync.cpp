@@ -1,0 +1,54 @@
+#include "streams/sync.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace coop::streams {
+
+EventSync::EventSync(sim::Simulator& sim, MediaSink& sink,
+                     sim::Duration poll)
+    : sim_(sim), sink_(sink), timer_(sim, poll, [this] { this->poll(); }) {
+  timer_.start();
+}
+
+EventSync::~EventSync() { timer_.stop(); }
+
+void EventSync::at(std::int64_t media_time, CueFn fn) {
+  cues_.emplace(media_time, std::move(fn));
+}
+
+void EventSync::poll() {
+  const std::int64_t pos = sink_.playout_position();
+  if (pos < 0) return;
+  while (!cues_.empty() && cues_.begin()->first <= pos) {
+    auto node = cues_.extract(cues_.begin());
+    errors_.add(static_cast<double>(pos - node.key()));
+    node.mapped()(pos);
+  }
+}
+
+ContinuousSync::ContinuousSync(sim::Simulator& sim, MediaSink& master,
+                               MediaSink& slave, Config config)
+    : sim_(sim),
+      master_(master),
+      slave_(slave),
+      config_(config),
+      timer_(sim, config.check_period, [this] { check(); }) {}
+
+ContinuousSync::~ContinuousSync() { timer_.stop(); }
+
+void ContinuousSync::check() {
+  const std::int64_t m = master_.playout_position();
+  const std::int64_t s = slave_.playout_position();
+  if (m < 0 || s < 0) return;  // one stream has not started playing out
+  const std::int64_t skew = m - s;
+  skew_.add(static_cast<double>(skew));
+  if (std::llabs(skew) > config_.skew_bound) {
+    ++corrections_;
+    const auto step = static_cast<sim::Duration>(
+        static_cast<double>(skew) * config_.correction_gain);
+    slave_.skew_adjust(step);
+  }
+}
+
+}  // namespace coop::streams

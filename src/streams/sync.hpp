@@ -1,0 +1,106 @@
+// Real-time synchronization for multimedia (§4.2.2-iii): "two styles of
+// real-time synchronisation can be identified: firstly, event driven
+// synchronisation where it is necessary to initiate an action (such as
+// displaying a caption) at a particular point in time and, secondly,
+// continuous synchronisation, where data presentation devices must be tied
+// together so that they consume data in fixed ratios (e.g. in lip
+// synchronisation)."
+//
+//   EventSync      — cue points on a sink's media timeline: fire callbacks
+//                    when playout crosses a given stream time (captions,
+//                    slide changes, camera cuts).
+//   ContinuousSync — lip-sync regulator: periodically measures the skew
+//                    between a master sink (audio) and a slave sink
+//                    (video) and slides the slave's playout clock to keep
+//                    |skew| under the bound.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "streams/stream.hpp"
+#include "util/stats.hpp"
+
+namespace coop::streams {
+
+/// Cue-point scheduler over one sink's media time.
+class EventSync {
+ public:
+  using CueFn = std::function<void(std::int64_t media_time)>;
+
+  /// @p poll controls firing precision: cues fire on the first poll tick
+  /// at or after their media time.
+  EventSync(sim::Simulator& sim, MediaSink& sink,
+            sim::Duration poll = sim::msec(10));
+  ~EventSync();
+
+  EventSync(const EventSync&) = delete;
+  EventSync& operator=(const EventSync&) = delete;
+
+  /// Registers a cue at @p media_time (µs of stream time).
+  void at(std::int64_t media_time, CueFn fn);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return cues_.size(); }
+  /// Firing error distribution (scheduled vs actual media time, µs).
+  [[nodiscard]] const util::Summary& firing_error() const noexcept {
+    return errors_;
+  }
+
+ private:
+  void poll();
+
+  sim::Simulator& sim_;
+  MediaSink& sink_;
+  std::multimap<std::int64_t, CueFn> cues_;
+  util::Summary errors_;
+  sim::PeriodicTimer timer_;
+};
+
+/// ContinuousSync tuning.
+struct ContinuousSyncConfig {
+  sim::Duration check_period = sim::msec(100);
+  /// Skew beyond this triggers correction (humans notice ~80ms A/V
+  /// offset; the classic lip-sync bound).
+  sim::Duration skew_bound = sim::msec(80);
+  /// Fraction of the measured skew corrected per check (damping).
+  double correction_gain = 0.5;
+};
+
+/// Master/slave playout-clock regulator (lip sync).
+class ContinuousSync {
+ public:
+  using Config = ContinuousSyncConfig;
+
+  ContinuousSync(sim::Simulator& sim, MediaSink& master, MediaSink& slave,
+                 Config config = {});
+  ~ContinuousSync();
+
+  ContinuousSync(const ContinuousSync&) = delete;
+  ContinuousSync& operator=(const ContinuousSync&) = delete;
+
+  void start() { timer_.start(); }
+  void stop() { timer_.stop(); }
+
+  /// Skew samples (master - slave playout position, µs) measured at each
+  /// check — the lip-sync quality metric of experiment E7.
+  [[nodiscard]] const util::Summary& skew() const noexcept { return skew_; }
+  [[nodiscard]] std::uint64_t corrections() const noexcept {
+    return corrections_;
+  }
+
+ private:
+  void check();
+
+  sim::Simulator& sim_;
+  MediaSink& master_;
+  MediaSink& slave_;
+  Config config_;
+  util::Summary skew_;
+  std::uint64_t corrections_ = 0;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace coop::streams

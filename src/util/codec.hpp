@@ -1,0 +1,153 @@
+// Compact binary serialization for simulated wire messages.
+//
+// Every payload that crosses the simulated network is encoded with Writer
+// and decoded with Reader.  The format is little-endian, length-prefixed,
+// with varint-free fixed-width integers — simplicity and debuggability over
+// byte count, since "bandwidth" in the simulator is an accounting number.
+//
+// Reader reports malformed input via a sticky error flag rather than
+// exceptions, so protocol code can bail out with a single check after
+// decoding a struct (the common pattern in the rpc/groups modules).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace coop::util {
+
+/// Serializes primitive values into a byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Appends a fixed-width integral or floating value.
+  template <typename T>
+    requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
+  Writer& put(T value) {
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+    return *this;
+  }
+
+  /// Appends a length-prefixed string.
+  Writer& put_string(std::string_view s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+    return *this;
+  }
+
+  /// Appends a length-prefixed blob.
+  Writer& put_bytes(const std::vector<std::uint8_t>& b) {
+    put(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+    return *this;
+  }
+
+  /// Appends each element of a vector of arithmetic values.
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  Writer& put_vector(const std::vector<T>& v) {
+    put(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) put(x);
+    return *this;
+  }
+
+  /// Finishes encoding; the Writer may not be reused afterwards.
+  [[nodiscard]] std::string take() {
+    return std::string(buf_.begin(), buf_.end());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Deserializes values written by Writer, in the same order.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  /// A Reader only views its input; constructing one from a temporary
+  /// string would dangle immediately, so that overload is forbidden.
+  explicit Reader(std::string&&) = delete;
+
+  /// Reads a fixed-width value; on underrun sets the error flag and
+  /// returns a zero value.  Once failed, every further read yields zero.
+  template <typename T>
+    requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
+  T get() {
+    T value{};
+    if (failed_ || pos_ + sizeof(T) > data_.size()) {
+      failed_ = true;
+      return value;
+    }
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// Reads a length-prefixed string.
+  std::string get_string() {
+    const auto len = get<std::uint32_t>();
+    if (failed_ || pos_ + len > data_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  /// Reads a length-prefixed blob.
+  std::vector<std::uint8_t> get_bytes() {
+    const auto len = get<std::uint32_t>();
+    if (failed_ || pos_ + len > data_.size()) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<std::uint8_t> b(data_.begin() + static_cast<long>(pos_),
+                                data_.begin() + static_cast<long>(pos_ + len));
+    pos_ += len;
+    return b;
+  }
+
+  /// Reads a vector of arithmetic values written by put_vector.
+  template <typename T>
+    requires(std::is_arithmetic_v<T>)
+  std::vector<T> get_vector() {
+    const auto len = get<std::uint32_t>();
+    std::vector<T> v;
+    if (failed_ || pos_ + static_cast<std::size_t>(len) * sizeof(T) >
+                       data_.size()) {
+      failed_ = true;
+      return v;
+    }
+    v.reserve(len);
+    for (std::uint32_t i = 0; i < len; ++i) v.push_back(get<T>());
+    return v;
+  }
+
+  /// True if any read overran the buffer; once set, stays set.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  /// True if the whole buffer was consumed without error.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return !failed_ && pos_ == data_.size();
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return failed_ ? 0 : data_.size() - pos_;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace coop::util

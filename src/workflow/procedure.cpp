@@ -1,0 +1,128 @@
+#include "workflow/procedure.hpp"
+
+#include <utility>
+
+namespace coop::workflow {
+
+bool ProcedureDef::add_step(StepDef step) {
+  const std::string name = step.name;
+  return steps_.emplace(name, std::move(step)).second;
+}
+
+bool ProcedureDef::validate() const {
+  if (start_.empty()) return false;
+  for (const std::string& s : start_) {
+    if (steps_.find(s) == steps_.end()) return false;
+  }
+  for (const auto& [name, step] : steps_) {
+    for (const std::string& n : step.next) {
+      if (steps_.find(n) == steps_.end()) return false;
+    }
+  }
+  // Cycle check: Kahn's algorithm over the whole graph.
+  std::map<std::string, std::size_t> indeg;
+  for (const auto& [name, step] : steps_) indeg.try_emplace(name, 0);
+  for (const auto& [name, step] : steps_) {
+    for (const std::string& n : step.next) ++indeg[n];
+  }
+  std::vector<std::string> queue;
+  for (const auto& [name, d] : indeg) {
+    if (d == 0) queue.push_back(name);
+  }
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const std::string cur = std::move(queue.back());
+    queue.pop_back();
+    ++visited;
+    for (const std::string& n : steps_.at(cur).next) {
+      if (--indeg[n] == 0) queue.push_back(n);
+    }
+  }
+  return visited == steps_.size();
+}
+
+std::map<std::string, std::size_t> ProcedureDef::fan_in() const {
+  std::map<std::string, std::size_t> in;
+  for (const auto& [name, step] : steps_) in.try_emplace(name, 0);
+  for (const auto& [name, step] : steps_) {
+    for (const std::string& n : step.next) ++in[n];
+  }
+  return in;
+}
+
+ProcedureInstance::ProcedureInstance(const ProcedureDef& def,
+                                     std::uint64_t id,
+                                     sim::TimePoint started)
+    : def_(def), id_(id), started_(started) {
+  remaining_preds_ = def.fan_in();
+  for (const std::string& s : def.start()) active_.insert(s);
+}
+
+std::vector<std::string> ProcedureInstance::active() const {
+  return {active_.begin(), active_.end()};
+}
+
+bool ProcedureInstance::complete(
+    const std::string& step, ClientId actor,
+    const std::function<bool(ClientId, const std::string&)>& holds_role,
+    sim::TimePoint now) {
+  if (active_.count(step) == 0) return false;
+  const StepDef& def = def_.steps().at(step);
+  if (!holds_role(actor, def.role)) return false;
+  active_.erase(step);
+  completed_.insert(step);
+  audit_.push_back({step, actor, now});
+  for (const std::string& n : def.next) {
+    auto it = remaining_preds_.find(n);
+    if (it == remaining_preds_.end()) continue;
+    if (it->second > 0) --it->second;
+    // Activate once every predecessor has completed (join), and only if
+    // not already done (diamond topologies reconverge).
+    if (it->second == 0 && completed_.count(n) == 0) active_.insert(n);
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> ProcedureEngine::start(const ProcedureDef& def) {
+  if (!def.validate()) return std::nullopt;
+  const std::uint64_t id = next_id_++;
+  instances_.emplace(id, ProcedureInstance(def, id, sim_.now()));
+  if (on_activate_) {
+    for (const std::string& s : instances_.at(id).active())
+      on_activate_(id, s);
+  }
+  return id;
+}
+
+bool ProcedureEngine::complete(std::uint64_t instance,
+                               const std::string& step, ClientId actor) {
+  auto it = instances_.find(instance);
+  if (it == instances_.end()) return false;
+  const auto before = it->second.active();
+  const bool ok = it->second.complete(
+      step, actor,
+      [this](ClientId who, const std::string& role) {
+        auto rit = roles_.find(who);
+        return rit != roles_.end() && rit->second.count(role) != 0;
+      },
+      sim_.now());
+  if (!ok) return false;
+  if (on_activate_) {
+    const std::set<std::string> prev(before.begin(), before.end());
+    for (const std::string& s : it->second.active()) {
+      if (prev.count(s) == 0) on_activate_(instance, s);
+    }
+  }
+  if (it->second.finished()) {
+    ++finished_;
+    latency_.add(static_cast<double>(sim_.now() - it->second.started_at()));
+  }
+  return true;
+}
+
+const ProcedureInstance* ProcedureEngine::instance(std::uint64_t id) const {
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : &it->second;
+}
+
+}  // namespace coop::workflow

@@ -1,0 +1,159 @@
+// Office procedures — the Domino model from §3.2.1: cooperative work as
+// items flowing between activities, routed by an explicit procedure
+// definition rather than by conversation.
+//
+// A ProcedureDef is a DAG of steps, each assigned to a role; a
+// ProcedureInstance routes a work item through it.  Completing a step
+// activates its successors once *all* their predecessors are complete
+// (join semantics), so both sequences and parallel branches are
+// expressible.  The engine keeps an audit trail — the "public history"
+// accountability the paper's ATC study highlights.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"  // ClientId
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace coop::workflow {
+
+using ClientId = ccontrol::ClientId;
+
+/// A step in a procedure, performed by anyone holding the role.
+struct StepDef {
+  std::string name;
+  std::string role;                ///< who may complete it
+  std::vector<std::string> next;   ///< successor steps
+};
+
+/// The routing graph.
+class ProcedureDef {
+ public:
+  explicit ProcedureDef(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a step.  Returns false on duplicate name.
+  bool add_step(StepDef step);
+
+  /// Declares the entry step(s).
+  void set_start(std::vector<std::string> steps) {
+    start_ = std::move(steps);
+  }
+
+  /// Validates the graph: start steps exist, all successors exist, and
+  /// there is no cycle.
+  [[nodiscard]] bool validate() const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::map<std::string, StepDef>& steps() const {
+    return steps_;
+  }
+  [[nodiscard]] const std::vector<std::string>& start() const {
+    return start_;
+  }
+
+  /// Predecessor count of each step (join fan-in).
+  [[nodiscard]] std::map<std::string, std::size_t> fan_in() const;
+
+ private:
+  std::string name_;
+  std::map<std::string, StepDef> steps_;
+  std::vector<std::string> start_;
+};
+
+/// One work item moving through a procedure.
+class ProcedureInstance {
+ public:
+  ProcedureInstance(const ProcedureDef& def, std::uint64_t id,
+                    sim::TimePoint started);
+
+  /// Steps currently awaiting completion.
+  [[nodiscard]] std::vector<std::string> active() const;
+
+  /// Completes @p step if it is active and @p actor holds the step's
+  /// role (checked via the role lookup the engine provides).  Activates
+  /// successors whose predecessors are now all complete.
+  bool complete(const std::string& step, ClientId actor,
+                const std::function<bool(ClientId, const std::string&)>&
+                    holds_role,
+                sim::TimePoint now);
+
+  [[nodiscard]] bool finished() const noexcept { return active_.empty(); }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] sim::TimePoint started_at() const noexcept {
+    return started_;
+  }
+
+  struct AuditEntry {
+    std::string step;
+    ClientId actor;
+    sim::TimePoint at;
+  };
+  [[nodiscard]] const std::vector<AuditEntry>& audit() const noexcept {
+    return audit_;
+  }
+
+ private:
+  const ProcedureDef& def_;
+  std::uint64_t id_;
+  sim::TimePoint started_;
+  std::set<std::string> active_;
+  std::set<std::string> completed_;
+  std::map<std::string, std::size_t> remaining_preds_;
+  std::vector<AuditEntry> audit_;
+};
+
+/// Runs instances, owns role assignments, gathers statistics.
+class ProcedureEngine {
+ public:
+  explicit ProcedureEngine(sim::Simulator& sim) : sim_(sim) {}
+
+  ProcedureEngine(const ProcedureEngine&) = delete;
+  ProcedureEngine& operator=(const ProcedureEngine&) = delete;
+
+  void assign_role(ClientId who, const std::string& role) {
+    roles_[who].insert(role);
+  }
+
+  /// Starts an instance of @p def (must validate()).  Returns its id, or
+  /// nullopt if the definition is invalid.
+  std::optional<std::uint64_t> start(const ProcedureDef& def);
+
+  /// Completes a step of an instance.  False if the instance is unknown,
+  /// the step inactive, or the actor lacks the role.
+  bool complete(std::uint64_t instance, const std::string& step,
+                ClientId actor);
+
+  [[nodiscard]] const ProcedureInstance* instance(std::uint64_t id) const;
+
+  /// Fired when steps become active (the participants' work lists).
+  void on_activate(
+      std::function<void(std::uint64_t instance, const std::string& step)>
+          fn) {
+    on_activate_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::uint64_t finished_count() const noexcept {
+    return finished_;
+  }
+  [[nodiscard]] const util::Summary& completion_latency() const noexcept {
+    return latency_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  std::map<ClientId, std::set<std::string>> roles_;
+  std::map<std::uint64_t, ProcedureInstance> instances_;
+  std::uint64_t next_id_ = 1;
+  std::function<void(std::uint64_t, const std::string&)> on_activate_;
+  std::uint64_t finished_ = 0;
+  util::Summary latency_;
+};
+
+}  // namespace coop::workflow

@@ -1,0 +1,110 @@
+#include "workflow/speech_acts.hpp"
+
+#include <utility>
+
+namespace coop::workflow {
+
+ConversationId ConversationManager::begin(ClientId customer,
+                                          ClientId performer,
+                                          std::string description) {
+  const ConversationId id = next_id_++;
+  Conversation c;
+  c.customer = customer;
+  c.performer = performer;
+  c.description = std::move(description);
+  c.began = sim_.now();
+  c.history.push_back({Act::kRequest, customer, sim_.now()});
+  conversations_[id] = std::move(c);
+  if (on_transition_)
+    on_transition_(id, ConvState::kRequested,
+                   conversations_[id].history.back());
+  return id;
+}
+
+bool ConversationManager::act(ConversationId id, Act a, ClientId actor) {
+  auto it = conversations_.find(id);
+  if (it == conversations_.end()) return false;
+  Conversation& c = it->second;
+  if (terminal(c.state)) {
+    ++rejected_acts_;
+    return false;
+  }
+
+  const bool is_customer = actor == c.customer;
+  const bool is_performer = actor == c.performer;
+  std::optional<ConvState> next;
+
+  switch (a) {
+    case Act::kRequest:
+      break;  // only valid implicitly via begin()
+    case Act::kPromise:
+      if (is_performer && (c.state == ConvState::kRequested))
+        next = ConvState::kPromised;
+      break;
+    case Act::kCounter:
+      if (is_performer && c.state == ConvState::kRequested)
+        next = ConvState::kCountered;
+      break;
+    case Act::kAgree:
+      if (is_customer && c.state == ConvState::kCountered)
+        next = ConvState::kPromised;
+      break;
+    case Act::kDecline:
+      if (is_performer && (c.state == ConvState::kRequested ||
+                           c.state == ConvState::kCountered))
+        next = ConvState::kDeclined;
+      break;
+    case Act::kReport:
+      if (is_performer && c.state == ConvState::kPromised)
+        next = ConvState::kReported;
+      break;
+    case Act::kAccept:
+      if (is_customer && c.state == ConvState::kReported)
+        next = ConvState::kAccepted;
+      break;
+    case Act::kReject:
+      if (is_customer && c.state == ConvState::kReported)
+        next = ConvState::kPromised;  // back to performance
+      break;
+    case Act::kCancel:
+      if (is_customer || is_performer) next = ConvState::kCancelled;
+      break;
+  }
+
+  if (!next) {
+    ++rejected_acts_;
+    return false;
+  }
+  c.state = *next;
+  c.history.push_back({a, actor, sim_.now()});
+  if (c.state == ConvState::kAccepted) {
+    ++completed_;
+    completion_latency_.add(static_cast<double>(sim_.now() - c.began));
+  }
+  if (on_transition_) on_transition_(id, c.state, c.history.back());
+  return true;
+}
+
+std::optional<ConvState> ConversationManager::state(
+    ConversationId id) const {
+  auto it = conversations_.find(id);
+  if (it == conversations_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+std::vector<ActRecord> ConversationManager::history(
+    ConversationId id) const {
+  auto it = conversations_.find(id);
+  return it == conversations_.end() ? std::vector<ActRecord>{}
+                                    : it->second.history;
+}
+
+std::size_t ConversationManager::open_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : conversations_) {
+    if (!terminal(c.state)) ++n;
+  }
+  return n;
+}
+
+}  // namespace coop::workflow

@@ -1,0 +1,130 @@
+// Speech-act conversations — the Coordinator / Action-Workflow model the
+// paper surveys in §3.2.1 (and critiques in §4.1 for its prescriptiveness;
+// experiment E10 measures exactly the rigidity-vs-structure trade).
+//
+// A conversation for action runs the classic loop between a customer and
+// a performer:
+//
+//   proposal:     customer REQUESTs
+//   agreement:    performer PROMISEs (or COUNTERs terms, or DECLINEs)
+//   performance:  performer works, then REPORTs completion
+//   satisfaction: customer ACCEPTs (closing the loop) or REJECTs
+//                 (sending the performer back to performance)
+//
+// Either party may CANCEL while the loop is open.  The state machine
+// validates both the transition and the actor — a performer cannot accept
+// their own work, which is precisely the "explicit and textual" structure
+// Co-ordinator imposed on communication.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"  // ClientId
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace coop::workflow {
+
+using ClientId = ccontrol::ClientId;
+using ConversationId = std::uint64_t;
+
+/// Phases of the action workflow loop.
+enum class ConvState : std::uint8_t {
+  kRequested,   ///< proposal made, awaiting agreement
+  kPromised,    ///< performer committed; performance under way
+  kCountered,   ///< performer proposed new terms; customer must respond
+  kReported,    ///< performer declared completion; awaiting satisfaction
+  kAccepted,    ///< loop closed successfully (terminal)
+  kDeclined,    ///< performer refused (terminal)
+  kCancelled,   ///< withdrawn by either party (terminal)
+};
+
+/// Speech acts that drive transitions.
+enum class Act : std::uint8_t {
+  kRequest,  ///< customer opens the loop (implicit in begin())
+  kPromise,  ///< performer agrees (from kRequested or kCountered)
+  kCounter,  ///< performer proposes altered terms
+  kAgree,    ///< customer accepts the counter (back to promised)
+  kDecline,  ///< performer refuses
+  kReport,   ///< performer declares completion
+  kAccept,   ///< customer declares satisfaction
+  kReject,   ///< customer is unsatisfied; performer must redo
+  kCancel,   ///< either party withdraws
+};
+
+/// One recorded act.
+struct ActRecord {
+  Act act;
+  ClientId actor;
+  sim::TimePoint at;
+};
+
+/// The conversation-for-action engine.
+class ConversationManager {
+ public:
+  explicit ConversationManager(sim::Simulator& sim) : sim_(sim) {}
+
+  ConversationManager(const ConversationManager&) = delete;
+  ConversationManager& operator=(const ConversationManager&) = delete;
+
+  /// Customer opens a loop with a performer.  Returns the id.
+  ConversationId begin(ClientId customer, ClientId performer,
+                       std::string description);
+
+  /// Applies @p act by @p actor.  Returns false (and changes nothing) if
+  /// the transition is invalid in the current state or the actor is the
+  /// wrong party — the prescriptive structure the paper discusses.
+  bool act(ConversationId id, Act a, ClientId actor);
+
+  [[nodiscard]] std::optional<ConvState> state(ConversationId id) const;
+  [[nodiscard]] std::vector<ActRecord> history(ConversationId id) const;
+
+  /// Fired on every successful transition.
+  void on_transition(
+      std::function<void(ConversationId, ConvState, const ActRecord&)> fn) {
+    on_transition_ = std::move(fn);
+  }
+
+  [[nodiscard]] std::size_t open_count() const;
+  [[nodiscard]] std::uint64_t completed() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] std::uint64_t rejected_acts() const noexcept {
+    return rejected_acts_;
+  }
+  /// begin -> kAccepted latency of completed loops (virtual µs).
+  [[nodiscard]] const util::Summary& completion_latency() const noexcept {
+    return completion_latency_;
+  }
+
+ private:
+  struct Conversation {
+    ClientId customer;
+    ClientId performer;
+    std::string description;
+    ConvState state = ConvState::kRequested;
+    sim::TimePoint began;
+    std::vector<ActRecord> history;
+  };
+
+  [[nodiscard]] static bool terminal(ConvState s) {
+    return s == ConvState::kAccepted || s == ConvState::kDeclined ||
+           s == ConvState::kCancelled;
+  }
+
+  sim::Simulator& sim_;
+  std::map<ConversationId, Conversation> conversations_;
+  ConversationId next_id_ = 1;
+  std::function<void(ConversationId, ConvState, const ActRecord&)>
+      on_transition_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_acts_ = 0;
+  util::Summary completion_latency_;
+};
+
+}  // namespace coop::workflow

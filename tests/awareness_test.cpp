@@ -1,0 +1,239 @@
+// Tests for the spatial model (focus/nimbus) and the awareness engine
+// (weighted immediate/digest/suppressed delivery).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "awareness/engine.hpp"
+#include "awareness/spatial.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::awareness {
+namespace {
+
+constexpr ClientId kAlice = 1;
+constexpr ClientId kBob = 2;
+constexpr ClientId kCarol = 3;
+
+TEST(Spatial, SelfAwarenessIsFull) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  EXPECT_DOUBLE_EQ(m.awareness(kAlice, kAlice), 1.0);
+}
+
+TEST(Spatial, UnknownParticipantsHaveZeroAwareness) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  EXPECT_DOUBLE_EQ(m.awareness(kAlice, kBob), 0.0);
+  EXPECT_DOUBLE_EQ(m.awareness(kBob, kAlice), 0.0);
+}
+
+TEST(Spatial, AwarenessFallsOffWithDistance) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.place(kBob, {2, 0});
+  m.place(kCarol, {8, 0});
+  m.set_focus(kAlice, 10);
+  m.set_nimbus(kBob, 10);
+  m.set_nimbus(kCarol, 10);
+  EXPECT_GT(m.awareness(kAlice, kBob), m.awareness(kAlice, kCarol));
+  EXPECT_GT(m.awareness(kAlice, kCarol), 0.0);
+}
+
+TEST(Spatial, OutOfRangeIsZero) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.place(kBob, {100, 0});
+  m.set_focus(kAlice, 10);
+  m.set_nimbus(kBob, 10);
+  EXPECT_DOUBLE_EQ(m.awareness(kAlice, kBob), 0.0);
+}
+
+TEST(Spatial, NimbusControlsHowObservableOneIs) {
+  // Bob projects widely, Carol keeps to herself: at the same distance,
+  // Alice is aware of Bob but not of Carol — the asymmetry the
+  // focus/nimbus model exists to express.
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.place(kBob, {5, 0});
+  m.place(kCarol, {-5, 0});
+  m.set_focus(kAlice, 20);
+  m.set_nimbus(kBob, 20);
+  m.set_nimbus(kCarol, 1);
+  EXPECT_GT(m.awareness(kAlice, kBob), 0.0);
+  EXPECT_DOUBLE_EQ(m.awareness(kAlice, kCarol), 0.0);
+}
+
+TEST(Spatial, AwarenessIsAsymmetric) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.place(kBob, {5, 0});
+  m.set_focus(kAlice, 100);  // Alice attends widely
+  m.set_focus(kBob, 1);      // Bob attends narrowly
+  m.set_nimbus(kAlice, 100);
+  m.set_nimbus(kBob, 100);
+  EXPECT_GT(m.awareness(kAlice, kBob), m.awareness(kBob, kAlice));
+}
+
+TEST(Spatial, LevelsQuantizeCorrectly) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.place(kBob, {1, 0});
+  m.set_focus(kAlice, 10);
+  m.set_nimbus(kBob, 10);
+  EXPECT_EQ(m.level(kAlice, kBob), AwarenessLevel::kFull);
+  m.place(kBob, {8, 0});
+  EXPECT_EQ(m.level(kAlice, kBob), AwarenessLevel::kPeripheral);
+  m.place(kBob, {50, 0});
+  EXPECT_EQ(m.level(kAlice, kBob), AwarenessLevel::kNone);
+}
+
+TEST(Spatial, RemoveErasesParticipant) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  m.remove(kAlice);
+  EXPECT_FALSE(m.position(kAlice).has_value());
+  EXPECT_EQ(m.participant_count(), 0u);
+}
+
+// ------------------------------------------------------------ engine
+
+struct Received {
+  ActivityEvent event;
+  double weight;
+  bool via_digest;
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine(sim, space, {.full_threshold = 0.4,
+                                     .digest_period = sim::sec(5),
+                                     .interest_decay = sim::sec(60)}) {
+    space.place(kAlice, {0, 0});
+    space.place(kBob, {1, 0});
+    space.place(kCarol, {9, 0});
+    for (ClientId c : {kAlice, kBob, kCarol}) {
+      space.set_focus(c, 10);
+      space.set_nimbus(c, 10);
+    }
+    for (ClientId c : {kAlice, kBob, kCarol}) {
+      engine.subscribe(c, [this, c](const ActivityEvent& e, double w,
+                                    bool digest) {
+        received[c].push_back({e, w, digest});
+      });
+    }
+  }
+
+  ActivityEvent edit(ClientId actor, const std::string& object) {
+    return {actor, object, "edit", sim.now()};
+  }
+
+  sim::Simulator sim;
+  SpatialModel space;
+  AwarenessEngine engine;
+  std::map<ClientId, std::vector<Received>> received;
+};
+
+TEST_F(EngineTest, NearbyObserverGetsImmediateDelivery) {
+  engine.publish(edit(kAlice, "doc/sec1"));
+  ASSERT_EQ(received[kBob].size(), 1u);  // close: immediate
+  EXPECT_FALSE(received[kBob][0].via_digest);
+  EXPECT_GE(received[kBob][0].weight, 0.4);
+  EXPECT_TRUE(received[kCarol].empty());  // far: waits for digest
+  EXPECT_EQ(engine.stats().immediate, 1u);
+}
+
+TEST_F(EngineTest, ActorDoesNotHearOwnActions) {
+  engine.publish(edit(kAlice, "doc"));
+  EXPECT_TRUE(received[kAlice].empty());
+}
+
+TEST_F(EngineTest, PeripheralObserverGetsDigest) {
+  engine.publish(edit(kAlice, "doc/sec1"));
+  EXPECT_TRUE(received[kCarol].empty());
+  sim.run_until(sim::sec(6));  // digest flush at 5s
+  ASSERT_EQ(received[kCarol].size(), 1u);
+  EXPECT_TRUE(received[kCarol][0].via_digest);
+  EXPECT_LT(received[kCarol][0].weight, 0.4);
+  EXPECT_EQ(engine.stats().digested, 1u);
+}
+
+TEST_F(EngineTest, DigestCoalescesPerObject) {
+  for (int i = 0; i < 10; ++i) engine.publish(edit(kAlice, "doc/sec1"));
+  engine.publish(edit(kAlice, "doc/sec2"));
+  sim.run_until(sim::sec(6));
+  // Carol sees one entry per object, not eleven events.
+  ASSERT_EQ(received[kCarol].size(), 2u);
+  EXPECT_EQ(engine.stats().coalesced, 9u);
+}
+
+TEST_F(EngineTest, OutOfRangeObserverIsSuppressed) {
+  space.place(kCarol, {1000, 1000});
+  engine.publish(edit(kAlice, "doc"));
+  sim.run_until(sim::sec(20));
+  EXPECT_TRUE(received[kCarol].empty());
+  EXPECT_GE(engine.stats().suppressed, 1u);
+}
+
+TEST_F(EngineTest, TemporalInterestOverridesDistance) {
+  // Carol is out of spatial range but recently edited the same section:
+  // the temporal metric must lift her weight to immediate delivery.
+  space.place(kCarol, {1000, 1000});
+  engine.mark_interest(kCarol, "doc/sec1");
+  engine.publish(edit(kAlice, "doc/sec1"));
+  ASSERT_EQ(received[kCarol].size(), 1u);
+  EXPECT_FALSE(received[kCarol][0].via_digest);
+  EXPECT_GE(received[kCarol][0].weight, 0.9);
+}
+
+TEST_F(EngineTest, InterestDecaysOverTime) {
+  space.place(kCarol, {1000, 1000});
+  engine.mark_interest(kCarol, "doc/sec1");
+  sim.run_until(sim::minutes(10));  // 10 tau: interest ~ e^-10
+  engine.publish(edit(kAlice, "doc/sec1"));
+  sim.run_until(sim::minutes(10) + sim::sec(6));
+  // Weight decayed below any delivery threshold worth acting on; event
+  // arrives (if at all) via digest with near-zero weight.
+  for (const Received& r : received[kCarol]) {
+    EXPECT_TRUE(r.via_digest);
+    EXPECT_LT(r.weight, 0.01);
+  }
+}
+
+TEST_F(EngineTest, PublishingRefreshesActorInterest) {
+  // Alice edits a section, then moves far away; Bob's later edit of the
+  // same section still reaches her thanks to her own recent activity.
+  engine.publish(edit(kAlice, "doc/sec1"));
+  space.place(kAlice, {500, 500});
+  engine.publish(edit(kBob, "doc/sec1"));
+  ASSERT_FALSE(received[kAlice].empty());
+  EXPECT_FALSE(received[kAlice][0].via_digest);
+}
+
+TEST_F(EngineTest, NotificationTimeRecordsDigestDelay) {
+  engine.publish(edit(kAlice, "doc/sec1"));  // Carol: digest path
+  sim.run_until(sim::sec(6));
+  // One immediate (Bob, ~0) and one digested (Carol, ~5s).
+  EXPECT_EQ(engine.stats().notification_time.count(), 2u);
+  EXPECT_GE(engine.stats().notification_time.max(),
+            static_cast<double>(sim::sec(4)));
+}
+
+TEST_F(EngineTest, UnsubscribeStopsDelivery) {
+  engine.unsubscribe(kBob);
+  engine.publish(edit(kAlice, "doc"));
+  sim.run_until(sim::sec(10));
+  EXPECT_TRUE(received[kBob].empty());
+}
+
+TEST_F(EngineTest, WeightIsCombinedSpatialTemporal) {
+  const double spatial_only = engine.weight(kBob, kAlice, "nothing");
+  engine.mark_interest(kBob, "doc");
+  const double combined = engine.weight(kBob, kAlice, "doc");
+  EXPECT_GT(combined, spatial_only);
+  EXPECT_LE(combined, 1.0);
+}
+
+}  // namespace
+}  // namespace coop::awareness

@@ -1,0 +1,148 @@
+// Integration test: a full co-authoring session across three simulated
+// sites — OT editor + hyperdocument + role policy + negotiation +
+// awareness, all running together over a lossy WAN, with failure
+// injection (partition during editing).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+namespace coop {
+namespace {
+
+constexpr ccontrol::ClientId kAlice = 1;
+constexpr ccontrol::ClientId kBob = 2;
+constexpr ccontrol::ClientId kCarol = 3;
+
+class CoauthoringIntegration : public ::testing::Test {
+ protected:
+  CoauthoringIntegration()
+      : platform(1001),
+        sim(platform.simulator()),
+        net(platform.network()),
+        server(net, {10, 1}, kInitial),
+        alice(net, {1, 1}, {10, 1}, kAlice, kInitial),
+        bob(net, {2, 1}, {10, 1}, kBob, kInitial),
+        carol(net, {3, 1}, {10, 1}, kCarol, kInitial) {
+    net.set_default_link({.latency = sim::msec(20), .jitter = sim::msec(8),
+                          .bandwidth_bps = 2e6, .loss = 0.03});
+    alice.connect();
+    bob.connect();
+    carol.connect();
+    sim.run_until(sim::sec(1));  // join snapshots land
+  }
+
+  bool converged() const {
+    return alice.doc() == server.doc() && bob.doc() == server.doc() &&
+           carol.doc() == server.doc();
+  }
+
+  static constexpr const char* kInitial = "Abstract. Body. Conclusion.";
+  Platform platform;
+  sim::Simulator& sim;
+  net::Network& net;
+  groupware::EditorServer server;
+  groupware::EditorClient alice, bob, carol;
+};
+
+TEST_F(CoauthoringIntegration, ThreeSitesConvergeUnderLossyWan) {
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_at(sim::sec(1) + i * sim::msec(120), [this, i] {
+      alice.insert(static_cast<std::size_t>(i % 5), "a");
+      if (!bob.doc().empty()) bob.erase(bob.doc().size() - 1);
+      carol.insert(carol.doc().size(), "c");
+    });
+  }
+  sim.run_until(sim::sec(30));
+  EXPECT_TRUE(converged()) << "server: " << server.doc();
+}
+
+TEST_F(CoauthoringIntegration, EditorRecoversAfterPartition) {
+  // Carol's site is cut off mid-edit; her edits queue in the FIFO
+  // channel's retransmission machinery and flow after the heal.
+  sim.schedule_at(sim::sec(1), [this] { carol.insert(0, "X"); });
+  sim.schedule_at(sim::sec(1) + sim::msec(1), [this] {
+    net.partition({3});
+    alice.insert(0, "Y");  // the connected side keeps working
+  });
+  sim.schedule_at(sim::sec(3), [this] { carol.insert(1, "Z"); });
+  sim.schedule_at(sim::sec(5), [this] { net.heal_partition(); });
+  sim.run_until(sim::sec(60));
+  EXPECT_TRUE(converged()) << "server: " << server.doc();
+  EXPECT_NE(server.doc().find("X"), std::string::npos);
+  EXPECT_NE(server.doc().find("Y"), std::string::npos);
+  EXPECT_NE(server.doc().find("Z"), std::string::npos);
+}
+
+TEST_F(CoauthoringIntegration, PolicyGatesEditsAndNegotiationOpensThem) {
+  access::RolePolicy policy;
+  policy.define_role("author");
+  policy.grant_role("author", "doc", access::kWrite);
+  policy.assign(kAlice, "author");
+
+  access::RightsNegotiator negotiator(
+      sim, policy,
+      {.policy = access::VotePolicy::kUnanimous,
+       .voting_window = sim::sec(5)});
+  negotiator.set_approvers({kAlice});
+
+  // Carol cannot edit yet.
+  EXPECT_FALSE(policy.check(kCarol, "doc", access::kWrite));
+
+  bool accepted = false;
+  sim.schedule_at(sim::sec(2), [&] {
+    const auto id = negotiator.propose(
+        kCarol,
+        {.kind = access::ProposedChange::Kind::kAssignRole,
+         .role = "author",
+         .client = kCarol,
+         .object = {},
+         .region = {},
+         .rights = 0},
+        [&](bool a) {
+          accepted = a;
+          if (a && policy.check(kCarol, "doc", access::kWrite))
+            carol.insert(0, "[carol] ");
+        });
+    sim.schedule_after(sim::msec(500),
+                       [&negotiator, id] { negotiator.vote(id, kAlice, true); });
+  });
+  sim.run_until(sim::sec(30));
+  EXPECT_TRUE(accepted);
+  EXPECT_TRUE(policy.check(kCarol, "doc", access::kWrite));
+  EXPECT_TRUE(converged());
+  EXPECT_EQ(server.doc().rfind("[carol] ", 0), 0u);
+}
+
+TEST_F(CoauthoringIntegration, HyperdocumentAnnotationsTrackEditorActivity) {
+  groupware::HyperDocument doc("paper");
+  const auto base = doc.add_base(kAlice, kInitial);
+
+  awareness::SpatialModel space;
+  space.place(kAlice, {0, 0});
+  space.place(kBob, {1, 0});
+  awareness::AwarenessEngine engine(sim, space);
+  int bob_notices = 0;
+  engine.subscribe(kBob, [&](const awareness::ActivityEvent&, double, bool) {
+    ++bob_notices;
+  });
+  // Every structural change to the document publishes activity.
+  doc.on_change([&](const groupware::DocNode& n) {
+    engine.publish({n.author, "paper", "changes", sim.now()});
+  });
+
+  sim.schedule_at(sim::sec(1), [&] {
+    const auto s = doc.attach(kAlice, base, groupware::NodeKind::kSuggestion,
+                              "Abstract, improved. Body. Conclusion.");
+    ASSERT_NE(s, 0u);
+    doc.accept_suggestion(s);
+  });
+  sim.run_until(sim::sec(10));
+  EXPECT_EQ(doc.node(base)->content, "Abstract, improved. Body. Conclusion.");
+  EXPECT_GE(bob_notices, 2);  // the suggestion and the acceptance
+}
+
+}  // namespace
+}  // namespace coop

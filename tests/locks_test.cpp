@@ -1,0 +1,341 @@
+// Tests for the four lock styles: strict, tickle, soft, notification.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ccontrol/locks.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::ccontrol {
+namespace {
+
+constexpr ClientId kAlice = 1;
+constexpr ClientId kBob = 2;
+constexpr ClientId kCarol = 3;
+
+TEST(StrictLocks, SharedLocksCoexist) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  bool a = false, b = false;
+  lm.acquire("doc", kAlice, LockMode::kShared,
+             [&](const LockGrant& g) { a = g.granted; });
+  lm.acquire("doc", kBob, LockMode::kShared,
+             [&](const LockGrant& g) { b = g.granted; });
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(lm.holders("doc").size(), 2u);
+}
+
+TEST(StrictLocks, ExclusiveBlocksUntilRelease) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  bool granted = false;
+  sim::Duration waited = -1;
+  lm.acquire("doc", kBob, LockMode::kExclusive, [&](const LockGrant& g) {
+    granted = g.granted;
+    waited = g.waited;
+  });
+  EXPECT_FALSE(granted);
+  sim.run_until(sim::msec(500));
+  lm.release("doc", kAlice);
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(waited, sim::msec(500));
+  EXPECT_TRUE(lm.holds("doc", kBob));
+  EXPECT_FALSE(lm.holds("doc", kAlice));
+}
+
+TEST(StrictLocks, SharedBlocksExclusiveAndQueuesFifo) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  lm.acquire("doc", kAlice, LockMode::kShared, nullptr);
+  std::vector<ClientId> grant_order;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant&) { grant_order.push_back(kBob); });
+  lm.acquire("doc", kCarol, LockMode::kExclusive,
+             [&](const LockGrant&) { grant_order.push_back(kCarol); });
+  EXPECT_TRUE(grant_order.empty());
+  lm.release("doc", kAlice);
+  EXPECT_EQ(grant_order, (std::vector<ClientId>{kBob}));
+  lm.release("doc", kBob);
+  EXPECT_EQ(grant_order, (std::vector<ClientId>{kBob, kCarol}));
+}
+
+TEST(StrictLocks, WriterNotStarvedBehindReaders) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  lm.acquire("doc", kAlice, LockMode::kShared, nullptr);
+  bool writer = false, reader2 = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { writer = g.granted; });
+  // A later reader must queue behind the waiting writer, not sneak in.
+  lm.acquire("doc", kCarol, LockMode::kShared,
+             [&](const LockGrant& g) { reader2 = g.granted; });
+  EXPECT_FALSE(writer);
+  EXPECT_FALSE(reader2);
+  lm.release("doc", kAlice);
+  EXPECT_TRUE(writer);
+  EXPECT_FALSE(reader2);
+  lm.release("doc", kBob);
+  EXPECT_TRUE(reader2);
+}
+
+TEST(StrictLocks, WaitTimeoutFailsTheAcquire) {
+  sim::Simulator sim;
+  LockManager lm(sim,
+                 {.style = LockStyle::kStrict,
+                  .wait_timeout = sim::msec(100)});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  bool called = false, granted = true;
+  lm.acquire("doc", kBob, LockMode::kExclusive, [&](const LockGrant& g) {
+    called = true;
+    granted = g.granted;
+  });
+  sim.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(lm.stats().timeouts, 1u);
+  // Alice still holds; a later release must not grant the dead waiter.
+  lm.release("doc", kAlice);
+  EXPECT_TRUE(lm.holders("doc").empty());
+}
+
+TEST(StrictLocks, ReentrantAcquireUpgrades) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  lm.acquire("doc", kAlice, LockMode::kShared, nullptr);
+  bool ok = false;
+  lm.acquire("doc", kAlice, LockMode::kExclusive,
+             [&](const LockGrant& g) { ok = g.granted; });
+  EXPECT_TRUE(ok);
+  // Now exclusive: Bob's shared request must wait.
+  bool bob = false;
+  lm.acquire("doc", kBob, LockMode::kShared,
+             [&](const LockGrant& g) { bob = g.granted; });
+  EXPECT_FALSE(bob);
+}
+
+TEST(StrictLocks, DistinctResourcesAreIndependent) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kStrict});
+  bool a = false, b = false;
+  lm.acquire("sec1", kAlice, LockMode::kExclusive,
+             [&](const LockGrant& g) { a = g.granted; });
+  lm.acquire("sec2", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { b = g.granted; });
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+}
+
+// --------------------------------------------------------------- tickle
+
+TEST(TickleLocks, ActiveHolderKeepsLockButIsTickled) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kTickle,
+                       .tickle_idle_timeout = sim::sec(10)});
+  std::vector<std::pair<ClientId, ClientId>> tickles;
+  LockObservers obs;
+  obs.on_tickle = [&](const std::string&, ClientId holder, ClientId req) {
+    tickles.emplace_back(holder, req);
+  };
+  lm.set_observers(std::move(obs));
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  sim.run_until(sim::sec(5));
+  lm.touch("doc", kAlice);  // Alice is active
+  bool granted = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { granted = g.granted; });
+  EXPECT_FALSE(granted);  // Alice active: Bob waits
+  ASSERT_EQ(tickles.size(), 1u);
+  EXPECT_EQ(tickles[0], (std::pair<ClientId, ClientId>{kAlice, kBob}));
+  EXPECT_EQ(lm.stats().tickles, 1u);
+}
+
+TEST(TickleLocks, IdleHolderLosesLockImmediately) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kTickle,
+                       .tickle_idle_timeout = sim::sec(10)});
+  ClientId revoked = 0;
+  LockObservers obs;
+  obs.on_revoked = [&](const std::string&, ClientId old) { revoked = old; };
+  lm.set_observers(std::move(obs));
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  sim.run_until(sim::sec(20));  // Alice idles past the timeout
+  bool granted = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { granted = g.granted; });
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(revoked, kAlice);
+  EXPECT_FALSE(lm.holds("doc", kAlice));
+  EXPECT_TRUE(lm.holds("doc", kBob));
+  EXPECT_EQ(lm.stats().transfers, 1u);
+}
+
+TEST(TickleLocks, TouchResetsIdleness) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kTickle,
+                       .tickle_idle_timeout = sim::sec(10)});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  sim.run_until(sim::sec(9));
+  lm.touch("doc", kAlice);
+  sim.run_until(sim::sec(15));  // only 6s since touch
+  bool granted = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { granted = g.granted; });
+  EXPECT_FALSE(granted);
+  EXPECT_TRUE(lm.holds("doc", kAlice));
+}
+
+TEST(TickleLocks, QueuedWaiterGetsLockWhenHolderGoesIdle) {
+  // The holder is active when the request arrives (so the waiter queues)
+  // but then stops touching the lock: the periodic re-check must revoke
+  // the idle holder and promote the waiter — without any new request.
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kTickle,
+                       .tickle_idle_timeout = sim::sec(10)});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  sim.run_until(sim::sec(5));
+  lm.touch("doc", kAlice);  // active at...
+  bool granted = false;
+  sim::Duration waited = 0;
+  lm.acquire("doc", kBob, LockMode::kExclusive, [&](const LockGrant& g) {
+    granted = g.granted;
+    waited = g.waited;
+  });
+  EXPECT_FALSE(granted);  // Alice was active 0s ago
+  sim.run_until(sim::sec(30));
+  EXPECT_TRUE(granted);  // revoked at ~15s (touch at 5s + 10s idle)
+  EXPECT_TRUE(lm.holds("doc", kBob));
+  EXPECT_FALSE(lm.holds("doc", kAlice));
+  EXPECT_NEAR(static_cast<double>(waited),
+              static_cast<double>(sim::sec(10)),
+              static_cast<double>(sim::msec(10)));
+  EXPECT_EQ(lm.stats().transfers, 1u);
+}
+
+TEST(TickleLocks, RecheckRearmsWhileHolderStaysActive) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kTickle,
+                       .tickle_idle_timeout = sim::sec(10)});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  bool granted = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { granted = g.granted; });
+  // Alice keeps touching every 5s: never idle, Bob keeps waiting.
+  sim::PeriodicTimer keepalive(sim, sim::sec(5),
+                               [&] { lm.touch("doc", kAlice); });
+  keepalive.start();
+  sim.run_until(sim::minutes(2));
+  EXPECT_FALSE(granted);
+  keepalive.stop();
+  sim.run_until(sim::minutes(3));  // idleness finally accrues
+  EXPECT_TRUE(granted);
+}
+
+// ----------------------------------------------------------------- soft
+
+TEST(SoftLocks, ConflictingAcquisitionsBothSucceedWithAwareness) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kSoft});
+  std::vector<std::pair<ClientId, ClientId>> conflicts;  // (holder, intruder)
+  LockObservers obs;
+  obs.on_conflict = [&](const std::string&, ClientId holder,
+                        ClientId intruder) {
+    conflicts.emplace_back(holder, intruder);
+  };
+  lm.set_observers(std::move(obs));
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  LockGrant bob_grant;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { bob_grant = g; });
+  EXPECT_TRUE(bob_grant.granted);
+  ASSERT_EQ(bob_grant.conflicts.size(), 1u);
+  EXPECT_EQ(bob_grant.conflicts[0], kAlice);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0], (std::pair<ClientId, ClientId>{kAlice, kBob}));
+  EXPECT_EQ(lm.holders("doc").size(), 2u);
+  EXPECT_EQ(lm.stats().conflicts, 1u);
+  EXPECT_EQ(lm.stats().waits, 0u);  // soft locks never block
+}
+
+TEST(SoftLocks, NonOverlappingSharedAccessIsSilent) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kSoft});
+  lm.acquire("doc", kAlice, LockMode::kShared, nullptr);
+  LockGrant g;
+  lm.acquire("doc", kBob, LockMode::kShared,
+             [&](const LockGrant& r) { g = r; });
+  EXPECT_TRUE(g.granted);
+  EXPECT_TRUE(g.conflicts.empty());
+  EXPECT_EQ(lm.stats().conflicts, 0u);
+}
+
+// --------------------------------------------------------------- notify
+
+TEST(NotifyLocks, ReadersProceedWhileWriterHolds) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kNotify});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  bool reader = false;
+  lm.acquire("doc", kBob, LockMode::kShared,
+             [&](const LockGrant& g) { reader = g.granted; });
+  EXPECT_TRUE(reader);  // "read over the shoulder"
+}
+
+TEST(NotifyLocks, WritersStillExcludeWriters) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kNotify});
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  bool writer = false;
+  lm.acquire("doc", kBob, LockMode::kExclusive,
+             [&](const LockGrant& g) { writer = g.granted; });
+  EXPECT_FALSE(writer);
+  lm.release("doc", kAlice);
+  EXPECT_TRUE(writer);
+}
+
+TEST(NotifyLocks, ChangeNotificationsReachRegisteredReaders) {
+  sim::Simulator sim;
+  LockManager lm(sim, {.style = LockStyle::kNotify});
+  std::vector<ClientId> notified;
+  LockObservers obs;
+  obs.on_change = [&](const std::string&, ClientId reader, ClientId writer) {
+    EXPECT_EQ(writer, kAlice);
+    notified.push_back(reader);
+  };
+  lm.set_observers(std::move(obs));
+  lm.register_interest("doc", kBob);
+  lm.register_interest("doc", kCarol);
+  lm.register_interest("doc", kAlice);  // the writer itself: skipped
+  lm.acquire("doc", kAlice, LockMode::kExclusive, nullptr);
+  lm.notify_change("doc", kAlice);
+  EXPECT_EQ(notified, (std::vector<ClientId>{kBob, kCarol}));
+  EXPECT_EQ(lm.stats().notifications, 2u);
+  lm.unregister_interest("doc", kBob);
+  notified.clear();
+  lm.notify_change("doc", kAlice);
+  EXPECT_EQ(notified, (std::vector<ClientId>{kCarol}));
+}
+
+// -------------------------------------------------------- comparative
+
+// The paper's qualitative claim (E1 mechanism): under the same contended
+// workload, strict locking blocks while soft locking proceeds with
+// conflict awareness instead.
+TEST(LockStyleComparison, SoftNeverWaitsStrictDoes) {
+  sim::Simulator sim;
+  LockManager strict(sim, {.style = LockStyle::kStrict});
+  LockManager soft(sim, {.style = LockStyle::kSoft});
+  for (auto* lm : {&strict, &soft}) {
+    lm->acquire("p1", kAlice, LockMode::kExclusive, nullptr);
+    lm->acquire("p1", kBob, LockMode::kExclusive, nullptr);
+  }
+  EXPECT_EQ(strict.stats().waits, 1u);
+  EXPECT_EQ(soft.stats().waits, 0u);
+  EXPECT_EQ(soft.stats().conflicts, 1u);
+  EXPECT_EQ(strict.stats().conflicts, 0u);  // strict users are unaware
+}
+
+}  // namespace
+}  // namespace coop::ccontrol

@@ -1,0 +1,209 @@
+// Tests for the media space (§3.3.2): doors, glances, connections,
+// knocking, and Portholes snapshots; plus QoS compatibility checking.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "awareness/engine.hpp"
+#include "groupware/mediaspace.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "streams/qos.hpp"
+
+namespace coop::groupware {
+namespace {
+
+constexpr ClientId kAmy = 1;
+constexpr ClientId kBen = 2;
+constexpr ClientId kCho = 3;
+
+class MediaSpaceTest : public ::testing::Test {
+ protected:
+  MediaSpaceTest()
+      : sim(71), net(sim), space(sim, net, nullptr, config()) {
+    space.add_office(kAmy, 1);
+    space.add_office(kBen, 2);
+    space.add_office(kCho, 3);
+  }
+
+  static MediaSpaceConfig config() {
+    return {.knock_timeout = sim::sec(15),
+            .snapshot_period = sim::sec(60),
+            .snapshot_bytes = 6000};
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  MediaSpace space;
+};
+
+TEST_F(MediaSpaceTest, OpenDoorAcceptsGlance) {
+  EXPECT_EQ(space.glance(kAmy, kBen), AttemptResult::kAccepted);
+  EXPECT_EQ(space.stats().glances, 1u);
+}
+
+TEST_F(MediaSpaceTest, ClosedDoorRefusesEverything) {
+  space.set_door(kBen, DoorState::kClosed);
+  EXPECT_EQ(space.glance(kAmy, kBen), AttemptResult::kRefused);
+  EXPECT_EQ(space.connect(kAmy, kBen), AttemptResult::kRefused);
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+  EXPECT_EQ(space.stats().glances_refused, 1u);
+  EXPECT_EQ(space.stats().refusals, 2u);
+}
+
+TEST_F(MediaSpaceTest, OpenDoorConnectionIsImmediate) {
+  EXPECT_EQ(space.connect(kAmy, kBen), AttemptResult::kAccepted);
+  EXPECT_TRUE(space.connected(kAmy, kBen));
+  EXPECT_TRUE(space.connected(kBen, kAmy));  // symmetric
+  EXPECT_EQ(space.connections_of(kAmy), std::vector<ClientId>{kBen});
+  space.disconnect(kBen, kAmy);
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+}
+
+TEST_F(MediaSpaceTest, KnockingDoorRingsAndAwaitsAnswer) {
+  space.set_door(kBen, DoorState::kKnock);
+  std::vector<std::pair<ClientId, ClientId>> rings;
+  space.on_knock([&](ClientId occupant, ClientId from) {
+    rings.emplace_back(occupant, from);
+  });
+  EXPECT_EQ(space.connect(kAmy, kBen), AttemptResult::kAwaitingAnswer);
+  ASSERT_EQ(rings.size(), 1u);
+  EXPECT_EQ(rings[0], (std::pair<ClientId, ClientId>{kBen, kAmy}));
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+  space.answer(kBen, kAmy, true);
+  EXPECT_TRUE(space.connected(kAmy, kBen));
+}
+
+TEST_F(MediaSpaceTest, KnockRefusalDoesNotConnect) {
+  space.set_door(kBen, DoorState::kKnock);
+  space.connect(kAmy, kBen);
+  space.answer(kBen, kAmy, false);
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+  EXPECT_EQ(space.stats().refusals, 1u);
+  // Answering a knock that does not exist is a no-op.
+  space.answer(kBen, kCho, true);
+  EXPECT_FALSE(space.connected(kBen, kCho));
+}
+
+TEST_F(MediaSpaceTest, UnansweredKnockExpires) {
+  space.set_door(kBen, DoorState::kKnock);
+  space.connect(kAmy, kBen);
+  sim.run_until(sim::sec(20));  // past the 15 s knock timeout
+  EXPECT_EQ(space.stats().knock_timeouts, 1u);
+  // Answering after expiry changes nothing.
+  space.answer(kBen, kAmy, true);
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+}
+
+TEST_F(MediaSpaceTest, GlanceThroughKnockDoorNeedsConsentToo) {
+  space.set_door(kBen, DoorState::kKnock);
+  EXPECT_EQ(space.glance(kAmy, kBen), AttemptResult::kAwaitingAnswer);
+  space.answer(kBen, kAmy, true);
+  EXPECT_EQ(space.stats().glances, 1u);
+  EXPECT_FALSE(space.connected(kAmy, kBen));  // a glance is not a link
+}
+
+TEST_F(MediaSpaceTest, RemoveOfficeHangsUpAndCancelsKnocks) {
+  space.connect(kAmy, kBen);
+  space.set_door(kCho, DoorState::kKnock);
+  space.connect(kAmy, kCho);  // pending knock at Cho
+  space.remove_office(kAmy);
+  EXPECT_FALSE(space.connected(kAmy, kBen));
+  EXPECT_EQ(space.glance(kBen, kAmy), AttemptResult::kRefused);
+  sim.run();  // cancelled knock timer must not fire
+  EXPECT_EQ(space.stats().knock_timeouts, 0u);
+}
+
+TEST_F(MediaSpaceTest, PortholesDistributesSnapshotsRespectingDoors) {
+  std::vector<std::pair<ClientId, ClientId>> seen;  // (viewer, office)
+  space.on_snapshot([&](ClientId viewer, ClientId office, sim::TimePoint) {
+    seen.emplace_back(viewer, office);
+  });
+  space.subscribe_portholes(kAmy);
+  space.subscribe_portholes(kBen);
+  space.set_door(kCho, DoorState::kClosed);  // camera covered
+  space.start_portholes();
+  sim.run_until(sim::sec(61));
+  // One tick: Amy sees Ben's office, Ben sees Amy's; nobody sees Cho's
+  // (closed), and nobody sees their own office.
+  EXPECT_EQ(seen.size(), 2u);
+  for (const auto& [viewer, office] : seen) {
+    EXPECT_NE(viewer, office);
+    EXPECT_NE(office, kCho);
+  }
+  EXPECT_EQ(space.stats().snapshots_delivered, 2u);
+  // Snapshot bytes were charged to the network.
+  EXPECT_GE(net.stats().bytes_sent, 2u * 6000u);
+  space.stop_portholes();
+  seen.clear();
+  sim.run_until(sim::sec(200));
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST_F(MediaSpaceTest, ActivityFlowsIntoAwareness) {
+  awareness::SpatialModel model;
+  model.place(kAmy, {0, 0});
+  model.place(kBen, {1, 0});
+  awareness::AwarenessEngine engine(sim, model);
+  int ben_heard = 0;
+  engine.subscribe(kBen, [&](const awareness::ActivityEvent& e, double,
+                             bool) {
+    EXPECT_EQ(e.actor, kAmy);
+    ++ben_heard;
+  });
+  MediaSpace aware_space(sim, net, &engine, config());
+  aware_space.add_office(kAmy, 1);
+  aware_space.add_office(kBen, 2);
+  aware_space.glance(kAmy, kBen);
+  aware_space.connect(kAmy, kBen);
+  EXPECT_EQ(ben_heard, 2);  // the glance and the connection
+}
+
+}  // namespace
+}  // namespace coop::groupware
+
+namespace coop::streams {
+namespace {
+
+QosSpec spec(double fps, sim::Duration lat, sim::Duration jit,
+             double min_fps = 5) {
+  return {.fps = fps, .frame_bytes = 4000, .latency_bound = lat,
+          .jitter_bound = jit, .min_fps = min_fps};
+}
+
+TEST(QosCompatibility, OfferedMustMeetEveryBound) {
+  const QosSpec required = spec(25, sim::msec(200), sim::msec(40));
+  EXPECT_TRUE(compatible(spec(30, sim::msec(100), sim::msec(20)), required));
+  EXPECT_FALSE(compatible(spec(20, sim::msec(100), sim::msec(20)),
+                          required));  // too slow
+  EXPECT_FALSE(compatible(spec(30, sim::msec(300), sim::msec(20)),
+                          required));  // too laggy
+  EXPECT_FALSE(compatible(spec(30, sim::msec(100), sim::msec(80)),
+                          required));  // too jittery
+}
+
+TEST(QosCompatibility, NegotiationMeetsInTheMiddle) {
+  const QosSpec offered = spec(15, sim::msec(100), sim::msec(20));
+  const QosSpec required = spec(25, sim::msec(200), sim::msec(40), 10);
+  const auto agreed = negotiate(offered, required);
+  ASSERT_TRUE(agreed.has_value());
+  EXPECT_DOUBLE_EQ(agreed->fps, 15.0);  // the lower rate
+  EXPECT_EQ(agreed->latency_bound, sim::msec(200));
+}
+
+TEST(QosCompatibility, NegotiationFailsBelowIntegrityFloor) {
+  const QosSpec offered = spec(8, sim::msec(100), sim::msec(20));
+  const QosSpec required = spec(25, sim::msec(200), sim::msec(40),
+                                /*min_fps=*/10);
+  EXPECT_FALSE(negotiate(offered, required).has_value());
+}
+
+TEST(QosCompatibility, NegotiationFailsOnUnmeetableBounds) {
+  const QosSpec offered = spec(30, sim::msec(300), sim::msec(20));
+  const QosSpec required = spec(25, sim::msec(200), sim::msec(40));
+  EXPECT_FALSE(negotiate(offered, required).has_value());
+}
+
+}  // namespace
+}  // namespace coop::streams

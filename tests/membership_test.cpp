@@ -1,0 +1,197 @@
+// Tests for the membership service: joins, leaves, failure detection and
+// reliable view dissemination over lossy links.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "groups/membership.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::groups {
+namespace {
+
+constexpr net::Address kCoord{100, 1};
+
+class MembershipTest : public ::testing::Test {
+ protected:
+  MembershipTest() : sim(5), net(sim), coord(net, kCoord) {}
+
+  std::unique_ptr<MembershipMember> make_member(net::NodeId node) {
+    return std::make_unique<MembershipMember>(net, net::Address{node, 1},
+                                              kCoord);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  MembershipCoordinator coord;
+};
+
+TEST_F(MembershipTest, JoinProducesViewContainingMember) {
+  auto m = make_member(1);
+  int views = 0;
+  m->on_view([&](const View& v) {
+    ++views;
+    EXPECT_TRUE(v.contains({1, 1}));
+  });
+  m->join();
+  sim.run_until(sim::msec(50));
+  EXPECT_EQ(views, 1);
+  ASSERT_TRUE(m->view().has_value());
+  EXPECT_EQ(m->view()->members.size(), 1u);
+  EXPECT_TRUE(m->joined());
+}
+
+TEST_F(MembershipTest, SecondJoinNotifiesBothMembers) {
+  auto a = make_member(1);
+  auto b = make_member(2);
+  a->join();
+  sim.run_until(sim::msec(50));
+  b->join();
+  sim.run_until(sim::msec(100));
+  ASSERT_TRUE(a->view().has_value());
+  ASSERT_TRUE(b->view().has_value());
+  EXPECT_EQ(a->view()->members.size(), 2u);
+  EXPECT_EQ(a->view()->id, b->view()->id);
+  EXPECT_TRUE(a->view()->contains({2, 1}));
+}
+
+TEST_F(MembershipTest, GracefulLeaveRemovesMember) {
+  auto a = make_member(1);
+  auto b = make_member(2);
+  a->join();
+  b->join();
+  sim.run_until(sim::msec(100));
+  b->leave();
+  sim.run_until(sim::msec(200));
+  ASSERT_TRUE(a->view().has_value());
+  EXPECT_EQ(a->view()->members.size(), 1u);
+  EXPECT_FALSE(a->view()->contains({2, 1}));
+  EXPECT_FALSE(b->joined());
+}
+
+TEST_F(MembershipTest, CrashedMemberIsDetectedByHeartbeatTimeout) {
+  auto a = make_member(1);
+  auto b = make_member(2);
+  a->join();
+  b->join();
+  sim.run_until(sim::msec(100));
+  EXPECT_EQ(coord.view().members.size(), 2u);
+  net.crash(2);
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(coord.view().members.size(), 1u);
+  ASSERT_TRUE(a->view().has_value());
+  EXPECT_FALSE(a->view()->contains({2, 1}));
+}
+
+TEST_F(MembershipTest, DisconnectedMobileMemberIsEvictedAndRejoins) {
+  auto a = make_member(1);
+  a->join();
+  sim.run_until(sim::msec(100));
+  net.set_connectivity(1, net::Connectivity::kDisconnected);
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(coord.view().members.size(), 0u);
+  net.set_connectivity(1, net::Connectivity::kFull);
+  a->join();  // explicit rejoin after reconnection
+  sim.run_until(sim::sec(3));
+  EXPECT_EQ(coord.view().members.size(), 1u);
+}
+
+TEST_F(MembershipTest, ViewSurvivesLossyLinks) {
+  net.set_default_link({.latency = sim::msec(5), .jitter = sim::msec(2),
+                        .bandwidth_bps = 10e6, .loss = 0.30});
+  // A lossy WAN needs a laxer failure detector, or members flap.
+  MembershipConfig cfg;
+  cfg.failure_timeout = sim::msec(900);
+  const net::Address coord2_addr{101, 1};
+  MembershipCoordinator coord2(net, coord2_addr, cfg);
+  MembershipMember a(net, {1, 1}, coord2_addr, cfg);
+  MembershipMember b(net, {2, 1}, coord2_addr, cfg);
+  MembershipMember c(net, {3, 1}, coord2_addr, cfg);
+  a.join();
+  b.join();
+  c.join();
+  // Join-retry plus sweep-based view re-send must converge despite 30%
+  // loss on every datagram.
+  sim.run_until(sim::sec(3));
+  ASSERT_TRUE(a.view().has_value());
+  ASSERT_TRUE(b.view().has_value());
+  ASSERT_TRUE(c.view().has_value());
+  EXPECT_EQ(coord2.view().members.size(), 3u);
+  EXPECT_EQ(a.view()->id, coord2.view().id);
+  EXPECT_EQ(b.view()->id, coord2.view().id);
+  EXPECT_EQ(c.view()->id, coord2.view().id);
+}
+
+TEST_F(MembershipTest, LostJoinDatagramIsRetried) {
+  // Force the very first JOIN to be lost: 100% loss initially, healed
+  // shortly after; the join-retry timer must re-send.
+  net.set_default_link({.latency = sim::msec(1), .jitter = 0,
+                        .bandwidth_bps = 10e6, .loss = 1.0});
+  auto a = make_member(1);
+  a->join();
+  sim.run_until(sim::msec(50));
+  net.set_default_link({.latency = sim::msec(1), .jitter = 0,
+                        .bandwidth_bps = 10e6, .loss = 0.0});
+  sim.run_until(sim::sec(1));
+  ASSERT_TRUE(a->view().has_value());
+  EXPECT_TRUE(a->view()->contains({1, 1}));
+}
+
+TEST_F(MembershipTest, FalsePositiveEvictionSelfHeals) {
+  auto a = make_member(1);
+  a->join();
+  sim.run_until(sim::msec(100));
+  // Black-hole the member long enough to be evicted, then restore.
+  net.set_connectivity(1, net::Connectivity::kDisconnected);
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(coord.view().members.size(), 0u);
+  net.set_connectivity(1, net::Connectivity::kFull);
+  // No explicit rejoin: the "you're out" view plus join-retry recovers.
+  sim.run_until(sim::sec(3));
+  EXPECT_EQ(coord.view().members.size(), 1u);
+  ASSERT_TRUE(a->view().has_value());
+  EXPECT_TRUE(a->view()->contains({1, 1}));
+}
+
+TEST_F(MembershipTest, AdministrativeEvictionChangesView) {
+  auto a = make_member(1);
+  auto b = make_member(2);
+  a->join();
+  b->join();
+  sim.run_until(sim::msec(100));
+  coord.evict({2, 1});
+  EXPECT_EQ(coord.view().members.size(), 1u);
+  // The evicted member keeps heartbeating but is simply not re-added
+  // (heartbeats from unknown members are ignored).
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(coord.view().members.size(), 1u);
+}
+
+TEST_F(MembershipTest, ViewIdsAreMonotonic) {
+  auto a = make_member(1);
+  std::vector<std::uint64_t> ids;
+  a->on_view([&](const View& v) { ids.push_back(v.id); });
+  a->join();
+  sim.run_until(sim::msec(50));
+  auto b = make_member(2);
+  b->join();
+  sim.run_until(sim::msec(100));
+  b->leave();
+  sim.run_until(sim::msec(200));
+  ASSERT_GE(ids.size(), 3u);
+  for (std::size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+}
+
+TEST_F(MembershipTest, CoordinatorObserverFires) {
+  int calls = 0;
+  coord.on_view_change([&](const View&) { ++calls; });
+  auto a = make_member(1);
+  a->join();
+  sim.run_until(sim::msec(50));
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace coop::groups

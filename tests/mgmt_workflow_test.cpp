@@ -1,0 +1,382 @@
+// Tests for management (placement/migration) and workflow (speech acts,
+// office procedures).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mgmt/placement.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/procedure.hpp"
+#include "workflow/speech_acts.hpp"
+
+namespace coop {
+namespace {
+
+// ------------------------------------------------------------------- mgmt
+
+class MgmtTest : public ::testing::Test {
+ protected:
+  MgmtTest() : sim(31), net(sim), domain(net) {
+    // Three sites: 1 and 2 are close (LAN), 3 is across a WAN.
+    net.set_default_link(net::LinkModel::lan());
+    net.set_symmetric_link(1, 3, net::LinkModel::wan());
+    net.set_symmetric_link(2, 3, net::LinkModel::wan());
+    domain.add_node(1, 1.0);
+    domain.add_node(2, 1.0);
+    domain.add_node(3, 1.0);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  mgmt::Domain domain;
+  mgmt::UsageMonitor usage;
+};
+
+TEST_F(MgmtTest, ClusterCreationAndLoadAccounting) {
+  domain.create_cluster("session", 1, 0.3);
+  EXPECT_EQ(domain.location("session"), 1u);
+  EXPECT_DOUBLE_EQ(domain.nodes().at(1).load, 0.3);
+  EXPECT_TRUE(domain.move_cluster("session", 2));
+  EXPECT_DOUBLE_EQ(domain.nodes().at(1).load, 0.0);
+  EXPECT_DOUBLE_EQ(domain.nodes().at(2).load, 0.3);
+  EXPECT_FALSE(domain.move_cluster("nope", 2));
+  EXPECT_FALSE(domain.move_cluster("session", 99));
+}
+
+TEST_F(MgmtTest, StaticPolicyHasNoOpinion) {
+  domain.create_cluster("session", 1);
+  mgmt::StaticPolicy policy;
+  EXPECT_FALSE(policy.place("session", domain, usage).has_value());
+}
+
+TEST_F(MgmtTest, LoadBalancingPicksLeastLoaded) {
+  domain.create_cluster("a", 1, 0.8);
+  domain.create_cluster("b", 2, 0.4);
+  mgmt::LoadBalancingPolicy policy;
+  const auto target = policy.place("whatever", domain, usage);
+  EXPECT_EQ(target, 3u);  // node 3 is empty
+}
+
+TEST_F(MgmtTest, GroupAwareWorstCasePicksCentralNode) {
+  domain.create_cluster("session", 1);
+  // Accessors on nodes 1 and 3: placing at 1 or 3 gives one party a WAN
+  // hop; worst-case at either end is the WAN latency; no strictly
+  // central node exists, so any of the tied nodes minimizing the metric
+  // is fine — but with usage ONLY from node 3, node 3 wins outright.
+  usage.record("session", 3, 10);
+  mgmt::GroupAwarePolicy policy(mgmt::GroupAwarePolicy::Metric::kWorstCase);
+  EXPECT_EQ(policy.place("session", domain, usage), 3u);
+}
+
+TEST_F(MgmtTest, GroupAwareMeanWeighsUsage) {
+  domain.create_cluster("session", 1);
+  // Heavy use from node 3, light from node 1: mean metric moves the
+  // cluster to 3; the light user pays the WAN, the heavy one does not.
+  usage.record("session", 3, 90);
+  usage.record("session", 1, 10);
+  mgmt::GroupAwarePolicy policy(mgmt::GroupAwarePolicy::Metric::kMean);
+  EXPECT_EQ(policy.place("session", domain, usage), 3u);
+}
+
+TEST_F(MgmtTest, GroupAwareWithNoUsageHasNoOpinion) {
+  domain.create_cluster("session", 1);
+  mgmt::GroupAwarePolicy policy;
+  EXPECT_FALSE(policy.place("session", domain, usage).has_value());
+}
+
+TEST_F(MgmtTest, MigrationManagerMovesAndNotifies) {
+  domain.create_cluster("session", 1);
+  usage.record("session", 3, 100);
+  mgmt::MigrationManager mgr(
+      domain, usage,
+      std::make_unique<mgmt::GroupAwarePolicy>());
+  std::vector<std::string> events;
+  mgr.on_migrate([&](const std::string& c, net::NodeId from,
+                     net::NodeId to) {
+    events.push_back(c + ":" + std::to_string(from) + "->" +
+                     std::to_string(to));
+  });
+  const auto moved = mgr.evaluate("session");
+  EXPECT_EQ(moved, 3u);
+  EXPECT_EQ(domain.location("session"), 3u);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], "session:1->3");
+  // Second evaluation: already optimal, no move.
+  EXPECT_FALSE(mgr.evaluate("session").has_value());
+  EXPECT_EQ(mgr.migrations(), 1u);
+}
+
+TEST_F(MgmtTest, CapsulesMoveTheirClustersTogether) {
+  EXPECT_TRUE(domain.create_capsule("session-proc", 1));
+  EXPECT_FALSE(domain.create_capsule("session-proc", 1));  // duplicate
+  EXPECT_FALSE(domain.create_capsule("ghost", 99));        // unknown node
+  domain.create_cluster("docs", 1, 0.2, "session-proc");
+  domain.create_cluster("awareness", 1, 0.1, "session-proc");
+  domain.create_cluster("standalone", 1, 0.1);
+  EXPECT_EQ(domain.capsule_clusters("session-proc").size(), 2u);
+
+  EXPECT_TRUE(domain.move_capsule("session-proc", 3));
+  EXPECT_EQ(domain.capsule_node("session-proc"), 3u);
+  EXPECT_EQ(domain.location("docs"), 3u);
+  EXPECT_EQ(domain.location("awareness"), 3u);
+  EXPECT_EQ(domain.location("standalone"), 1u);  // not in the capsule
+  EXPECT_NEAR(domain.nodes().at(3).load, 0.3, 1e-9);
+  EXPECT_NEAR(domain.nodes().at(1).load, 0.1, 1e-9);
+}
+
+TEST_F(MgmtTest, IndependentClusterMoveLeavesItsCapsule) {
+  domain.create_capsule("proc", 1);
+  domain.create_cluster("docs", 1, 0.2, "proc");
+  EXPECT_TRUE(domain.move_cluster("docs", 2));
+  EXPECT_TRUE(domain.capsule_clusters("proc").empty());
+  // Later capsule migration no longer drags the departed cluster.
+  domain.move_capsule("proc", 3);
+  EXPECT_EQ(domain.location("docs"), 2u);
+}
+
+TEST_F(MgmtTest, MoveCapsuleValidatesArguments) {
+  EXPECT_FALSE(domain.move_capsule("nope", 1));
+  domain.create_capsule("p", 1);
+  EXPECT_FALSE(domain.move_capsule("p", 99));
+  EXPECT_FALSE(domain.capsule_node("nope").has_value());
+}
+
+TEST_F(MgmtTest, UsageDecayLetsPatternShift) {
+  domain.create_cluster("session", 1);
+  usage.record("session", 1, 64);
+  for (int i = 0; i < 8; ++i) usage.decay();
+  usage.record("session", 3, 10);
+  mgmt::GroupAwarePolicy policy(mgmt::GroupAwarePolicy::Metric::kMean);
+  EXPECT_EQ(policy.place("session", domain, usage), 3u);
+}
+
+// ----------------------------------------------------------- speech acts
+
+class SpeechActTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim;
+  workflow::ConversationManager cm{sim};
+  static constexpr workflow::ClientId kCustomer = 1;
+  static constexpr workflow::ClientId kPerformer = 2;
+};
+
+TEST_F(SpeechActTest, HappyPathLoop) {
+  const auto id = cm.begin(kCustomer, kPerformer, "review chapter 3");
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kRequested);
+  EXPECT_TRUE(cm.act(id, workflow::Act::kPromise, kPerformer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kPromised);
+  sim.run_until(sim::sec(60));
+  EXPECT_TRUE(cm.act(id, workflow::Act::kReport, kPerformer));
+  EXPECT_TRUE(cm.act(id, workflow::Act::kAccept, kCustomer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kAccepted);
+  EXPECT_EQ(cm.completed(), 1u);
+  EXPECT_GE(cm.completion_latency().max(),
+            static_cast<double>(sim::sec(60)));
+  EXPECT_EQ(cm.open_count(), 0u);
+}
+
+TEST_F(SpeechActTest, CounterNegotiation) {
+  const auto id = cm.begin(kCustomer, kPerformer, "big task");
+  EXPECT_TRUE(cm.act(id, workflow::Act::kCounter, kPerformer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kCountered);
+  EXPECT_TRUE(cm.act(id, workflow::Act::kAgree, kCustomer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kPromised);
+}
+
+TEST_F(SpeechActTest, DeclineTerminates) {
+  const auto id = cm.begin(kCustomer, kPerformer, "impossible task");
+  EXPECT_TRUE(cm.act(id, workflow::Act::kDecline, kPerformer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kDeclined);
+  EXPECT_FALSE(cm.act(id, workflow::Act::kPromise, kPerformer));
+}
+
+TEST_F(SpeechActTest, RejectReopensPerformance) {
+  const auto id = cm.begin(kCustomer, kPerformer, "report");
+  cm.act(id, workflow::Act::kPromise, kPerformer);
+  cm.act(id, workflow::Act::kReport, kPerformer);
+  EXPECT_TRUE(cm.act(id, workflow::Act::kReject, kCustomer));
+  EXPECT_EQ(cm.state(id), workflow::ConvState::kPromised);
+  cm.act(id, workflow::Act::kReport, kPerformer);
+  EXPECT_TRUE(cm.act(id, workflow::Act::kAccept, kCustomer));
+}
+
+TEST_F(SpeechActTest, WrongActorIsRejected) {
+  const auto id = cm.begin(kCustomer, kPerformer, "task");
+  // The customer cannot promise on the performer's behalf.
+  EXPECT_FALSE(cm.act(id, workflow::Act::kPromise, kCustomer));
+  cm.act(id, workflow::Act::kPromise, kPerformer);
+  cm.act(id, workflow::Act::kReport, kPerformer);
+  // The performer cannot accept their own work.
+  EXPECT_FALSE(cm.act(id, workflow::Act::kAccept, kPerformer));
+  EXPECT_EQ(cm.rejected_acts(), 2u);
+}
+
+TEST_F(SpeechActTest, EitherPartyMayCancel) {
+  const auto a = cm.begin(kCustomer, kPerformer, "t1");
+  EXPECT_TRUE(cm.act(a, workflow::Act::kCancel, kCustomer));
+  const auto b = cm.begin(kCustomer, kPerformer, "t2");
+  cm.act(b, workflow::Act::kPromise, kPerformer);
+  EXPECT_TRUE(cm.act(b, workflow::Act::kCancel, kPerformer));
+  // A third party cannot.
+  const auto c = cm.begin(kCustomer, kPerformer, "t3");
+  EXPECT_FALSE(cm.act(c, workflow::Act::kCancel, 99));
+}
+
+TEST_F(SpeechActTest, HistoryRecordsTheLoop) {
+  const auto id = cm.begin(kCustomer, kPerformer, "task");
+  cm.act(id, workflow::Act::kPromise, kPerformer);
+  cm.act(id, workflow::Act::kReport, kPerformer);
+  cm.act(id, workflow::Act::kAccept, kCustomer);
+  const auto h = cm.history(id);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].act, workflow::Act::kRequest);
+  EXPECT_EQ(h[3].act, workflow::Act::kAccept);
+}
+
+TEST_F(SpeechActTest, TransitionsAreObservable) {
+  int transitions = 0;
+  cm.on_transition([&](workflow::ConversationId, workflow::ConvState,
+                       const workflow::ActRecord&) { ++transitions; });
+  const auto id = cm.begin(kCustomer, kPerformer, "task");
+  cm.act(id, workflow::Act::kPromise, kPerformer);
+  EXPECT_EQ(transitions, 2);  // begin + promise
+}
+
+// ------------------------------------------------------------- procedures
+
+workflow::ProcedureDef expense_claim() {
+  workflow::ProcedureDef def("expense-claim");
+  def.add_step({"submit", "employee", {"check"}});
+  def.add_step({"check", "clerk", {"approve", "audit"}});
+  def.add_step({"approve", "manager", {"pay"}});
+  def.add_step({"audit", "clerk", {"pay"}});
+  def.add_step({"pay", "finance", {}});
+  def.set_start({"submit"});
+  return def;
+}
+
+class ProcedureTest : public ::testing::Test {
+ protected:
+  ProcedureTest() : engine(sim) {
+    engine.assign_role(1, "employee");
+    engine.assign_role(2, "clerk");
+    engine.assign_role(3, "manager");
+    engine.assign_role(4, "finance");
+  }
+  sim::Simulator sim;
+  workflow::ProcedureEngine engine;
+};
+
+TEST_F(ProcedureTest, ValidationCatchesBadGraphs) {
+  workflow::ProcedureDef ok = expense_claim();
+  EXPECT_TRUE(ok.validate());
+
+  workflow::ProcedureDef no_start("x");
+  no_start.add_step({"a", "r", {}});
+  EXPECT_FALSE(no_start.validate());
+
+  workflow::ProcedureDef dangling("x");
+  dangling.add_step({"a", "r", {"ghost"}});
+  dangling.set_start({"a"});
+  EXPECT_FALSE(dangling.validate());
+
+  workflow::ProcedureDef cyclic("x");
+  cyclic.add_step({"a", "r", {"b"}});
+  cyclic.add_step({"b", "r", {"a"}});
+  cyclic.set_start({"a"});
+  EXPECT_FALSE(cyclic.validate());
+
+  EXPECT_FALSE(ok.add_step({"submit", "dup", {}}));  // duplicate name
+}
+
+TEST_F(ProcedureTest, RoutesThroughParallelBranchesWithJoin) {
+  const auto def = expense_claim();
+  const auto id = engine.start(def);
+  ASSERT_TRUE(id.has_value());
+  const auto* inst = engine.instance(*id);
+  EXPECT_EQ(inst->active(), std::vector<std::string>{"submit"});
+
+  EXPECT_TRUE(engine.complete(*id, "submit", 1));
+  EXPECT_TRUE(engine.complete(*id, "check", 2));
+  // Both branches are now active in parallel.
+  EXPECT_EQ(engine.instance(*id)->active().size(), 2u);
+  EXPECT_TRUE(engine.complete(*id, "approve", 3));
+  // Join: "pay" must wait for "audit" too.
+  EXPECT_FALSE(engine.complete(*id, "pay", 4));
+  EXPECT_TRUE(engine.complete(*id, "audit", 2));
+  EXPECT_TRUE(engine.complete(*id, "pay", 4));
+  EXPECT_TRUE(engine.instance(*id)->finished());
+  EXPECT_EQ(engine.finished_count(), 1u);
+}
+
+TEST_F(ProcedureTest, RoleIsEnforcedPerStep) {
+  const auto def = expense_claim();
+  const auto id = engine.start(def);
+  // The manager cannot perform the employee's submission.
+  EXPECT_FALSE(engine.complete(*id, "submit", 3));
+  EXPECT_TRUE(engine.complete(*id, "submit", 1));
+}
+
+TEST_F(ProcedureTest, InactiveStepCannotBeCompleted) {
+  const auto def = expense_claim();
+  const auto id = engine.start(def);
+  EXPECT_FALSE(engine.complete(*id, "pay", 4));
+  EXPECT_FALSE(engine.complete(*id, "nonexistent", 1));
+  EXPECT_FALSE(engine.complete(999, "submit", 1));
+}
+
+TEST_F(ProcedureTest, ActivationCallbackBuildsWorkLists) {
+  const auto def = expense_claim();
+  std::vector<std::string> activations;
+  engine.on_activate([&](std::uint64_t, const std::string& s) {
+    activations.push_back(s);
+  });
+  const auto id = engine.start(def);
+  engine.complete(*id, "submit", 1);
+  engine.complete(*id, "check", 2);
+  ASSERT_GE(activations.size(), 4u);
+  EXPECT_EQ(activations[0], "submit");
+  EXPECT_EQ(activations[1], "check");
+  // approve + audit activated together after check.
+  EXPECT_TRUE((activations[2] == "approve" && activations[3] == "audit") ||
+              (activations[2] == "audit" && activations[3] == "approve"));
+}
+
+TEST_F(ProcedureTest, AuditTrailRecordsActorsAndTimes) {
+  const auto def = expense_claim();
+  const auto id = engine.start(def);
+  engine.complete(*id, "submit", 1);
+  sim.run_until(sim::sec(30));
+  engine.complete(*id, "check", 2);
+  const auto& audit = engine.instance(*id)->audit();
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit[0].step, "submit");
+  EXPECT_EQ(audit[0].actor, 1u);
+  EXPECT_EQ(audit[1].at, sim::sec(30));
+}
+
+TEST_F(ProcedureTest, InvalidDefinitionDoesNotStart) {
+  workflow::ProcedureDef bad("bad");
+  bad.add_step({"a", "r", {"ghost"}});
+  bad.set_start({"a"});
+  EXPECT_FALSE(engine.start(bad).has_value());
+}
+
+TEST_F(ProcedureTest, CompletionLatencyIsMeasured) {
+  const auto def = expense_claim();
+  const auto id = engine.start(def);
+  engine.complete(*id, "submit", 1);
+  engine.complete(*id, "check", 2);
+  engine.complete(*id, "approve", 3);
+  engine.complete(*id, "audit", 2);
+  sim.run_until(sim::minutes(5));
+  engine.complete(*id, "pay", 4);
+  EXPECT_DOUBLE_EQ(engine.completion_latency().max(),
+                   static_cast<double>(sim::minutes(5)));
+}
+
+}  // namespace
+}  // namespace coop

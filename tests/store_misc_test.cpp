@@ -1,0 +1,77 @@
+// Small-gap coverage: the versioned object store, simulator pending
+// accounting, and misc link-model behaviour not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "ccontrol/store.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop {
+namespace {
+
+TEST(ObjectStore, VersionsAdvancePerKey) {
+  ccontrol::ObjectStore store;
+  EXPECT_EQ(store.version("k"), 0u);
+  store.write("k", "v1");
+  EXPECT_EQ(store.version("k"), 1u);
+  store.write("k", "v2");
+  EXPECT_EQ(store.version("k"), 2u);
+  store.write("other", "x");
+  EXPECT_EQ(store.version("other"), 1u);  // independent counters
+  EXPECT_EQ(store.read("k"), "v2");
+}
+
+TEST(ObjectStore, EraseAndKeys) {
+  ccontrol::ObjectStore store;
+  store.write("b", "2");
+  store.write("a", "1");
+  EXPECT_EQ(store.keys(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_FALSE(store.read("a").has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(ObjectStore, EqualityComparesValuesNotVersions) {
+  ccontrol::ObjectStore a, b;
+  a.write("k", "old");
+  a.write("k", "same");  // version 2
+  b.write("k", "same");  // version 1
+  EXPECT_TRUE(a == b);
+  b.write("k", "different");
+  EXPECT_FALSE(a == b);
+  b.write("extra", "x");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  sim::Simulator sim;
+  const auto a = sim.schedule_after(sim::msec(1), [] {});
+  sim.schedule_after(sim::msec(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(LinkModel, RadioIsSlowAndLossy) {
+  const auto radio = net::LinkModel::radio();
+  // A 1 kB datagram takes ~417 ms to serialize at 19.2 kbps.
+  EXPECT_GT(radio.serialize_time(1000), sim::msec(400));
+  EXPECT_GT(radio.loss, 0.0);
+}
+
+TEST(LinkModel, PropagationStaysNonNegativeUnderJitter) {
+  sim::Rng rng(3);
+  const net::LinkModel jittery{.latency = sim::msec(1),
+                               .jitter = sim::msec(10),
+                               .bandwidth_bps = 0,
+                               .loss = 0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(jittery.propagation(rng), 0);
+  }
+}
+
+}  // namespace
+}  // namespace coop

@@ -1,0 +1,164 @@
+// Unit tests for serialization and statistics utilities.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/codec.hpp"
+#include "util/stats.hpp"
+
+namespace coop::util {
+namespace {
+
+TEST(Codec, RoundTripsPrimitives) {
+  Writer w;
+  w.put<std::uint32_t>(42)
+      .put<std::int64_t>(-7)
+      .put<double>(3.25)
+      .put<std::uint8_t>(255)
+      .put<bool>(true);
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get<std::uint32_t>(), 42u);
+  EXPECT_EQ(r.get<std::int64_t>(), -7);
+  EXPECT_DOUBLE_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.get<bool>());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, RoundTripsStringsIncludingEmptyAndBinary) {
+  Writer w;
+  w.put_string("hello").put_string("").put_string(std::string("\0\x01", 2));
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_EQ(r.get_string(), std::string("\0\x01", 2));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, RoundTripsVectors) {
+  Writer w;
+  w.put_vector<std::uint64_t>({1, 2, 3});
+  w.put_vector<double>({});
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_vector<std::uint64_t>(),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(r.get_vector<double>().empty());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(Codec, RoundTripsBytes) {
+  Writer w;
+  w.put_bytes({0x00, 0xff, 0x10});
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_bytes(), (std::vector<std::uint8_t>{0x00, 0xff, 0x10}));
+}
+
+TEST(Codec, UnderrunSetsStickyFailureFlag) {
+  Writer w;
+  w.put<std::uint16_t>(1);
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get<std::uint64_t>(), 0u);  // needs 8 bytes, only 2 available
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.get<std::uint8_t>(), 0u);  // still failed even though in range
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, TruncatedStringFails) {
+  Writer w;
+  w.put<std::uint32_t>(100);  // claims a 100-byte string follows
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Codec, MaliciousVectorLengthFailsInsteadOfAllocating) {
+  Writer w;
+  w.put<std::uint32_t>(0xffffffff);
+  const std::string buf = w.take();
+  Reader r(buf);
+  EXPECT_TRUE(r.get_vector<std::uint64_t>().empty());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Stats, SummaryBasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Stats, SummaryEmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.jitter(), 0.0);
+}
+
+TEST(Stats, SummaryPercentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_NEAR(s.p50(), 50.0, 1.0);
+  EXPECT_NEAR(s.p95(), 95.0, 1.0);
+  EXPECT_NEAR(s.p99(), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Stats, SummaryPercentileAfterLateAdd) {
+  Summary s;
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.p50(), 10.0);
+  s.add(1);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+TEST(Stats, SummaryJitterMeasuresSuccessiveDifferences) {
+  Summary s;
+  for (double x : {10.0, 12.0, 10.0, 12.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.jitter(), 2.0);
+  Summary flat;
+  for (int i = 0; i < 5; ++i) flat.add(7.0);
+  EXPECT_DOUBLE_EQ(flat.jitter(), 0.0);
+}
+
+TEST(Stats, CounterIncrementsAndResets) {
+  Counter c;
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, HistogramQuantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 2.0);
+}
+
+TEST(Stats, HistogramClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.buckets().front(), 1u);
+  EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+}  // namespace
+}  // namespace coop::util

@@ -1,0 +1,114 @@
+// Tests for relaxed-WYSIWIS shared views: per-user presentation policies
+// over one shared state, visible and tailorable at runtime.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "groupware/views.hpp"
+
+namespace coop::groupware {
+namespace {
+
+constexpr ccontrol::ClientId kAlice = 1;
+constexpr ccontrol::ClientId kBob = 2;
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest() {
+    space.put(kAlice, "agenda", "1. QoS  2. AOB", sim::sec(1));
+    space.put(kBob, "minutes", "draft in progress", sim::sec(2));
+    space.put(kAlice, "actions", "Bob: send figures", sim::sec(3));
+  }
+  SharedViewSpace space;
+};
+
+TEST_F(ViewsTest, DefaultViewShowsEverythingByKey) {
+  const auto view = space.render(kAlice);
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], "actions: Bob: send figures");
+  EXPECT_EQ(view[1], "agenda: 1. QoS  2. AOB");
+  EXPECT_EQ(view[2], "minutes: draft in progress");
+}
+
+TEST_F(ViewsTest, SameStateDifferentPresentations) {
+  // The relaxed-WYSIWIS point: identical shared state, per-user views.
+  space.set_view(kBob, ViewSpec::headlines());
+  const auto alice_view = space.render(kAlice);
+  const auto bob_view = space.render(kBob);
+  ASSERT_EQ(bob_view.size(), 3u);
+  EXPECT_EQ(bob_view[0], "actions");  // keys only
+  EXPECT_NE(alice_view[0], bob_view[0]);
+  EXPECT_EQ(alice_view.size(), bob_view.size());  // same underlying items
+}
+
+TEST_F(ViewsTest, FilterViewsSelectSubsets) {
+  space.set_view(kAlice, ViewSpec::by_author(kBob));
+  const auto view = space.render(kAlice);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], "minutes: draft in progress");
+}
+
+TEST_F(ViewsTest, RecencyViewOrdersNewestFirst) {
+  space.set_view(kAlice, ViewSpec::recent(sim::sec(2)));
+  const auto view = space.render(kAlice);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], "actions: Bob: send figures");   // t=3
+  EXPECT_EQ(view[1], "minutes: draft in progress");   // t=2
+}
+
+TEST_F(ViewsTest, PoliciesAreVisibleToOthers) {
+  EXPECT_EQ(space.describe_view(kBob), "full detail");
+  space.set_view(kBob, ViewSpec::by_author(kAlice));
+  EXPECT_EQ(space.describe_view(kBob), "items by user 1");
+}
+
+TEST_F(ViewsTest, TailoringFiresObserver) {
+  std::vector<std::pair<ccontrol::ClientId, std::string>> changes;
+  space.on_view_changed([&](ccontrol::ClientId who, const std::string& n) {
+    changes.emplace_back(who, n);
+  });
+  space.set_view(kBob, ViewSpec::headlines());
+  space.set_view(kBob, ViewSpec::full_detail());
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0], (std::pair<ccontrol::ClientId, std::string>{
+                            kBob, "headlines"}));
+  EXPECT_EQ(changes[1].second, "full detail");
+}
+
+TEST_F(ViewsTest, UpdatesFlowThroughToViews) {
+  int updates = 0;
+  space.on_update([&](const ViewItem& item) {
+    EXPECT_EQ(item.key, "agenda");
+    ++updates;
+  });
+  space.put(kBob, "agenda", "1. QoS  2. AOB  3. dates", sim::sec(4));
+  EXPECT_EQ(updates, 1);
+  const auto view = space.render(kAlice);
+  EXPECT_EQ(view[1], "agenda: 1. QoS  2. AOB  3. dates");
+  // Provenance updated too.
+  EXPECT_EQ(space.get("agenda")->author, kBob);
+}
+
+TEST_F(ViewsTest, EraseRemovesFromAllViews) {
+  EXPECT_TRUE(space.erase("minutes"));
+  EXPECT_FALSE(space.erase("minutes"));
+  EXPECT_EQ(space.render(kAlice).size(), 2u);
+  EXPECT_FALSE(space.get("minutes").has_value());
+}
+
+TEST_F(ViewsTest, CustomSpecCombinesFilterPresentOrder) {
+  ViewSpec spec;
+  spec.name = "alice's headlines, newest first";
+  spec.filter = [](const ViewItem& i) { return i.author == kAlice; };
+  spec.present = [](const ViewItem& i) { return "* " + i.key; };
+  spec.order = ViewSpec::Order::kByRecency;
+  space.set_view(kBob, std::move(spec));
+  const auto view = space.render(kBob);
+  ASSERT_EQ(view.size(), 2u);
+  EXPECT_EQ(view[0], "* actions");
+  EXPECT_EQ(view[1], "* agenda");
+}
+
+}  // namespace
+}  // namespace coop::groupware
