@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_workflow.dir/bench_e10_workflow.cpp.o"
+  "CMakeFiles/bench_e10_workflow.dir/bench_e10_workflow.cpp.o.d"
+  "bench_e10_workflow"
+  "bench_e10_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

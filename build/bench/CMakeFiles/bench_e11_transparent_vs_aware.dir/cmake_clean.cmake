@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_transparent_vs_aware.dir/bench_e11_transparent_vs_aware.cpp.o"
+  "CMakeFiles/bench_e11_transparent_vs_aware.dir/bench_e11_transparent_vs_aware.cpp.o.d"
+  "bench_e11_transparent_vs_aware"
+  "bench_e11_transparent_vs_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_transparent_vs_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_response_notification.dir/bench_e1_response_notification.cpp.o"
+  "CMakeFiles/bench_e1_response_notification.dir/bench_e1_response_notification.cpp.o.d"
+  "bench_e1_response_notification"
+  "bench_e1_response_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_response_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

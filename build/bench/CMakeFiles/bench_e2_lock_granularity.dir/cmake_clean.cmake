@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_lock_granularity.dir/bench_e2_lock_granularity.cpp.o"
+  "CMakeFiles/bench_e2_lock_granularity.dir/bench_e2_lock_granularity.cpp.o.d"
+  "bench_e2_lock_granularity"
+  "bench_e2_lock_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_lock_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_transaction_groups.dir/bench_e3_transaction_groups.cpp.o"
+  "CMakeFiles/bench_e3_transaction_groups.dir/bench_e3_transaction_groups.cpp.o.d"
+  "bench_e3_transaction_groups"
+  "bench_e3_transaction_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_transaction_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

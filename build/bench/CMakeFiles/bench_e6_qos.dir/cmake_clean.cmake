@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_qos.dir/bench_e6_qos.cpp.o"
+  "CMakeFiles/bench_e6_qos.dir/bench_e6_qos.cpp.o.d"
+  "bench_e6_qos"
+  "bench_e6_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_mobility.dir/bench_e9_mobility.cpp.o"
+  "CMakeFiles/bench_e9_mobility.dir/bench_e9_mobility.cpp.o.d"
+  "bench_e9_mobility"
+  "bench_e9_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

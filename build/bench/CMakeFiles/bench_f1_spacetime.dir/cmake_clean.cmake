@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_spacetime.dir/bench_f1_spacetime.cpp.o"
+  "CMakeFiles/bench_f1_spacetime.dir/bench_f1_spacetime.cpp.o.d"
+  "bench_f1_spacetime"
+  "bench_f1_spacetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_spacetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

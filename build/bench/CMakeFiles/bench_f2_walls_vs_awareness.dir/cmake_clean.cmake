@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_walls_vs_awareness.dir/bench_f2_walls_vs_awareness.cpp.o"
+  "CMakeFiles/bench_f2_walls_vs_awareness.dir/bench_f2_walls_vs_awareness.cpp.o.d"
+  "bench_f2_walls_vs_awareness"
+  "bench_f2_walls_vs_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_walls_vs_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

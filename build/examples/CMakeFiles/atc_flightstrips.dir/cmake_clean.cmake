@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atc_flightstrips.dir/atc_flightstrips.cpp.o"
+  "CMakeFiles/atc_flightstrips.dir/atc_flightstrips.cpp.o.d"
+  "atc_flightstrips"
+  "atc_flightstrips.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atc_flightstrips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

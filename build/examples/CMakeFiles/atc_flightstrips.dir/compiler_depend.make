@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for atc_flightstrips.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthoring.dir/coauthoring.cpp.o"
+  "CMakeFiles/coauthoring.dir/coauthoring.cpp.o.d"
+  "coauthoring"
+  "coauthoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

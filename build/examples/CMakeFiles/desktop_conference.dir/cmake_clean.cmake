@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desktop_conference.dir/desktop_conference.cpp.o"
+  "CMakeFiles/desktop_conference.dir/desktop_conference.cpp.o.d"
+  "desktop_conference"
+  "desktop_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desktop_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_space.dir/media_space.cpp.o"
+  "CMakeFiles/media_space.dir/media_space.cpp.o.d"
+  "media_space"
+  "media_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

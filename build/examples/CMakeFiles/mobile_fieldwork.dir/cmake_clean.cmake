@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_fieldwork.dir/mobile_fieldwork.cpp.o"
+  "CMakeFiles/mobile_fieldwork.dir/mobile_fieldwork.cpp.o.d"
+  "mobile_fieldwork"
+  "mobile_fieldwork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_fieldwork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/negotiation.cpp" "src/CMakeFiles/coop.dir/access/negotiation.cpp.o" "gcc" "src/CMakeFiles/coop.dir/access/negotiation.cpp.o.d"
+  "/root/repo/src/access/roles.cpp" "src/CMakeFiles/coop.dir/access/roles.cpp.o" "gcc" "src/CMakeFiles/coop.dir/access/roles.cpp.o.d"
+  "/root/repo/src/awareness/engine.cpp" "src/CMakeFiles/coop.dir/awareness/engine.cpp.o" "gcc" "src/CMakeFiles/coop.dir/awareness/engine.cpp.o.d"
+  "/root/repo/src/ccontrol/floor.cpp" "src/CMakeFiles/coop.dir/ccontrol/floor.cpp.o" "gcc" "src/CMakeFiles/coop.dir/ccontrol/floor.cpp.o.d"
+  "/root/repo/src/ccontrol/locks.cpp" "src/CMakeFiles/coop.dir/ccontrol/locks.cpp.o" "gcc" "src/CMakeFiles/coop.dir/ccontrol/locks.cpp.o.d"
+  "/root/repo/src/ccontrol/ot.cpp" "src/CMakeFiles/coop.dir/ccontrol/ot.cpp.o" "gcc" "src/CMakeFiles/coop.dir/ccontrol/ot.cpp.o.d"
+  "/root/repo/src/ccontrol/transactions.cpp" "src/CMakeFiles/coop.dir/ccontrol/transactions.cpp.o" "gcc" "src/CMakeFiles/coop.dir/ccontrol/transactions.cpp.o.d"
+  "/root/repo/src/ccontrol/txgroup.cpp" "src/CMakeFiles/coop.dir/ccontrol/txgroup.cpp.o" "gcc" "src/CMakeFiles/coop.dir/ccontrol/txgroup.cpp.o.d"
+  "/root/repo/src/groups/group_channel.cpp" "src/CMakeFiles/coop.dir/groups/group_channel.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groups/group_channel.cpp.o.d"
+  "/root/repo/src/groups/membership.cpp" "src/CMakeFiles/coop.dir/groups/membership.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groups/membership.cpp.o.d"
+  "/root/repo/src/groupware/conference.cpp" "src/CMakeFiles/coop.dir/groupware/conference.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groupware/conference.cpp.o.d"
+  "/root/repo/src/groupware/document.cpp" "src/CMakeFiles/coop.dir/groupware/document.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groupware/document.cpp.o.d"
+  "/root/repo/src/groupware/editor.cpp" "src/CMakeFiles/coop.dir/groupware/editor.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groupware/editor.cpp.o.d"
+  "/root/repo/src/groupware/flightstrips.cpp" "src/CMakeFiles/coop.dir/groupware/flightstrips.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groupware/flightstrips.cpp.o.d"
+  "/root/repo/src/groupware/mediaspace.cpp" "src/CMakeFiles/coop.dir/groupware/mediaspace.cpp.o" "gcc" "src/CMakeFiles/coop.dir/groupware/mediaspace.cpp.o.d"
+  "/root/repo/src/mgmt/placement.cpp" "src/CMakeFiles/coop.dir/mgmt/placement.cpp.o" "gcc" "src/CMakeFiles/coop.dir/mgmt/placement.cpp.o.d"
+  "/root/repo/src/mobile/host.cpp" "src/CMakeFiles/coop.dir/mobile/host.cpp.o" "gcc" "src/CMakeFiles/coop.dir/mobile/host.cpp.o.d"
+  "/root/repo/src/mobile/share_server.cpp" "src/CMakeFiles/coop.dir/mobile/share_server.cpp.o" "gcc" "src/CMakeFiles/coop.dir/mobile/share_server.cpp.o.d"
+  "/root/repo/src/net/fifo_channel.cpp" "src/CMakeFiles/coop.dir/net/fifo_channel.cpp.o" "gcc" "src/CMakeFiles/coop.dir/net/fifo_channel.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/coop.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/coop.dir/net/network.cpp.o.d"
+  "/root/repo/src/rpc/group_rpc.cpp" "src/CMakeFiles/coop.dir/rpc/group_rpc.cpp.o" "gcc" "src/CMakeFiles/coop.dir/rpc/group_rpc.cpp.o.d"
+  "/root/repo/src/rpc/rpc.cpp" "src/CMakeFiles/coop.dir/rpc/rpc.cpp.o" "gcc" "src/CMakeFiles/coop.dir/rpc/rpc.cpp.o.d"
+  "/root/repo/src/rpc/trader.cpp" "src/CMakeFiles/coop.dir/rpc/trader.cpp.o" "gcc" "src/CMakeFiles/coop.dir/rpc/trader.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/coop.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/coop.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/streams/stream.cpp" "src/CMakeFiles/coop.dir/streams/stream.cpp.o" "gcc" "src/CMakeFiles/coop.dir/streams/stream.cpp.o.d"
+  "/root/repo/src/streams/sync.cpp" "src/CMakeFiles/coop.dir/streams/sync.cpp.o" "gcc" "src/CMakeFiles/coop.dir/streams/sync.cpp.o.d"
+  "/root/repo/src/workflow/procedure.cpp" "src/CMakeFiles/coop.dir/workflow/procedure.cpp.o" "gcc" "src/CMakeFiles/coop.dir/workflow/procedure.cpp.o.d"
+  "/root/repo/src/workflow/speech_acts.cpp" "src/CMakeFiles/coop.dir/workflow/speech_acts.cpp.o" "gcc" "src/CMakeFiles/coop.dir/workflow/speech_acts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

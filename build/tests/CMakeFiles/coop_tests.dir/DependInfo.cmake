@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/access_test.cpp" "tests/CMakeFiles/coop_tests.dir/access_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/access_test.cpp.o.d"
+  "/root/repo/tests/awareness_test.cpp" "tests/CMakeFiles/coop_tests.dir/awareness_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/awareness_test.cpp.o.d"
+  "/root/repo/tests/fifo_channel_test.cpp" "tests/CMakeFiles/coop_tests.dir/fifo_channel_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/fifo_channel_test.cpp.o.d"
+  "/root/repo/tests/group_channel_test.cpp" "tests/CMakeFiles/coop_tests.dir/group_channel_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/group_channel_test.cpp.o.d"
+  "/root/repo/tests/groupware_test.cpp" "tests/CMakeFiles/coop_tests.dir/groupware_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/groupware_test.cpp.o.d"
+  "/root/repo/tests/integration_coauthoring_test.cpp" "tests/CMakeFiles/coop_tests.dir/integration_coauthoring_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/integration_coauthoring_test.cpp.o.d"
+  "/root/repo/tests/integration_session_test.cpp" "tests/CMakeFiles/coop_tests.dir/integration_session_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/integration_session_test.cpp.o.d"
+  "/root/repo/tests/locks_test.cpp" "tests/CMakeFiles/coop_tests.dir/locks_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/locks_test.cpp.o.d"
+  "/root/repo/tests/lockstyle_sweep_test.cpp" "tests/CMakeFiles/coop_tests.dir/lockstyle_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/lockstyle_sweep_test.cpp.o.d"
+  "/root/repo/tests/logical_clocks_test.cpp" "tests/CMakeFiles/coop_tests.dir/logical_clocks_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/logical_clocks_test.cpp.o.d"
+  "/root/repo/tests/mediaspace_test.cpp" "tests/CMakeFiles/coop_tests.dir/mediaspace_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/mediaspace_test.cpp.o.d"
+  "/root/repo/tests/membership_test.cpp" "tests/CMakeFiles/coop_tests.dir/membership_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/membership_test.cpp.o.d"
+  "/root/repo/tests/mgmt_workflow_test.cpp" "tests/CMakeFiles/coop_tests.dir/mgmt_workflow_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/mgmt_workflow_test.cpp.o.d"
+  "/root/repo/tests/mobile_test.cpp" "tests/CMakeFiles/coop_tests.dir/mobile_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/mobile_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/coop_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/ot_test.cpp" "tests/CMakeFiles/coop_tests.dir/ot_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/ot_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/coop_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rpc_test.cpp" "tests/CMakeFiles/coop_tests.dir/rpc_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/rpc_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/coop_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/store_misc_test.cpp" "tests/CMakeFiles/coop_tests.dir/store_misc_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/store_misc_test.cpp.o.d"
+  "/root/repo/tests/streams_test.cpp" "tests/CMakeFiles/coop_tests.dir/streams_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/streams_test.cpp.o.d"
+  "/root/repo/tests/transactions_test.cpp" "tests/CMakeFiles/coop_tests.dir/transactions_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/transactions_test.cpp.o.d"
+  "/root/repo/tests/txgroup_floor_test.cpp" "tests/CMakeFiles/coop_tests.dir/txgroup_floor_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/txgroup_floor_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/coop_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/views_test.cpp" "tests/CMakeFiles/coop_tests.dir/views_test.cpp.o" "gcc" "tests/CMakeFiles/coop_tests.dir/views_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
