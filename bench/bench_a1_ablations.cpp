@@ -154,4 +154,5 @@ BENCHMARK(BM_Prebuffer)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("a1")

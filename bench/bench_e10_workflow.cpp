@@ -164,4 +164,5 @@ BENCHMARK(BM_ProcedureRouting)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e10")

@@ -159,4 +159,5 @@ BENCHMARK(BM_CollaborationAware)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e11")

@@ -353,4 +353,5 @@ BENCHMARK(BM_OperationalTransformation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e1")

@@ -135,4 +135,5 @@ BENCHMARK(BM_Word)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e2")

@@ -124,4 +124,5 @@ BENCHMARK(BM_CooperativeRule)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e3")

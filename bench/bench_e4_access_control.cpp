@@ -180,4 +180,5 @@ BENCHMARK(BM_ChangeLatency_NegotiatedDeadline)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e4")

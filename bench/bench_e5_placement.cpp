@@ -165,4 +165,5 @@ BENCHMARK(BM_GroupAwareMean_SfHeavy)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e5")

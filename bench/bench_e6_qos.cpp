@@ -127,4 +127,5 @@ BENCHMARK(BM_AdaptiveRenegotiation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e6")

@@ -139,4 +139,5 @@ BENCHMARK(BM_EventSync_FiringError)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e7")

@@ -199,4 +199,5 @@ BENCHMARK(BM_Conflicts_vs_OfficeWrites)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("e9")

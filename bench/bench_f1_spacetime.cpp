@@ -127,4 +127,5 @@ BENCHMARK(BM_AsynchronousDistributed)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("f1")

@@ -158,4 +158,5 @@ BENCHMARK(BM_Awareness_SoftLocks)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#include "bench_harness.hpp"
+COOP_BENCH_MAIN("f2")

@@ -1,0 +1,31 @@
+// Shared main() for the experiment benchmarks.
+//
+// COOP_BENCH_MAIN replaces BENCHMARK_MAIN so every bench binary (a) runs
+// with one process-wide Obs installed as the ambient default — the many
+// short-lived Platforms a benchmark constructs all aggregate into it —
+// and (b) dumps that Obs on exit as BENCH_<tag>.json (metrics snapshot)
+// plus BENCH_<tag>.trace.json (Chrome trace_event; open in about:tracing
+// or Perfetto) in the working directory.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "obs/obs.hpp"
+
+#define COOP_BENCH_MAIN(exp_tag)                                     \
+  int main(int argc, char** argv) {                                  \
+    coop::obs::Obs obs;                                              \
+    coop::obs::ScopedDefaultObs ambient(&obs);                       \
+    ::benchmark::Initialize(&argc, argv);                            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
+      return 1;                                                      \
+    ::benchmark::RunSpecifiedBenchmarks();                           \
+    ::benchmark::Shutdown();                                         \
+    if (!coop::obs::write_bench_artifacts(obs, exp_tag)) {           \
+      std::fprintf(stderr, "warning: failed to write BENCH_%s.*\n",  \
+                   exp_tag);                                         \
+    }                                                                \
+    return 0;                                                        \
+  }

@@ -5,6 +5,49 @@
 
 namespace coop::ccontrol {
 
+namespace {
+
+// Distinguishes multiple managers sharing one registry (e.g. one per
+// experiment node).  Construction order is deterministic under the
+// simulator, so ids are stable across runs.
+std::uint64_t next_manager_id() {
+  static std::uint64_t id = 0;
+  return id++;
+}
+
+}  // namespace
+
+LockManager::LockManager(sim::Simulator& sim, LockConfig config,
+                         obs::Obs* obs)
+    : sim_(sim), config_(config) {
+  if (obs == nullptr) obs = obs::default_obs();
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Obs>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  metric_prefix_ = "ccontrol.locks." + std::to_string(next_manager_id()) + ".";
+  auto& m = obs_->metrics;
+  m.expose(metric_prefix_ + "grants",
+           [this] { return static_cast<double>(stats_.grants); });
+  m.expose(metric_prefix_ + "waits",
+           [this] { return static_cast<double>(stats_.waits); });
+  m.expose(metric_prefix_ + "conflicts",
+           [this] { return static_cast<double>(stats_.conflicts); });
+  m.expose(metric_prefix_ + "tickles",
+           [this] { return static_cast<double>(stats_.tickles); });
+  m.expose(metric_prefix_ + "transfers",
+           [this] { return static_cast<double>(stats_.transfers); });
+  m.expose(metric_prefix_ + "notifications",
+           [this] { return static_cast<double>(stats_.notifications); });
+  m.expose(metric_prefix_ + "timeouts",
+           [this] { return static_cast<double>(stats_.timeouts); });
+  m.expose(metric_prefix_ + "wait_time_mean_us",
+           [this] { return stats_.wait_time.mean(); });
+}
+
+LockManager::~LockManager() { obs_->metrics.retire_polled(metric_prefix_); }
+
 bool LockManager::compatible(const Entry& e, ClientId client,
                              LockMode mode) const {
   if (config_.style == LockStyle::kSoft) return true;  // advisory only
@@ -26,6 +69,10 @@ void LockManager::grant(Entry& e, const std::string& resource,
                         sim::Duration waited) {
   ++stats_.grants;
   stats_.wait_time.add(static_cast<double>(waited));
+  // Span covering the blocked interval (zero-length when uncontended).
+  obs_->tracer.span(sim_.now() - waited, sim_.now(), obs::Category::kLock,
+                    "grant", {{"client", static_cast<double>(client)},
+                              {"waited_us", static_cast<double>(waited)}});
 
   LockGrant result;
   result.granted = true;
@@ -60,6 +107,9 @@ void LockManager::grant(Entry& e, const std::string& resource,
 
 void LockManager::acquire(const std::string& resource, ClientId client,
                           LockMode mode, AcquireFn done) {
+  obs_->tracer.event(sim_.now(), obs::Category::kLock, "acquire",
+                     {{"client", static_cast<double>(client)},
+                      {"exclusive", mode == LockMode::kExclusive ? 1.0 : 0.0}});
   Entry& e = table_[resource];
   const bool already_holding =
       std::any_of(e.holders.begin(), e.holders.end(),
@@ -88,11 +138,17 @@ void LockManager::acquire(const std::string& resource, ClientId client,
       if (now - hit->last_activity >= config_.tickle_idle_timeout) {
         ++stats_.transfers;
         const ClientId old = hit->client;
+        obs_->tracer.event(now, obs::Category::kLock, "transfer",
+                           {{"from", static_cast<double>(old)},
+                            {"to", static_cast<double>(client)}});
         hit = e.holders.erase(hit);
         if (observers_.on_revoked) observers_.on_revoked(resource, old);
         transferred = true;
       } else {
         ++stats_.tickles;
+        obs_->tracer.event(now, obs::Category::kLock, "tickle",
+                           {{"holder", static_cast<double>(hit->client)},
+                            {"requester", static_cast<double>(client)}});
         if (observers_.on_tickle)
           observers_.on_tickle(resource, hit->client, client);
         ++hit;
@@ -106,6 +162,8 @@ void LockManager::acquire(const std::string& resource, ClientId client,
 
   // Queue the request.
   ++stats_.waits;
+  obs_->tracer.event(sim_.now(), obs::Category::kLock, "block",
+                     {{"client", static_cast<double>(client)}});
   Waiter w;
   w.client = client;
   w.mode = mode;
@@ -120,6 +178,8 @@ void LockManager::acquire(const std::string& resource, ClientId client,
               [&](const Waiter& x) { return x.client == client; });
           if (wit == entry.waiters.end()) return;
           ++stats_.timeouts;
+          obs_->tracer.event(sim_.now(), obs::Category::kLock, "timeout",
+                             {{"client", static_cast<double>(client)}});
           AcquireFn done = std::move(wit->done);
           const sim::Duration waited = sim_.now() - wit->since;
           entry.waiters.erase(wit);
@@ -157,6 +217,9 @@ void LockManager::arm_tickle_recheck(const std::string& resource) {
           now - hit->last_activity >= config_.tickle_idle_timeout) {
         ++stats_.transfers;
         const ClientId old = hit->client;
+        obs_->tracer.event(now, obs::Category::kLock, "transfer",
+                           {{"from", static_cast<double>(old)},
+                            {"to", static_cast<double>(front.client)}});
         hit = entry.holders.erase(hit);
         if (observers_.on_revoked) observers_.on_revoked(resource, old);
       } else {
@@ -171,6 +234,8 @@ void LockManager::arm_tickle_recheck(const std::string& resource) {
 void LockManager::release(const std::string& resource, ClientId client) {
   auto tit = table_.find(resource);
   if (tit == table_.end()) return;
+  obs_->tracer.event(sim_.now(), obs::Category::kLock, "release",
+                     {{"client", static_cast<double>(client)}});
   Entry& e = tit->second;
   e.holders.erase(
       std::remove_if(e.holders.begin(), e.holders.end(),

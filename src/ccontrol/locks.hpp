@@ -34,11 +34,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -106,8 +108,11 @@ class LockManager {
  public:
   using AcquireFn = std::function<void(const LockGrant&)>;
 
-  LockManager(sim::Simulator& sim, LockConfig config = {})
-      : sim_(sim), config_(config) {}
+  /// Records into @p obs if given, else the ambient default, else a
+  /// private Obs (so standalone managers in unit tests need no setup).
+  explicit LockManager(sim::Simulator& sim, LockConfig config = {},
+                       obs::Obs* obs = nullptr);
+  ~LockManager();
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -183,7 +188,12 @@ class LockManager {
   LockConfig config_;
   std::map<std::string, Entry> table_;
   LockObservers observers_;
+  // Hot storage (tests read it directly); the registry polls it through
+  // views under metric_prefix_, retired/frozen in the destructor.
   LockStats stats_;
+  std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
+  obs::Obs* obs_;
+  std::string metric_prefix_;
 };
 
 }  // namespace coop::ccontrol

@@ -51,6 +51,7 @@
 #include "mobile/share_server.hpp"
 #include "net/fifo_channel.hpp"
 #include "net/network.hpp"
+#include "obs/obs.hpp"
 #include "rpc/group_rpc.hpp"
 #include "rpc/rpc.hpp"
 #include "rpc/trader.hpp"
@@ -66,14 +67,36 @@ namespace coop {
 /// The process-wide substrate pair every component is built against.
 class Platform {
  public:
-  /// Same seed => byte-identical experiment runs.
-  explicit Platform(std::uint64_t seed = 42) : sim_(seed), net_(sim_) {}
+  /// Same seed => byte-identical experiment runs.  Metrics and traces go
+  /// to @p obs if given, else the ambient default (bench harness), else a
+  /// platform-owned Obs.
+  explicit Platform(std::uint64_t seed = 42, obs::Obs* obs = nullptr)
+      : owned_obs_(obs != nullptr || obs::default_obs() != nullptr
+                       ? nullptr
+                       : new obs::Obs),
+        obs_(obs != nullptr ? obs
+                            : (owned_obs_ ? owned_obs_.get()
+                                          : obs::default_obs())),
+        sim_(seed),
+        net_(sim_, obs_) {
+    sim_.set_step_hook([this](sim::EventId id, sim::TimePoint when,
+                              std::size_t pending) {
+      obs_->tracer.event(when, obs::Category::kSim, "step",
+                         {{"id", static_cast<double>(id)},
+                          {"pending", static_cast<double>(pending)}});
+    });
+  }
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
   [[nodiscard]] net::Network& network() noexcept { return net_; }
+  [[nodiscard]] obs::Obs& obs() noexcept { return *obs_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return obs_->metrics;
+  }
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return obs_->tracer; }
 
   /// Runs the virtual world to quiescence (or the event cap).
   std::size_t run(std::size_t max_events = sim::Simulator::kNoEventLimit) {
@@ -83,6 +106,8 @@ class Platform {
   std::size_t run_until(sim::TimePoint t) { return sim_.run_until(t); }
 
  private:
+  std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
+  obs::Obs* obs_;
   sim::Simulator sim_;
   net::Network net_;
 };

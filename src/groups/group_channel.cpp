@@ -23,12 +23,29 @@ GroupChannel::GroupChannel(net::Network& net, net::Address self,
     : net_(net), self_(self), group_(group), config_(config) {
   net_.attach(self_, *this);
   net_.mcast_join(group_, self_);
+  // stats_ stays the hot storage; the registry polls it through views.
+  metric_prefix_ = "groups.channel." + std::to_string(self_.node) + ":" +
+                   std::to_string(self_.port) + ".";
+  auto& m = net_.obs().metrics;
+  m.expose(metric_prefix_ + "broadcasts",
+           [this] { return static_cast<double>(stats_.broadcasts); });
+  m.expose(metric_prefix_ + "delivered",
+           [this] { return static_cast<double>(stats_.delivered); });
+  m.expose(metric_prefix_ + "duplicates",
+           [this] { return static_cast<double>(stats_.duplicates); });
+  m.expose(metric_prefix_ + "retransmits",
+           [this] { return static_cast<double>(stats_.retransmits); });
+  m.expose(metric_prefix_ + "gave_up",
+           [this] { return static_cast<double>(stats_.gave_up); });
+  m.expose(metric_prefix_ + "held_back_max",
+           [this] { return static_cast<double>(stats_.held_back_max); });
 }
 
 GroupChannel::~GroupChannel() {
   for (auto& [key, p] : pending_) {
     if (p.timer != sim::kInvalidEvent) net_.simulator().cancel(p.timer);
   }
+  net_.obs().metrics.retire_polled(metric_prefix_);
   net_.mcast_leave(group_, self_);
   net_.detach(self_);
 }
@@ -95,6 +112,9 @@ std::uint64_t GroupChannel::broadcast(std::string payload) {
   const std::uint64_t seq = next_seq_++;
   ++stats_.broadcasts;
   const sim::TimePoint now = net_.simulator().now();
+  net_.obs().tracer.event(now, obs::Category::kGroup, "broadcast",
+                          {{"sender", static_cast<double>(self_index_)},
+                           {"seq", static_cast<double>(seq)}});
 
   if (config_.ordering == Ordering::kTotal && !is_sequencer()) {
     // Ship an ordering request to the sequencer; our message comes back to
@@ -175,6 +195,9 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
         p.timer = sim::kInvalidEvent;
         if (++p.retries > config_.max_retransmits) {
           ++stats_.gave_up;
+          net_.obs().tracer.event(net_.simulator().now(),
+                                  obs::Category::kGroup, "give_up",
+                                  {{"key", static_cast<double>(key)}});
           pending_.erase(pit);
           return;
         }
@@ -182,6 +205,10 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
         for (std::size_t slot : p.awaiting) {
           if (!alive_[slot]) continue;
           ++stats_.retransmits;
+          net_.obs().tracer.event(net_.simulator().now(),
+                                  obs::Category::kGroup, "retransmit",
+                                  {{"key", static_cast<double>(key)},
+                                   {"to", static_cast<double>(slot)}});
           net_.send({.src = self_, .dst = members_[slot], .payload = p.wire});
         }
         arm_retransmit(key);
@@ -257,6 +284,10 @@ void GroupChannel::handle_ack(const net::Message& msg) {
   if (r.failed()) return;
   auto it = pending_.find(pending_key(sender, seq));
   if (it == pending_.end()) return;
+  net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                          "ack",
+                          {{"seq", static_cast<double>(seq)},
+                           {"from", static_cast<double>(acker)}});
   it->second.awaiting.erase(acker);
   if (it->second.awaiting.empty()) {
     if (it->second.timer != sim::kInvalidEvent)
@@ -461,6 +492,12 @@ void GroupChannel::flush_holdback() {
 
 void GroupChannel::deliver_now(const Delivery& d) {
   ++stats_.delivered;
+  // Span covering broadcast -> application delivery, i.e. the end-to-end
+  // ordering+reliability latency the experiments measure.
+  net_.obs().tracer.span(d.sent_at, net_.simulator().now(),
+                         obs::Category::kGroup, "deliver",
+                         {{"sender", static_cast<double>(d.sender)},
+                          {"seq", static_cast<double>(d.seq)}});
   if (deliver_) deliver_(d);
 }
 

@@ -194,7 +194,10 @@ class GroupChannel : public net::Endpoint {
   [[nodiscard]] std::size_t sequencer_slot() const;
   void take_over_sequencing();
 
+  // Hot storage for the channel's counters; the registry reads it through
+  // polled views under metric_prefix_ (retired/frozen in the destructor).
   ChannelStats stats_;
+  std::string metric_prefix_;
 };
 
 }  // namespace coop::groups

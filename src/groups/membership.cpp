@@ -28,6 +28,11 @@ net::Address decode_address(util::Reader& r) {
   return a;
 }
 
+std::string coord_key(const net::Address& self, const char* leaf) {
+  return "groups.membership." + std::to_string(self.node) + ":" +
+         std::to_string(self.port) + "." + leaf;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- coordinator
@@ -38,6 +43,11 @@ MembershipCoordinator::MembershipCoordinator(net::Network& net,
     : net_(net),
       self_(self),
       config_(config),
+      joins_(&net.obs().metrics.counter(coord_key(self, "joins"))),
+      leaves_(&net.obs().metrics.counter(coord_key(self, "leaves"))),
+      failures_(&net.obs().metrics.counter(coord_key(self, "failures"))),
+      evictions_(&net.obs().metrics.counter(coord_key(self, "evictions"))),
+      views_(&net.obs().metrics.counter(coord_key(self, "views"))),
       sweeper_(net.simulator(), config.sweep_period, [this] { sweep(); }) {
   net_.attach(self_, *this);
   sweeper_.start();
@@ -53,6 +63,11 @@ void MembershipCoordinator::bump_view() {
   view_.members.clear();
   view_.members.reserve(states_.size());
   for (const auto& [addr, st] : states_) view_.members.push_back(addr);
+  views_->inc();
+  net_.obs().tracer.event(
+      net_.simulator().now(), obs::Category::kGroup, "view",
+      {{"id", static_cast<double>(view_.id)},
+       {"members", static_cast<double>(view_.members.size())}});
   if (observer_) observer_(view_);
   for (const auto& [addr, st] : states_) send_view(addr);
 }
@@ -67,7 +82,13 @@ void MembershipCoordinator::send_view(const net::Address& to) {
 
 void MembershipCoordinator::evict(const net::Address& member) {
   banned_.insert(member);
-  if (states_.erase(member) > 0) bump_view();
+  if (states_.erase(member) > 0) {
+    evictions_->inc();
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                            "evict",
+                            {{"node", static_cast<double>(member.node)}});
+    bump_view();
+  }
 }
 
 void MembershipCoordinator::sweep() {
@@ -82,6 +103,10 @@ void MembershipCoordinator::sweep() {
     }
   }
   if (!removed.empty()) {
+    failures_->inc(removed.size());
+    for (const auto& addr : removed)
+      net_.obs().tracer.event(now, obs::Category::kGroup, "member_failed",
+                              {{"node", static_cast<double>(addr.node)}});
     bump_view();
     // Tell the suspects they are out: if the suspicion was a lossy-link
     // false positive, the still-live member sees a view without itself
@@ -109,6 +134,10 @@ void MembershipCoordinator::on_message(const net::Message& msg) {
       auto [it, inserted] = states_.try_emplace(msg.src);
       it->second.last_heartbeat = net_.simulator().now();
       if (inserted) {
+        joins_->inc();
+        net_.obs().tracer.event(net_.simulator().now(),
+                                obs::Category::kGroup, "join",
+                                {{"node", static_cast<double>(msg.src.node)}});
         bump_view();
       } else {
         send_view(msg.src);  // duplicate join: re-sync the member
@@ -116,7 +145,10 @@ void MembershipCoordinator::on_message(const net::Message& msg) {
       break;
     }
     case kLeave:
-      if (states_.erase(msg.src) > 0) bump_view();
+      if (states_.erase(msg.src) > 0) {
+        leaves_->inc();
+        bump_view();
+      }
       break;
     case kHeartbeat: {
       auto it = states_.find(msg.src);

@@ -83,6 +83,11 @@ class MembershipCoordinator : public net::Endpoint {
     return view_.id;
   }
 
+  /// Members removed by the failure detector so far.
+  [[nodiscard]] std::uint64_t failures_detected() const noexcept {
+    return failures_->value();
+  }
+
  private:
   struct MemberState {
     sim::TimePoint last_heartbeat = 0;
@@ -100,6 +105,12 @@ class MembershipCoordinator : public net::Endpoint {
   std::map<net::Address, MemberState> states_;
   std::set<net::Address> banned_;
   std::function<void(const View&)> observer_;
+  // Registry-owned ("groups.membership.<node>:<port>.*").
+  util::Counter* joins_;
+  util::Counter* leaves_;
+  util::Counter* failures_;
+  util::Counter* evictions_;
+  util::Counter* views_;
   sim::PeriodicTimer sweeper_;
 };
 

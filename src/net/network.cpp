@@ -4,6 +4,33 @@
 
 namespace coop::net {
 
+Network::Network(sim::Simulator& sim, obs::Obs* obs) : sim_(sim) {
+  if (obs == nullptr) obs = obs::default_obs();
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Obs>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  auto& m = obs_->metrics;
+  sent_ = &m.counter("net.sent");
+  delivered_ = &m.counter("net.delivered");
+  dropped_loss_ = &m.counter("net.dropped_loss");
+  dropped_partition_ = &m.counter("net.dropped_partition");
+  dropped_no_endpoint_ = &m.counter("net.dropped_no_endpoint");
+  bytes_sent_ = &m.counter("net.bytes_sent");
+}
+
+NetworkStats Network::stats() const noexcept {
+  return NetworkStats{
+      .sent = sent_->value(),
+      .delivered = delivered_->value(),
+      .dropped_loss = dropped_loss_->value(),
+      .dropped_partition = dropped_partition_->value(),
+      .dropped_no_endpoint = dropped_no_endpoint_->value(),
+      .bytes_sent = bytes_sent_->value(),
+  };
+}
+
 void Network::partition(const std::set<NodeId>& side_a,
                         const std::set<NodeId>& side_b) {
   partitioned_ = true;
@@ -67,27 +94,40 @@ std::uint64_t Network::multicast(McastId group, Message msg) {
 }
 
 void Network::transmit(Message msg) {
-  ++stats_.sent;
-  stats_.bytes_sent += msg.wire_size;
+  sent_->inc();
+  bytes_sent_->inc(msg.wire_size);
 
   const NodeId from = msg.src.node;
   const NodeId to = msg.dst.node;
   auto& state = link_states_[key(from, to)];
+  obs_->tracer.event(sim_.now(), obs::Category::kNet, "send",
+                     {{"src", static_cast<double>(from)},
+                      {"dst", static_cast<double>(to)},
+                      {"bytes", static_cast<double>(msg.wire_size)}});
 
   if (is_crashed(from) || is_crashed(to) || partition_blocks(from, to)) {
-    ++stats_.dropped_partition;
+    dropped_partition_->inc();
     ++state.dropped;
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                       {{"src", static_cast<double>(from)},
+                        {"dst", static_cast<double>(to)}});
     return;
   }
   const std::optional<LinkModel> model = effective_link(from, to);
   if (!model) {
-    ++stats_.dropped_partition;
+    dropped_partition_->inc();
     ++state.dropped;
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                       {{"src", static_cast<double>(from)},
+                        {"dst", static_cast<double>(to)}});
     return;
   }
   if (model->loss > 0 && sim_.rng().bernoulli(model->loss)) {
-    ++stats_.dropped_loss;
+    dropped_loss_->inc();
     ++state.dropped;
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_loss",
+                       {{"src", static_cast<double>(from)},
+                        {"dst", static_cast<double>(to)}});
     return;
   }
 
@@ -109,15 +149,24 @@ void Network::transmit(Message msg) {
     if (is_crashed(msg.dst.node) ||
         connectivity(msg.dst.node) == Connectivity::kDisconnected ||
         partition_blocks(msg.src.node, msg.dst.node)) {
-      ++stats_.dropped_partition;
+      dropped_partition_->inc();
+      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                         {{"src", static_cast<double>(msg.src.node)},
+                          {"dst", static_cast<double>(msg.dst.node)}});
       return;
     }
     auto it = endpoints_.find(msg.dst);
     if (it == endpoints_.end()) {
-      ++stats_.dropped_no_endpoint;
+      dropped_no_endpoint_->inc();
+      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_no_endpoint",
+                         {{"dst", static_cast<double>(msg.dst.node)}});
       return;
     }
-    ++stats_.delivered;
+    delivered_->inc();
+    obs_->tracer.span(msg.sent_at, sim_.now(), obs::Category::kNet, "deliver",
+                      {{"src", static_cast<double>(msg.src.node)},
+                       {"dst", static_cast<double>(msg.dst.node)},
+                       {"bytes", static_cast<double>(msg.wire_size)}});
     it->second->on_message(msg);
   });
 }

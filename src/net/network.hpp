@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -19,11 +20,14 @@
 
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace coop::net {
 
-/// Aggregate traffic statistics, for experiment accounting.
+/// Aggregate traffic statistics, for experiment accounting.  Assembled on
+/// demand from the "net.*" registry counters — the registry is the storage,
+/// this struct is the view.
 struct NetworkStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
@@ -36,7 +40,10 @@ struct NetworkStats {
 /// The simulated network fabric.
 class Network {
  public:
-  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+  /// Binds to @p obs if given, else the ambient default, else a private
+  /// Obs owned by this network — so unit tests that build a bare Network
+  /// need no ceremony, while Platform/bench runs share one registry.
+  explicit Network(sim::Simulator& sim, obs::Obs* obs = nullptr);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -139,7 +146,8 @@ class Network {
   /// sender's own address).  Each copy traverses its own link.
   std::uint64_t multicast(McastId group, Message msg);
 
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  /// Traffic totals, assembled from the registry counters.
+  [[nodiscard]] NetworkStats stats() const noexcept;
 
   /// Per-directed-link dynamic counters (congestion inspection in tests).
   [[nodiscard]] const LinkState* link_state(NodeId from, NodeId to) const {
@@ -148,6 +156,9 @@ class Network {
   }
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// The observability context every layer above the network records into.
+  [[nodiscard]] obs::Obs& obs() noexcept { return *obs_; }
 
  private:
   static std::uint64_t key(NodeId from, NodeId to) noexcept {
@@ -163,6 +174,15 @@ class Network {
   void transmit(Message msg);
 
   sim::Simulator& sim_;
+  std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
+  obs::Obs* obs_;
+  // Registry-owned traffic counters ("net.sent", ...); stats() is a view.
+  util::Counter* sent_;
+  util::Counter* delivered_;
+  util::Counter* dropped_loss_;
+  util::Counter* dropped_partition_;
+  util::Counter* dropped_no_endpoint_;
+  util::Counter* bytes_sent_;
   LinkModel default_link_ = LinkModel::lan();
   LinkModel radio_model_ = LinkModel::radio();
   std::unordered_map<std::uint64_t, LinkModel> links_;
@@ -175,7 +195,6 @@ class Network {
   std::set<NodeId> side_a_;
   std::set<NodeId> side_b_;  // empty => complement of side_a_
   std::uint64_t next_msg_id_ = 1;
-  NetworkStats stats_;
 };
 
 }  // namespace coop::net

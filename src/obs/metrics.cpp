@@ -1,0 +1,195 @@
+#include "obs/metrics.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace coop::obs {
+
+namespace {
+
+/// JSON number formatting: integral values print without a fractional
+/// part so snapshots are stable across platforms; everything else gets
+/// shortest-ish %.6g formatting.
+void put_number(std::ostream& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+void put_key(std::ostream& out, const std::string& name) {
+  out << '"';
+  for (char c : name) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << "\":";
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::slot(const std::string& name,
+                                               MetricKind kind) {
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    assert(it->second.kind == kind &&
+           "metric re-registered under a different kind");
+    if (it->second.kind == kind) return it->second;
+    // Release fallback: park the conflicting registration under a
+    // suffixed key rather than hand out a mismatched reference.
+    return slot(name + "!kind_conflict", kind);
+  }
+  Metric& m = metrics_[name];
+  m.kind = kind;
+  return m;
+}
+
+util::Counter& MetricsRegistry::counter(const std::string& name) {
+  Metric& m = slot(name, MetricKind::kCounter);
+  if (!m.counter) m.counter = std::make_unique<util::Counter>();
+  return *m.counter;
+}
+
+util::Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Metric& m = slot(name, MetricKind::kGauge);
+  if (!m.gauge) m.gauge = std::make_unique<util::Gauge>();
+  return *m.gauge;
+}
+
+util::Summary& MetricsRegistry::summary(const std::string& name) {
+  Metric& m = slot(name, MetricKind::kSummary);
+  if (!m.summary) m.summary = std::make_unique<util::Summary>();
+  return *m.summary;
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                            double lo, double hi,
+                                            std::size_t buckets) {
+  Metric& m = slot(name, MetricKind::kHistogram);
+  if (!m.histogram) m.histogram = std::make_unique<util::Histogram>(lo, hi,
+                                                                    buckets);
+  return *m.histogram;
+}
+
+void MetricsRegistry::expose(const std::string& name,
+                             std::function<double()> poll) {
+  // A module re-created at the same identity (e.g. one channel per bench
+  // iteration) re-exposes a name its predecessor retired into a gauge;
+  // resume live polling — the new instance's view wins.
+  auto it = metrics_.find(name);
+  if (it != metrics_.end() && it->second.kind == MetricKind::kGauge) {
+    it->second.kind = MetricKind::kPolled;
+    it->second.gauge.reset();
+    it->second.poll = std::move(poll);
+    return;
+  }
+  Metric& m = slot(name, MetricKind::kPolled);
+  m.poll = std::move(poll);
+}
+
+void MetricsRegistry::retire_polled(const std::string& prefix) {
+  for (auto it = metrics_.lower_bound(prefix); it != metrics_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    if (it->second.kind == MetricKind::kPolled) {
+      const double last = it->second.poll ? it->second.poll() : 0.0;
+      it->second.kind = MetricKind::kGauge;
+      it->second.poll = nullptr;
+      it->second.gauge = std::make_unique<util::Gauge>();
+      it->second.gauge->set(last);
+    }
+    ++it;
+  }
+}
+
+double MetricsRegistry::value(const std::string& name) const {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) return 0.0;
+  const Metric& m = it->second;
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      return m.counter ? static_cast<double>(m.counter->value()) : 0.0;
+    case MetricKind::kGauge:
+      return m.gauge ? m.gauge->value() : 0.0;
+    case MetricKind::kPolled:
+      return m.poll ? m.poll() : 0.0;
+    case MetricKind::kSummary:
+    case MetricKind::kHistogram:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+void MetricsRegistry::for_each(
+    const std::function<void(const std::string&, MetricKind)>& fn) const {
+  for (const auto& [name, m] : metrics_) fn(name, m.kind);
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [name, m] : metrics_) {
+    if (!first) out << ',';
+    first = false;
+    put_key(out, name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        put_number(out, m.counter ? static_cast<double>(m.counter->value())
+                                  : 0.0);
+        break;
+      case MetricKind::kGauge:
+        put_number(out, m.gauge ? m.gauge->value() : 0.0);
+        break;
+      case MetricKind::kPolled:
+        put_number(out, m.poll ? m.poll() : 0.0);
+        break;
+      case MetricKind::kSummary: {
+        const util::Summary& s = *m.summary;
+        out << "{\"count\":" << s.count() << ",\"mean\":";
+        put_number(out, s.mean());
+        out << ",\"min\":";
+        put_number(out, s.min());
+        out << ",\"max\":";
+        put_number(out, s.max());
+        out << ",\"p50\":";
+        put_number(out, s.p50());
+        out << ",\"p95\":";
+        put_number(out, s.p95());
+        out << ",\"p99\":";
+        put_number(out, s.p99());
+        out << '}';
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const util::Histogram& h = *m.histogram;
+        out << "{\"lo\":";
+        put_number(out, h.lo());
+        out << ",\"hi\":";
+        put_number(out, h.hi());
+        out << ",\"total\":" << h.total() << ",\"nan\":" << h.nan_count()
+            << ",\"buckets\":[";
+        bool bfirst = true;
+        for (std::uint64_t c : h.buckets()) {
+          if (!bfirst) out << ',';
+          bfirst = false;
+          out << c;
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,115 @@
+// Platform-wide metrics registry — the management/QoS monitoring substrate
+// the paper calls for in §4.2.1 ("monitoring of usage patterns") and §4.2.2
+// (QoS monitoring).
+//
+// Modules register named, hierarchically-keyed instruments ("net.sent",
+// "rpc.client.1:1.rtt_us") instead of scattering ad-hoc Counter/Summary
+// fields per struct.  Two integration styles are supported:
+//
+//   * owned metrics — counter()/gauge()/summary()/histogram() create the
+//     instrument inside the registry and hand back a stable reference; the
+//     module updates it directly and its public stats accessor becomes a
+//     thin view over registry storage.  Values survive module teardown,
+//     which is what lets the bench harness snapshot an experiment after
+//     its Platform has been destroyed.
+//   * polled views — expose() registers a callback over a value that keeps
+//     living in the module's own stats struct (the hot storage).  The
+//     registry reads through the callback at snapshot time.  Modules must
+//     retire_polled() their prefix on destruction; retirement freezes each
+//     view's final value into an owned gauge so history is not lost.
+//
+// Keys are dot-separated paths; the registry itself imposes no schema, it
+// only guarantees deterministic (sorted) snapshot order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace coop::obs {
+
+/// What kind of instrument a registry slot holds.
+enum class MetricKind : std::uint8_t {
+  kCounter,
+  kGauge,
+  kSummary,
+  kHistogram,
+  kPolled,
+};
+
+/// Named, hierarchically-keyed instruments shared by every module of a
+/// platform.  Not copyable; references returned by the accessors stay
+/// valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under @p name, creating it on first
+  /// request.  Requesting an existing name as a different kind is a
+  /// registration bug (asserts in debug builds).
+  util::Counter& counter(const std::string& name);
+
+  /// Returns the gauge registered under @p name, creating it on demand.
+  util::Gauge& gauge(const std::string& name);
+
+  /// Returns the summary registered under @p name, creating it on demand.
+  util::Summary& summary(const std::string& name);
+
+  /// Returns the histogram registered under @p name; @p lo/@p hi/@p buckets
+  /// only apply on first creation.
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+
+  /// Registers a polled view: @p poll is read at snapshot time and must
+  /// stay callable until retire_polled() removes it.  Re-exposing a name
+  /// that was retired into a gauge resumes live polling (the newest
+  /// instance's view wins).
+  void expose(const std::string& name, std::function<double()> poll);
+
+  /// Removes every polled view whose name starts with @p prefix, freezing
+  /// each one's final value into an owned gauge of the same name.  Modules
+  /// call this from their destructors.
+  void retire_polled(const std::string& prefix);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return metrics_.count(name) != 0;
+  }
+
+  /// Number of registered instruments (all kinds).
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+
+  /// Current numeric value of a counter/gauge/polled view; 0 if the name
+  /// is unknown or the instrument is not scalar.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// Visits (name, kind) pairs in sorted key order.
+  void for_each(
+      const std::function<void(const std::string&, MetricKind)>& fn) const;
+
+  /// Whole-registry snapshot as one JSON object, keys sorted.  Counters,
+  /// gauges and polled views serialize as numbers; summaries and
+  /// histograms as objects with their derived statistics.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct Metric {
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<util::Counter> counter;
+    std::unique_ptr<util::Gauge> gauge;
+    std::unique_ptr<util::Summary> summary;
+    std::unique_ptr<util::Histogram> histogram;
+    std::function<double()> poll;
+  };
+
+  Metric& slot(const std::string& name, MetricKind kind);
+
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace coop::obs

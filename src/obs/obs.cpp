@@ -1,0 +1,39 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+
+namespace coop::obs {
+
+namespace {
+
+Obs* g_default_obs = nullptr;
+
+}  // namespace
+
+Obs* default_obs() noexcept { return g_default_obs; }
+
+ScopedDefaultObs::ScopedDefaultObs(Obs* obs) noexcept : prev_(g_default_obs) {
+  g_default_obs = obs;
+}
+
+ScopedDefaultObs::~ScopedDefaultObs() { g_default_obs = prev_; }
+
+bool write_bench_artifacts(const Obs& obs, const std::string& tag,
+                           const std::string& dir) {
+  const std::string base = dir + "/BENCH_" + tag;
+  {
+    std::ofstream out(base + ".json");
+    if (!out) return false;
+    out << obs.metrics.to_json() << '\n';
+    if (!out) return false;
+  }
+  {
+    std::ofstream out(base + ".trace.json");
+    if (!out) return false;
+    obs.tracer.export_chrome(out);
+    if (!out) return false;
+  }
+  return true;
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,52 @@
+// The coop_obs bundle: one MetricsRegistry + one Tracer per platform.
+//
+// Every Platform owns (or is handed) an Obs; modules reach it through
+// Network::obs() or an explicit constructor argument and record into the
+// shared registry/ring.  A scoped process default exists solely for the
+// bench harness, which must aggregate across the many short-lived
+// Platforms one benchmark constructs — it is installed RAII-style by the
+// harness main and never mutated by library code, preserving the
+// "no hidden global state" rule for everything but that one explicit
+// harness hook.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace coop::obs {
+
+/// The per-platform observability context.
+struct Obs {
+  MetricsRegistry metrics;
+  Tracer tracer;
+};
+
+/// The current ambient default (nullptr unless a ScopedDefaultObs is
+/// live).  Platform falls back to this when constructed without an
+/// explicit Obs.
+[[nodiscard]] Obs* default_obs() noexcept;
+
+/// RAII installer for the ambient default; restores the previous value on
+/// destruction.  Used by the bench harness main().
+class ScopedDefaultObs {
+ public:
+  explicit ScopedDefaultObs(Obs* obs) noexcept;
+  ~ScopedDefaultObs();
+
+  ScopedDefaultObs(const ScopedDefaultObs&) = delete;
+  ScopedDefaultObs& operator=(const ScopedDefaultObs&) = delete;
+
+ private:
+  Obs* prev_;
+};
+
+/// Dumps an experiment's observability state for offline inspection:
+/// `BENCH_<tag>.json` (metrics snapshot) and `BENCH_<tag>.trace.json`
+/// (Chrome trace_event format) written into @p dir.  Returns false if
+/// either file could not be written.
+bool write_bench_artifacts(const Obs& obs, const std::string& tag,
+                           const std::string& dir = ".");
+
+}  // namespace coop::obs

@@ -1,0 +1,116 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace coop::obs {
+
+namespace {
+
+void put_attr_value(std::ostream& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+void put_args(std::ostream& out, const TraceEvent& e) {
+  out << '{';
+  for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+    if (i > 0) out << ',';
+    out << '"' << e.attrs[i].key << "\":";
+    put_attr_value(out, e.attrs[i].value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+const char* category_name(Category c) noexcept {
+  switch (c) {
+    case Category::kSim:
+      return "sim";
+    case Category::kNet:
+      return "net";
+    case Category::kRpc:
+      return "rpc";
+    case Category::kGroup:
+      return "group";
+    case Category::kLock:
+      return "lock";
+    case Category::kStream:
+      return "stream";
+    case Category::kApp:
+      return "app";
+  }
+  return "?";
+}
+
+void Tracer::record(sim::TimePoint ts, sim::Duration dur, Category c,
+                    const char* name, std::initializer_list<Attr> attrs) {
+  if (!enabled(c)) return;
+  if (ring_.empty()) ring_.resize(capacity_);
+  TraceEvent& e = ring_[head_];
+  e.ts = ts;
+  e.dur = dur;
+  e.category = c;
+  e.name = name;
+  e.attr_count = 0;
+  for (const Attr& a : attrs) {
+    if (e.attr_count >= e.attrs.size()) break;
+    e.attrs[e.attr_count++] = a;
+  }
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest record sits at head_ once the ring has wrapped, else at 0.
+  const std::size_t start = count_ == capacity_ ? head_ : 0;
+  for (std::size_t i = 0; i < count_; ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+void Tracer::export_jsonl(std::ostream& out) const {
+  for (const TraceEvent& e : snapshot()) {
+    out << "{\"ts\":" << e.ts << ",\"dur\":" << e.dur << ",\"cat\":\""
+        << category_name(e.category) << "\",\"name\":\"" << e.name
+        << "\",\"args\":";
+    put_args(out, e);
+    out << "}\n";
+  }
+}
+
+void Tracer::export_chrome(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot()) {
+    if (!first) out << ',';
+    first = false;
+    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\""
+        << category_name(e.category) << "\",\"ph\":\""
+        << (e.dur > 0 ? 'X' : 'i') << "\",\"ts\":" << e.ts;
+    if (e.dur > 0)
+      out << ",\"dur\":" << e.dur;
+    else
+      out << ",\"s\":\"t\"";  // instant scope: thread
+    out << ",\"pid\":1,\"tid\":1,\"args\":";
+    put_args(out, e);
+    out << '}';
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,147 @@
+// Structured sim-time tracing with a fixed-capacity ring buffer.
+//
+// Hot seams across the platform (simulator steps, network send/deliver/
+// drop, RPC request/reply/retry, group multicast/ack, lock acquire/block/
+// release) record span/event records here.  Records are tiny PODs —
+// category is a closed enum, names and attribute keys must be string
+// literals — so recording never allocates and the ring can sit on every
+// hot path.  The ring keeps the most recent `capacity` records; older
+// ones are evicted (counted in dropped()).
+//
+// Two offline formats are exported: JSONL (one record per line, easy to
+// grep/jq) and the Chrome trace_event JSON array, which opens directly in
+// about:tracing / Perfetto.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coop::obs {
+
+/// Trace categories — a closed set so filtering is a bitmask test and
+/// records never carry strings.
+enum class Category : std::uint8_t {
+  kSim = 0,
+  kNet,
+  kRpc,
+  kGroup,
+  kLock,
+  kStream,
+  kApp,
+};
+
+inline constexpr std::size_t kCategoryCount = 7;
+
+/// Stable short name used in exports ("sim", "net", ...).
+[[nodiscard]] const char* category_name(Category c) noexcept;
+
+/// One key/value attribute.  The key must outlive the tracer (use string
+/// literals); the value is always numeric — addresses, sizes, durations
+/// and ids all fit, and it keeps records fixed-size.
+struct Attr {
+  const char* key = "";
+  double value = 0;
+};
+
+/// A single trace record.  `dur == 0` marks an instant event; `dur > 0`
+/// marks a span covering [ts, ts + dur].
+struct TraceEvent {
+  sim::TimePoint ts = 0;
+  sim::Duration dur = 0;
+  Category category = Category::kSim;
+  std::uint8_t attr_count = 0;
+  const char* name = "";
+  std::array<Attr, 4> attrs{};
+};
+
+/// Ring-buffered trace sink.  Storage is allocated lazily on the first
+/// record, so idle tracers cost a few pointers.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch; a disabled tracer records nothing.
+  void set_enabled(bool on) noexcept { master_enabled_ = on; }
+
+  /// Per-category filter (all categories start enabled).
+  void set_category_enabled(Category c, bool on) noexcept {
+    const auto bit = static_cast<std::uint8_t>(1u << static_cast<int>(c));
+    if (on)
+      mask_ = static_cast<std::uint8_t>(mask_ | bit);
+    else
+      mask_ = static_cast<std::uint8_t>(mask_ & ~bit);
+  }
+
+  [[nodiscard]] bool enabled(Category c) const noexcept {
+    return master_enabled_ &&
+           (mask_ & (1u << static_cast<int>(c))) != 0;
+  }
+
+  /// Records an instant event at @p ts.  At most 4 attributes are kept.
+  void event(sim::TimePoint ts, Category c, const char* name,
+             std::initializer_list<Attr> attrs = {}) {
+    record(ts, 0, c, name, attrs);
+  }
+
+  /// Records a span covering [start, end] (clamped to zero length if the
+  /// interval is inverted).
+  void span(sim::TimePoint start, sim::TimePoint end, Category c,
+            const char* name, std::initializer_list<Attr> attrs = {}) {
+    record(start, end > start ? end - start : 0, c, name, attrs);
+  }
+
+  /// Records currently retained (<= capacity()).
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Total records ever accepted (past filtering).
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+
+  /// Records evicted by ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return recorded_ - count_;
+  }
+
+  void clear() noexcept {
+    count_ = 0;
+    head_ = 0;
+    recorded_ = 0;
+  }
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// One JSON object per line, oldest first.
+  void export_jsonl(std::ostream& out) const;
+
+  /// Chrome trace_event format (the "traceEvents" array form); opens in
+  /// about:tracing and Perfetto.  Timestamps are already microseconds,
+  /// matching the format's native unit.
+  void export_chrome(std::ostream& out) const;
+
+ private:
+  void record(sim::TimePoint ts, sim::Duration dur, Category c,
+              const char* name, std::initializer_list<Attr> attrs);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // allocated on first record
+  std::size_t head_ = 0;          // next write slot
+  std::size_t count_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint8_t mask_ = 0x7f;      // all categories on
+  bool master_enabled_ = true;
+};
+
+}  // namespace coop::obs

@@ -10,12 +10,22 @@ namespace {
 
 enum WireType : std::uint8_t { kRequest = 1, kReply = 2 };
 
+/// Builds a per-instance registry key: "<base>.<node>:<port>.<leaf>".
+std::string metric_key(const char* base, const net::Address& addr,
+                       const char* leaf) {
+  return std::string(base) + "." + std::to_string(addr.node) + ":" +
+         std::to_string(addr.port) + "." + leaf;
+}
+
 }  // namespace
 
 // ------------------------------------------------------------------- server
 
 RpcServer::RpcServer(net::Network& net, net::Address self)
     : net_(net), self_(self) {
+  auto& m = net_.obs().metrics;
+  handled_ = &m.counter(metric_key("rpc.server", self_, "handled"));
+  replays_ = &m.counter(metric_key("rpc.server", self_, "replays"));
   net_.attach(self_, *this);
 }
 
@@ -40,7 +50,9 @@ void RpcServer::on_message(const net::Message& msg) {
 
   // Retried request already executed: replay the cached reply verbatim.
   if (auto it = replay_.find({msg.src, req_id}); it != replay_.end()) {
-    ++replays_;
+    replays_->inc();
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
+                            "replay", {{"req", static_cast<double>(req_id)}});
     net_.send({.src = self_, .dst = msg.src, .payload = it->second});
     return;
   }
@@ -49,7 +61,7 @@ void RpcServer::on_message(const net::Message& msg) {
       async != async_methods_.end()) {
     const std::pair<net::Address, std::uint64_t> key{msg.src, req_id};
     if (!in_progress_.insert(key).second) return;  // retry while running
-    ++handled_;
+    handled_->inc();
     async->second(body, [this, key](HandlerResult hr) {
       in_progress_.erase(key);
       reply(key.first, key.second,
@@ -66,7 +78,7 @@ void RpcServer::on_message(const net::Message& msg) {
 
   // Execute now (state mutation is immediate and exactly-once); the reply
   // leaves after the modelled processing delay.
-  ++handled_;
+  handled_->inc();
   const HandlerResult hr = handler->second(body);
   const Status status = hr.ok ? Status::kOk : Status::kAppError;
   if (processing_ > 0) {
@@ -83,6 +95,9 @@ void RpcServer::on_message(const net::Message& msg) {
 
 RpcClient::RpcClient(net::Network& net, net::Address self)
     : net_(net), self_(self) {
+  auto& m = net_.obs().metrics;
+  rtts_ = &m.summary(metric_key("rpc.client", self_, "rtt_us"));
+  timeouts_ = &m.counter(metric_key("rpc.client", self_, "timeouts"));
   net_.attach(self_, *this);
 }
 
@@ -110,6 +125,9 @@ void RpcClient::call(const net::Address& server, const std::string& method,
   o.issued_at = net_.simulator().now();
   o.current_timeout = opts.timeout;
   outstanding_[req_id] = std::move(o);
+  net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc, "call",
+                          {{"req", static_cast<double>(req_id)},
+                           {"server", static_cast<double>(server.node)}});
   transmit(req_id);
 }
 
@@ -132,7 +150,10 @@ void RpcClient::arm_timeout(std::uint64_t req_id) {
     Outstanding& out = oit->second;
     out.timer = sim::kInvalidEvent;
     if (out.attempt >= out.opts.retries) {
-      ++timeouts_;
+      timeouts_->inc();
+      net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
+                              "timeout",
+                              {{"req", static_cast<double>(req_id)}});
       complete(req_id, {.status = Status::kTimeout,
                         .reply = {},
                         .rtt = net_.simulator().now() - out.issued_at});
@@ -141,6 +162,10 @@ void RpcClient::arm_timeout(std::uint64_t req_id) {
     ++out.attempt;
     out.current_timeout = static_cast<sim::Duration>(
         static_cast<double>(out.current_timeout) * out.opts.backoff);
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
+                            "retry",
+                            {{"req", static_cast<double>(req_id)},
+                             {"attempt", static_cast<double>(out.attempt)}});
     transmit(req_id);
   });
 }
@@ -151,8 +176,15 @@ void RpcClient::complete(std::uint64_t req_id, const RpcResult& result) {
   Callback done = std::move(it->second.done);
   if (it->second.timer != sim::kInvalidEvent)
     net_.simulator().cancel(it->second.timer);
+  const sim::TimePoint issued_at = it->second.issued_at;
   outstanding_.erase(it);
-  if (result.ok()) rtts_.add(static_cast<double>(result.rtt));
+  if (result.ok()) rtts_->add(static_cast<double>(result.rtt));
+  net_.obs().tracer.span(issued_at, net_.simulator().now(),
+                         obs::Category::kRpc, "rpc",
+                         {{"req", static_cast<double>(req_id)},
+                          {"status",
+                           static_cast<double>(
+                               static_cast<std::uint8_t>(result.status))}});
   if (done) done(result);
 }
 

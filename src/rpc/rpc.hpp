@@ -89,10 +89,10 @@ class RpcServer : public net::Endpoint {
 
   [[nodiscard]] net::Address address() const noexcept { return self_; }
   [[nodiscard]] std::uint64_t requests_handled() const noexcept {
-    return handled_;
+    return handled_->value();
   }
   [[nodiscard]] std::uint64_t replays_served() const noexcept {
-    return replays_;
+    return replays_->value();
   }
 
   void on_message(const net::Message& msg) override;
@@ -111,8 +111,9 @@ class RpcServer : public net::Endpoint {
   std::map<std::pair<net::Address, std::uint64_t>, std::string> replay_;
   // Async requests currently executing (retries are absorbed).
   std::set<std::pair<net::Address, std::uint64_t>> in_progress_;
-  std::uint64_t handled_ = 0;
-  std::uint64_t replays_ = 0;
+  // Registry-owned ("rpc.server.<node>:<port>.*"); accessors are views.
+  util::Counter* handled_;
+  util::Counter* replays_;
 };
 
 /// Client side: issues calls and dispatches completions.
@@ -137,9 +138,11 @@ class RpcClient : public net::Endpoint {
     return net_.simulator();
   }
   [[nodiscard]] const util::Summary& rtt_summary() const noexcept {
-    return rtts_;
+    return *rtts_;
   }
-  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return timeouts_->value();
+  }
 
   void on_message(const net::Message& msg) override;
 
@@ -163,8 +166,9 @@ class RpcClient : public net::Endpoint {
   net::Address self_;
   std::map<std::uint64_t, Outstanding> outstanding_;
   std::uint64_t next_req_id_ = 1;
-  util::Summary rtts_;
-  std::uint64_t timeouts_ = 0;
+  // Registry-owned ("rpc.client.<node>:<port>.*"); accessors are views.
+  util::Summary* rtts_;
+  util::Counter* timeouts_;
 };
 
 }  // namespace coop::rpc

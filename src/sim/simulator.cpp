@@ -10,26 +10,28 @@ EventId Simulator::schedule_at(TimePoint when, EventFn fn) {
   const std::uint64_t seq = next_seq_++;
   const EventId id = seq;  // seq doubles as the handle; unique per kernel
   queue_.push(Entry{when, seq, id, std::make_shared<EventFn>(std::move(fn))});
+  live_.insert(id);
   return id;
 }
 
 bool Simulator::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_seq_) return false;
-  // Lazy deletion: mark and skip when popped.  A second cancel of the same
-  // id (or of an already-fired event) reports failure.
-  return cancelled_.insert(id).second && true;
+  // Only genuinely pending events can be cancelled.  Erasing from the live
+  // set (rather than accumulating a tombstone) means cancelling an
+  // already-fired id is a clean no-op — the old tombstone scheme reported
+  // success for fired events and skewed pending() forever after.
+  return id != kInvalidEvent && live_.erase(id) > 0;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
     Entry top = queue_.top();
     queue_.pop();
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+    // Lazy deletion: a queue entry whose id is no longer live was
+    // cancelled; discard it.
+    if (live_.erase(top.id) == 0) continue;
     now_ = top.when;
     ++processed_;
+    if (step_hook_) step_hook_(top.id, top.when, live_.size());
     (*top.fn)();
     return true;
   }
@@ -46,9 +48,8 @@ std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
-    if (cancelled_.count(top.id) != 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
+    if (live_.count(top.id) == 0) {
+      queue_.pop();  // cancelled; discard without advancing the clock
       continue;
     }
     if (top.when > t) break;

@@ -32,6 +32,12 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Callback executed when an event fires.
 using EventFn = std::function<void()>;
 
+/// Observer invoked once per executed event, just before its callback runs:
+/// (event id, its timestamp, events still pending after this one).  Lets an
+/// observability layer trace kernel activity without the kernel depending
+/// on it.
+using StepHook = std::function<void(EventId, TimePoint, std::size_t)>;
+
 /// The event-driven virtual-time kernel.
 ///
 /// Typical use:
@@ -59,7 +65,9 @@ class Simulator {
     return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 
-  /// Cancels a pending event.  Returns true if the event was still pending.
+  /// Cancels a pending event.  Returns true only if the event was still
+  /// pending — cancelling an already-fired, already-cancelled or invalid
+  /// id returns false and leaves no residue in the kernel's accounting.
   bool cancel(EventId id);
 
   /// Executes the single earliest pending event.  Returns false if the
@@ -85,10 +93,12 @@ class Simulator {
     return processed_;
   }
 
-  /// Number of events currently pending.
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_.size();
-  }
+  /// Number of events currently pending.  Exact: cancelled entries still
+  /// sitting in the queue (lazy deletion) are not counted.
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Installs (or clears, with nullptr) the per-step observer.
+  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
 
   static constexpr std::size_t kNoEventLimit = ~static_cast<std::size_t>(0);
 
@@ -108,7 +118,11 @@ class Simulator {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // Ids of scheduled-but-not-yet-fired events.  Cancellation is lazy in
+  // the queue (entries are skipped when popped) but eager here, so
+  // membership answers "is this event still pending" exactly.
+  std::unordered_set<EventId> live_;
+  StepHook step_hook_;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;

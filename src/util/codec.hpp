@@ -10,6 +10,7 @@
 // decoding a struct (the common pattern in the rpc/groups modules).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -28,6 +29,7 @@ class Writer {
   template <typename T>
     requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
   Writer& put(T value) {
+    assert(!taken_ && "Writer reused after take()");
     const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
     buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
     return *this;
@@ -35,6 +37,7 @@ class Writer {
 
   /// Appends a length-prefixed string.
   Writer& put_string(std::string_view s) {
+    assert(!taken_ && "Writer reused after take()");
     put(static_cast<std::uint32_t>(s.size()));
     buf_.insert(buf_.end(), s.begin(), s.end());
     return *this;
@@ -42,6 +45,7 @@ class Writer {
 
   /// Appends a length-prefixed blob.
   Writer& put_bytes(const std::vector<std::uint8_t>& b) {
+    assert(!taken_ && "Writer reused after take()");
     put(static_cast<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
     return *this;
@@ -56,15 +60,24 @@ class Writer {
     return *this;
   }
 
-  /// Finishes encoding; the Writer may not be reused afterwards.
+  /// Finishes encoding and empties the buffer; the Writer may not be
+  /// reused afterwards.  Moving the storage out (rather than copying)
+  /// means a stale Writer cannot silently re-serialize its old bytes —
+  /// a second take() returns an empty string, and debug builds assert.
   [[nodiscard]] std::string take() {
-    return std::string(buf_.begin(), buf_.end());
+    assert(!taken_ && "Writer::take() called twice");
+    taken_ = true;
+    std::string out(buf_.begin(), buf_.end());
+    buf_.clear();
+    buf_.shrink_to_fit();
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
  private:
   std::vector<std::uint8_t> buf_;
+  bool taken_ = false;
 };
 
 /// Deserializes values written by Writer, in the same order.

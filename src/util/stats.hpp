@@ -113,24 +113,56 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
+/// A value that can move both ways (queue depths, high-water marks,
+/// operating points).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  /// Keeps the maximum of the current value and @p v (high-water marks).
+  void max_of(double v) noexcept { value_ = std::max(value_, v); }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
 /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
 /// edge buckets.  Used by QoS monitors where sample retention is too heavy.
+///
+/// Degenerate ranges (hi <= lo) are normalized to a unit-width window so
+/// add() never divides by zero; NaN samples are tallied in nan_count()
+/// and never bucketed (a NaN has no meaningful bucket, and converting it
+/// to an integer index would be undefined behaviour).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
-      : lo_(lo), hi_(hi), counts_(buckets, 0) {}
+      : lo_(lo),
+        hi_(hi > lo ? hi : lo + 1.0),
+        counts_(buckets > 0 ? buckets : 1, 0) {}
 
   void add(double x) {
+    if (std::isnan(x)) {
+      ++nan_;
+      return;
+    }
     ++total_;
-    const double t = (x - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(
-        t * static_cast<double>(counts_.size()));
-    idx = std::clamp<std::int64_t>(
-        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    const double n = static_cast<double>(counts_.size());
+    // Clamp in double space *before* the integer cast: a far-out-of-range
+    // sample (huge latency vs a narrow QoS window, or +-inf) would make
+    // the double->int64 conversion undefined behaviour.
+    const double scaled =
+        std::clamp((x - lo_) / (hi_ - lo_) * n, 0.0, n - 1.0);
+    ++counts_[static_cast<std::size_t>(scaled)];
   }
 
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// NaN samples seen (counted separately, never bucketed).
+  [[nodiscard]] std::uint64_t nan_count() const noexcept { return nan_; }
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
 
   /// Nearest-bucket quantile (bucket midpoint).
   [[nodiscard]] double quantile(double q) const {
@@ -157,6 +189,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_ = 0;
 };
 
 }  // namespace coop::util

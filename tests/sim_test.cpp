@@ -73,6 +73,82 @@ TEST(Simulator, CancelReturnsFalseForUnknownOrDoubleCancel) {
   EXPECT_FALSE(sim.cancel(9999));
 }
 
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(msec(1), [] {});
+  sim.run();
+  // The event already executed; cancelling its id must fail and must not
+  // poison the pending() accounting.
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, PendingNeverUnderflowsAfterStaleCancels) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i)
+    ids.push_back(sim.schedule_at(msec(i + 1), [] {}));
+  sim.run();
+  for (const EventId id : ids) EXPECT_FALSE(sim.cancel(id));
+  // With the old tombstone accounting these stale cancels made
+  // pending() wrap around to ~2^64.
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.schedule_at(sim.now() + msec(1), [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PendingExactWithLazyCancelledEntriesInQueue) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(msec(10), [] {});
+  sim.schedule_at(msec(20), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  // The cancelled entry still sits in the queue (lazy deletion) but must
+  // not be counted.
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.cancel(a));  // double cancel
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, PeriodicStartStopCyclesKeepPendingExact) {
+  // Regression for the cancel-accounting bug: 10k start/stop cycles of a
+  // periodic timer used to leave the kernel's pending() permanently
+  // skewed (stale tombstones / size_t underflow).
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, msec(10), [&] { ++ticks; });
+  for (int i = 0; i < 10000; ++i) {
+    timer.start();
+    if (i % 2 == 0) sim.run_for(msec(15));  // let one tick fire
+    timer.stop();
+    EXPECT_EQ(sim.pending(), 0u) << "cycle " << i;
+  }
+  EXPECT_EQ(ticks, 5000);
+  sim.schedule_after(msec(1), [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+}
+
+TEST(Simulator, StepHookSeesEveryExecutedEvent) {
+  Simulator sim;
+  std::vector<EventId> hooked;
+  std::vector<TimePoint> times;
+  sim.set_step_hook([&](EventId id, TimePoint when, std::size_t pending) {
+    hooked.push_back(id);
+    times.push_back(when);
+    EXPECT_EQ(pending, sim.pending());
+  });
+  const EventId a = sim.schedule_at(msec(1), [] {});
+  const EventId b = sim.schedule_at(msec(2), [] {});
+  const EventId c = sim.schedule_at(msec(3), [] {});
+  sim.cancel(b);  // cancelled events must not reach the hook
+  sim.run();
+  EXPECT_EQ(hooked, (std::vector<EventId>{a, c}));
+  EXPECT_EQ(times, (std::vector<TimePoint>{msec(1), msec(3)}));
+}
+
 TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
   Simulator sim;
   int fired = 0;

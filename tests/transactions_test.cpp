@@ -187,7 +187,11 @@ TEST_P(SerializabilityProperty, CommitOrderReplayMatches) {
     // Chain the ops with think time between them.
     std::shared_ptr<std::function<void(int)>> step =
         std::make_shared<std::function<void(int)>>();
-    *step = [&, t, ops, finish, step](int i) {
+    // The stored lambda must not capture `step` strongly — the function
+    // would own itself and the whole chain leaks.  Scheduled continuations
+    // hold the strong reference; the lambda keeps only a weak one.
+    std::weak_ptr<std::function<void(int)>> weak_step = step;
+    *step = [&, t, ops, finish, weak_step](int i) {
       if (tm.state(t) != TxnState::kActive) {
         finish(true);
         return;
@@ -199,13 +203,16 @@ TEST_P(SerializabilityProperty, CommitOrderReplayMatches) {
       const std::string key =
           "k" + std::to_string(sim.rng().uniform_int(0, kKeys - 1));
       const bool is_write = sim.rng().bernoulli(0.5);
-      auto next = [&, i, step, finish](bool ok) {
+      // `next` is stored by the transaction manager and invoked later, so
+      // it carries the strong reference that keeps the chain alive.
+      auto self = weak_step.lock();
+      auto next = [&, i, self, finish](bool ok) {
         if (!ok) {
           finish(true);
           return;
         }
         sim.schedule_after(sim.rng().uniform_int(1, 200),
-                           [step, i] { (*step)(i + 1); });
+                           [self, i] { (*self)(i + 1); });
       };
       if (is_write) {
         tm.write(t, key, "c" + std::to_string(t) + "i" + std::to_string(i),

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 
 #include "util/codec.hpp"
@@ -158,6 +159,65 @@ TEST(Stats, HistogramClampsOutOfRange) {
   EXPECT_EQ(h.total(), 2u);
   EXPECT_EQ(h.buckets().front(), 1u);
   EXPECT_EQ(h.buckets().back(), 1u);
+}
+
+TEST(Stats, HistogramClampsExtremeSamplesWithoutUB) {
+  // Samples far outside [lo, hi) — including infinities — used to be cast
+  // to int64 before clamping, which is undefined behaviour.  They must
+  // land in the edge buckets.
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.buckets().front(), 2u);
+  EXPECT_EQ(h.buckets().back(), 2u);
+}
+
+TEST(Stats, HistogramCountsNaNSeparately) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 1u);  // NaN is not bucketed
+  EXPECT_EQ(h.nan_count(), 1u);
+  std::uint64_t bucketed = 0;
+  for (std::uint64_t b : h.buckets()) bucketed += b;
+  EXPECT_EQ(bucketed, 1u);
+}
+
+TEST(Stats, HistogramNormalizesDegenerateRange) {
+  // hi <= lo and zero buckets must not divide by zero or crash.
+  Histogram h(5.0, 5.0, 0);
+  h.add(5.0);
+  h.add(4.0);
+  h.add(6.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets().front(), 3u);
+  EXPECT_GT(h.hi(), h.lo());
+}
+
+TEST(Stats, GaugeMovesBothWays) {
+  Gauge g;
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.max_of(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.max_of(12.0);
+  EXPECT_DOUBLE_EQ(g.value(), 12.0);
+}
+
+TEST(Codec, TakeEmptiesTheWriter) {
+  Writer w;
+  w.put<std::uint32_t>(7).put_string("x");
+  EXPECT_GT(w.size(), 0u);
+  const std::string wire = w.take();
+  EXPECT_FALSE(wire.empty());
+  // The storage moved out: a stale Writer can no longer silently
+  // re-serialize its old bytes.
+  EXPECT_EQ(w.size(), 0u);
 }
 
 }  // namespace
