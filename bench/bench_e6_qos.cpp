@@ -9,7 +9,11 @@
 //   monitor     — violations are detected and counted but nothing reacts
 //                 (monitoring without management);
 //   adaptive    — the full loop: monitor verdicts drive media scaling
-//                 down during congestion and probe back up after.
+//                 down during congestion and probe back up after;
+//   managed     — the mgmt::QosManager control plane supervises the
+//                 binding: same AIMD loop, but every transition is
+//                 recorded in registry metrics (mgmt.qos.video.*) and
+//                 kStream trace events.
 //
 // Reported series: mean latency during congestion, late frames, monitor
 // violations, fps at the end.
@@ -44,7 +48,7 @@ struct Result {
   double frames_delivered = 0;
 };
 
-enum class Management { kNone, kMonitorOnly, kAdaptive };
+enum class Management { kNone, kMonitorOnly, kAdaptive, kManaged };
 
 Result run_qos(Management mgmt) {
   Platform platform(13);
@@ -60,11 +64,15 @@ Result run_qos(Management mgmt) {
   streams::QosManager qos_mgr(10e6);
   std::unique_ptr<streams::QosMonitor> monitor;
   std::unique_ptr<streams::QosAdaptor> adaptor;
+  std::unique_ptr<mgmt::QosManager> plane;
   if (mgmt != Management::kNone) {
     monitor = std::make_unique<streams::QosMonitor>(sim, sink, video());
     if (mgmt == Management::kAdaptive) {
       adaptor = std::make_unique<streams::QosAdaptor>(*monitor, qos_mgr,
                                                       src, video());
+    } else if (mgmt == Management::kManaged) {
+      plane = std::make_unique<mgmt::QosManager>(sim, platform.obs());
+      plane->manage("video", *monitor, src, video());
     }
   }
 
@@ -118,12 +126,14 @@ void BM_MonitorOnly(benchmark::State& s) {
 void BM_AdaptiveRenegotiation(benchmark::State& s) {
   run(s, Management::kAdaptive);
 }
+void BM_ManagedPlane(benchmark::State& s) { run(s, Management::kManaged); }
 
 BENCHMARK(BM_NoManagement)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MonitorOnly)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AdaptiveRenegotiation)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ManagedPlane)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

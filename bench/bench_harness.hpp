@@ -3,14 +3,18 @@
 // COOP_BENCH_MAIN replaces BENCHMARK_MAIN so every bench binary (a) runs
 // with one process-wide Obs installed as the ambient default — the many
 // short-lived Platforms a benchmark constructs all aggregate into it —
-// and (b) dumps that Obs on exit as BENCH_<tag>.json (metrics snapshot)
-// plus BENCH_<tag>.trace.json (Chrome trace_event; open in about:tracing
-// or Perfetto) in the working directory.
+// and (b) dumps that Obs on exit as BENCH_<tag>.json (run metadata,
+// critical-path latency breakdown, metrics snapshot) plus
+// BENCH_<tag>.trace.json (Chrome trace_event; open in about:tracing or
+// Perfetto) in the working directory.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "obs/obs.hpp"
 
@@ -18,11 +22,29 @@
   int main(int argc, char** argv) {                                  \
     coop::obs::Obs obs;                                              \
     coop::obs::ScopedDefaultObs ambient(&obs);                       \
+    obs.meta.knobs["tag"] = exp_tag;                                 \
+    obs.meta.knobs["trace_cap"] =                                    \
+        std::to_string(obs.tracer.capacity());                       \
+    if (const char* cap = std::getenv("COOP_TRACE_CAP"))             \
+      obs.meta.knobs["COOP_TRACE_CAP"] = cap;                        \
+    {                                                                \
+      std::string args;                                              \
+      for (int i = 1; i < argc; ++i) {                               \
+        if (i > 1) args += ' ';                                      \
+        args += argv[i];                                             \
+      }                                                              \
+      if (!args.empty()) obs.meta.knobs["argv"] = args;              \
+    }                                                                \
+    const auto wall_start = std::chrono::steady_clock::now();        \
     ::benchmark::Initialize(&argc, argv);                            \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv))        \
       return 1;                                                      \
     ::benchmark::RunSpecifiedBenchmarks();                           \
     ::benchmark::Shutdown();                                         \
+    obs.meta.wall_ms =                                               \
+        std::chrono::duration<double, std::milli>(                   \
+            std::chrono::steady_clock::now() - wall_start)           \
+            .count();                                                \
     if (!coop::obs::write_bench_artifacts(obs, exp_tag)) {           \
       std::fprintf(stderr, "warning: failed to write BENCH_%s.*\n",  \
                    exp_tag);                                         \

@@ -156,5 +156,12 @@ int main() {
               doc.children(abstract_node).size(),
               alice.notification_time().p95() / 1000.0,
               static_cast<std::size_t>(2));
+
+  const char* trace_path = "coauthoring.trace.json";
+  if (obs::write_trace_json(platform.tracer(), trace_path)) {
+    std::printf("trace written to %s (open in Perfetto)\n", trace_path);
+  } else {
+    std::fprintf(stderr, "warning: failed to write %s\n", trace_path);
+  }
   return converged ? 0 : 1;
 }

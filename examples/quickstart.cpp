@@ -78,5 +78,13 @@ int main() {
   for (const auto& s : bob_sees) std::printf("  %s\n", s.c_str());
   std::printf("replicas agree: %s\n",
               alice_sees == bob_sees ? "yes" : "NO (bug!)");
+
+  // --- 6. Leave the causal trace behind ------------------------------------
+  const char* trace_path = "quickstart.trace.json";
+  if (obs::write_trace_json(platform.tracer(), trace_path)) {
+    std::printf("trace written to %s (open in Perfetto)\n", trace_path);
+  } else {
+    std::fprintf(stderr, "warning: failed to write %s\n", trace_path);
+  }
   return alice_sees == bob_sees ? 0 : 1;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the checks a change must pass before review.
+#
+#   1. Release-ish build + full ctest suite (the determinism and
+#      correctness contract).
+#   2. AddressSanitizer/UBSan build + tests (COOP_SANITIZE=ON), because
+#      the ring tracer, hold-back queues and timer wheels are exactly the
+#      kind of code that hides lifetime bugs.
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+#
+# Build trees land in build-check/ and build-asan/ so the developer's
+# own build/ directory is left alone.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+SKIP_SANITIZE=0
+[[ "${1:-}" == "--skip-sanitize" ]] && SKIP_SANITIZE=1
+
+run() {
+  echo "+ $*"
+  "$@"
+}
+
+echo "== tier-1: build + tests =="
+run cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build-check -j "${JOBS}"
+run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
+
+if [[ "${SKIP_SANITIZE}" == "1" ]]; then
+  echo "== sanitizer pass skipped (--skip-sanitize) =="
+  exit 0
+fi
+
+echo "== tier-2: ASan/UBSan build + tests =="
+run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DCOOP_SANITIZE=ON
+run cmake --build build-asan -j "${JOBS}"
+run ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo "== all checks passed =="

@@ -47,10 +47,12 @@
 #include "groupware/session.hpp"
 #include "groupware/views.hpp"
 #include "mgmt/placement.hpp"
+#include "mgmt/qos_manager.hpp"
 #include "mobile/host.hpp"
 #include "mobile/share_server.hpp"
 #include "net/fifo_channel.hpp"
 #include "net/network.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/obs.hpp"
 #include "rpc/group_rpc.hpp"
 #include "rpc/rpc.hpp"
@@ -79,6 +81,7 @@ class Platform {
                                           : obs::default_obs())),
         sim_(seed),
         net_(sim_, obs_) {
+    obs_->meta.note_platform(seed);
     sim_.set_step_hook([this](sim::EventId id, sim::TimePoint when,
                               std::size_t pending) {
       obs_->tracer.event(when, obs::Category::kSim, "step",

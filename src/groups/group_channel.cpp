@@ -107,14 +107,21 @@ std::string GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
   return w.take();
 }
 
-std::uint64_t GroupChannel::broadcast(std::string payload) {
+std::uint64_t GroupChannel::broadcast(std::string payload,
+                                      const obs::CausalContext& parent) {
   assert(!members_.empty() && "set_members before broadcast");
   const std::uint64_t seq = next_seq_++;
   ++stats_.broadcasts;
   const sim::TimePoint now = net_.simulator().now();
-  net_.obs().tracer.event(now, obs::Category::kGroup, "broadcast",
-                          {{"sender", static_cast<double>(self_index_)},
-                           {"seq", static_cast<double>(seq)}});
+  obs::Tracer& tracer = net_.obs().tracer;
+  // The broadcast is the causal root of every member's delivery (or a
+  // child of the caller's context when the broadcast continues a trace).
+  const obs::CausalContext bctx = parent.valid()
+                                      ? parent.child(tracer.mint_id())
+                                      : tracer.begin_trace();
+  tracer.event(now, obs::Category::kGroup, "broadcast", bctx,
+               {{"sender", static_cast<double>(self_index_)},
+                {"seq", static_cast<double>(seq)}});
 
   if (config_.ordering == Ordering::kTotal && !is_sequencer()) {
     // Ship an ordering request to the sequencer; our message comes back to
@@ -132,8 +139,10 @@ std::uint64_t GroupChannel::broadcast(std::string payload) {
     p.wire = wire;
     p.awaiting = {seq_slot};
     p.is_total_req = true;
+    p.ctx = bctx;
     pending_[pending_key(self_index_, seq)] = std::move(p);
-    net_.send({.src = self_, .dst = members_[seq_slot], .payload = wire});
+    net_.send({.src = self_, .dst = members_[seq_slot], .payload = wire,
+               .ctx = bctx});
     arm_retransmit(pending_key(self_index_, seq));
     return seq;
   }
@@ -144,7 +153,7 @@ std::uint64_t GroupChannel::broadcast(std::string payload) {
 
   const std::string wire =
       encode_data(self_index_, seq, total_seq, now, vclock_, payload);
-  send_data(pending_key(self_index_, seq), wire);
+  send_data(pending_key(self_index_, seq), wire, bctx);
 
   // Local delivery.  kTotal delivers at sequencing time (which, for the
   // sequencer itself, is right now); others echo immediately.
@@ -157,7 +166,8 @@ std::uint64_t GroupChannel::broadcast(std::string payload) {
                  .seq = seq,
                  .total_seq = total_seq,
                  .payload = std::move(payload),
-                 .sent_at = now});
+                 .sent_at = now,
+                 .ctx = bctx.child(tracer.mint_id())});
   } else if (config_.local_echo) {
     seen_[self_index_].insert(seq);
     if (config_.ordering == Ordering::kFifo)
@@ -167,20 +177,26 @@ std::uint64_t GroupChannel::broadcast(std::string payload) {
                  .seq = seq,
                  .total_seq = 0,
                  .payload = std::move(payload),
-                 .sent_at = now});
+                 .sent_at = now,
+                 .ctx = bctx.child(tracer.mint_id())});
   }
   return seq;
 }
 
-void GroupChannel::send_data(std::uint64_t key, const std::string& wire) {
+void GroupChannel::send_data(std::uint64_t key, const std::string& wire,
+                             const obs::CausalContext& ctx) {
   Pending p;
   p.wire = wire;
+  p.ctx = ctx;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     if (i != self_index_ && alive_[i]) p.awaiting.insert(i);
   }
   if (p.awaiting.empty()) return;  // singleton group: nothing on the wire
   pending_[key] = std::move(p);
-  net_.multicast(group_, {.src = self_, .dst = {}, .payload = wire});
+  // One context for the whole multicast; the network mints a per-copy hop
+  // child, so each member's delivery still has a distinct span.
+  net_.multicast(group_, {.src = self_, .dst = {}, .payload = wire,
+                          .ctx = ctx});
   arm_retransmit(key);
 }
 
@@ -193,23 +209,35 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
         if (pit == pending_.end()) return;
         Pending& p = pit->second;
         p.timer = sim::kInvalidEvent;
+        obs::Tracer& tracer = net_.obs().tracer;
         if (++p.retries > config_.max_retransmits) {
           ++stats_.gave_up;
-          net_.obs().tracer.event(net_.simulator().now(),
-                                  obs::Category::kGroup, "give_up",
-                                  {{"key", static_cast<double>(key)}});
+          tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                       "give_up",
+                       p.ctx.valid() ? p.ctx.child(tracer.mint_id())
+                                     : obs::CausalContext{},
+                       {{"key", static_cast<double>(key)}});
           pending_.erase(pit);
           return;
         }
-        // Unicast retransmission to just the members still missing.
+        // Unicast retransmission to just the members still missing.  Each
+        // resend is a child of the broadcast span; `waited` is the ack
+        // timeout that lapsed first — the critical-path "retry" bucket.
         for (std::size_t slot : p.awaiting) {
           if (!alive_[slot]) continue;
           ++stats_.retransmits;
-          net_.obs().tracer.event(net_.simulator().now(),
-                                  obs::Category::kGroup, "retransmit",
-                                  {{"key", static_cast<double>(key)},
-                                   {"to", static_cast<double>(slot)}});
-          net_.send({.src = self_, .dst = members_[slot], .payload = p.wire});
+          const obs::CausalContext rctx =
+              p.ctx.valid() ? p.ctx.child(tracer.mint_id())
+                            : obs::CausalContext{};
+          tracer.event(
+              net_.simulator().now(), obs::Category::kGroup, "retransmit",
+              rctx,
+              {{"key", static_cast<double>(key)},
+               {"to", static_cast<double>(slot)},
+               {"waited",
+                static_cast<double>(config_.retransmit_timeout)}});
+          net_.send({.src = self_, .dst = members_[slot], .payload = p.wire,
+                     .ctx = rctx});
         }
         arm_retransmit(key);
       });
@@ -232,7 +260,7 @@ void GroupChannel::mark_failed(const net::Address& member) {
       if (new_seq_slot < members_.size() && new_seq_slot != self_index_) {
         p.awaiting.insert(new_seq_slot);
         net_.send({.src = self_, .dst = members_[new_seq_slot],
-                   .payload = p.wire});
+                   .payload = p.wire, .ctx = p.ctx});
         ++pit;
         continue;
       }
@@ -285,7 +313,7 @@ void GroupChannel::handle_ack(const net::Message& msg) {
   auto it = pending_.find(pending_key(sender, seq));
   if (it == pending_.end()) return;
   net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
-                          "ack",
+                          "ack", msg.ctx,
                           {{"seq", static_cast<double>(seq)},
                            {"from", static_cast<double>(acker)}});
   it->second.awaiting.erase(acker);
@@ -305,11 +333,13 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   std::string payload = r.get_string();
   if (r.failed() || sender >= members_.size()) return;
 
-  // Ack the request so the originator stops retransmitting.
+  // Ack the request so the originator stops retransmitting.  The ack rides
+  // the request's context so it links back to the attempt that arrived.
   util::Writer w;
   w.put(MsgType::kAck).put(sender).put(seq).put(
       static_cast<std::uint32_t>(self_index_));
-  net_.send({.src = self_, .dst = msg.src, .payload = w.take()});
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take(),
+             .ctx = msg.ctx});
 
   if (!is_sequencer()) return;  // stale request to a demoted sequencer
   if (seq < next_req_[sender] ||
@@ -320,7 +350,7 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   // Stash, then sequence the sender's requests strictly in seq order so
   // total order preserves each sender's FIFO order even if the network
   // delivered the requests out of order.
-  stashed_reqs_[sender][seq] = {sent_at, std::move(payload)};
+  stashed_reqs_[sender][seq] = {sent_at, std::move(payload), msg.ctx};
   sequence_ready_reqs(sender);
 }
 
@@ -331,6 +361,7 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
   if (resync_ && !stash.empty() && stash.begin()->first > next_req_[sender]) {
     next_req_[sender] = stash.begin()->first;
   }
+  obs::Tracer& tracer = net_.obs().tracer;
   for (auto it = stash.find(next_req_[sender]); it != stash.end();
        it = stash.find(next_req_[sender])) {
     const std::uint64_t seq = it->first;
@@ -339,9 +370,20 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
     ++next_req_[sender];
     seen_[sender].insert(seq);
     const std::uint64_t total_seq = next_total_seq_++;
+    // The sequencer's relay continues the originator's trace: the
+    // sequencing decision is a child of the arriving request, and the
+    // re-multicast + local delivery are children of the decision.
+    const obs::CausalContext sctx =
+        req.ctx.valid() ? req.ctx.child(tracer.mint_id())
+                        : obs::CausalContext{};
+    tracer.event(net_.simulator().now(), obs::Category::kGroup, "sequence",
+                 sctx,
+                 {{"sender", static_cast<double>(sender)},
+                  {"seq", static_cast<double>(seq)},
+                  {"total", static_cast<double>(total_seq)}});
     const std::string wire = encode_data(sender, seq, total_seq, req.sent_at,
                                          logical::VectorClock(), req.payload);
-    send_data(pending_key(sender, seq), wire);
+    send_data(pending_key(sender, seq), wire, sctx);
     // The sequencer's own delivery happens at sequencing time, keeping it
     // consistent with the global order it just defined.
     epoch_ = static_cast<std::uint32_t>(self_index_);
@@ -351,7 +393,9 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
                  .seq = seq,
                  .total_seq = total_seq,
                  .payload = std::move(req.payload),
-                 .sent_at = req.sent_at});
+                 .sent_at = req.sent_at,
+                 .ctx = sctx.valid() ? sctx.child(tracer.mint_id())
+                                     : obs::CausalContext{}});
   }
 }
 
@@ -372,7 +416,8 @@ void GroupChannel::handle_data(const net::Message& msg) {
   util::Writer w;
   w.put(MsgType::kAck).put(sender).put(seq).put(
       static_cast<std::uint32_t>(self_index_));
-  net_.send({.src = self_, .dst = msg.src, .payload = w.take()});
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take(),
+             .ctx = msg.ctx});
 
   if (!seen_[sender].insert(seq).second) {
     ++stats_.duplicates;
@@ -392,7 +437,12 @@ void GroupChannel::handle_data(const net::Message& msg) {
                  .seq = seq,
                  .total_seq = total_seq,
                  .payload = std::move(payload),
-                 .sent_at = sent_at};
+                 .sent_at = sent_at,
+                 // Even if delivery is deferred in the hold-back queue, the
+                 // chain stays anchored to the network arrival.
+                 .ctx = msg.ctx.valid()
+                            ? msg.ctx.child(net_.obs().tracer.mint_id())
+                            : obs::CausalContext{}};
   hb.vclock = std::move(vc);
   hb.epoch = epoch;
   try_deliver(std::move(hb));
@@ -495,7 +545,7 @@ void GroupChannel::deliver_now(const Delivery& d) {
   // Span covering broadcast -> application delivery, i.e. the end-to-end
   // ordering+reliability latency the experiments measure.
   net_.obs().tracer.span(d.sent_at, net_.simulator().now(),
-                         obs::Category::kGroup, "deliver",
+                         obs::Category::kGroup, "deliver", d.ctx,
                          {{"sender", static_cast<double>(d.sender)},
                           {"seq", static_cast<double>(d.seq)}});
   if (deliver_) deliver_(d);

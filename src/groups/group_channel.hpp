@@ -52,6 +52,11 @@ struct Delivery {
   std::uint64_t total_seq = 0;   ///< global sequence (kTotal only)
   std::string payload;
   sim::TimePoint sent_at = 0;    ///< virtual time of the original broadcast
+  /// Causal context of this delivery (descends from the originating
+  /// broadcast, through every network hop and sequencer relay).  Pass it
+  /// as the parent of any work the delivery triggers to keep the chain
+  /// in one trace.
+  obs::CausalContext ctx{};
 };
 
 /// Channel tuning knobs.
@@ -97,7 +102,11 @@ class GroupChannel : public net::Endpoint {
 
   /// Broadcasts @p payload to the group with the configured guarantees.
   /// Returns this member's per-sender sequence number for the message.
-  std::uint64_t broadcast(std::string payload);
+  /// @p parent optionally links the broadcast into an existing trace (a
+  /// user-action context); when invalid the broadcast starts a fresh
+  /// trace.  Retransmissions and every member's delivery descend from it.
+  std::uint64_t broadcast(std::string payload,
+                          const obs::CausalContext& parent = {});
 
   /// Marks a member failed: no further acks expected from it, pending
   /// retransmissions to it are abandoned.  (Fed by the membership
@@ -137,6 +146,7 @@ class GroupChannel : public net::Endpoint {
     int retries = 0;
     sim::EventId timer = sim::kInvalidEvent;
     bool is_total_req = false;       ///< re-route to new sequencer on fail
+    obs::CausalContext ctx{};        ///< broadcast span; resends are children
   };
 
   struct HeldBack {  // receiver side: not yet deliverable
@@ -145,7 +155,8 @@ class GroupChannel : public net::Endpoint {
     std::uint32_t epoch = 0;       // kTotal only: sequencing epoch
   };
 
-  void send_data(std::uint64_t seq, const std::string& wire);
+  void send_data(std::uint64_t seq, const std::string& wire,
+                 const obs::CausalContext& ctx);
   void arm_retransmit(std::uint64_t seq);
   void handle_data(const net::Message& msg);
   void handle_ack(const net::Message& msg);
@@ -183,6 +194,7 @@ class GroupChannel : public net::Endpoint {
   struct StashedReq {
     sim::TimePoint sent_at;
     std::string payload;
+    obs::CausalContext ctx{};  ///< context of the arriving ordering request
   };
   std::uint64_t next_total_seq_ = 1;
   std::uint64_t next_expected_total_ = 1;  // receiver cursor for total order

@@ -1,0 +1,176 @@
+#include "mgmt/qos_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace coop::mgmt {
+
+namespace {
+
+std::string metric_key(const std::string& name, const char* leaf) {
+  return "mgmt.qos." + name + "." + leaf;
+}
+
+}  // namespace
+
+const char* binding_state_name(BindingState s) noexcept {
+  switch (s) {
+    case BindingState::kNominal:
+      return "nominal";
+    case BindingState::kDegraded:
+      return "degraded";
+    case BindingState::kTornDown:
+      return "torn_down";
+  }
+  return "?";
+}
+
+QosManager::QosManager(sim::Simulator& sim, obs::Obs& obs,
+                       QosManagerConfig config)
+    : sim_(sim), obs_(obs), config_(config) {}
+
+void QosManager::manage(const std::string& name, streams::QosMonitor& monitor,
+                        streams::MediaSource& source,
+                        const streams::QosSpec& contract,
+                        TeardownFn on_teardown) {
+  Binding b;
+  b.monitor = &monitor;
+  b.source = &source;
+  b.contract = contract;
+  b.operating = contract;
+  b.on_teardown = std::move(on_teardown);
+  auto& m = obs_.metrics;
+  b.fps_gauge = &m.gauge(metric_key(name, "operating_fps"));
+  b.state_gauge = &m.gauge(metric_key(name, "state"));
+  b.windows = &m.counter(metric_key(name, "windows"));
+  b.scale_downs = &m.counter(metric_key(name, "scale_downs"));
+  b.scale_ups = &m.counter(metric_key(name, "scale_ups"));
+  b.restores = &m.counter(metric_key(name, "restores"));
+  b.teardowns = &m.counter(metric_key(name, "teardowns"));
+  b.fps_gauge->set(contract.fps);
+  b.state_gauge->set(0);
+  monitor.set_spec(b.operating);
+  bindings_[name] = std::move(b);
+  // The manager becomes the monitor's subscriber; it re-classifies each
+  // window itself against the operating point (the monitor's verdict used
+  // its spec at evaluation time, which may lag a transition).
+  monitor.on_report([this, name](const streams::QosReport& report,
+                                 streams::QosVerdict /*verdict*/) {
+    on_window(name, report);
+  });
+}
+
+void QosManager::release(const std::string& name) { bindings_.erase(name); }
+
+BindingState QosManager::state(const std::string& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? BindingState::kTornDown : it->second.state;
+}
+
+double QosManager::operating_fps(const std::string& name) const {
+  auto it = bindings_.find(name);
+  return it == bindings_.end() ? 0.0 : it->second.operating.fps;
+}
+
+void QosManager::transition(const std::string& name, Binding& b,
+                            BindingState next, const char* trace_name,
+                            double fps_arg) {
+  b.state = next;
+  b.state_gauge->set(static_cast<double>(static_cast<std::uint8_t>(next)));
+  // Every state transition is a management action — an entry point that
+  // roots its own trace, so teardown decisions are findable by trace id.
+  obs_.tracer.event(sim_.now(), obs::Category::kStream, trace_name,
+                    obs_.tracer.begin_trace(), {{"fps", fps_arg}});
+  (void)name;
+}
+
+void QosManager::on_window(const std::string& name,
+                           const streams::QosReport& report) {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return;
+  Binding& b = it->second;
+  if (b.state == BindingState::kTornDown) return;
+  b.windows->inc();
+  // Judge against the operating point (what the loop asked the source to
+  // do) — min_fps is still the contract floor, so kUnacceptable always
+  // means the medium's integrity is gone.
+  const streams::QosVerdict verdict =
+      streams::compare(b.operating, report, config_.tolerance);
+  obs::Tracer& tracer = obs_.tracer;
+  const sim::TimePoint now = sim_.now();
+
+  const auto scale_down = [&] {
+    const double next = std::max(b.contract.min_fps,
+                                 b.operating.fps * config_.decrease_factor);
+    if (next >= b.operating.fps) return;
+    b.operating.fps = next;
+    b.source->set_fps(next);
+    b.monitor->set_spec(b.operating);
+    b.fps_gauge->set(next);
+    b.scale_downs->inc();
+    tracer.event(now, obs::Category::kStream, "qos_scale_down",
+                 tracer.begin_trace(),
+                 {{"fps", next},
+                  {"achieved", report.achieved_fps}});
+  };
+
+  switch (verdict) {
+    case streams::QosVerdict::kHealthy: {
+      b.unacceptable_run = 0;
+      ++b.healthy_run;
+      if (b.healthy_run < config_.healthy_to_restore ||
+          b.operating.fps >= b.contract.fps)
+        break;
+      // Additive increase: probe back toward the contract, one step per
+      // healthy window once the K-window quarantine has passed.
+      const double next =
+          std::min(b.contract.fps,
+                   b.operating.fps +
+                       b.contract.fps * config_.increase_fraction);
+      b.operating.fps = next;
+      b.source->set_fps(next);
+      b.monitor->set_spec(b.operating);
+      b.fps_gauge->set(next);
+      b.scale_ups->inc();
+      tracer.event(now, obs::Category::kStream, "qos_scale_up",
+                   tracer.begin_trace(), {{"fps", next}});
+      if (next >= b.contract.fps) {
+        b.restores->inc();
+        transition(name, b, BindingState::kNominal, "qos_restored", next);
+      }
+      break;
+    }
+    case streams::QosVerdict::kDegraded: {
+      b.healthy_run = 0;
+      b.unacceptable_run = 0;
+      scale_down();
+      if (b.state == BindingState::kNominal)
+        transition(name, b, BindingState::kDegraded, "qos_degraded",
+                   b.operating.fps);
+      break;
+    }
+    case streams::QosVerdict::kUnacceptable: {
+      b.healthy_run = 0;
+      ++b.unacceptable_run;
+      scale_down();
+      if (b.state == BindingState::kNominal)
+        transition(name, b, BindingState::kDegraded, "qos_degraded",
+                   b.operating.fps);
+      if (b.unacceptable_run < config_.unacceptable_to_teardown) break;
+      // Below the contract floor for too long: the medium's integrity is
+      // gone, keep-alive traffic is pure waste.  Stop the source, tell
+      // the owner, and leave the tombstone state in the registry.
+      b.source->stop();
+      b.teardowns->inc();
+      transition(name, b, BindingState::kTornDown, "qos_teardown",
+                 report.achieved_fps);
+      if (b.on_teardown) {
+        TeardownFn fn = std::move(b.on_teardown);
+        fn();
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace coop::mgmt

@@ -1,0 +1,120 @@
+// QoS management plane (§4.2.2: "Dynamic re-negotiation should also be
+// supported, i.e. the alteration of quality of service parameters during
+// the lifetime of the binding").
+//
+// Where streams::QosAdaptor is a per-binding closed loop, mgmt::QosManager
+// is the *management-viewpoint* object: it supervises many bindings at
+// once, owns their operating points, and makes every control decision
+// observable — each transition lands in the registry ("mgmt.qos.<name>.*")
+// and in the trace ring as kStream events, so an operator can replay why a
+// stream was scaled or torn down.
+//
+// Policy per monitoring window, classified with streams::compare() against
+// the binding's current *operating* spec (contract min_fps kept as the
+// floor, so kUnacceptable always means "below the contract's integrity
+// floor"):
+//
+//   kDegraded      — multiplicative decrease toward min_fps.
+//   kHealthy       — after `healthy_to_restore` consecutive healthy
+//                    windows, additive increase back toward the contract
+//                    fps (AIMD over media rates).
+//   kUnacceptable  — after `unacceptable_to_teardown` consecutive windows
+//                    the binding is torn down: the source is stopped, the
+//                    teardown callback runs, and a "qos_teardown" trace
+//                    event records the decision.  §4.2.2-i: below the
+//                    floor "the integrity of the medium is destroyed" —
+//                    continuing to transmit is pure waste.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "streams/stream.hpp"
+
+namespace coop::mgmt {
+
+/// Lifecycle of a managed binding.
+enum class BindingState : std::uint8_t {
+  kNominal = 0,   ///< operating at the contract
+  kDegraded = 1,  ///< scaled below the contract, floor intact
+  kTornDown = 2,  ///< below the floor too long; binding released
+};
+
+/// Stable short name used in metrics/traces ("nominal", ...).
+[[nodiscard]] const char* binding_state_name(BindingState s) noexcept;
+
+/// Control-loop tuning.
+struct QosManagerConfig {
+  int healthy_to_restore = 3;       ///< K healthy windows before probing up
+  int unacceptable_to_teardown = 2; ///< consecutive windows before teardown
+  double decrease_factor = 0.5;     ///< multiplicative decrease per window
+  double increase_fraction = 0.10;  ///< additive step, as share of contract fps
+  double tolerance = 0.85;          ///< compare() boundary slack
+};
+
+/// Supervises stream bindings: subscribes their monitors' windows and
+/// drives source fps between the contract and its floor.
+class QosManager {
+ public:
+  using TeardownFn = std::function<void()>;
+
+  QosManager(sim::Simulator& sim, obs::Obs& obs, QosManagerConfig config = {});
+
+  QosManager(const QosManager&) = delete;
+  QosManager& operator=(const QosManager&) = delete;
+
+  /// Puts a binding under management.  The manager takes over
+  /// @p monitor's report subscription and keeps the monitor's spec at
+  /// the binding's operating point (contract floor preserved).
+  /// @p on_teardown runs once if the binding is ever torn down (release
+  /// the admission reservation, close the binding object, ...).
+  void manage(const std::string& name, streams::QosMonitor& monitor,
+              streams::MediaSource& source, const streams::QosSpec& contract,
+              TeardownFn on_teardown = {});
+
+  /// Stops managing @p name without tearing it down (the source keeps
+  /// whatever operating point it last had).
+  void release(const std::string& name);
+
+  [[nodiscard]] BindingState state(const std::string& name) const;
+  [[nodiscard]] double operating_fps(const std::string& name) const;
+  [[nodiscard]] std::size_t managed_count() const noexcept {
+    return bindings_.size();
+  }
+
+ private:
+  struct Binding {
+    streams::QosMonitor* monitor = nullptr;
+    streams::MediaSource* source = nullptr;
+    streams::QosSpec contract;
+    streams::QosSpec operating;
+    TeardownFn on_teardown;
+    BindingState state = BindingState::kNominal;
+    int healthy_run = 0;
+    int unacceptable_run = 0;
+    // Registry-owned ("mgmt.qos.<name>.*"); pointers stay valid for the
+    // registry's lifetime.
+    util::Gauge* fps_gauge = nullptr;
+    util::Gauge* state_gauge = nullptr;
+    util::Counter* windows = nullptr;
+    util::Counter* scale_downs = nullptr;
+    util::Counter* scale_ups = nullptr;
+    util::Counter* restores = nullptr;
+    util::Counter* teardowns = nullptr;
+  };
+
+  void on_window(const std::string& name, const streams::QosReport& report);
+  void transition(const std::string& name, Binding& b, BindingState next,
+                  const char* trace_name, double fps_arg);
+
+  sim::Simulator& sim_;
+  obs::Obs& obs_;
+  QosManagerConfig config_;
+  std::map<std::string, Binding> bindings_;
+};
+
+}  // namespace coop::mgmt

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/causal.hpp"
 #include "sim/time.hpp"
 
 namespace coop::net {
@@ -39,6 +40,11 @@ struct Message {
   sim::TimePoint sent_at = 0;        ///< stamped by Network::send
   bool multicast = false;            ///< delivered via a multicast group
   McastId group = 0;                 ///< valid when multicast
+  /// Causal-trace header (simulated; not charged to wire_size).  Set by
+  /// the sending protocol layer; the network derives per-hop children, so
+  /// the context an Endpoint sees identifies the *delivery*, with the
+  /// sender's span as its ancestor.
+  obs::CausalContext ctx{};
 
   /// Simulated UDP/IP-style header overhead charged per datagram.
   static constexpr std::size_t kHeaderBytes = 32;

@@ -100,34 +100,38 @@ void Network::transmit(Message msg) {
   const NodeId from = msg.src.node;
   const NodeId to = msg.dst.node;
   auto& state = link_states_[key(from, to)];
-  obs_->tracer.event(sim_.now(), obs::Category::kNet, "send",
-                     {{"src", static_cast<double>(from)},
-                      {"dst", static_cast<double>(to)},
-                      {"bytes", static_cast<double>(msg.wire_size)}});
+  obs::Tracer& tracer = obs_->tracer;
+  // Each hop gets a child span of whatever the sending layer stamped, so
+  // drops and deliveries hang off the protocol action that caused them.
+  if (msg.ctx.valid()) msg.ctx = msg.ctx.child(tracer.mint_id());
+  tracer.event(sim_.now(), obs::Category::kNet, "send", msg.ctx,
+               {{"src", static_cast<double>(from)},
+                {"dst", static_cast<double>(to)},
+                {"bytes", static_cast<double>(msg.wire_size)}});
 
   if (is_crashed(from) || is_crashed(to) || partition_blocks(from, to)) {
     dropped_partition_->inc();
     ++state.dropped;
-    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
-                       {{"src", static_cast<double>(from)},
-                        {"dst", static_cast<double>(to)}});
+    tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
+                 {{"src", static_cast<double>(from)},
+                  {"dst", static_cast<double>(to)}});
     return;
   }
   const std::optional<LinkModel> model = effective_link(from, to);
   if (!model) {
     dropped_partition_->inc();
     ++state.dropped;
-    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
-                       {{"src", static_cast<double>(from)},
-                        {"dst", static_cast<double>(to)}});
+    tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
+                 {{"src", static_cast<double>(from)},
+                  {"dst", static_cast<double>(to)}});
     return;
   }
   if (model->loss > 0 && sim_.rng().bernoulli(model->loss)) {
     dropped_loss_->inc();
     ++state.dropped;
-    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_loss",
-                       {{"src", static_cast<double>(from)},
-                        {"dst", static_cast<double>(to)}});
+    tracer.event(sim_.now(), obs::Category::kNet, "drop_loss", msg.ctx,
+                 {{"src", static_cast<double>(from)},
+                  {"dst", static_cast<double>(to)}});
     return;
   }
 
@@ -135,6 +139,7 @@ void Network::transmit(Message msg) {
   // is busy until `busy_until`; a new datagram queues behind it.  This is
   // the mechanism that lets cross-traffic congest a stream (experiment E6).
   const sim::TimePoint start = std::max(sim_.now(), state.busy_until);
+  const sim::Duration queue_wait = start - sim_.now();
   const sim::Duration ser = model->serialize_time(msg.wire_size);
   state.busy_until = start + ser;
   ++state.sent;
@@ -143,7 +148,8 @@ void Network::transmit(Message msg) {
   const sim::TimePoint arrival =
       state.busy_until + model->propagation(sim_.rng());
 
-  sim_.schedule_at(arrival, [this, msg = std::move(msg)]() mutable {
+  sim_.schedule_at(arrival, [this, queue_wait,
+                             msg = std::move(msg)]() mutable {
     // Faults are re-checked at arrival: a crash or disconnection that
     // happened while the datagram was in flight still loses it.
     if (is_crashed(msg.dst.node) ||
@@ -151,6 +157,7 @@ void Network::transmit(Message msg) {
         partition_blocks(msg.src.node, msg.dst.node)) {
       dropped_partition_->inc();
       obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                         msg.ctx,
                          {{"src", static_cast<double>(msg.src.node)},
                           {"dst", static_cast<double>(msg.dst.node)}});
       return;
@@ -159,14 +166,20 @@ void Network::transmit(Message msg) {
     if (it == endpoints_.end()) {
       dropped_no_endpoint_->inc();
       obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_no_endpoint",
+                         msg.ctx,
                          {{"dst", static_cast<double>(msg.dst.node)}});
       return;
     }
     delivered_->inc();
-    obs_->tracer.span(msg.sent_at, sim_.now(), obs::Category::kNet, "deliver",
+    // The `queue` attribute splits the hop for the critical-path
+    // analyzer: dur = queueing behind the serializer + link time.
+    if (msg.ctx.valid()) msg.ctx = msg.ctx.child(obs_->tracer.mint_id());
+    obs_->tracer.span(msg.sent_at, sim_.now(), obs::Category::kNet,
+                      "deliver", msg.ctx,
                       {{"src", static_cast<double>(msg.src.node)},
                        {"dst", static_cast<double>(msg.dst.node)},
-                       {"bytes", static_cast<double>(msg.wire_size)}});
+                       {"bytes", static_cast<double>(msg.wire_size)},
+                       {"queue", static_cast<double>(queue_wait)}});
     it->second->on_message(msg);
   });
 }

@@ -1,0 +1,41 @@
+// Causal correlation vocabulary for end-to-end tracing.
+//
+// A CausalContext is the (trace, span, parent) triple that links every
+// record a single user action produces — an RPC call, its retries, the
+// datagram hops they generate, the group re-multicasts, the frames of a
+// media stream — into one reconstructable tree.  Contexts are minted by
+// the Tracer (deterministically: a per-tracer counter, so runs with the
+// same seed produce the same ids) at user-action entry points and
+// propagated in-band: net::Message carries the context as a simulated
+// header field, and each layer that forwards work derives a child
+// context for the hop it adds.
+//
+// The struct is deliberately dependency-free (three integers) so the
+// wire-level net/ headers can carry it without pulling in the tracer.
+#pragma once
+
+#include <cstdint>
+
+namespace coop::obs {
+
+/// The causal triple: which trace a record belongs to, which span it is,
+/// and which span caused it.  trace_id == 0 means "no context" — records
+/// without one are standalone, exactly as before causal tracing existed.
+struct CausalContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+
+  /// A context is live once it has been minted from a trace root.
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+
+  /// Derives the context for work caused by this span.  @p new_span must
+  /// come from Tracer::mint_id() so ids stay unique per tracer.
+  [[nodiscard]] CausalContext child(std::uint64_t new_span) const noexcept {
+    return {trace_id, new_span, span_id};
+  }
+
+  bool operator==(const CausalContext&) const = default;
+};
+
+}  // namespace coop::obs

@@ -1,0 +1,112 @@
+#include "obs/critical_path.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <unordered_map>
+
+namespace coop::obs {
+
+namespace {
+
+/// Looks up a numeric attribute by key; returns fallback when absent.
+double attr_or(const TraceEvent& e, const char* key, double fallback) {
+  for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+    if (std::strcmp(e.attrs[i].key, key) == 0) return e.attrs[i].value;
+  }
+  return fallback;
+}
+
+void put_summary(std::ostream& out, const util::Summary& s) {
+  out << "{\"count\":" << s.count() << ",\"mean\":" << s.mean()
+      << ",\"p50\":" << s.p50() << ",\"p95\":" << s.p95()
+      << ",\"p99\":" << s.p99() << ",\"max\":" << s.max() << '}';
+}
+
+}  // namespace
+
+const char* path_bucket_name(PathBucket b) noexcept {
+  switch (b) {
+    case PathBucket::kQueue:
+      return "queue";
+    case PathBucket::kLink:
+      return "link";
+    case PathBucket::kService:
+      return "service";
+    case PathBucket::kRetry:
+      return "retry";
+  }
+  return "?";
+}
+
+CriticalPath::CriticalPath(const Tracer& tracer) { analyze(tracer.snapshot()); }
+
+CriticalPath::CriticalPath(const std::vector<TraceEvent>& events) {
+  analyze(events);
+}
+
+void CriticalPath::analyze(const std::vector<TraceEvent>& events) {
+  std::unordered_map<std::uint64_t, std::size_t> index;  // trace id -> slot
+  for (const TraceEvent& e : events) {
+    if (!e.ctx.valid()) continue;
+    auto [it, fresh] = index.emplace(e.ctx.trace_id, traces_.size());
+    if (fresh) {
+      traces_.push_back({.trace_id = e.ctx.trace_id,
+                         .begin = e.ts,
+                         .end = e.ts,
+                         .records = 0,
+                         .buckets = {}});
+    }
+    TraceBreakdown& t = traces_[it->second];
+    ++t.records;
+    if (e.ts < t.begin) t.begin = e.ts;
+    if (e.ts + e.dur > t.end) t.end = e.ts + e.dur;
+
+    const auto add = [&t](PathBucket b, double us) {
+      if (us > 0) t.buckets[static_cast<std::size_t>(b)] +=
+          static_cast<sim::Duration>(us);
+    };
+    if (e.category == Category::kNet && std::strcmp(e.name, "deliver") == 0) {
+      const double queue = attr_or(e, "queue", 0);
+      add(PathBucket::kQueue, queue);
+      add(PathBucket::kLink, static_cast<double>(e.dur) - queue);
+    } else if (e.category == Category::kRpc &&
+               std::strcmp(e.name, "handle") == 0) {
+      add(PathBucket::kService, static_cast<double>(e.dur));
+    } else {
+      // RPC retries and group retransmits both stamp the timeout that
+      // lapsed before the resend as "waited".
+      add(PathBucket::kRetry, attr_or(e, "waited", 0));
+    }
+  }
+
+  for (const TraceBreakdown& t : traces_) {
+    end_to_end_us_.add(static_cast<double>(t.span()));
+    for (std::size_t b = 0; b < kPathBucketCount; ++b) {
+      bucket_us_[b].add(static_cast<double>(t.buckets[b]));
+      totals_[b] += t.buckets[b];
+    }
+  }
+}
+
+void CriticalPath::write_json(std::ostream& out) const {
+  out << "{\"traces\":" << traces_.size() << ",\"end_to_end_us\":";
+  put_summary(out, end_to_end_us_);
+  out << ",\"buckets\":{";
+  sim::Duration grand_total = 0;
+  for (const sim::Duration t : totals_) grand_total += t;
+  for (std::size_t b = 0; b < kPathBucketCount; ++b) {
+    if (b > 0) out << ',';
+    out << '"' << path_bucket_name(static_cast<PathBucket>(b))
+        << "\":{\"total_us\":" << totals_[b] << ",\"share\":"
+        << (grand_total > 0
+                ? static_cast<double>(totals_[b]) /
+                      static_cast<double>(grand_total)
+                : 0.0)
+        << ",\"per_trace\":";
+    put_summary(out, bucket_us_[b]);
+    out << '}';
+  }
+  out << "}}";
+}
+
+}  // namespace coop::obs

@@ -1,0 +1,103 @@
+// Offline critical-path analysis over a tracer snapshot.
+//
+// Causal records (those carrying a CausalContext) are grouped by trace id
+// and each trace's time is attributed to one of four buckets:
+//
+//   queue   — time spent behind a link serializer (the "queue" attribute
+//             of net deliver spans),
+//   link    — serialization + propagation (deliver duration minus queue),
+//   service — server-side handling (rpc "handle" spans),
+//   retry   — timeouts that had to lapse before a retransmission or RPC
+//             retry could fire ("waited" attributes).
+//
+// The result answers the operator question the paper's QoS management
+// story needs answered: *where* did an end-to-end latency go — congestion
+// (queue), distance (link), servers (service), or loss recovery (retry)?
+// Percentile distributions across traces come from util::Summary; the
+// JSON emitter feeds the latency-breakdown section of BENCH_<tag>.json.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+namespace coop::obs {
+
+/// Where a slice of a trace's time was spent.
+enum class PathBucket : std::uint8_t {
+  kQueue = 0,
+  kLink,
+  kService,
+  kRetry,
+};
+
+inline constexpr std::size_t kPathBucketCount = 4;
+
+/// Stable short name used in exports ("queue", "link", ...).
+[[nodiscard]] const char* path_bucket_name(PathBucket b) noexcept;
+
+/// One trace's accounting.
+struct TraceBreakdown {
+  std::uint64_t trace_id = 0;
+  sim::TimePoint begin = 0;  ///< earliest record timestamp
+  sim::TimePoint end = 0;    ///< latest record end (ts + dur)
+  std::size_t records = 0;   ///< causal records grouped into this trace
+  std::array<sim::Duration, kPathBucketCount> buckets{};
+
+  /// First record to last record end — the trace's observed extent.
+  [[nodiscard]] sim::Duration span() const noexcept { return end - begin; }
+  /// Time attributed to any bucket (<= span for sequential protocols;
+  /// may exceed it when hops overlap, e.g. multicast fan-out).
+  [[nodiscard]] sim::Duration accounted() const noexcept {
+    sim::Duration total = 0;
+    for (const sim::Duration d : buckets) total += d;
+    return total;
+  }
+};
+
+/// Analyzes a snapshot once at construction; accessors are cheap.
+class CriticalPath {
+ public:
+  explicit CriticalPath(const Tracer& tracer);
+  explicit CriticalPath(const std::vector<TraceEvent>& events);
+
+  /// Per-trace breakdowns, in order of each trace's first appearance in
+  /// the snapshot (i.e. roughly by start time).
+  [[nodiscard]] const std::vector<TraceBreakdown>& traces() const noexcept {
+    return traces_;
+  }
+
+  /// Distribution of per-trace bucket totals (one sample per trace,
+  /// including zeroes, so percentiles reflect the whole population).
+  [[nodiscard]] const util::Summary& bucket_us(PathBucket b) const noexcept {
+    return bucket_us_[static_cast<std::size_t>(b)];
+  }
+
+  /// Distribution of per-trace spans (first record to last record end).
+  [[nodiscard]] const util::Summary& end_to_end_us() const noexcept {
+    return end_to_end_us_;
+  }
+
+  /// Sum of a bucket across every trace.
+  [[nodiscard]] sim::Duration total_us(PathBucket b) const noexcept {
+    return totals_[static_cast<std::size_t>(b)];
+  }
+
+  /// The latency-breakdown JSON object: {"traces":N,"end_to_end_us":{...},
+  /// "buckets":{"queue":{...},...}}.  No trailing newline.
+  void write_json(std::ostream& out) const;
+
+ private:
+  void analyze(const std::vector<TraceEvent>& events);
+
+  std::vector<TraceBreakdown> traces_;
+  std::array<util::Summary, kPathBucketCount> bucket_us_;
+  util::Summary end_to_end_us_;
+  std::array<sim::Duration, kPathBucketCount> totals_{};
+};
+
+}  // namespace coop::obs

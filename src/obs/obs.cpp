@@ -2,11 +2,55 @@
 
 #include <fstream>
 
+#include "obs/critical_path.hpp"
+
 namespace coop::obs {
 
 namespace {
 
 Obs* g_default_obs = nullptr;
+
+void put_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void put_meta(std::ostream& out, const Obs& obs) {
+  // Sim-time extent of the retained trace window; the ring may have
+  // evicted earlier records (see trace_dropped).
+  sim::TimePoint begin = 0;
+  sim::TimePoint end = 0;
+  bool any = false;
+  for (const TraceEvent& e : obs.tracer.snapshot()) {
+    if (!any || e.ts < begin) begin = e.ts;
+    if (!any || e.ts + e.dur > end) end = e.ts + e.dur;
+    any = true;
+  }
+  const RunMeta& m = obs.meta;
+  out << "{\"platforms\":" << m.platforms
+      << ",\"first_seed\":" << m.first_seed
+      << ",\"last_seed\":" << m.last_seed
+      << ",\"sim_span_us\":" << (any ? end - begin : 0)
+      << ",\"trace_recorded\":" << obs.tracer.recorded()
+      << ",\"trace_retained\":" << obs.tracer.size()
+      << ",\"trace_dropped\":" << obs.tracer.dropped()
+      << ",\"knobs\":{";
+  bool first = true;
+  for (const auto& [key, value] : m.knobs) {
+    if (!first) out << ',';
+    first = false;
+    put_json_string(out, key);
+    out << ':';
+    put_json_string(out, value);
+  }
+  // wall_ms sits alone on the final line so same-seed determinism diffs
+  // can strip it (`grep -v wall_ms`) — it is the one field that varies.
+  out << "},\n\"wall_ms\":" << m.wall_ms << "}";
+}
 
 }  // namespace
 
@@ -24,7 +68,11 @@ bool write_bench_artifacts(const Obs& obs, const std::string& tag,
   {
     std::ofstream out(base + ".json");
     if (!out) return false;
-    out << obs.metrics.to_json() << '\n';
+    out << "{\n\"meta\":";
+    put_meta(out, obs);
+    out << ",\n\"latency_breakdown\":";
+    CriticalPath(obs.tracer).write_json(out);
+    out << ",\n\"metrics\":" << obs.metrics.to_json() << "\n}\n";
     if (!out) return false;
   }
   {
@@ -34,6 +82,13 @@ bool write_bench_artifacts(const Obs& obs, const std::string& tag,
     if (!out) return false;
   }
   return true;
+}
+
+bool write_trace_json(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  tracer.export_chrome(out);
+  return static_cast<bool>(out);
 }
 
 }  // namespace coop::obs

@@ -10,6 +10,8 @@
 // harness hook.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "obs/metrics.hpp"
@@ -17,10 +19,32 @@
 
 namespace coop::obs {
 
+/// Provenance of a run, stamped into the BENCH_<tag>.json artifact so a
+/// result can be reproduced from the artifact alone.  Platforms register
+/// their RNG seeds as they are constructed; the harness fills wall-clock
+/// duration and free-form config knobs.
+struct RunMeta {
+  std::uint64_t platforms = 0;   ///< Platforms constructed against this Obs
+  std::uint64_t first_seed = 0;  ///< seed of the first Platform
+  std::uint64_t last_seed = 0;   ///< seed of the most recent Platform
+  /// Harness wall-clock duration in milliseconds; negative = not
+  /// measured.  The one non-deterministic field in the artifact (strip
+  /// its line before diffing same-seed runs).
+  double wall_ms = -1;
+  std::map<std::string, std::string> knobs;  ///< free-form config knobs
+
+  void note_platform(std::uint64_t seed) noexcept {
+    if (platforms == 0) first_seed = seed;
+    last_seed = seed;
+    ++platforms;
+  }
+};
+
 /// The per-platform observability context.
 struct Obs {
   MetricsRegistry metrics;
   Tracer tracer;
+  RunMeta meta;
 };
 
 /// The current ambient default (nullptr unless a ScopedDefaultObs is
@@ -43,10 +67,17 @@ class ScopedDefaultObs {
 };
 
 /// Dumps an experiment's observability state for offline inspection:
-/// `BENCH_<tag>.json` (metrics snapshot) and `BENCH_<tag>.trace.json`
-/// (Chrome trace_event format) written into @p dir.  Returns false if
-/// either file could not be written.
+/// `BENCH_<tag>.json` (run metadata + critical-path latency breakdown +
+/// metrics snapshot) and `BENCH_<tag>.trace.json` (Chrome trace_event
+/// format) written into @p dir.  Returns false if either file could not
+/// be written.
 bool write_bench_artifacts(const Obs& obs, const std::string& tag,
                            const std::string& dir = ".");
+
+/// Writes @p tracer's retained records as Chrome trace_event JSON to
+/// @p path (open in about:tracing / Perfetto).  Returns false if the file
+/// could not be written.  Used by the examples so every scenario leaves
+/// an inspectable causal trace behind.
+bool write_trace_json(const Tracer& tracer, const std::string& path);
 
 }  // namespace coop::obs

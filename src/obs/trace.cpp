@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <unordered_map>
 
 namespace coop::obs {
 
@@ -29,8 +31,17 @@ void put_args(std::ostream& out, const TraceEvent& e) {
     out << '"' << e.attrs[i].key << "\":";
     put_attr_value(out, e.attrs[i].value);
   }
+  if (e.ctx.valid()) {
+    if (e.attr_count > 0) out << ',';
+    out << "\"trace\":" << e.ctx.trace_id << ",\"span\":" << e.ctx.span_id
+        << ",\"parent\":" << e.ctx.parent_span;
+  }
   out << '}';
 }
+
+/// Chrome thread id for a category: one track per category keeps the
+/// timeline readable and gives flow events unambiguous anchor slices.
+int chrome_tid(Category c) noexcept { return static_cast<int>(c) + 1; }
 
 }  // namespace
 
@@ -54,15 +65,34 @@ const char* category_name(Category c) noexcept {
   return "?";
 }
 
+std::size_t Tracer::default_capacity() noexcept {
+  // Read the environment on every call (cheap: construction-time only) so
+  // tests and harnesses can adjust the cap between tracer instances.
+  if (const char* env = std::getenv("COOP_TRACE_CAP")) {
+    char* end = nullptr;
+    const unsigned long long cap = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && cap > 0) {
+      return static_cast<std::size_t>(cap);
+    }
+  }
+  return kDefaultCapacity;
+}
+
 void Tracer::record(sim::TimePoint ts, sim::Duration dur, Category c,
-                    const char* name, std::initializer_list<Attr> attrs) {
+                    const char* name, const CausalContext& ctx,
+                    std::initializer_list<Attr> attrs) {
   if (!enabled(c)) return;
   if (ring_.empty()) ring_.resize(capacity_);
   TraceEvent& e = ring_[head_];
+  if (count_ == capacity_) {
+    // Overwriting the oldest record: account the eviction to its seam.
+    ++dropped_by_cat_[static_cast<std::size_t>(e.category)];
+  }
   e.ts = ts;
   e.dur = dur;
   e.category = c;
   e.name = name;
+  e.ctx = ctx;
   e.attr_count = 0;
   for (const Attr& a : attrs) {
     if (e.attr_count >= e.attrs.size()) break;
@@ -94,21 +124,80 @@ void Tracer::export_jsonl(std::ostream& out) const {
 }
 
 void Tracer::export_chrome(std::ostream& out) const {
+  const std::vector<TraceEvent> events = snapshot();
+
+  // First record index per span id (parents may share an id with a later
+  // completion record; flows anchor at the earliest occurrence), plus the
+  // set of spans referenced as someone's parent — those must be exported
+  // as slices (ph "X") even when instantaneous, because Perfetto only
+  // attaches flow arrows to slices.
+  std::unordered_map<std::uint64_t, std::size_t> first_of_span;
+  std::unordered_map<std::uint64_t, bool> is_parent;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (!e.ctx.valid()) continue;
+    first_of_span.emplace(e.ctx.span_id, i);
+    if (e.ctx.parent_span != 0) is_parent[e.ctx.parent_span] = true;
+  }
+
   out << "{\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : snapshot()) {
+  const auto sep = [&] {
     if (!first) out << ',';
     first = false;
-    out << "\n{\"name\":\"" << e.name << "\",\"cat\":\""
+    out << '\n';
+  };
+
+  // Name the per-category tracks.
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << chrome_tid(static_cast<Category>(c))
+        << ",\"args\":{\"name\":\""
+        << category_name(static_cast<Category>(c)) << "\"}}";
+  }
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    const int tid = chrome_tid(e.category);
+    // Causal records that anchor a flow endpoint are promoted from
+    // instants to 1 us slices so arrows have something to attach to.
+    const bool anchors_flow =
+        e.ctx.valid() &&
+        (e.ctx.parent_span != 0 ||
+         (is_parent.count(e.ctx.span_id) != 0 &&
+          first_of_span.at(e.ctx.span_id) == i));
+    const sim::Duration dur = e.dur > 0 ? e.dur : (anchors_flow ? 1 : 0);
+    sep();
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\""
         << category_name(e.category) << "\",\"ph\":\""
-        << (e.dur > 0 ? 'X' : 'i') << "\",\"ts\":" << e.ts;
-    if (e.dur > 0)
-      out << ",\"dur\":" << e.dur;
+        << (dur > 0 ? 'X' : 'i') << "\",\"ts\":" << e.ts;
+    if (dur > 0)
+      out << ",\"dur\":" << dur;
     else
       out << ",\"s\":\"t\"";  // instant scope: thread
-    out << ",\"pid\":1,\"tid\":1,\"args\":";
+    out << ",\"pid\":1,\"tid\":" << tid << ",\"args\":";
     put_args(out, e);
     out << '}';
+
+    // Emit the causal link parent -> this record as a flow pair.  The
+    // child's span id names the arrow (unique per tracer), the start
+    // anchors inside the parent's slice, the finish inside this one.
+    if (e.ctx.valid() && e.ctx.parent_span != 0) {
+      const auto pit = first_of_span.find(e.ctx.parent_span);
+      if (pit != first_of_span.end()) {
+        const TraceEvent& p = events[pit->second];
+        sep();
+        out << "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":"
+            << e.ctx.span_id << ",\"ts\":" << p.ts
+            << ",\"pid\":1,\"tid\":" << chrome_tid(p.category) << "}";
+        sep();
+        out << "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":"
+               "\"e\",\"id\":"
+            << e.ctx.span_id << ",\"ts\":" << e.ts
+            << ",\"pid\":1,\"tid\":" << tid << "}";
+      }
+    }
   }
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

@@ -6,11 +6,20 @@
 // category is a closed enum, names and attribute keys must be string
 // literals — so recording never allocates and the ring can sit on every
 // hot path.  The ring keeps the most recent `capacity` records; older
-// ones are evicted (counted in dropped()).
+// ones are evicted (counted in dropped(), per category in
+// dropped_of()).
+//
+// Causal correlation: records may carry a CausalContext (trace, span,
+// parent ids).  The tracer mints ids deterministically (mint_id /
+// begin_trace); layers propagate contexts through net::Message and derive
+// children per hop, so one user action is reconstructable across every
+// seam.
 //
 // Two offline formats are exported: JSONL (one record per line, easy to
 // grep/jq) and the Chrome trace_event JSON array, which opens directly in
-// about:tracing / Perfetto.
+// about:tracing / Perfetto.  The Chrome exporter lays each category out
+// on its own thread track and emits parent/child links as flow events, so
+// Perfetto draws the causal arrows.
 #pragma once
 
 #include <array>
@@ -20,6 +29,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "sim/time.hpp"
 
 namespace coop::obs {
@@ -50,13 +60,15 @@ struct Attr {
 };
 
 /// A single trace record.  `dur == 0` marks an instant event; `dur > 0`
-/// marks a span covering [ts, ts + dur].
+/// marks a span covering [ts, ts + dur].  `ctx` carries the causal triple
+/// when the recording seam had one (trace_id == 0 otherwise).
 struct TraceEvent {
   sim::TimePoint ts = 0;
   sim::Duration dur = 0;
   Category category = Category::kSim;
   std::uint8_t attr_count = 0;
   const char* name = "";
+  CausalContext ctx{};
   std::array<Attr, 4> attrs{};
 };
 
@@ -66,7 +78,14 @@ class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 8192;
 
-  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+  /// Ring capacity of a default-constructed tracer: the COOP_TRACE_CAP
+  /// environment variable if set to a positive integer, else
+  /// kDefaultCapacity.
+  [[nodiscard]] static std::size_t default_capacity() noexcept;
+
+  Tracer() : capacity_(default_capacity()) {}
+
+  explicit Tracer(std::size_t capacity)
       : capacity_(capacity > 0 ? capacity : 1) {}
 
   Tracer(const Tracer&) = delete;
@@ -89,17 +108,46 @@ class Tracer {
            (mask_ & (1u << static_cast<int>(c))) != 0;
   }
 
+  // --- causal ids ----------------------------------------------------------
+
+  /// Mints a fresh span id.  Deterministic: a per-tracer counter, never
+  /// affected by filtering, so same-seed runs mint identical ids.
+  [[nodiscard]] std::uint64_t mint_id() noexcept { return next_span_id_++; }
+
+  /// Starts a new trace at a user-action entry point: the root span's id
+  /// doubles as the trace id.
+  [[nodiscard]] CausalContext begin_trace() noexcept {
+    const std::uint64_t id = mint_id();
+    return {id, id, 0};
+  }
+
+  // --- recording -----------------------------------------------------------
+
   /// Records an instant event at @p ts.  At most 4 attributes are kept.
   void event(sim::TimePoint ts, Category c, const char* name,
              std::initializer_list<Attr> attrs = {}) {
-    record(ts, 0, c, name, attrs);
+    record(ts, 0, c, name, {}, attrs);
+  }
+
+  /// Records an instant event carrying a causal context.
+  void event(sim::TimePoint ts, Category c, const char* name,
+             const CausalContext& ctx,
+             std::initializer_list<Attr> attrs = {}) {
+    record(ts, 0, c, name, ctx, attrs);
   }
 
   /// Records a span covering [start, end] (clamped to zero length if the
   /// interval is inverted).
   void span(sim::TimePoint start, sim::TimePoint end, Category c,
             const char* name, std::initializer_list<Attr> attrs = {}) {
-    record(start, end > start ? end - start : 0, c, name, attrs);
+    record(start, end > start ? end - start : 0, c, name, {}, attrs);
+  }
+
+  /// Records a span carrying a causal context.
+  void span(sim::TimePoint start, sim::TimePoint end, Category c,
+            const char* name, const CausalContext& ctx,
+            std::initializer_list<Attr> attrs = {}) {
+    record(start, end > start ? end - start : 0, c, name, ctx, attrs);
   }
 
   /// Records currently retained (<= capacity()).
@@ -114,32 +162,47 @@ class Tracer {
     return recorded_ - count_;
   }
 
+  /// Records of one category evicted by ring wraparound — identifies
+  /// which seam the ring is squeezing out.
+  [[nodiscard]] std::uint64_t dropped_of(Category c) const noexcept {
+    return dropped_by_cat_[static_cast<std::size_t>(c)];
+  }
+
   void clear() noexcept {
     count_ = 0;
     head_ = 0;
     recorded_ = 0;
+    dropped_by_cat_.fill(0);
+    // next_span_id_ is deliberately not reset: retained contexts held by
+    // live modules must never collide with post-clear mints.
   }
 
   /// Retained records, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
-  /// One JSON object per line, oldest first.
+  /// One JSON object per line, oldest first.  Causal records carry
+  /// "trace"/"span"/"parent" fields.
   void export_jsonl(std::ostream& out) const;
 
   /// Chrome trace_event format (the "traceEvents" array form); opens in
   /// about:tracing and Perfetto.  Timestamps are already microseconds,
-  /// matching the format's native unit.
+  /// matching the format's native unit.  Each category gets its own
+  /// thread track, and parent/child causal links are emitted as flow
+  /// events ("s"/"f" pairs) so the UI draws arrows across seams.
   void export_chrome(std::ostream& out) const;
 
  private:
   void record(sim::TimePoint ts, sim::Duration dur, Category c,
-              const char* name, std::initializer_list<Attr> attrs);
+              const char* name, const CausalContext& ctx,
+              std::initializer_list<Attr> attrs);
 
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  // allocated on first record
   std::size_t head_ = 0;          // next write slot
   std::size_t count_ = 0;
   std::uint64_t recorded_ = 0;
+  std::uint64_t next_span_id_ = 1;
+  std::array<std::uint64_t, kCategoryCount> dropped_by_cat_{};
   std::uint8_t mask_ = 0x7f;      // all categories on
   bool master_enabled_ = true;
 };

@@ -32,12 +32,20 @@ RpcServer::RpcServer(net::Network& net, net::Address self)
 RpcServer::~RpcServer() { net_.detach(self_); }
 
 void RpcServer::reply(const net::Address& to, std::uint64_t req_id,
-                      Status status, const std::string& body) {
+                      Status status, const std::string& body,
+                      const obs::CausalContext& handle_ctx,
+                      sim::TimePoint handle_start) {
+  // The service-time span: request arrival at the server to reply leaving
+  // it.  The critical-path analyzer buckets this as "service".
+  net_.obs().tracer.span(handle_start, net_.simulator().now(),
+                         obs::Category::kRpc, "handle", handle_ctx,
+                         {{"req", static_cast<double>(req_id)}});
   util::Writer w;
   w.put(kReply).put(req_id).put(status).put_string(body);
   std::string wire = w.take();
   replay_[{to, req_id}] = wire;
-  net_.send({.src = self_, .dst = to, .payload = std::move(wire)});
+  net_.send({.src = self_, .dst = to, .payload = std::move(wire),
+             .ctx = handle_ctx});
 }
 
 void RpcServer::on_message(const net::Message& msg) {
@@ -48,31 +56,42 @@ void RpcServer::on_message(const net::Message& msg) {
   const std::string body = r.get_string();
   if (r.failed()) return;
 
+  obs::Tracer& tracer = net_.obs().tracer;
+  const sim::TimePoint arrived = net_.simulator().now();
+
   // Retried request already executed: replay the cached reply verbatim.
+  // The reply rides the retry's context, so the client's completion links
+  // back to whichever attempt actually reached the server.
   if (auto it = replay_.find({msg.src, req_id}); it != replay_.end()) {
     replays_->inc();
-    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
-                            "replay", {{"req", static_cast<double>(req_id)}});
-    net_.send({.src = self_, .dst = msg.src, .payload = it->second});
+    tracer.event(arrived, obs::Category::kRpc, "replay", msg.ctx,
+                 {{"req", static_cast<double>(req_id)}});
+    net_.send({.src = self_, .dst = msg.src, .payload = it->second,
+               .ctx = msg.ctx});
     return;
   }
+
+  const obs::CausalContext handle_ctx =
+      msg.ctx.valid() ? msg.ctx.child(tracer.mint_id()) : obs::CausalContext{};
 
   if (auto async = async_methods_.find(method);
       async != async_methods_.end()) {
     const std::pair<net::Address, std::uint64_t> key{msg.src, req_id};
     if (!in_progress_.insert(key).second) return;  // retry while running
     handled_->inc();
-    async->second(body, [this, key](HandlerResult hr) {
+    async->second(body, [this, key, handle_ctx, arrived](HandlerResult hr) {
       in_progress_.erase(key);
       reply(key.first, key.second,
-            hr.ok ? Status::kOk : Status::kAppError, hr.body);
+            hr.ok ? Status::kOk : Status::kAppError, hr.body, handle_ctx,
+            arrived);
     });
     return;
   }
 
   auto handler = methods_.find(method);
   if (handler == methods_.end()) {
-    reply(msg.src, req_id, Status::kNoSuchMethod, method);
+    reply(msg.src, req_id, Status::kNoSuchMethod, method, handle_ctx,
+          arrived);
     return;
   }
 
@@ -83,11 +102,12 @@ void RpcServer::on_message(const net::Message& msg) {
   const Status status = hr.ok ? Status::kOk : Status::kAppError;
   if (processing_ > 0) {
     net_.simulator().schedule_after(
-        processing_, [this, src = msg.src, req_id, status, body = hr.body] {
-          reply(src, req_id, status, body);
+        processing_, [this, src = msg.src, req_id, status, body = hr.body,
+                      handle_ctx, arrived] {
+          reply(src, req_id, status, body, handle_ctx, arrived);
         });
   } else {
-    reply(msg.src, req_id, status, hr.body);
+    reply(msg.src, req_id, status, hr.body, handle_ctx, arrived);
   }
 }
 
@@ -117,6 +137,7 @@ void RpcClient::call(const net::Address& server, const std::string& method,
       .put(req_id)
       .put_string(method)
       .put_string(request);
+  obs::Tracer& tracer = net_.obs().tracer;
   Outstanding o;
   o.server = server;
   o.wire = w.take();
@@ -124,18 +145,25 @@ void RpcClient::call(const net::Address& server, const std::string& method,
   o.opts = opts;
   o.issued_at = net_.simulator().now();
   o.current_timeout = opts.timeout;
+  // A call either continues the caller's trace or is itself an entry
+  // point; every attempt, hop, and the server's handling descend from
+  // this span.
+  o.ctx = opts.parent.valid() ? opts.parent.child(tracer.mint_id())
+                              : tracer.begin_trace();
+  const obs::CausalContext call_ctx = o.ctx;
   outstanding_[req_id] = std::move(o);
-  net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc, "call",
-                          {{"req", static_cast<double>(req_id)},
-                           {"server", static_cast<double>(server.node)}});
-  transmit(req_id);
+  tracer.event(net_.simulator().now(), obs::Category::kRpc, "call", call_ctx,
+               {{"req", static_cast<double>(req_id)},
+                {"server", static_cast<double>(server.node)}});
+  transmit(req_id, call_ctx);
 }
 
-void RpcClient::transmit(std::uint64_t req_id) {
+void RpcClient::transmit(std::uint64_t req_id,
+                         const obs::CausalContext& attempt_ctx) {
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) return;
   net_.send({.src = self_, .dst = it->second.server,
-             .payload = it->second.wire});
+             .payload = it->second.wire, .ctx = attempt_ctx});
   arm_timeout(req_id);
 }
 
@@ -149,28 +177,42 @@ void RpcClient::arm_timeout(std::uint64_t req_id) {
     if (oit == outstanding_.end()) return;
     Outstanding& out = oit->second;
     out.timer = sim::kInvalidEvent;
+    obs::Tracer& tracer = net_.obs().tracer;
     if (out.attempt >= out.opts.retries) {
       timeouts_->inc();
-      net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
-                              "timeout",
-                              {{"req", static_cast<double>(req_id)}});
-      complete(req_id, {.status = Status::kTimeout,
-                        .reply = {},
-                        .rtt = net_.simulator().now() - out.issued_at});
+      const obs::CausalContext timeout_ctx =
+          out.ctx.valid() ? out.ctx.child(tracer.mint_id())
+                          : obs::CausalContext{};
+      tracer.event(net_.simulator().now(), obs::Category::kRpc, "timeout",
+                   timeout_ctx, {{"req", static_cast<double>(req_id)}});
+      complete(req_id,
+               {.status = Status::kTimeout,
+                .reply = {},
+                .rtt = net_.simulator().now() - out.issued_at},
+               timeout_ctx);
       return;
     }
+    // Retries share the call's trace; each attempt is a child span of the
+    // call.  `waited` is the timeout that had to lapse before this
+    // attempt could fire — the critical-path analyzer's "retry" bucket.
+    const sim::Duration waited = out.current_timeout;
     ++out.attempt;
     out.current_timeout = static_cast<sim::Duration>(
         static_cast<double>(out.current_timeout) * out.opts.backoff);
-    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kRpc,
-                            "retry",
-                            {{"req", static_cast<double>(req_id)},
-                             {"attempt", static_cast<double>(out.attempt)}});
-    transmit(req_id);
+    const obs::CausalContext attempt_ctx =
+        out.ctx.valid() ? out.ctx.child(tracer.mint_id())
+                        : obs::CausalContext{};
+    tracer.event(net_.simulator().now(), obs::Category::kRpc, "retry",
+                 attempt_ctx,
+                 {{"req", static_cast<double>(req_id)},
+                  {"attempt", static_cast<double>(out.attempt)},
+                  {"waited", static_cast<double>(waited)}});
+    transmit(req_id, attempt_ctx);
   });
 }
 
-void RpcClient::complete(std::uint64_t req_id, const RpcResult& result) {
+void RpcClient::complete(std::uint64_t req_id, const RpcResult& result,
+                         const obs::CausalContext& cause) {
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) return;
   Callback done = std::move(it->second.done);
@@ -179,12 +221,17 @@ void RpcClient::complete(std::uint64_t req_id, const RpcResult& result) {
   const sim::TimePoint issued_at = it->second.issued_at;
   outstanding_.erase(it);
   if (result.ok()) rtts_->add(static_cast<double>(result.rtt));
-  net_.obs().tracer.span(issued_at, net_.simulator().now(),
-                         obs::Category::kRpc, "rpc",
-                         {{"req", static_cast<double>(req_id)},
-                          {"status",
-                           static_cast<double>(
-                               static_cast<std::uint8_t>(result.status))}});
+  obs::Tracer& tracer = net_.obs().tracer;
+  // The end-to-end span: child of whatever finished the call (the reply
+  // delivery, or the final timeout) so the arrowhead lands on completion.
+  const obs::CausalContext rpc_ctx =
+      cause.valid() ? cause.child(tracer.mint_id()) : obs::CausalContext{};
+  tracer.span(issued_at, net_.simulator().now(), obs::Category::kRpc, "rpc",
+              rpc_ctx,
+              {{"req", static_cast<double>(req_id)},
+               {"status",
+                static_cast<double>(
+                    static_cast<std::uint8_t>(result.status))}});
   if (done) done(result);
 }
 
@@ -197,9 +244,11 @@ void RpcClient::on_message(const net::Message& msg) {
   if (r.failed()) return;
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) return;  // late duplicate reply
-  complete(req_id, {.status = status,
-                    .reply = std::move(body),
-                    .rtt = net_.simulator().now() - it->second.issued_at});
+  complete(req_id,
+           {.status = status,
+            .reply = std::move(body),
+            .rtt = net_.simulator().now() - it->second.issued_at},
+           msg.ctx);
 }
 
 }  // namespace coop::rpc

@@ -44,6 +44,12 @@ struct CallOptions {
   sim::Duration timeout = sim::msec(200);  ///< per-attempt timeout
   int retries = 2;                         ///< additional attempts
   double backoff = 2.0;                    ///< timeout multiplier per retry
+  /// Causal parent of the call.  Invalid (the default) starts a fresh
+  /// trace — an RPC issued directly by a user action is an entry point;
+  /// one issued while servicing something else should pass that context
+  /// so the whole chain shares a trace.  Retries stay inside the call's
+  /// trace as child spans either way.
+  obs::CausalContext parent{};
 };
 
 /// A handler returns either a reply body or an application error string.
@@ -99,7 +105,8 @@ class RpcServer : public net::Endpoint {
 
  private:
   void reply(const net::Address& to, std::uint64_t req_id, Status status,
-             const std::string& body);
+             const std::string& body, const obs::CausalContext& handle_ctx,
+             sim::TimePoint handle_start);
 
   net::Network& net_;
   net::Address self_;
@@ -156,11 +163,13 @@ class RpcClient : public net::Endpoint {
     int attempt = 0;
     sim::Duration current_timeout = 0;
     sim::EventId timer = sim::kInvalidEvent;
+    obs::CausalContext ctx{};  ///< the call span; attempts are children
   };
 
-  void transmit(std::uint64_t req_id);
+  void transmit(std::uint64_t req_id, const obs::CausalContext& attempt_ctx);
   void arm_timeout(std::uint64_t req_id);
-  void complete(std::uint64_t req_id, const RpcResult& result);
+  void complete(std::uint64_t req_id, const RpcResult& result,
+                const obs::CausalContext& cause);
 
   net::Network& net_;
   net::Address self_;

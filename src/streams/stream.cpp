@@ -71,6 +71,16 @@ void MediaSink::on_message(const net::Message& msg) {
     window_.lost += gap;
   }
   highest_seq_seen_ = std::max(highest_seq_seen_, f->seq);
+  // Capture -> sink arrival: the end-to-end frame latency the QoS monitor
+  // samples, closed under the frame's trace so Perfetto links emit ->
+  // hops -> this span.
+  obs::Tracer& tracer = net_.obs().tracer;
+  tracer.span(f->captured_at, now, obs::Category::kStream, "frame",
+              msg.ctx.valid() ? msg.ctx.child(tracer.mint_id())
+                              : obs::CausalContext{},
+              {{"stream", static_cast<double>(f->stream_id)},
+               {"seq", static_cast<double>(f->seq)},
+               {"latency", static_cast<double>(latency)}});
   if (on_frame_) on_frame_(*f, latency);
 }
 
@@ -124,9 +134,18 @@ std::optional<Frame> StreamBinding::decode(const std::string& payload) {
 
 void StreamBinding::send(const Frame& f) {
   ++sent_;
+  // Each frame emission is a user-action entry point: it roots a fresh
+  // trace that the network hops and the sink's frame span descend from.
+  obs::Tracer& tracer = net_.obs().tracer;
+  const obs::CausalContext fctx = tracer.begin_trace();
+  tracer.event(net_.simulator().now(), obs::Category::kStream, "emit", fctx,
+               {{"stream", static_cast<double>(f.stream_id)},
+                {"seq", static_cast<double>(f.seq)},
+                {"bytes", static_cast<double>(f.size)}});
   net::Message msg;
   msg.src = from_;
   msg.payload = encode(f);
+  msg.ctx = fctx;
   // The simulated media payload occupies f.size wire bytes.
   msg.wire_size = f.size + net::Message::kHeaderBytes;
   if (group_) {

@@ -1,0 +1,371 @@
+// Causal-tracing tests: context derivation, end-to-end propagation through
+// RPC retries and group retransmissions, ring wrap-around export, the
+// COOP_TRACE_CAP override, and the critical-path analyzer's bucketing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "core/coop.hpp"
+#include "obs/critical_path.hpp"
+
+namespace coop {
+namespace {
+
+using obs::Category;
+using obs::CausalContext;
+using obs::TraceEvent;
+
+/// All retained records belonging to one trace.
+std::vector<TraceEvent> of_trace(const obs::Tracer& t, std::uint64_t trace) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : t.snapshot()) {
+    if (e.ctx.valid() && e.ctx.trace_id == trace) out.push_back(e);
+  }
+  return out;
+}
+
+/// First retained record with the given category and name, or nullopt.
+std::optional<TraceEvent> find_event(const obs::Tracer& t, Category c,
+                                     std::string_view name) {
+  for (const TraceEvent& e : t.snapshot()) {
+    if (e.category == c && std::string_view(e.name) == name) return e;
+  }
+  return std::nullopt;
+}
+
+bool trace_has(const std::vector<TraceEvent>& events, Category c,
+               std::string_view name) {
+  for (const TraceEvent& e : events) {
+    if (e.category == c && std::string_view(e.name) == name) return true;
+  }
+  return false;
+}
+
+TEST(CausalContext, ChildKeepsTraceAndChainsParent) {
+  const CausalContext root{7, 7, 0};
+  ASSERT_TRUE(root.valid());
+  const CausalContext child = root.child(12);
+  EXPECT_EQ(child.trace_id, 7u);
+  EXPECT_EQ(child.span_id, 12u);
+  EXPECT_EQ(child.parent_span, 7u);
+  EXPECT_FALSE(CausalContext{}.valid());
+}
+
+TEST(CausalContext, TracerMintsDeterministically) {
+  obs::Tracer a(8);
+  obs::Tracer b(8);
+  EXPECT_EQ(a.mint_id(), b.mint_id());
+  const CausalContext ra = a.begin_trace();
+  const CausalContext rb = b.begin_trace();
+  EXPECT_EQ(ra.trace_id, rb.trace_id);
+  EXPECT_EQ(ra.span_id, ra.trace_id);
+  EXPECT_EQ(ra.parent_span, 0u);
+}
+
+TEST(Causal, RpcCallHopsAndHandlingShareOneTrace) {
+  Platform p(/*seed=*/11);
+  auto& net = p.network();
+  net.set_default_link(net::LinkModel::lan());
+  rpc::RpcServer server(net, {2, 1});
+  server.register_method("echo", [](const std::string& req) {
+    return rpc::HandlerResult::success(req);
+  });
+  rpc::RpcClient client(net, {1, 1});
+  rpc::RpcResult result;
+  client.call({2, 1}, "echo", "hi", [&](const rpc::RpcResult& r) {
+    result = r;
+  });
+  p.run();
+  ASSERT_TRUE(result.ok());
+
+  const auto call = find_event(p.tracer(), Category::kRpc, "call");
+  ASSERT_TRUE(call.has_value());
+  ASSERT_TRUE(call->ctx.valid());
+  const auto events = of_trace(p.tracer(), call->ctx.trace_id);
+  // The whole round trip is one trace: call, request hop, server handling,
+  // reply hop, completion.
+  EXPECT_TRUE(trace_has(events, Category::kRpc, "handle"));
+  EXPECT_TRUE(trace_has(events, Category::kRpc, "rpc"));
+  int delivers = 0;
+  for (const TraceEvent& e : events) {
+    if (e.category == Category::kNet && std::string_view(e.name) == "deliver")
+      ++delivers;
+  }
+  EXPECT_GE(delivers, 2);  // request + reply
+
+  // Every non-root record's parent is another span of the same trace.
+  for (const TraceEvent& e : events) {
+    if (e.ctx.parent_span == 0) continue;
+    bool found = false;
+    for (const TraceEvent& other : events) {
+      if (other.ctx.span_id == e.ctx.parent_span) found = true;
+    }
+    EXPECT_TRUE(found) << e.name << " parent " << e.ctx.parent_span;
+  }
+}
+
+TEST(Causal, RpcRetrySurvivesInCallTrace) {
+  Platform p(/*seed=*/12);
+  auto& sim = p.simulator();
+  auto& net = p.network();
+  net.set_default_link(net::LinkModel::lan());
+  rpc::RpcServer server(net, {2, 1});
+  server.register_method("echo", [](const std::string& req) {
+    return rpc::HandlerResult::success(req);
+  });
+  rpc::RpcClient client(net, {1, 1});
+
+  // First attempt (t=0) and first retry (t=50ms) die in the partition;
+  // the second retry (t=150ms) goes through after the heal.
+  net.partition({1}, {2});
+  sim.schedule_at(sim::msec(75), [&net] { net.heal_partition(); });
+  rpc::RpcResult result;
+  client.call({2, 1}, "echo", "again", [&](const rpc::RpcResult& r) {
+    result = r;
+  }, {.timeout = sim::msec(50), .retries = 3, .backoff = 2.0});
+  p.run();
+  ASSERT_TRUE(result.ok());
+
+  const auto call = find_event(p.tracer(), Category::kRpc, "call");
+  ASSERT_TRUE(call.has_value());
+  const auto events = of_trace(p.tracer(), call->ctx.trace_id);
+  // Retries are children inside the call's trace, carrying the timeout
+  // that lapsed ("waited") for the critical-path retry bucket.
+  int retries = 0;
+  for (const TraceEvent& e : events) {
+    if (e.category != Category::kRpc || std::string_view(e.name) != "retry")
+      continue;
+    ++retries;
+    EXPECT_EQ(e.ctx.parent_span, call->ctx.span_id);
+    bool waited = false;
+    for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+      if (std::string_view(e.attrs[i].key) == "waited" &&
+          e.attrs[i].value > 0)
+        waited = true;
+    }
+    EXPECT_TRUE(waited);
+  }
+  EXPECT_GE(retries, 2);
+  // The server's handling and the completion still land in the same trace
+  // even though the successful attempt was a retransmission.
+  EXPECT_TRUE(trace_has(events, Category::kRpc, "handle"));
+  EXPECT_TRUE(trace_has(events, Category::kRpc, "rpc"));
+}
+
+TEST(Causal, GroupRetransmissionKeepsBroadcastTrace) {
+  Platform p(/*seed=*/13);
+  auto& sim = p.simulator();
+  auto& net = p.network();
+  net.set_default_link(net::LinkModel::lan());
+  const std::vector<net::Address> members = {{1, 10}, {2, 10}};
+  groups::GroupChannel alice(net, members[0], 1, {});
+  groups::GroupChannel bob(net, members[1], 1, {});
+  alice.set_members(members);
+  bob.set_members(members);
+  std::optional<CausalContext> bob_ctx;
+  bob.on_deliver([&](const groups::Delivery& d) { bob_ctx = d.ctx; });
+
+  // The first multicast copy and the first retransmit (t~51ms) die in the
+  // partition; a later retransmit reaches bob after the heal.
+  net.partition({1}, {2});
+  sim.schedule_at(sim::msec(60), [&net] { net.heal_partition(); });
+  std::uint64_t trace = 0;
+  sim.schedule_at(sim::msec(1), [&] {
+    alice.broadcast("hello");
+    const auto b = find_event(p.tracer(), Category::kGroup, "broadcast");
+    ASSERT_TRUE(b.has_value());
+    trace = b->ctx.trace_id;
+  });
+  p.run();
+
+  ASSERT_NE(trace, 0u);
+  EXPECT_GE(alice.stats().retransmits, 1u);
+  // Bob received the payload, and his delivery context is part of the
+  // broadcast's trace even though it arrived via a retransmission.
+  ASSERT_TRUE(bob_ctx.has_value());
+  EXPECT_EQ(bob_ctx->trace_id, trace);
+
+  const auto events = of_trace(p.tracer(), trace);
+  bool retransmit_waited = false;
+  for (const TraceEvent& e : events) {
+    if (e.category != Category::kGroup ||
+        std::string_view(e.name) != "retransmit")
+      continue;
+    for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+      if (std::string_view(e.attrs[i].key) == "waited" &&
+          e.attrs[i].value > 0)
+        retransmit_waited = true;
+    }
+  }
+  EXPECT_TRUE(retransmit_waited);
+  // Two delivery spans in the one trace: alice's local echo and bob's.
+  int delivers = 0;
+  for (const TraceEvent& e : events) {
+    if (e.category == Category::kGroup &&
+        std::string_view(e.name) == "deliver")
+      ++delivers;
+  }
+  EXPECT_EQ(delivers, 2);
+}
+
+TEST(Causal, StreamFrameLinksEmitToSinkSpan) {
+  Platform p(/*seed=*/14);
+  auto& net = p.network();
+  net.set_default_link(net::LinkModel::lan());
+  streams::MediaSource src(p.simulator(), 1, {.fps = 25});
+  streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+  streams::MediaSink sink(net, {2, 1});
+  src.start();
+  p.run_until(sim::msec(200));
+  src.stop();
+  ASSERT_GT(sink.frames_received(), 0u);
+
+  const auto emit = find_event(p.tracer(), Category::kStream, "emit");
+  ASSERT_TRUE(emit.has_value());
+  const auto events = of_trace(p.tracer(), emit->ctx.trace_id);
+  // emit -> network hops -> sink frame span, all one trace per frame.
+  EXPECT_TRUE(trace_has(events, Category::kNet, "deliver"));
+  EXPECT_TRUE(trace_has(events, Category::kStream, "frame"));
+}
+
+TEST(Tracer, WrapAroundExportsSurvivingTailInOrder) {
+  obs::Tracer t(4);
+  for (int i = 0; i < 11; ++i)
+    t.event(i * 10, Category::kApp, "e", {{"i", static_cast<double>(i)}});
+  std::ostringstream out;
+  t.export_jsonl(out);
+  // Only the newest four records survive, exported oldest-first.
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"ts\":70"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ts\":100"), std::string::npos);
+}
+
+TEST(Tracer, WrappedChromeExportDropsFlowsToEvictedParents) {
+  obs::Tracer t(2);
+  const CausalContext root = t.begin_trace();
+  t.event(10, Category::kApp, "root", root);
+  const CausalContext c1 = root.child(t.mint_id());
+  t.event(20, Category::kApp, "hop1", c1);
+  const CausalContext c2 = c1.child(t.mint_id());
+  t.event(30, Category::kApp, "hop2", c2);  // evicts "root"
+  std::ostringstream out;
+  t.export_chrome(out);
+  const std::string json = out.str();
+  // hop1 -> hop2 is linkable (both retained); the arrow into hop1 from the
+  // evicted root must not be emitted (no dangling flow starts).
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  const auto count = [&json](std::string_view needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = json.find(needle); pos != std::string::npos;
+         pos = json.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count("\"ph\":\"f\""), 1u);
+}
+
+TEST(Tracer, PerCategoryDropCountsAttributeEvictions) {
+  obs::Tracer t(2);
+  t.event(1, Category::kNet, "a");
+  t.event(2, Category::kNet, "b");
+  t.event(3, Category::kRpc, "c");  // evicts kNet "a"
+  t.event(4, Category::kRpc, "d");  // evicts kNet "b"
+  t.event(5, Category::kRpc, "e");  // evicts kRpc "c"
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(t.dropped_of(Category::kNet), 2u);
+  EXPECT_EQ(t.dropped_of(Category::kRpc), 1u);
+  EXPECT_EQ(t.dropped_of(Category::kStream), 0u);
+  t.clear();
+  EXPECT_EQ(t.dropped_of(Category::kNet), 0u);
+}
+
+TEST(Tracer, CapacityOverridableThroughEnvironment) {
+  ASSERT_EQ(::setenv("COOP_TRACE_CAP", "32", 1), 0);
+  EXPECT_EQ(obs::Tracer().capacity(), 32u);
+  ASSERT_EQ(::setenv("COOP_TRACE_CAP", "not-a-number", 1), 0);
+  EXPECT_EQ(obs::Tracer().capacity(), obs::Tracer::kDefaultCapacity);
+  ASSERT_EQ(::setenv("COOP_TRACE_CAP", "0", 1), 0);
+  EXPECT_EQ(obs::Tracer().capacity(), obs::Tracer::kDefaultCapacity);
+  ASSERT_EQ(::unsetenv("COOP_TRACE_CAP"), 0);
+  EXPECT_EQ(obs::Tracer().capacity(), obs::Tracer::kDefaultCapacity);
+  // An explicit capacity always wins over the environment.
+  ASSERT_EQ(::setenv("COOP_TRACE_CAP", "32", 1), 0);
+  EXPECT_EQ(obs::Tracer(7).capacity(), 7u);
+  ASSERT_EQ(::unsetenv("COOP_TRACE_CAP"), 0);
+}
+
+TEST(CriticalPath, BucketsQueueLinkServiceRetry) {
+  obs::Tracer t(16);
+  // One synthetic trace: a hop with 30us of queueing inside a 100us
+  // delivery, 40us of server handling, and a 200us retry timeout.
+  t.span(0, 100, Category::kNet, "deliver", {1, 2, 1}, {{"queue", 30}});
+  t.span(100, 140, Category::kRpc, "handle", {1, 3, 2});
+  t.event(140, Category::kRpc, "retry", {1, 4, 2}, {{"waited", 200}});
+  const obs::CriticalPath cp(t);
+  ASSERT_EQ(cp.traces().size(), 1u);
+  const obs::TraceBreakdown& tb = cp.traces()[0];
+  EXPECT_EQ(tb.trace_id, 1u);
+  EXPECT_EQ(tb.buckets[static_cast<std::size_t>(obs::PathBucket::kQueue)],
+            30);
+  EXPECT_EQ(tb.buckets[static_cast<std::size_t>(obs::PathBucket::kLink)],
+            70);
+  EXPECT_EQ(tb.buckets[static_cast<std::size_t>(obs::PathBucket::kService)],
+            40);
+  EXPECT_EQ(tb.buckets[static_cast<std::size_t>(obs::PathBucket::kRetry)],
+            200);
+  EXPECT_EQ(tb.span(), 140);
+  EXPECT_EQ(cp.total_us(obs::PathBucket::kRetry), 200);
+  EXPECT_DOUBLE_EQ(cp.end_to_end_us().max(), 140.0);
+
+  std::ostringstream out;
+  cp.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traces\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue\":{\"total_us\":30"), std::string::npos);
+  EXPECT_NE(json.find("\"link\":{\"total_us\":70"), std::string::npos);
+  EXPECT_NE(json.find("\"service\":{\"total_us\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"retry\":{\"total_us\":200"), std::string::npos);
+}
+
+TEST(CriticalPath, GroupsMultipleTracesAndIgnoresContextFreeRecords) {
+  obs::Tracer t(16);
+  t.event(5, Category::kSim, "step");  // no ctx: ignored
+  t.span(0, 50, Category::kNet, "deliver", {1, 2, 1}, {{"queue", 10}});
+  t.span(10, 90, Category::kNet, "deliver", {2, 3, 2}, {{"queue", 0}});
+  const obs::CriticalPath cp(t);
+  ASSERT_EQ(cp.traces().size(), 2u);
+  EXPECT_EQ(cp.total_us(obs::PathBucket::kQueue), 10);
+  EXPECT_EQ(cp.total_us(obs::PathBucket::kLink), 120);
+  EXPECT_EQ(cp.end_to_end_us().count(), 2u);
+}
+
+TEST(CriticalPath, RealRpcRunAccountsServiceTime) {
+  Platform p(/*seed=*/15);
+  auto& net = p.network();
+  net.set_default_link(net::LinkModel::lan());
+  rpc::RpcServer server(net, {2, 1});
+  server.set_processing_time(sim::msec(3));
+  server.register_method("work", [](const std::string&) {
+    return rpc::HandlerResult::success("done");
+  });
+  rpc::RpcClient client(net, {1, 1});
+  for (int i = 0; i < 5; ++i) {
+    client.call({2, 1}, "work", "x", [](const rpc::RpcResult&) {});
+  }
+  p.run();
+  const obs::CriticalPath cp(p.tracer());
+  EXPECT_GE(cp.traces().size(), 5u);
+  // 5 calls x 3ms modelled processing show up in the service bucket.
+  EXPECT_GE(cp.total_us(obs::PathBucket::kService), 5 * 3000);
+  EXPECT_GT(cp.total_us(obs::PathBucket::kLink), 0);
+}
+
+}  // namespace
+}  // namespace coop

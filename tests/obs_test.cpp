@@ -213,6 +213,8 @@ TEST(Obs, WriteBenchArtifactsEmitsJsonAndTrace) {
   Obs obs;
   obs.metrics.counter("x.count").inc(5);
   obs.tracer.event(1, Category::kApp, "tick");
+  obs.meta.note_platform(42);
+  obs.meta.knobs["tag"] = "selftest";
   ASSERT_TRUE(write_bench_artifacts(obs, "selftest", "."));
 
   std::ifstream metrics("BENCH_selftest.json");
@@ -220,6 +222,14 @@ TEST(Obs, WriteBenchArtifactsEmitsJsonAndTrace) {
   std::stringstream ms;
   ms << metrics.rdbuf();
   EXPECT_NE(ms.str().find("\"x.count\":5"), std::string::npos);
+  // The artifact carries run provenance and the critical-path breakdown
+  // alongside the metrics snapshot.
+  EXPECT_NE(ms.str().find("\"meta\":"), std::string::npos);
+  EXPECT_NE(ms.str().find("\"first_seed\":42"), std::string::npos);
+  EXPECT_NE(ms.str().find("\"tag\":\"selftest\""), std::string::npos);
+  EXPECT_NE(ms.str().find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(ms.str().find("\"latency_breakdown\":"), std::string::npos);
+  EXPECT_NE(ms.str().find("\"buckets\":"), std::string::npos);
 
   std::ifstream trace("BENCH_selftest.trace.json");
   ASSERT_TRUE(trace.good());

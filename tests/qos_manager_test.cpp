@@ -1,0 +1,229 @@
+// mgmt::QosManager control-plane tests: the E6-style congestion story
+// (scale down toward the floor, probe back up, restore), teardown when the
+// contract floor is unreachable, and the compare() boundary semantics the
+// whole loop rests on.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string_view>
+
+#include "core/coop.hpp"
+
+namespace coop {
+namespace {
+
+using obs::Category;
+using obs::TraceEvent;
+
+streams::QosSpec video() {
+  return {.fps = 25, .frame_bytes = 4000,
+          .latency_bound = sim::msec(200),
+          .jitter_bound = sim::msec(50),
+          .min_fps = 5};
+}
+
+/// Minimum "fps" attribute across trace events with the given name;
+/// nullopt if none were recorded.
+std::optional<double> min_fps_attr(const obs::Tracer& t,
+                                   std::string_view name) {
+  std::optional<double> out;
+  for (const TraceEvent& e : t.snapshot()) {
+    if (e.category != Category::kStream || std::string_view(e.name) != name)
+      continue;
+    for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+      if (std::string_view(e.attrs[i].key) != "fps") continue;
+      if (!out || e.attrs[i].value < *out) out = e.attrs[i].value;
+    }
+  }
+  return out;
+}
+
+bool has_event(const obs::Tracer& t, std::string_view name) {
+  for (const TraceEvent& e : t.snapshot()) {
+    if (e.category == Category::kStream && std::string_view(e.name) == name)
+      return true;
+  }
+  return false;
+}
+
+TEST(QosManagerPlane, ScalesDownUnderBandwidthDropAndRestores) {
+  Platform platform(/*seed=*/21);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  const net::LinkModel roomy{.latency = sim::msec(20),
+                             .bandwidth_bps = 10e6};
+  net.set_default_link(roomy);
+
+  streams::MediaSource src(sim, 1, video());
+  streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+  streams::MediaSink sink(net, {2, 1});
+  streams::QosMonitor monitor(sim, sink, video());
+
+  mgmt::QosManager plane(sim, platform.obs());
+  plane.manage("video", monitor, src, video());
+  EXPECT_EQ(plane.managed_count(), 1u);
+  EXPECT_EQ(plane.state("video"), mgmt::BindingState::kNominal);
+
+  // t=5s..25s the access link collapses to 300 kbps — the contract's
+  // 800 kbps no longer fits and only ~9 fps get through.
+  sim.schedule_at(sim::sec(5), [&net] {
+    net.set_default_link({.latency = sim::msec(20),
+                          .bandwidth_bps = 300e3});
+  });
+  sim.schedule_at(sim::sec(25), [&net, roomy] {
+    net.set_default_link(roomy);
+  });
+  mgmt::BindingState mid_state = mgmt::BindingState::kNominal;
+  double mid_fps = 0;
+  sim.schedule_at(sim::sec(12), [&] {
+    mid_state = plane.state("video");
+    mid_fps = plane.operating_fps("video");
+  });
+
+  src.start();
+  platform.run_until(sim::sec(60));
+
+  // During congestion the loop had stepped the rate down toward the
+  // floor and entered the degraded state.
+  EXPECT_EQ(mid_state, mgmt::BindingState::kDegraded);
+  EXPECT_LT(mid_fps, video().fps);
+  const auto& metrics = platform.metrics();
+  EXPECT_GE(metrics.value("mgmt.qos.video.scale_downs"), 2.0);
+  const auto lowest = min_fps_attr(platform.tracer(), "qos_scale_down");
+  ASSERT_TRUE(lowest.has_value());
+  EXPECT_LE(*lowest, video().fps / 4);         // well on the way to min_fps
+  EXPECT_GE(*lowest, video().min_fps);         // but never below the floor
+
+  // After the link recovers the loop probes back up and restores the
+  // contract: nominal state, operating point back at 25 fps.
+  EXPECT_EQ(plane.state("video"), mgmt::BindingState::kNominal);
+  EXPECT_DOUBLE_EQ(plane.operating_fps("video"), video().fps);
+  EXPECT_DOUBLE_EQ(src.fps(), video().fps);
+  EXPECT_DOUBLE_EQ(metrics.value("mgmt.qos.video.operating_fps"),
+                   video().fps);
+  EXPECT_DOUBLE_EQ(metrics.value("mgmt.qos.video.state"), 0.0);
+  EXPECT_GE(metrics.value("mgmt.qos.video.scale_ups"), 1.0);
+  EXPECT_GE(metrics.value("mgmt.qos.video.restores"), 1.0);
+  EXPECT_EQ(metrics.value("mgmt.qos.video.teardowns"), 0.0);
+
+  // Every decision left a trace event behind.
+  EXPECT_TRUE(has_event(platform.tracer(), "qos_scale_down"));
+  EXPECT_TRUE(has_event(platform.tracer(), "qos_degraded"));
+  EXPECT_TRUE(has_event(platform.tracer(), "qos_scale_up"));
+  EXPECT_TRUE(has_event(platform.tracer(), "qos_restored"));
+  EXPECT_FALSE(has_event(platform.tracer(), "qos_teardown"));
+}
+
+TEST(QosManagerPlane, TearsDownWhenFloorUnreachable) {
+  Platform platform(/*seed=*/22);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link({.latency = sim::msec(20), .bandwidth_bps = 10e6});
+
+  streams::MediaSource src(sim, 1, video());
+  streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+  streams::MediaSink sink(net, {2, 1});
+  streams::QosMonitor monitor(sim, sink, video());
+
+  mgmt::QosManager plane(sim, platform.obs());
+  int teardowns_seen = 0;
+  std::uint64_t emitted_at_teardown = 0;
+  plane.manage("video", monitor, src, video(), [&] {
+    ++teardowns_seen;
+    emitted_at_teardown = src.frames_emitted();
+  });
+
+  // The path dies at t=3s and never comes back; achieved fps hits zero,
+  // which is below the contract floor — after two such windows the
+  // binding must be torn down, not kept on life support.
+  sim.schedule_at(sim::sec(3), [&net] { net.partition({1}, {2}); });
+  src.start();
+  platform.run_until(sim::sec(10));
+
+  EXPECT_EQ(plane.state("video"), mgmt::BindingState::kTornDown);
+  EXPECT_EQ(teardowns_seen, 1);
+  const auto& metrics = platform.metrics();
+  EXPECT_EQ(metrics.value("mgmt.qos.video.teardowns"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.value("mgmt.qos.video.state"), 2.0);
+  EXPECT_TRUE(has_event(platform.tracer(), "qos_teardown"));
+  // The source was stopped as part of teardown: no frames were emitted
+  // after the callback ran.
+  EXPECT_EQ(src.frames_emitted(), emitted_at_teardown);
+  EXPECT_GT(emitted_at_teardown, 0u);
+}
+
+TEST(QosManagerPlane, ReleaseStopsManagementWithoutTeardown) {
+  Platform platform(/*seed=*/23);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link(net::LinkModel::lan());
+
+  streams::MediaSource src(sim, 1, video());
+  streams::StreamBinding binding(net, src, {1, 1}, net::Address{2, 1});
+  streams::MediaSink sink(net, {2, 1});
+  streams::QosMonitor monitor(sim, sink, video());
+
+  mgmt::QosManager plane(sim, platform.obs());
+  bool tore_down = false;
+  plane.manage("video", monitor, src, video(), [&] { tore_down = true; });
+  plane.release("video");
+  EXPECT_EQ(plane.managed_count(), 0u);
+
+  src.start();
+  platform.run_until(sim::sec(3));
+  // Windows still tick (the monitor is alive) but the released binding
+  // neither reacts nor tears down.
+  EXPECT_FALSE(tore_down);
+  EXPECT_DOUBLE_EQ(src.fps(), video().fps);
+}
+
+TEST(QosCompare, FpsBoundariesAreStrict) {
+  const streams::QosSpec spec = video();
+  streams::QosReport r;
+  r.mean_latency_us = 0;
+  r.jitter_us = 0;
+
+  // Exactly at the tolerance-scaled contract rate: still healthy.
+  r.achieved_fps = spec.fps * 0.85;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kHealthy);
+  // Just below: degraded.
+  r.achieved_fps = spec.fps * 0.85 - 1e-9;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kDegraded);
+  // Exactly at the tolerance-scaled floor: degraded, not unacceptable.
+  r.achieved_fps = spec.min_fps * 0.85;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kDegraded);
+  // Just below the floor: unacceptable.
+  r.achieved_fps = spec.min_fps * 0.85 - 1e-9;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kUnacceptable);
+}
+
+TEST(QosCompare, LatencyAndJitterBoundariesAreInclusive) {
+  const streams::QosSpec spec = video();
+  streams::QosReport r;
+  r.achieved_fps = spec.fps;
+
+  // Exactly at the latency bound is within contract (strict >).
+  r.mean_latency_us = static_cast<double>(spec.latency_bound);
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kHealthy);
+  r.mean_latency_us = static_cast<double>(spec.latency_bound) + 1;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kDegraded);
+
+  r.mean_latency_us = 0;
+  r.jitter_us = static_cast<double>(spec.jitter_bound);
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kHealthy);
+  r.jitter_us = static_cast<double>(spec.jitter_bound) + 1;
+  EXPECT_EQ(streams::compare(spec, r), streams::QosVerdict::kDegraded);
+}
+
+TEST(QosCompare, CustomToleranceShiftsTheFpsBoundary) {
+  const streams::QosSpec spec = video();
+  streams::QosReport r;
+  r.achieved_fps = 20;  // 80% of contract
+  EXPECT_EQ(streams::compare(spec, r, 0.85),
+            streams::QosVerdict::kDegraded);
+  EXPECT_EQ(streams::compare(spec, r, 0.75),
+            streams::QosVerdict::kHealthy);
+}
+
+}  // namespace
+}  // namespace coop
