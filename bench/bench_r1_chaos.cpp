@@ -1,0 +1,362 @@
+// R1 — chaos soak: the full stack under a seeded fault schedule (§4.2.2).
+//
+// A seed x scenario matrix drives the deterministic chaos plane against a
+// small but complete deployment: a membership group (coordinator + three
+// members), a replicated RPC store (two servers with harness-durable
+// state, one retrying client), and a reliable FIFO stream crossing the
+// crashable nodes.  Four scenarios: crash-restart, partition-heal,
+// degraded-link and corruption-storm.
+//
+// Every run feeds a fault::Invariants collector and the binary exits
+// non-zero if ANY run violates a safety invariant — at-most-once per
+// call per incarnation, no acknowledged op lost, replica convergence,
+// view agreement after quiesce, corruption containment, FIFO order.
+// Recovery latencies (outage end -> first healthy client op) are mined
+// from each run's trace and aggregated into the fault.recovery_us
+// summary of BENCH_r1_chaos.json.  Same seed => byte-identical artifacts
+// (the wall_ms line excluded).
+//
+// Expected shape: zero violations on every seed; recovery latency is
+// dominated by the client's retry backoff for crash/partition scenarios
+// and near-zero for degraded-link/corruption (requests ride through).
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr const char* kScenarioNames[] = {"crash_restart", "partition_heal",
+                                          "degraded_link",
+                                          "corruption_storm"};
+
+std::uint64_t g_total_violations = 0;
+
+struct RunOutcome {
+  std::vector<std::string> violations;
+  std::vector<sim::Duration> recovery;
+  std::uint64_t ops_acked = 0;
+  std::uint64_t injected_corrupt = 0;
+  std::uint64_t dropped_corrupt = 0;
+  std::uint64_t fifo_delivered = 0;
+};
+
+RunOutcome run_chaos(int scenario, std::uint64_t seed) {
+  obs::Obs local;  // per-run sink so trace mining never crosses runs
+  Platform platform(seed, &local);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link({.latency = sim::msec(5), .jitter = sim::msec(2),
+                        .bandwidth_bps = 10e6, .loss = 0.005});
+
+  fault::Invariants inv;
+
+  // --- membership plane: coordinator (node 100) + members on nodes 1-3.
+  groups::MembershipConfig mcfg;
+  mcfg.failure_timeout = sim::msec(500);
+  groups::MembershipCoordinator coord(net, {100, 1}, mcfg);
+  std::array<std::unique_ptr<groups::MembershipMember>, 3> members;
+  const auto start_member = [&](int idx) {
+    // Destroy any previous incarnation *before* constructing the new one:
+    // assignment order would otherwise let the old destructor detach the
+    // new object's freshly registered endpoint.
+    members[static_cast<std::size_t>(idx)].reset();
+    members[static_cast<std::size_t>(idx)] =
+        std::make_unique<groups::MembershipMember>(
+            net, net::Address{static_cast<net::NodeId>(idx + 1), 1},
+            net::Address{100, 1}, mcfg);
+    members[static_cast<std::size_t>(idx)]->join();
+  };
+  for (int i = 0; i < 3; ++i) start_member(i);
+
+  // --- replicated RPC store: servers on nodes 1-2 (port 2).  The maps
+  // are harness-owned, i.e. durable across the process restarts; the
+  // replay cache is not — exactly the platform's restart contract.
+  std::array<std::map<std::string, std::string>, 2> durable;
+  std::array<int, 2> incarnation{1, 1};
+  std::array<std::unique_ptr<rpc::RpcServer>, 2> servers;
+  const auto start_server = [&](int s) {
+    auto& server = servers[static_cast<std::size_t>(s)];
+    server.reset();  // old incarnation must detach before the new attaches
+    server = std::make_unique<rpc::RpcServer>(
+        net, net::Address{static_cast<net::NodeId>(s + 1), 2});
+    server->register_method(
+        "set",
+        [&inv, &durable, s,
+         inc = incarnation[static_cast<std::size_t>(s)]](
+            const std::string& req) {
+          // req = "<op>|<call nonce>|<value>".  Executions are keyed by
+          // (server, incarnation, op, nonce): the replay cache promises
+          // at-most-once per *call* per incarnation — a fresh call for
+          // the same op, or a retry spanning a restart, may re-execute.
+          const auto bar1 = req.find('|');
+          const auto bar2 = req.rfind('|');
+          const std::string op = req.substr(0, bar1);
+          inv.record_execution("s" + std::to_string(s) + "#" +
+                               std::to_string(inc) + ":" + op + ":" +
+                               req.substr(bar1 + 1, bar2 - bar1 - 1));
+          durable[static_cast<std::size_t>(s)][op] = req.substr(bar2 + 1);
+          return rpc::HandlerResult::success("ok");
+        });
+  };
+  start_server(0);
+  start_server(1);
+
+  rpc::RpcClient client(net, {10, 1});
+  RunOutcome out;
+  std::uint64_t nonce = 0;
+  bool failed_since_success = false;
+  // Each logical op is issued to both replicas and re-issued until acked:
+  // idempotent writes to op-unique keys, so re-execution converges.
+  std::function<void(int, int)> issue = [&](int s, int opi) {
+    const std::string op = "op" + std::to_string(opi);
+    const std::string req =
+        op + "|n" + std::to_string(++nonce) + "|v" + std::to_string(opi);
+    client.call(
+        {static_cast<net::NodeId>(s + 1), 2}, "set", req,
+        [&, s, opi, op](const rpc::RpcResult& r) {
+          if (r.ok()) {
+            inv.record_acknowledged("s" + std::to_string(s) + ":" + op);
+            ++out.ops_acked;
+            if (failed_since_success) {
+              failed_since_success = false;
+              local.tracer.event(sim.now(), obs::Category::kFault,
+                                 "recovered",
+                                 {{"op", static_cast<double>(opi)}});
+            }
+          } else {
+            failed_since_success = true;
+            sim.schedule_after(sim::msec(100),
+                               [&issue, s, opi] { issue(s, opi); });
+          }
+        },
+        {.timeout = sim::msec(100), .retries = 2, .backoff_jitter = 0.2});
+  };
+  constexpr int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    sim.schedule_at(sim::msec(75) * i, [&issue, i] {
+      issue(0, i);
+      issue(1, i);
+    });
+  }
+
+  // --- reliable FIFO stream across the crashable nodes: 2 -> 3, port 3.
+  std::vector<int> fifo_log;
+  std::uint32_t tx_epoch = 1, rx_epoch = 1;
+  std::unique_ptr<net::FifoChannel> fifo_tx, fifo_rx;
+  const auto start_fifo_tx = [&](std::uint32_t epoch) {
+    fifo_tx.reset();
+    fifo_tx = std::make_unique<net::FifoChannel>(
+        net, net::Address{2, 3},
+        net::FifoConfig{.retransmit_timeout = sim::msec(30),
+                        .backoff_jitter = 0.2, .epoch = epoch});
+  };
+  const auto start_fifo_rx = [&](std::uint32_t epoch) {
+    fifo_rx.reset();
+    fifo_rx = std::make_unique<net::FifoChannel>(
+        net, net::Address{3, 3},
+        net::FifoConfig{.retransmit_timeout = sim::msec(30), .epoch = epoch});
+    fifo_rx->on_receive([&](const net::Address&, const std::string& p) {
+      fifo_log.push_back(std::stoi(p.substr(1)));
+    });
+  };
+  start_fifo_tx(tx_epoch);
+  start_fifo_rx(rx_epoch);
+  constexpr int kTokens = 50;
+  for (int i = 0; i < kTokens; ++i) {
+    // Tokens falling into a sender outage are lost at the app layer
+    // (gaps are legal); order and no-duplication are not negotiable.
+    sim.schedule_at(sim::msec(50) * i, [&fifo_tx, i] {
+      if (fifo_tx) fifo_tx->send({3, 3}, "t" + std::to_string(i));
+    });
+  }
+
+  // --- the chaos schedule itself.
+  fault::FaultPlan plan(net);
+  fault::ChaosProfile profile;
+  profile.nodes = {1, 2, 3};
+  profile.horizon = sim::sec(2);
+  switch (scenario) {
+    case 0:
+      profile.crashes = 3;
+      break;
+    case 1:
+      profile.partitions = 3;
+      break;
+    case 2:
+      profile.degrade_windows = 3;
+      profile.disturbance = {.extra_loss = 0.15,
+                             .extra_latency = sim::msec(10),
+                             .extra_jitter = sim::msec(5)};
+      break;
+    case 3:
+      profile.corrupt_windows = 3;
+      profile.corrupt_prob = 0.25;
+      profile.duplicate_windows = 2;
+      profile.delay_windows = 2;
+      break;
+    default:
+      break;
+  }
+  plan.on_crash([&](net::NodeId n) {
+    // Fail-stop: the node's protocol objects die with the process.
+    const int idx = static_cast<int>(n) - 1;
+    if (idx >= 0 && idx < 3) members[static_cast<std::size_t>(idx)].reset();
+    if (idx >= 0 && idx < 2) servers[static_cast<std::size_t>(idx)].reset();
+    if (n == 2) fifo_tx.reset();
+    if (n == 3) fifo_rx.reset();
+  });
+  plan.on_restart([&](net::NodeId n) {
+    // A fresh incarnation: endpoints re-register, members rejoin via the
+    // join protocol, FIFO channels come back with a bumped epoch and
+    // resynchronize, the replay cache starts empty.
+    const int idx = static_cast<int>(n) - 1;
+    if (idx >= 0 && idx < 3) start_member(idx);
+    if (idx >= 0 && idx < 2) {
+      ++incarnation[static_cast<std::size_t>(idx)];
+      start_server(idx);
+    }
+    if (n == 2) {
+      start_fifo_tx(++tx_epoch);
+      fifo_tx->resync({3, 3});
+    }
+    if (n == 3) {
+      start_fifo_rx(++rx_epoch);
+      fifo_rx->resync({2, 3});
+    }
+  });
+  fault::ChaosEngine engine(seed * 1000 + static_cast<std::uint64_t>(scenario));
+  engine.populate(plan, profile);
+  plan.arm();
+
+  // Faults end by ~2.4s, the workload by 3s; the tail is retry drain.
+  sim.run_until(sim::sec(8));
+
+  // --- evidence + checks.
+  for (int s = 0; s < 2; ++s) {
+    std::string digest;
+    for (const auto& [k, v] : durable[static_cast<std::size_t>(s)]) {
+      digest += k + "=" + v + ";";
+      inv.record_applied("s" + std::to_string(s) + ":" + k);
+    }
+    inv.record_state("srv" + std::to_string(s), digest);
+  }
+  inv.record_view("coord", coord.view().id, coord.view().members.size());
+  for (int i = 0; i < 3; ++i) {
+    const auto& m = members[static_cast<std::size_t>(i)];
+    if (m && m->view().has_value()) {
+      inv.record_view("m" + std::to_string(i), m->view()->id,
+                      m->view()->members.size());
+    }
+  }
+  for (std::size_t i = 1; i < fifo_log.size(); ++i) {
+    if (fifo_log[i] <= fifo_log[i - 1]) {
+      inv.report_violation(
+          "fifo order: token t" + std::to_string(fifo_log[i]) +
+          " delivered after t" + std::to_string(fifo_log[i - 1]));
+    }
+  }
+  if (out.ops_acked < 2 * kOps) {
+    inv.report_violation("liveness: only " + std::to_string(out.ops_acked) +
+                         "/" + std::to_string(2 * kOps) +
+                         " ops acknowledged by quiesce");
+  }
+  inv.check_all();
+  inv.check_corruption_contained(net.stats(), plan.injected().corrupt_frames);
+
+  out.violations = inv.violations();
+  out.recovery = fault::recovery_latencies(local.tracer.snapshot());
+  out.injected_corrupt = plan.injected().corrupt_frames;
+  out.dropped_corrupt = net.stats().dropped_corrupt;
+  out.fifo_delivered = fifo_log.size();
+  return out;
+}
+
+void BM_ChaosSoak(benchmark::State& state) {
+  const int scenario = static_cast<int>(state.range(0));
+  const auto seed = static_cast<std::uint64_t>(state.range(1));
+  RunOutcome out;
+  for (auto _ : state) out = run_chaos(scenario, seed);
+
+  obs::Obs& ambient = *obs::default_obs();
+  auto& recovery = ambient.metrics.summary("fault.recovery_us");
+  for (const sim::Duration d : out.recovery)
+    recovery.add(static_cast<double>(d));
+  ambient.metrics.counter("fault.soak.runs").inc();
+  ambient.metrics.counter("fault.soak.ops_acked").inc(out.ops_acked);
+  ambient.metrics.counter("fault.soak.fifo_delivered")
+      .inc(out.fifo_delivered);
+  ambient.metrics.counter("fault.soak.injected_corrupt")
+      .inc(out.injected_corrupt);
+  ambient.metrics.counter("fault.soak.dropped_corrupt")
+      .inc(out.dropped_corrupt);
+  if (!out.violations.empty()) {
+    ambient.metrics.counter("fault.invariant_violations")
+        .inc(out.violations.size());
+    g_total_violations += out.violations.size();
+    for (const std::string& v : out.violations) {
+      std::fprintf(stderr, "[%s seed %llu] INVARIANT VIOLATION: %s\n",
+                   kScenarioNames[scenario],
+                   static_cast<unsigned long long>(seed), v.c_str());
+    }
+  }
+  state.counters["violations"] = static_cast<double>(out.violations.size());
+  state.counters["recoveries"] = static_cast<double>(out.recovery.size());
+  state.counters["ops_acked"] = static_cast<double>(out.ops_acked);
+  state.counters["fifo_delivered"] =
+      static_cast<double>(out.fifo_delivered);
+  state.SetLabel(kScenarioNames[scenario]);
+}
+
+BENCHMARK(BM_ChaosSoak)
+    ->ArgsProduct({{0, 1, 2, 3}, benchmark::CreateDenseRange(1, 20, 1)})
+    ->Iterations(1);
+
+}  // namespace
+
+// COOP_BENCH_MAIN with one addition: a non-zero exit code when any run
+// violated an invariant, so CI fails on the soak, not on a diff.
+int main(int argc, char** argv) {
+  coop::obs::Obs obs;
+  coop::obs::ScopedDefaultObs ambient(&obs);
+  obs.meta.knobs["tag"] = "r1_chaos";
+  obs.meta.knobs["trace_cap"] = std::to_string(obs.tracer.capacity());
+  if (const char* cap = std::getenv("COOP_TRACE_CAP"))
+    obs.meta.knobs["COOP_TRACE_CAP"] = cap;
+  {
+    std::string args;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) args += ' ';
+      args += argv[i];
+    }
+    if (!args.empty()) obs.meta.knobs["argv"] = args;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  obs.meta.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  if (!coop::obs::write_bench_artifacts(obs, "r1_chaos")) {
+    std::fprintf(stderr, "warning: failed to write BENCH_r1_chaos.*\n");
+  }
+  if (g_total_violations > 0) {
+    std::fprintf(stderr, "chaos soak FAILED: %llu invariant violation(s)\n",
+                 static_cast<unsigned long long>(g_total_violations));
+    return 2;
+  }
+  return 0;
+}

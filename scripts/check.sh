@@ -6,6 +6,10 @@
 #   2. AddressSanitizer/UBSan build + tests (COOP_SANITIZE=ON), because
 #      the ring tracer, hold-back queues and timer wheels are exactly the
 #      kind of code that hides lifetime bugs.
+#   3. Chaos soak: bench_r1_chaos runs the full seed x scenario matrix
+#      (20 seeds x 4 scenarios) and exits non-zero on any invariant
+#      violation; a second run must reproduce the artifact byte-for-byte
+#      (wall-clock line excluded) or determinism has regressed.
 #
 # Usage: scripts/check.sh [--skip-sanitize]
 #
@@ -29,6 +33,20 @@ run cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-check -j "${JOBS}"
 run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
+echo "== chaos soak: invariants across the seed matrix =="
+soak_a="$(mktemp -d)"
+soak_b="$(mktemp -d)"
+trap 'rm -rf "${soak_a}" "${soak_b}"' EXIT
+bench_bin="$(pwd)/build-check/bench/bench_r1_chaos"
+(cd "${soak_a}" && run "${bench_bin}" >/dev/null)
+(cd "${soak_b}" && run "${bench_bin}" >/dev/null)
+if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_chaos.json") \
+          <(grep -v wall_ms "${soak_b}/BENCH_r1_chaos.json"); then
+  echo "chaos soak artifact is not reproducible across identical runs" >&2
+  exit 1
+fi
+echo "chaos soak: clean, artifact reproducible"
+
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
   exit 0
@@ -38,5 +56,7 @@ echo "== tier-2: ASan/UBSan build + tests =="
 run cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DCOOP_SANITIZE=ON
 run cmake --build build-asan -j "${JOBS}"
 run ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+asan_bench="$(pwd)/build-asan/bench/bench_r1_chaos"
+(cd "${soak_a}" && run "${asan_bench}" >/dev/null)
 
 echo "== all checks passed =="

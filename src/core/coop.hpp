@@ -11,6 +11,8 @@
 //   util/       codec, statistics
 //   time/       Lamport & vector clocks
 //   net/        simulated internetwork: links, faults, mobility, multicast
+//   fault/      deterministic chaos plane: scripted/seeded fault injection,
+//               crash-restart lifecycle, safety invariants
 //   groups/     membership, reliable multicast, FIFO/causal/total order
 //   rpc/        request-response, trader, group RPC with deadlines
 //   ccontrol/   transactions, cooperative locks, transaction groups,
@@ -37,6 +39,8 @@
 #include "ccontrol/store.hpp"
 #include "ccontrol/transactions.hpp"
 #include "ccontrol/txgroup.hpp"
+#include "fault/fault.hpp"
+#include "fault/invariants.hpp"
 #include "groups/group_channel.hpp"
 #include "groups/membership.hpp"
 #include "groupware/conference.hpp"

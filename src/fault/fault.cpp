@@ -1,0 +1,328 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace coop::fault {
+
+FaultPlan::FaultPlan(net::Network& net) : net_(net) {
+  auto& m = net_.obs().metrics;
+  crashes_ctr_ = &m.counter("fault.crashes");
+  restarts_ctr_ = &m.counter("fault.restarts");
+  partitions_ctr_ = &m.counter("fault.partitions");
+  heals_ctr_ = &m.counter("fault.heals");
+  degrade_ctr_ = &m.counter("fault.degrade_windows");
+  corrupt_ctr_ = &m.counter("fault.injected.corrupt");
+  duplicate_ctr_ = &m.counter("fault.injected.duplicate");
+  delay_ctr_ = &m.counter("fault.injected.delay");
+}
+
+FaultPlan::~FaultPlan() {
+  // The hook closes over `this`; never leave it dangling on the network.
+  if (armed_) net_.set_inject_hook(nullptr);
+}
+
+FaultPlan& FaultPlan::crash(sim::TimePoint at, net::NodeId node,
+                            sim::Duration downtime) {
+  crashes_.push_back({at, node, downtime});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(sim::TimePoint at,
+                                std::set<net::NodeId> side_a,
+                                sim::Duration duration) {
+  partitions_.push_back({at, std::move(side_a), duration});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(sim::TimePoint at, sim::Duration duration,
+                              const net::LinkDisturbance& disturbance) {
+  degrades_.push_back({at, duration, disturbance});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(sim::TimePoint at, sim::Duration duration,
+                              double prob) {
+  corrupts_.push_back({at, duration, prob, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(sim::TimePoint at, sim::Duration duration,
+                                double prob) {
+  duplicates_.push_back({at, duration, prob, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(sim::TimePoint at, sim::Duration duration,
+                            double prob, sim::Duration extra) {
+  delays_.push_back({at, duration, prob, extra});
+  return *this;
+}
+
+void FaultPlan::fault_event(const char* name,
+                            std::initializer_list<obs::Attr> attrs) {
+  net_.obs().tracer.event(net_.simulator().now(), obs::Category::kFault,
+                          name, attrs);
+}
+
+void FaultPlan::apply_disturbance() {
+  if (active_degrades_.empty()) {
+    net_.clear_disturbance();
+    return;
+  }
+  net::LinkDisturbance combined;
+  for (const net::LinkDisturbance& d : active_degrades_) {
+    combined.extra_loss += d.extra_loss;
+    combined.extra_latency += d.extra_latency;
+    combined.extra_jitter += d.extra_jitter;
+  }
+  combined.extra_loss = std::min(combined.extra_loss, 1.0);
+  net_.set_disturbance(combined);
+}
+
+net::InjectDecision FaultPlan::on_datagram(const net::Message& msg) {
+  sim::Rng& rng = net_.simulator().rng();
+  net::InjectDecision d;
+  const auto prob_sum = [](const std::vector<double>& v) {
+    double p = 0;
+    for (const double x : v) p += x;
+    return std::min(p, 1.0);
+  };
+  if (!active_corrupts_.empty() &&
+      rng.bernoulli(prob_sum(active_corrupts_))) {
+    d.corrupt = true;
+    ++injected_.corrupt_frames;
+    corrupt_ctr_->inc();
+    fault_event("inject_corrupt",
+                {{"src", static_cast<double>(msg.src.node)},
+                 {"dst", static_cast<double>(msg.dst.node)}});
+  }
+  if (!active_duplicates_.empty() &&
+      rng.bernoulli(prob_sum(active_duplicates_))) {
+    d.duplicate = true;
+    ++injected_.duplicate_frames;
+    duplicate_ctr_->inc();
+    fault_event("inject_duplicate",
+                {{"src", static_cast<double>(msg.src.node)},
+                 {"dst", static_cast<double>(msg.dst.node)}});
+  }
+  if (!active_delays_.empty()) {
+    double p = 0;
+    sim::Duration extra = 0;
+    for (const auto& [wp, we] : active_delays_) {
+      p += wp;
+      extra = std::max(extra, we);
+    }
+    if (rng.bernoulli(std::min(p, 1.0))) {
+      d.extra_delay = extra;
+      ++injected_.delayed_frames;
+      delay_ctr_->inc();
+      fault_event("inject_delay",
+                  {{"src", static_cast<double>(msg.src.node)},
+                   {"dst", static_cast<double>(msg.dst.node)},
+                   {"extra", static_cast<double>(extra)}});
+    }
+  }
+  return d;
+}
+
+void FaultPlan::arm() {
+  if (armed_) return;
+  armed_ = true;
+  sim::Simulator& sim = net_.simulator();
+
+  // Normalize: at most one outstanding crash per node.  Two overlapping
+  // crash windows would race two incarnation lifecycles on one address
+  // (the second restart re-creates protocol objects whose predecessors'
+  // destructors then detach the *new* endpoints).  Specs are sorted by
+  // time and a spec starting inside an accepted window for the same node
+  // is dropped; back-to-back (restart time == next crash time) is fine.
+  std::sort(crashes_.begin(), crashes_.end(),
+            [](const CrashSpec& a, const CrashSpec& b) {
+              return a.at != b.at ? a.at < b.at : a.node < b.node;
+            });
+  std::map<net::NodeId, sim::TimePoint> down_until;
+  std::vector<CrashSpec> effective;
+  for (const CrashSpec& spec : crashes_) {
+    const auto it = down_until.find(spec.node);
+    if (it != down_until.end() && spec.at < it->second) continue;
+    down_until[spec.node] = spec.at + spec.downtime;
+    effective.push_back(spec);
+  }
+  crashes_ = std::move(effective);
+
+  for (const CrashSpec& spec : crashes_) {
+    sim.schedule_at(spec.at, [this, spec] {
+      net_.crash(spec.node);
+      ++injected_.crashes;
+      crashes_ctr_->inc();
+      fault_event("crash", {{"node", static_cast<double>(spec.node)},
+                            {"downtime",
+                             static_cast<double>(spec.downtime)}});
+      if (crash_fn_) crash_fn_(spec.node);
+    });
+    sim.schedule_at(spec.at + spec.downtime, [this, spec] {
+      net_.restart(spec.node);
+      ++injected_.restarts;
+      restarts_ctr_->inc();
+      fault_event("restart", {{"node", static_cast<double>(spec.node)}});
+      if (restart_fn_) restart_fn_(spec.node);
+    });
+  }
+
+  // The network models one cut at a time: overlapping scripted partitions
+  // apply last-writer-wins, and any heal removes the current cut.
+  for (const PartitionSpec& spec : partitions_) {
+    sim.schedule_at(spec.at, [this, spec] {
+      net_.partition(spec.side_a);
+      ++injected_.partitions;
+      partitions_ctr_->inc();
+      fault_event("partition",
+                  {{"side_a", static_cast<double>(spec.side_a.size())},
+                   {"duration", static_cast<double>(spec.duration)}});
+    });
+    sim.schedule_at(spec.at + spec.duration, [this] {
+      net_.heal_partition();
+      ++injected_.heals;
+      heals_ctr_->inc();
+      fault_event("heal", {});
+    });
+  }
+
+  for (const DegradeSpec& spec : degrades_) {
+    sim.schedule_at(spec.at, [this, spec] {
+      active_degrades_.push_back(spec.disturbance);
+      apply_disturbance();
+      ++injected_.degrade_windows;
+      degrade_ctr_->inc();
+      fault_event("degrade_begin",
+                  {{"extra_loss", spec.disturbance.extra_loss},
+                   {"extra_latency",
+                    static_cast<double>(spec.disturbance.extra_latency)},
+                   {"duration", static_cast<double>(spec.duration)}});
+    });
+    sim.schedule_at(spec.at + spec.duration, [this, spec] {
+      const auto it = std::find_if(
+          active_degrades_.begin(), active_degrades_.end(),
+          [&](const net::LinkDisturbance& d) {
+            return d.extra_loss == spec.disturbance.extra_loss &&
+                   d.extra_latency == spec.disturbance.extra_latency &&
+                   d.extra_jitter == spec.disturbance.extra_jitter;
+          });
+      if (it != active_degrades_.end()) active_degrades_.erase(it);
+      apply_disturbance();
+      fault_event("degrade_end", {});
+    });
+  }
+
+  const auto arm_windows = [&](std::vector<WindowSpec>& specs,
+                               auto on_begin, auto on_end,
+                               const char* begin_name,
+                               const char* end_name) {
+    for (const WindowSpec& spec : specs) {
+      sim.schedule_at(spec.at, [this, spec, on_begin, begin_name] {
+        on_begin(spec);
+        fault_event(begin_name,
+                    {{"prob", spec.prob},
+                     {"duration", static_cast<double>(spec.duration)}});
+      });
+      sim.schedule_at(spec.at + spec.duration,
+                      [this, spec, on_end, end_name] {
+                        on_end(spec);
+                        fault_event(end_name, {});
+                      });
+    }
+  };
+
+  arm_windows(
+      corrupts_,
+      [this](const WindowSpec& s) { active_corrupts_.push_back(s.prob); },
+      [this](const WindowSpec& s) {
+        const auto it = std::find(active_corrupts_.begin(),
+                                  active_corrupts_.end(), s.prob);
+        if (it != active_corrupts_.end()) active_corrupts_.erase(it);
+      },
+      "corrupt_begin", "corrupt_end");
+  arm_windows(
+      duplicates_,
+      [this](const WindowSpec& s) { active_duplicates_.push_back(s.prob); },
+      [this](const WindowSpec& s) {
+        const auto it = std::find(active_duplicates_.begin(),
+                                  active_duplicates_.end(), s.prob);
+        if (it != active_duplicates_.end()) active_duplicates_.erase(it);
+      },
+      "duplicate_begin", "duplicate_end");
+  arm_windows(
+      delays_,
+      [this](const WindowSpec& s) {
+        active_delays_.emplace_back(s.prob, s.extra);
+      },
+      [this](const WindowSpec& s) {
+        const auto it =
+            std::find(active_delays_.begin(), active_delays_.end(),
+                      std::pair<double, sim::Duration>{s.prob, s.extra});
+        if (it != active_delays_.end()) active_delays_.erase(it);
+      },
+      "delay_begin", "delay_end");
+
+  net_.set_inject_hook(
+      [this](const net::Message& msg) { return on_datagram(msg); });
+}
+
+// ----------------------------------------------------------- chaos engine
+
+sim::TimePoint ChaosEngine::draw_time(const ChaosProfile& p) {
+  if (p.horizon <= p.start + 1) return p.start;
+  return rng_.uniform_int(p.start, p.horizon - 1);
+}
+
+sim::Duration ChaosEngine::draw_range(sim::Duration lo, sim::Duration hi) {
+  if (hi <= lo) return lo;
+  return rng_.uniform_int(lo, hi);
+}
+
+void ChaosEngine::populate(FaultPlan& plan, const ChaosProfile& profile) {
+  for (int i = 0; i < profile.crashes && !profile.nodes.empty(); ++i) {
+    const net::NodeId node =
+        profile.nodes[static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(profile.nodes.size()) - 1))];
+    plan.crash(draw_time(profile), node,
+               draw_range(profile.min_downtime, profile.max_downtime));
+  }
+  for (int i = 0; i < profile.partitions && profile.nodes.size() >= 2; ++i) {
+    // Random non-trivial cut: coin-flip each node into side A, then patch
+    // up the degenerate all/none outcomes deterministically.
+    std::set<net::NodeId> side_a;
+    for (const net::NodeId n : profile.nodes) {
+      if (rng_.bernoulli(0.5)) side_a.insert(n);
+    }
+    if (side_a.empty()) side_a.insert(profile.nodes.front());
+    if (side_a.size() == profile.nodes.size())
+      side_a.erase(profile.nodes.back());
+    plan.partition(draw_time(profile), std::move(side_a),
+                   draw_range(profile.min_partition, profile.max_partition));
+  }
+  for (int i = 0; i < profile.degrade_windows; ++i) {
+    plan.degrade(draw_time(profile),
+                 draw_range(profile.min_window, profile.max_window),
+                 profile.disturbance);
+  }
+  for (int i = 0; i < profile.corrupt_windows; ++i) {
+    plan.corrupt(draw_time(profile),
+                 draw_range(profile.min_window, profile.max_window),
+                 profile.corrupt_prob);
+  }
+  for (int i = 0; i < profile.duplicate_windows; ++i) {
+    plan.duplicate(draw_time(profile),
+                   draw_range(profile.min_window, profile.max_window),
+                   profile.duplicate_prob);
+  }
+  for (int i = 0; i < profile.delay_windows; ++i) {
+    plan.delay(draw_time(profile),
+               draw_range(profile.min_window, profile.max_window),
+               profile.delay_prob, profile.delay_extra);
+  }
+}
+
+}  // namespace coop::fault

@@ -1,0 +1,231 @@
+// Deterministic chaos plane: scripted and seeded fault injection driven by
+// the simulation clock.
+//
+// The paper (§4.2.2) makes disconnection, roaming and partial failure
+// *first-class* conditions a CSCW-aware ODP platform must survive, not
+// exceptions.  This module turns the ad-hoc fault pokes scattered through
+// individual tests into a systematic plane:
+//
+//   * FaultPlan — a scripted timeline of faults armed onto one Network:
+//     node crash -> restart (a real process lifecycle, with teardown and
+//     re-creation callbacks), partition -> heal, link-degradation windows
+//     (loss/latency/jitter spikes via net::LinkDisturbance), and
+//     per-datagram corruption/duplication/delay windows routed through the
+//     Network's injection hook.
+//   * ChaosEngine — fills a plan from a seeded RNG and a scenario profile.
+//     The engine's RNG is private (not the simulator's), so generating the
+//     schedule never perturbs workload draws: same seed => same schedule
+//     => byte-identical artifacts.
+//
+// Determinism contract: every choice the plane makes is a pure function of
+// (engine seed, profile, arming order) plus the simulator's own seeded
+// stream for per-datagram draws.  Every injection is stamped as a fault.*
+// metric and a Category::kFault trace event, so a run's chaos is fully
+// reconstructable from its artifacts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::fault {
+
+/// Counts of faults actually injected so far (mirrored as "fault.*"
+/// registry counters; this struct is the cheap in-process view).
+struct InjectedStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;
+  std::uint64_t degrade_windows = 0;
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t duplicate_frames = 0;
+  std::uint64_t delayed_frames = 0;
+};
+
+/// A scripted timeline of faults against one Network.  Build the script
+/// with the fluent mutators (times are absolute sim time), register the
+/// crash/restart lifecycle callbacks, then arm() once before running the
+/// simulation.  The plan must outlive the simulation run (it owns the
+/// injection hook and the window state the hook reads).
+class FaultPlan {
+ public:
+  explicit FaultPlan(net::Network& net);
+  ~FaultPlan();
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  // --- scripted timeline ---------------------------------------------------
+
+  /// Crash @p node at @p at; restart it @p downtime later.  At crash time
+  /// the on_crash callback runs *after* Network::crash (tear down the
+  /// node's protocol objects; their destructors detach, so in-flight
+  /// frames to the dead process drop).  At restart time Network::restart
+  /// runs first, then on_restart (re-create protocol objects; endpoints
+  /// re-register, FIFO peers resynchronize, members rejoin).
+  FaultPlan& crash(sim::TimePoint at, net::NodeId node,
+                   sim::Duration downtime);
+
+  /// Partition @p side_a from everyone else at @p at; heal after
+  /// @p duration.
+  FaultPlan& partition(sim::TimePoint at, std::set<net::NodeId> side_a,
+                       sim::Duration duration);
+
+  /// Degrade every link by @p disturbance during [at, at + duration).
+  FaultPlan& degrade(sim::TimePoint at, sim::Duration duration,
+                     const net::LinkDisturbance& disturbance);
+
+  /// Corrupt each datagram with probability @p prob during the window.
+  FaultPlan& corrupt(sim::TimePoint at, sim::Duration duration, double prob);
+
+  /// Duplicate each datagram with probability @p prob during the window.
+  FaultPlan& duplicate(sim::TimePoint at, sim::Duration duration,
+                       double prob);
+
+  /// Delay each datagram by @p extra with probability @p prob during the
+  /// window.
+  FaultPlan& delay(sim::TimePoint at, sim::Duration duration, double prob,
+                   sim::Duration extra);
+
+  // --- lifecycle callbacks -------------------------------------------------
+
+  FaultPlan& on_crash(std::function<void(net::NodeId)> fn) {
+    crash_fn_ = std::move(fn);
+    return *this;
+  }
+
+  FaultPlan& on_restart(std::function<void(net::NodeId)> fn) {
+    restart_fn_ = std::move(fn);
+    return *this;
+  }
+
+  // --- arming --------------------------------------------------------------
+
+  /// Schedules every scripted fault on the network's simulator and
+  /// installs the per-datagram injection hook.  Call exactly once.
+  void arm();
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] const InjectedStats& injected() const noexcept {
+    return injected_;
+  }
+
+ private:
+  struct CrashSpec {
+    sim::TimePoint at;
+    net::NodeId node;
+    sim::Duration downtime;
+  };
+  struct PartitionSpec {
+    sim::TimePoint at;
+    std::set<net::NodeId> side_a;
+    sim::Duration duration;
+  };
+  struct DegradeSpec {
+    sim::TimePoint at;
+    sim::Duration duration;
+    net::LinkDisturbance disturbance;
+  };
+  struct WindowSpec {
+    sim::TimePoint at;
+    sim::Duration duration;
+    double prob;
+    sim::Duration extra;  // delay windows only
+  };
+
+  [[nodiscard]] net::InjectDecision on_datagram(const net::Message& msg);
+  void apply_disturbance();
+  void fault_event(const char* name, std::initializer_list<obs::Attr> attrs);
+
+  net::Network& net_;
+  std::function<void(net::NodeId)> crash_fn_;
+  std::function<void(net::NodeId)> restart_fn_;
+  std::vector<CrashSpec> crashes_;
+  std::vector<PartitionSpec> partitions_;
+  std::vector<DegradeSpec> degrades_;
+  std::vector<WindowSpec> corrupts_;
+  std::vector<WindowSpec> duplicates_;
+  std::vector<WindowSpec> delays_;
+
+  // Live window state read by the injection hook.  Overlapping windows of
+  // one class combine by probability sum (clamped to 1); overlapping delay
+  // windows apply the largest extra delay; overlapping degradations add.
+  std::vector<net::LinkDisturbance> active_degrades_;
+  std::vector<double> active_corrupts_;
+  std::vector<double> active_duplicates_;
+  std::vector<std::pair<double, sim::Duration>> active_delays_;
+
+  InjectedStats injected_;
+  // Registry-owned "fault.*" counters; injected_ is the hot view.
+  util::Counter* crashes_ctr_;
+  util::Counter* restarts_ctr_;
+  util::Counter* partitions_ctr_;
+  util::Counter* heals_ctr_;
+  util::Counter* degrade_ctr_;
+  util::Counter* corrupt_ctr_;
+  util::Counter* duplicate_ctr_;
+  util::Counter* delay_ctr_;
+  bool armed_ = false;
+};
+
+/// Scenario profile for ChaosEngine: how many faults of each class to
+/// scatter over [start, horizon), and their parameter ranges.  All draws
+/// are uniform over the given ranges.
+struct ChaosProfile {
+  std::vector<net::NodeId> nodes;  ///< crashable / partitionable nodes
+  sim::TimePoint start = 0;
+  sim::TimePoint horizon = sim::sec(2);
+
+  int crashes = 0;
+  sim::Duration min_downtime = sim::msec(50);
+  sim::Duration max_downtime = sim::msec(250);
+
+  int partitions = 0;
+  sim::Duration min_partition = sim::msec(100);
+  sim::Duration max_partition = sim::msec(400);
+
+  int degrade_windows = 0;
+  net::LinkDisturbance disturbance{.extra_loss = 0.05,
+                                   .extra_latency = sim::msec(20),
+                                   .extra_jitter = sim::msec(10)};
+
+  int corrupt_windows = 0;
+  double corrupt_prob = 0.2;
+
+  int duplicate_windows = 0;
+  double duplicate_prob = 0.2;
+
+  int delay_windows = 0;
+  double delay_prob = 0.2;
+  sim::Duration delay_extra = sim::msec(30);
+
+  /// Duration range for degrade/corrupt/duplicate/delay windows.
+  sim::Duration min_window = sim::msec(100);
+  sim::Duration max_window = sim::msec(400);
+};
+
+/// Seeded schedule generator: same seed + same profile => the same plan,
+/// independent of the simulator's stream.
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(std::uint64_t seed) : rng_(seed) {}
+
+  /// Appends a randomized schedule drawn from the engine's RNG to @p plan.
+  void populate(FaultPlan& plan, const ChaosProfile& profile);
+
+ private:
+  [[nodiscard]] sim::TimePoint draw_time(const ChaosProfile& p);
+  [[nodiscard]] sim::Duration draw_range(sim::Duration lo, sim::Duration hi);
+
+  sim::Rng rng_;
+};
+
+}  // namespace coop::fault

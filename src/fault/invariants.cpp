@@ -1,0 +1,125 @@
+#include "fault/invariants.hpp"
+
+#include <cstring>
+
+namespace coop::fault {
+
+void Invariants::check_at_most_once() {
+  for (const auto& [op, count] : executions_) {
+    if (count > 1) {
+      violation("at-most-once: op '" + op + "' executed " +
+                std::to_string(count) + " times in one incarnation");
+    }
+  }
+}
+
+void Invariants::check_acknowledged_durable() {
+  for (const auto& [op, acked] : acknowledged_) {
+    if (!acked) continue;
+    const auto it = applied_.find(op);
+    if (it == applied_.end() || !it->second) {
+      violation("acknowledged op lost: '" + op +
+                "' was acked to the client but is absent from the durable "
+                "state");
+    }
+  }
+}
+
+void Invariants::check_convergence() {
+  const std::string* first = nullptr;
+  const std::string* first_replica = nullptr;
+  for (const auto& [replica, digest] : digests_) {
+    if (first == nullptr) {
+      first = &digest;
+      first_replica = &replica;
+      continue;
+    }
+    if (digest != *first) {
+      violation("divergence: replica '" + replica + "' digest '" + digest +
+                "' != '" + *first_replica + "' digest '" + *first + "'");
+    }
+  }
+}
+
+void Invariants::check_view_agreement() {
+  const std::pair<std::uint64_t, std::size_t>* first = nullptr;
+  const std::string* first_member = nullptr;
+  for (const auto& [member, view] : views_) {
+    if (first == nullptr) {
+      first = &view;
+      first_member = &member;
+      continue;
+    }
+    if (view != *first) {
+      violation("view disagreement: '" + member + "' installed view " +
+                std::to_string(view.first) + " (" +
+                std::to_string(view.second) + " members) but '" +
+                *first_member + "' installed view " +
+                std::to_string(first->first) + " (" +
+                std::to_string(first->second) + " members)");
+    }
+  }
+}
+
+void Invariants::check_corruption_contained(const net::NetworkStats& stats,
+                                            std::uint64_t injected_corrupt) {
+  // Every injected corruption must be absorbed by a drop path.  Frames
+  // can die of partition/loss/no-endpoint before the integrity check, so
+  // dropped_corrupt alone may undercount — but the total drop capacity
+  // must cover the injections, or a mangled frame was delivered.
+  const std::uint64_t other_drops = stats.dropped_loss +
+                                    stats.dropped_partition +
+                                    stats.dropped_no_endpoint;
+  if (stats.dropped_corrupt > injected_corrupt) {
+    violation("corruption accounting: net.dropped_corrupt (" +
+              std::to_string(stats.dropped_corrupt) +
+              ") exceeds injected corruptions (" +
+              std::to_string(injected_corrupt) + ")");
+  }
+  if (injected_corrupt > stats.dropped_corrupt + other_drops) {
+    violation("corruption leak: " +
+              std::to_string(injected_corrupt - stats.dropped_corrupt -
+                             other_drops) +
+              " corrupted frame(s) unaccounted for — some reached an "
+              "Endpoint");
+  }
+}
+
+void Invariants::check_all() {
+  check_at_most_once();
+  check_acknowledged_durable();
+  check_convergence();
+  check_view_agreement();
+}
+
+void Invariants::clear() {
+  executions_.clear();
+  acknowledged_.clear();
+  applied_.clear();
+  digests_.clear();
+  views_.clear();
+  violations_.clear();
+}
+
+std::vector<sim::Duration> recovery_latencies(
+    const std::vector<obs::TraceEvent>& events) {
+  std::vector<sim::Duration> out;
+  bool have_outage_end = false;
+  sim::TimePoint outage_end = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (e.category != obs::Category::kFault) continue;
+    if (std::strcmp(e.name, "restart") == 0 ||
+        std::strcmp(e.name, "heal") == 0) {
+      // Consecutive outage-ends before one recovery: measure from the
+      // latest (service cannot have been healthy in between).
+      outage_end = e.ts;
+      have_outage_end = true;
+    } else if (std::strcmp(e.name, "recovered") == 0 && have_outage_end) {
+      out.push_back(e.ts - outage_end);
+      have_outage_end = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace coop::fault

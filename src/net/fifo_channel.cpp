@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "util/codec.hpp"
 
 namespace coop::net {
 
 namespace {
-enum WireType : std::uint8_t { kData = 0x71, kAck = 0x72 };
+enum WireType : std::uint8_t { kData = 0x71, kAck = 0x72, kHello = 0x73 };
 }  // namespace
 
 FifoChannel::FifoChannel(Network& net, Address self, FifoConfig config)
@@ -23,26 +24,44 @@ FifoChannel::~FifoChannel() {
   net_.detach(self_);
 }
 
+FifoChannel::PeerState& FifoChannel::peer_state(const Address& peer) {
+  auto [it, inserted] = peers_.try_emplace(peer);
+  if (inserted) it->second.send_epoch = config_.epoch;
+  return it->second;
+}
+
 void FifoChannel::send(const Address& peer, std::string payload) {
-  PeerState& state = peers_[peer];
+  PeerState& state = peer_state(peer);
   const std::uint64_t seq = state.next_send_seq++;
-  util::Writer w;
-  w.put(kData).put(seq).put_string(payload);
-  std::string wire = w.take();
-  state.unacked[seq] = wire;
   ++stats_.sent;
-  transmit(peer, seq, wire);
+  transmit(peer, seq, payload);
+  state.unacked[seq] = std::move(payload);
+  if (state.timer == sim::kInvalidEvent) arm_timer(peer);
+}
+
+void FifoChannel::resync(const Address& peer) {
+  PeerState& state = peer_state(peer);
+  state.hello_pending = true;
+  send_hello(peer);
   if (state.timer == sim::kInvalidEvent) arm_timer(peer);
 }
 
 void FifoChannel::transmit(const Address& peer, std::uint64_t seq,
-                           const std::string& wire) {
-  (void)seq;
-  net_.send({.src = self_, .dst = peer, .payload = wire});
+                           const std::string& payload) {
+  const PeerState& state = peer_state(peer);
+  util::Writer w;
+  w.put(kData).put(state.send_epoch).put(seq).put_string(payload);
+  net_.send({.src = self_, .dst = peer, .payload = w.take()});
+}
+
+void FifoChannel::send_hello(const Address& peer) {
+  util::Writer w;
+  w.put(kHello).put(peer_state(peer).send_epoch);
+  net_.send({.src = self_, .dst = peer, .payload = w.take()});
 }
 
 void FifoChannel::arm_timer(const Address& peer) {
-  PeerState& state = peers_[peer];
+  PeerState& state = peer_state(peer);
   // Exponential backoff capped at max_retransmit_timeout.
   sim::Duration timeout = config_.retransmit_timeout;
   for (int i = 0; i < state.retries && timeout < config_.max_retransmit_timeout;
@@ -50,37 +69,84 @@ void FifoChannel::arm_timer(const Address& peer) {
     timeout *= 2;
   }
   timeout = std::min(timeout, config_.max_retransmit_timeout);
+  if (config_.backoff_jitter > 0) {
+    const double scale = net_.simulator().rng().uniform(
+        1.0 - config_.backoff_jitter, 1.0 + config_.backoff_jitter);
+    timeout = std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(static_cast<double>(timeout) * scale));
+  }
   state.timer = net_.simulator().schedule_after(timeout, [this, peer] {
     auto it = peers_.find(peer);
     if (it == peers_.end()) return;
     PeerState& st = it->second;
     st.timer = sim::kInvalidEvent;
-    if (st.unacked.empty()) return;
+    if (st.unacked.empty() && !st.hello_pending) return;
     ++st.retries;
     if (config_.max_retransmits >= 0 &&
         st.retries > config_.max_retransmits) {
       stats_.gave_up += st.unacked.size();
       st.unacked.clear();
+      st.hello_pending = false;
       return;
     }
+    if (st.hello_pending) send_hello(peer);
     // Go-back-N style: retransmit everything outstanding.
-    for (const auto& [seq, wire] : st.unacked) {
+    for (const auto& [seq, payload] : st.unacked) {
       ++stats_.retransmits;
-      transmit(peer, seq, wire);
+      transmit(peer, seq, payload);
     }
     arm_timer(peer);
   });
 }
 
-void FifoChannel::send_ack(const Address& peer, std::uint64_t cumulative) {
+void FifoChannel::send_ack(const Address& peer, std::uint32_t epoch,
+                           std::uint64_t cumulative) {
   util::Writer w;
-  w.put(kAck).put(cumulative);
+  w.put(kAck).put(epoch).put(cumulative);
   net_.send({.src = self_, .dst = peer, .payload = w.take()});
 }
 
-std::size_t FifoChannel::unacked(const Address& peer) const {
-  auto it = peers_.find(peer);
-  return it == peers_.end() ? 0 : it->second.unacked.size();
+bool FifoChannel::observe_epoch(PeerState& state, std::uint32_t epoch) {
+  if (epoch < state.remote_epoch) {
+    // Frame of a dead incarnation still in flight: never regress.
+    ++stats_.stale;
+    return false;
+  }
+  if (epoch > state.remote_epoch) {
+    // The peer's stream was renumbered from 1: reset the receive cursor.
+    // (remote_epoch == 0 means first contact — count that silently.)
+    if (state.remote_epoch != 0) ++stats_.resyncs;
+    state.remote_epoch = epoch;
+    state.next_expected = 1;
+    state.holdback.clear();
+  }
+  return true;
+}
+
+void FifoChannel::resync_send(const Address& peer, PeerState& state) {
+  // The peer restarted and lost its receive cursor: renumber the whole
+  // outstanding backlog from 1 under a fresh epoch (so stragglers of the
+  // old numbering are recognizably stale) and retransmit immediately.
+  ++state.send_epoch;
+  std::vector<std::string> backlog;
+  backlog.reserve(state.unacked.size());
+  for (auto& [seq, payload] : state.unacked) {
+    backlog.push_back(std::move(payload));
+  }
+  state.unacked.clear();
+  state.next_send_seq = 1;
+  state.retries = 0;
+  for (std::string& payload : backlog) {
+    const std::uint64_t seq = state.next_send_seq++;
+    ++stats_.retransmits;
+    transmit(peer, seq, payload);
+    state.unacked[seq] = std::move(payload);
+  }
+  if (state.timer != sim::kInvalidEvent) {
+    net_.simulator().cancel(state.timer);
+    state.timer = sim::kInvalidEvent;
+  }
+  if (!state.unacked.empty() || state.hello_pending) arm_timer(peer);
 }
 
 void FifoChannel::on_message(const Message& msg) {
@@ -89,36 +155,62 @@ void FifoChannel::on_message(const Message& msg) {
   if (r.failed()) return;
 
   if (type == kAck) {
+    const auto epoch = r.get<std::uint32_t>();
     const auto cum = r.get<std::uint64_t>();
     if (r.failed()) return;
     auto it = peers_.find(msg.src);
     if (it == peers_.end()) return;
     PeerState& state = it->second;
+    if (epoch != state.send_epoch) {
+      ++stats_.stale;  // ack for a renumbered-away stream
+      return;
+    }
+    // An ack echoing our current epoch proves the peer has reset to it.
+    state.hello_pending = false;
     const std::size_t before = state.unacked.size();
     state.unacked.erase(state.unacked.begin(),
                         state.unacked.upper_bound(cum));
     if (state.unacked.size() < before) state.retries = 0;
-    if (state.unacked.empty() && state.timer != sim::kInvalidEvent) {
+    if (state.unacked.empty() && !state.hello_pending &&
+        state.timer != sim::kInvalidEvent) {
       net_.simulator().cancel(state.timer);
       state.timer = sim::kInvalidEvent;
     }
     return;
   }
+
+  if (type == kHello) {
+    const auto epoch = r.get<std::uint32_t>();
+    if (r.failed()) return;
+    PeerState& state = peer_state(msg.src);
+    const std::uint32_t previous = state.remote_epoch;
+    if (!observe_epoch(state, epoch)) return;
+    // A hello (unlike a mere data-frame epoch bump) asserts the peer is a
+    // fresh incarnation with no receive state: our old sequence numbers
+    // mean nothing to it, so renumber the outstanding backlog.  Guarded
+    // to actual bumps so duplicate hellos are idempotent.
+    if (epoch > previous) resync_send(msg.src, state);
+    send_ack(msg.src, state.remote_epoch, state.next_expected - 1);
+    return;
+  }
   if (type != kData) return;
 
+  const auto epoch = r.get<std::uint32_t>();
   const auto seq = r.get<std::uint64_t>();
   std::string payload = r.get_string();
   if (r.failed()) return;
-  PeerState& state = peers_[msg.src];
+  PeerState& state = peer_state(msg.src);
+  if (!observe_epoch(state, epoch)) return;
 
   if (seq < state.next_expected) {
     ++stats_.duplicates;
-    send_ack(msg.src, state.next_expected - 1);  // re-ack: ack was lost
+    send_ack(msg.src, state.remote_epoch,
+             state.next_expected - 1);  // re-ack: ack was lost
     return;
   }
   if (seq > state.next_expected) {
     state.holdback.emplace(seq, std::move(payload));
-    send_ack(msg.src, state.next_expected - 1);
+    send_ack(msg.src, state.remote_epoch, state.next_expected - 1);
     return;
   }
   // In-order: deliver, then drain the hold-back run.
@@ -134,7 +226,12 @@ void FifoChannel::on_message(const Message& msg) {
     ++state.next_expected;
     if (receive_) receive_(msg.src, next);
   }
-  send_ack(msg.src, state.next_expected - 1);
+  send_ack(msg.src, state.remote_epoch, state.next_expected - 1);
+}
+
+std::size_t FifoChannel::unacked(const Address& peer) const {
+  auto it = peers_.find(peer);
+  return it == peers_.end() ? 0 : it->second.unacked.size();
 }
 
 }  // namespace coop::net

@@ -7,6 +7,21 @@
 // sequence numbers with retransmission until cumulatively acknowledged,
 // and a per-peer receive hold-back queue that releases messages strictly
 // in order with duplicate suppression.
+//
+// Crash-restart resynchronization: every frame carries the sender's
+// stream *epoch*.  A restarted process constructs its replacement channel
+// with a higher FifoConfig::epoch and calls resync() toward each known
+// peer; the kHello it sends makes the survivor reset its receive cursor
+// AND renumber its own unacknowledged backlog under a fresh epoch (the
+// restarted peer lost its receive state, so old sequence numbers are
+// meaningless to it).  A data frame with a bumped epoch resets the
+// receive cursor only — it means "this stream was renumbered", not "the
+// peer lost its receive state" — which is what keeps two channels from
+// ping-ponging epoch bumps at each other.  Residual UDP-era window:
+// frames of a dead incarnation still in flight during the handshake can
+// be delivered once before the epoch bump lands; applications needing
+// cross-restart exactly-once must be idempotent (the same contract as
+// the RPC replay cache's per-incarnation at-most-once).
 #pragma once
 
 #include <cstdint>
@@ -28,6 +43,15 @@ struct FifoConfig {
   /// drops a message is broken forever, so persistence is the only
   /// sensible default; bound it only when the application can cope).
   int max_retransmits = -1;
+  /// Deterministic, seeded retransmit jitter: each armed timeout is
+  /// scaled by a uniform draw from [1 - jitter, 1 + jitter] out of the
+  /// simulator's stream, so peers that heal at the same instant do not
+  /// retransmit in lock-step (retry storms).  0 keeps exact backoff.
+  double backoff_jitter = 0.0;
+  /// Stream incarnation stamped on every frame this endpoint sends.
+  /// Bump it (and call resync()) when constructing the replacement
+  /// channel of a restarted process.
+  std::uint32_t epoch = 1;
 };
 
 struct FifoStats {
@@ -36,6 +60,8 @@ struct FifoStats {
   std::uint64_t retransmits = 0;
   std::uint64_t duplicates = 0;
   std::uint64_t gave_up = 0;
+  std::uint64_t resyncs = 0;  ///< receive cursors reset by an epoch bump
+  std::uint64_t stale = 0;    ///< frames of a dead incarnation dropped
 };
 
 /// One endpoint of (any number of) reliable ordered channels.
@@ -53,6 +79,12 @@ class FifoChannel : public Endpoint {
   /// Queues @p payload for in-order delivery at @p peer.
   void send(const Address& peer, std::string payload);
 
+  /// Announces this (re)started endpoint to @p peer with a kHello carrying
+  /// our epoch.  The hello is retried on the retransmit timer until the
+  /// peer acknowledges the epoch, so a lost hello only delays
+  /// resynchronization.  Call once per known peer after a restart.
+  void resync(const Address& peer);
+
   void on_receive(ReceiveFn fn) { receive_ = std::move(fn); }
 
   [[nodiscard]] Address self() const noexcept { return self_; }
@@ -64,20 +96,32 @@ class FifoChannel : public Endpoint {
 
  private:
   struct PeerState {
-    // Sender side.
+    // Sender side.  `unacked` keeps raw payloads (not encoded frames) so
+    // an epoch resync can renumber and re-encode the backlog.
+    std::uint32_t send_epoch = 1;
     std::uint64_t next_send_seq = 1;
-    std::map<std::uint64_t, std::string> unacked;  // seq -> wire payload
+    std::map<std::uint64_t, std::string> unacked;  // seq -> payload
     sim::EventId timer = sim::kInvalidEvent;
     int retries = 0;
+    bool hello_pending = false;
     // Receiver side.
+    std::uint32_t remote_epoch = 0;  // 0 = nothing seen yet
     std::uint64_t next_expected = 1;
     std::map<std::uint64_t, std::string> holdback;  // ooo arrivals
   };
 
+  PeerState& peer_state(const Address& peer);
   void transmit(const Address& peer, std::uint64_t seq,
-                const std::string& wire);
+                const std::string& payload);
+  void send_hello(const Address& peer);
   void arm_timer(const Address& peer);
-  void send_ack(const Address& peer, std::uint64_t cumulative);
+  void send_ack(const Address& peer, std::uint32_t epoch,
+                std::uint64_t cumulative);
+  /// Receive-side epoch handling; returns false if the frame is stale.
+  bool observe_epoch(PeerState& state, std::uint32_t epoch);
+  /// Renumbers the unacked backlog under a fresh epoch and retransmits
+  /// (the peer restarted and lost its receive state).
+  void resync_send(const Address& peer, PeerState& state);
 
   Network& net_;
   Address self_;

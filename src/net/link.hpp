@@ -67,6 +67,20 @@ struct LinkModel {
   }
 };
 
+/// A transient degradation applied on top of every effective link model —
+/// the fault plane's "bad weather" window (loss/latency/jitter spike).
+/// Additive, so it composes with whatever the pair's link already is:
+/// a LAN under disturbance degrades less absolutely than a radio link.
+struct LinkDisturbance {
+  double extra_loss = 0.0;           ///< added drop probability
+  sim::Duration extra_latency = 0;   ///< added one-way delay
+  sim::Duration extra_jitter = 0;    ///< added uniform ± jitter
+
+  [[nodiscard]] bool active() const noexcept {
+    return extra_loss > 0 || extra_latency > 0 || extra_jitter > 0;
+  }
+};
+
 /// Mobility regimes from §4.2.2-iii "Levels of disconnection".
 enum class Connectivity {
   kDisconnected,  ///< no datagrams flow in either direction

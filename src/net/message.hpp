@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "obs/causal.hpp"
 #include "sim/time.hpp"
@@ -28,6 +29,19 @@ struct Address {
   auto operator<=>(const Address&) const = default;
 };
 
+/// Frame checksum over a payload (FNV-1a, 32-bit).  Deterministic and
+/// platform-stable; strong enough to catch the single-byte corruptions the
+/// fault plane injects (this is an integrity check, not cryptography).
+[[nodiscard]] inline std::uint32_t frame_checksum(
+    std::string_view payload) noexcept {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const char c : payload) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
 /// One datagram in flight.  `payload` carries the application encoding
 /// (util::Writer output); `wire_size` is what the link-bandwidth model
 /// charges, normally payload size plus a fixed header.
@@ -40,6 +54,13 @@ struct Message {
   sim::TimePoint sent_at = 0;        ///< stamped by Network::send
   bool multicast = false;            ///< delivered via a multicast group
   McastId group = 0;                 ///< valid when multicast
+  /// Frame checksum stamped by Network::send/multicast before any fault
+  /// injection can touch the payload, and verified at arrival: a frame
+  /// whose payload no longer matches is counted in `net.dropped_corrupt`
+  /// and dropped — corrupt bytes never reach an Endpoint (and so are
+  /// never parsed by util::Reader).  Part of the simulated 32-byte
+  /// header, not charged separately to wire_size.
+  std::uint32_t checksum = 0;
   /// Causal-trace header (simulated; not charged to wire_size).  Set by
   /// the sending protocol layer; the network derives per-hop children, so
   /// the context an Endpoint sees identifies the *delivery*, with the

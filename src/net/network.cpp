@@ -17,7 +17,17 @@ Network::Network(sim::Simulator& sim, obs::Obs* obs) : sim_(sim) {
   dropped_loss_ = &m.counter("net.dropped_loss");
   dropped_partition_ = &m.counter("net.dropped_partition");
   dropped_no_endpoint_ = &m.counter("net.dropped_no_endpoint");
+  dropped_corrupt_ = &m.counter("net.dropped_corrupt");
   bytes_sent_ = &m.counter("net.bytes_sent");
+}
+
+void Network::restart(NodeId node) {
+  crashed_.erase(node);
+  // The rebooted node's outbound serializers hold no backlog: whatever was
+  // queued on its NICs died with the process.
+  for (auto& [k, state] : link_states_) {
+    if (static_cast<NodeId>(k >> 32) == node) state.busy_until = 0;
+  }
 }
 
 NetworkStats Network::stats() const noexcept {
@@ -27,6 +37,7 @@ NetworkStats Network::stats() const noexcept {
       .dropped_loss = dropped_loss_->value(),
       .dropped_partition = dropped_partition_->value(),
       .dropped_no_endpoint = dropped_no_endpoint_->value(),
+      .dropped_corrupt = dropped_corrupt_->value(),
       .bytes_sent = bytes_sent_->value(),
   };
 }
@@ -67,6 +78,7 @@ std::uint64_t Network::send(Message msg) {
   msg.sent_at = sim_.now();
   if (msg.wire_size == 0)
     msg.wire_size = msg.payload.size() + Message::kHeaderBytes;
+  msg.checksum = frame_checksum(msg.payload);
   transmit(std::move(msg));
   return next_msg_id_ - 1;
 }
@@ -77,6 +89,7 @@ std::uint64_t Network::multicast(McastId group, Message msg) {
   msg.sent_at = sim_.now();
   if (msg.wire_size == 0)
     msg.wire_size = msg.payload.size() + Message::kHeaderBytes;
+  msg.checksum = frame_checksum(msg.payload);
   const std::uint64_t id = next_msg_id_++;
   msg.id = id;
   auto it = mcast_groups_.find(group);
@@ -93,7 +106,7 @@ std::uint64_t Network::multicast(McastId group, Message msg) {
   return id;
 }
 
-void Network::transmit(Message msg) {
+void Network::transmit(Message msg, bool injectable) {
   sent_->inc();
   bytes_sent_->inc(msg.wire_size);
 
@@ -126,7 +139,8 @@ void Network::transmit(Message msg) {
                   {"dst", static_cast<double>(to)}});
     return;
   }
-  if (model->loss > 0 && sim_.rng().bernoulli(model->loss)) {
+  const double loss = model->loss + disturbance_.extra_loss;
+  if (loss > 0 && sim_.rng().bernoulli(loss)) {
     dropped_loss_->inc();
     ++state.dropped;
     tracer.event(sim_.now(), obs::Category::kNet, "drop_loss", msg.ctx,
@@ -134,6 +148,15 @@ void Network::transmit(Message msg) {
                   {"dst", static_cast<double>(to)}});
     return;
   }
+
+  // Per-datagram fault injection.  The duplicate copy is snapshot before
+  // corruption, so a corrupted original and its clean duplicate model the
+  // common real-world case (one of N copies mangled in flight); the copy
+  // is transmitted with injectable=false so duplication cannot cascade.
+  InjectDecision inject;
+  if (injectable && inject_) inject = inject_(msg);
+  std::optional<Message> dup;
+  if (inject.duplicate) dup = msg;
 
   // Serialization/queueing: the sender's serializer for this directed link
   // is busy until `busy_until`; a new datagram queues behind it.  This is
@@ -145,8 +168,29 @@ void Network::transmit(Message msg) {
   ++state.sent;
   state.bytes += msg.wire_size;
 
-  const sim::TimePoint arrival =
-      state.busy_until + model->propagation(sim_.rng());
+  sim::TimePoint arrival = state.busy_until + model->propagation(sim_.rng());
+  if (disturbance_.active()) {
+    sim::Duration extra = disturbance_.extra_latency;
+    if (disturbance_.extra_jitter > 0) {
+      extra += static_cast<sim::Duration>(sim_.rng().uniform(
+          -static_cast<double>(disturbance_.extra_jitter),
+          static_cast<double>(disturbance_.extra_jitter)));
+    }
+    if (extra > 0) arrival += extra;
+  }
+  if (inject.extra_delay > 0) arrival += inject.extra_delay;
+  if (inject.corrupt) {
+    // Flip one payload byte (or mangle the stamped checksum of an empty
+    // frame) *after* the checksum was stamped: the frame now fails
+    // integrity verification at arrival.
+    if (!msg.payload.empty()) {
+      const auto pos = static_cast<std::size_t>(sim_.rng().uniform_int(
+          0, static_cast<std::int64_t>(msg.payload.size()) - 1));
+      msg.payload[pos] = static_cast<char>(msg.payload[pos] ^ 0xA5);
+    } else {
+      msg.checksum ^= 0xA5;
+    }
+  }
 
   sim_.schedule_at(arrival, [this, queue_wait,
                              msg = std::move(msg)]() mutable {
@@ -157,6 +201,17 @@ void Network::transmit(Message msg) {
         partition_blocks(msg.src.node, msg.dst.node)) {
       dropped_partition_->inc();
       obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                         msg.ctx,
+                         {{"src", static_cast<double>(msg.src.node)},
+                          {"dst", static_cast<double>(msg.dst.node)}});
+      return;
+    }
+    // Integrity verification at the receiving NIC, before demux: a frame
+    // whose payload no longer matches its stamped checksum is dropped
+    // here — corrupt bytes never reach an Endpoint handler.
+    if (msg.checksum != frame_checksum(msg.payload)) {
+      dropped_corrupt_->inc();
+      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_corrupt",
                          msg.ctx,
                          {{"src", static_cast<double>(msg.src.node)},
                           {"dst", static_cast<double>(msg.dst.node)}});
@@ -182,6 +237,8 @@ void Network::transmit(Message msg) {
                        {"queue", static_cast<double>(queue_wait)}});
     it->second->on_message(msg);
   });
+
+  if (dup) transmit(std::move(*dup), false);
 }
 
 }  // namespace coop::net

@@ -34,8 +34,25 @@ struct NetworkStats {
   std::uint64_t dropped_loss = 0;
   std::uint64_t dropped_partition = 0;
   std::uint64_t dropped_no_endpoint = 0;
+  std::uint64_t dropped_corrupt = 0;
   std::uint64_t bytes_sent = 0;
 };
+
+/// Per-datagram fault actions an injection hook may order (the chaos
+/// plane's handle on individual frames).  `corrupt` flips a payload byte
+/// after the checksum is stamped, so the frame fails integrity
+/// verification at arrival; `duplicate` sends one extra copy through the
+/// link (charged bandwidth like any frame); `extra_delay` is added to the
+/// propagation time.
+struct InjectDecision {
+  bool corrupt = false;
+  bool duplicate = false;
+  sim::Duration extra_delay = 0;
+};
+
+/// Consulted once per original datagram at transmit time (injected
+/// duplicates are not re-offered, so duplication cannot cascade).
+using InjectHook = std::function<InjectDecision(const Message&)>;
 
 /// The simulated network fabric.
 class Network {
@@ -94,8 +111,31 @@ class Network {
   /// Marks a node as crashed: nothing is delivered to or sent from it.
   void crash(NodeId node) { crashed_.insert(node); }
 
-  /// Restores a crashed node.
+  /// Restores a crashed node *in place*: connectivity resumes and every
+  /// endpoint registration survives, as if the node had merely been
+  /// frozen.  For fail-stop process death use restart().
   void recover(NodeId node) { crashed_.erase(node); }
+
+  /// Restores a crashed node with restart semantics: its outbound
+  /// serializer queues are drained (a rebooted NIC holds no backlog).
+  /// The process's volatile protocol state does NOT survive — callers
+  /// model that by destroying the node's protocol objects at crash time
+  /// (their destructors detach) and re-creating them now (fault::FaultPlan
+  /// drives exactly this lifecycle through its crash/restart callbacks).
+  void restart(NodeId node);
+
+  /// Installs (or clears, with nullptr) the per-datagram fault-injection
+  /// hook.  See InjectHook; the fault plane owns the probabilities, the
+  /// network only executes the decision.
+  void set_inject_hook(InjectHook hook) { inject_ = std::move(hook); }
+
+  /// Applies a transient degradation on top of every link until
+  /// clear_disturbance() — the chaos plane's degraded-link window.
+  void set_disturbance(const LinkDisturbance& d) { disturbance_ = d; }
+  void clear_disturbance() { disturbance_ = {}; }
+  [[nodiscard]] const LinkDisturbance& disturbance() const noexcept {
+    return disturbance_;
+  }
 
   [[nodiscard]] bool is_crashed(NodeId node) const {
     return crashed_.count(node) != 0;
@@ -171,7 +211,7 @@ class Network {
 
   [[nodiscard]] bool partition_blocks(NodeId a, NodeId b) const;
 
-  void transmit(Message msg);
+  void transmit(Message msg, bool injectable = true);
 
   sim::Simulator& sim_;
   std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
@@ -182,7 +222,10 @@ class Network {
   util::Counter* dropped_loss_;
   util::Counter* dropped_partition_;
   util::Counter* dropped_no_endpoint_;
+  util::Counter* dropped_corrupt_;
   util::Counter* bytes_sent_;
+  InjectHook inject_;
+  LinkDisturbance disturbance_;
   LinkModel default_link_ = LinkModel::lan();
   LinkModel radio_model_ = LinkModel::radio();
   std::unordered_map<std::uint64_t, LinkModel> links_;

@@ -61,6 +61,8 @@ const char* category_name(Category c) noexcept {
       return "stream";
     case Category::kApp:
       return "app";
+    case Category::kFault:
+      return "fault";
   }
   return "?";
 }

@@ -44,9 +44,10 @@ enum class Category : std::uint8_t {
   kLock,
   kStream,
   kApp,
+  kFault,
 };
 
-inline constexpr std::size_t kCategoryCount = 7;
+inline constexpr std::size_t kCategoryCount = 8;
 
 /// Stable short name used in exports ("sim", "net", ...).
 [[nodiscard]] const char* category_name(Category c) noexcept;
@@ -203,7 +204,7 @@ class Tracer {
   std::uint64_t recorded_ = 0;
   std::uint64_t next_span_id_ = 1;
   std::array<std::uint64_t, kCategoryCount> dropped_by_cat_{};
-  std::uint8_t mask_ = 0x7f;      // all categories on
+  std::uint8_t mask_ = 0xff;      // all categories on
   bool master_enabled_ = true;
 };
 

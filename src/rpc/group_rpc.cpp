@@ -28,7 +28,19 @@ void GroupInvoker::invoke(const std::vector<net::Address>& targets,
 
   if (opts.deadline > 0) {
     call.deadline_timer = rpc_.simulator().schedule_after(
-        opts.deadline, [this, call_id] { finish(call_id, true); });
+        opts.deadline, [this, call_id] {
+          // A reply landing in the same sim step as the deadline must
+          // win, but this timer was scheduled at invoke time, so the
+          // step's FIFO tie-break runs it *before* same-instant reply
+          // deliveries.  Re-queue the expiry behind everything already
+          // scheduled for this instant (zero-delay reschedule); a reply
+          // that completes the call meanwhile cancels it via
+          // deadline_timer.
+          auto it = calls_.find(call_id);
+          if (it == calls_.end() || it->second.completed) return;
+          it->second.deadline_timer = rpc_.simulator().schedule_after(
+              0, [this, call_id] { finish(call_id, true); });
+        });
   }
 
   for (std::size_t i = 0; i < targets.size(); ++i) {

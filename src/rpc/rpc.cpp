@@ -1,5 +1,7 @@
 #include "rpc/rpc.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <utility>
 
 #include "util/codec.hpp"
@@ -29,7 +31,10 @@ RpcServer::RpcServer(net::Network& net, net::Address self)
   net_.attach(self_, *this);
 }
 
-RpcServer::~RpcServer() { net_.detach(self_); }
+RpcServer::~RpcServer() {
+  for (const sim::EventId id : pending_replies_) net_.simulator().cancel(id);
+  net_.detach(self_);
+}
 
 void RpcServer::reply(const net::Address& to, std::uint64_t req_id,
                       Status status, const std::string& body,
@@ -101,11 +106,14 @@ void RpcServer::on_message(const net::Message& msg) {
   const HandlerResult hr = handler->second(body);
   const Status status = hr.ok ? Status::kOk : Status::kAppError;
   if (processing_ > 0) {
-    net_.simulator().schedule_after(
-        processing_, [this, src = msg.src, req_id, status, body = hr.body,
-                      handle_ctx, arrived] {
+    auto id_holder = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+    *id_holder = net_.simulator().schedule_after(
+        processing_, [this, id_holder, src = msg.src, req_id, status,
+                      body = hr.body, handle_ctx, arrived] {
+          pending_replies_.erase(*id_holder);
           reply(src, req_id, status, body, handle_ctx, arrived);
         });
+    pending_replies_.insert(*id_holder);
   } else {
     reply(msg.src, req_id, status, hr.body, handle_ctx, arrived);
   }
@@ -171,8 +179,16 @@ void RpcClient::arm_timeout(std::uint64_t req_id) {
   auto it = outstanding_.find(req_id);
   if (it == outstanding_.end()) return;
   Outstanding& o = it->second;
-  o.timer = net_.simulator().schedule_after(o.current_timeout, [this,
-                                                                req_id] {
+  o.armed_timeout = o.current_timeout;
+  if (o.opts.backoff_jitter > 0) {
+    const double scale = net_.simulator().rng().uniform(
+        1.0 - o.opts.backoff_jitter, 1.0 + o.opts.backoff_jitter);
+    o.armed_timeout = std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(static_cast<double>(o.current_timeout) *
+                                      scale));
+  }
+  o.timer = net_.simulator().schedule_after(o.armed_timeout, [this,
+                                                              req_id] {
     auto oit = outstanding_.find(req_id);
     if (oit == outstanding_.end()) return;
     Outstanding& out = oit->second;
@@ -193,9 +209,10 @@ void RpcClient::arm_timeout(std::uint64_t req_id) {
       return;
     }
     // Retries share the call's trace; each attempt is a child span of the
-    // call.  `waited` is the timeout that had to lapse before this
-    // attempt could fire — the critical-path analyzer's "retry" bucket.
-    const sim::Duration waited = out.current_timeout;
+    // call.  `waited` is the (jittered) timeout that actually lapsed
+    // before this attempt could fire — the critical-path analyzer's
+    // "retry" bucket.
+    const sim::Duration waited = out.armed_timeout;
     ++out.attempt;
     out.current_timeout = static_cast<sim::Duration>(
         static_cast<double>(out.current_timeout) * out.opts.backoff);

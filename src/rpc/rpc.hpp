@@ -44,6 +44,13 @@ struct CallOptions {
   sim::Duration timeout = sim::msec(200);  ///< per-attempt timeout
   int retries = 2;                         ///< additional attempts
   double backoff = 2.0;                    ///< timeout multiplier per retry
+  /// Deterministic, seeded retry jitter: each armed timeout is scaled by
+  /// a uniform draw from [1 - jitter, 1 + jitter] out of the simulator's
+  /// stream, decorrelating clients that timed out together (retry
+  /// storms after a heal).  0 (the default) keeps exact backoff.  The
+  /// "retry" trace event's `waited` attribute records the jittered wait
+  /// that actually lapsed, not the nominal timeout.
+  double backoff_jitter = 0.0;
   /// Causal parent of the call.  Invalid (the default) starts a fresh
   /// trace — an RPC issued directly by a user action is an entry point;
   /// one issued while servicing something else should pass that context
@@ -115,9 +122,22 @@ class RpcServer : public net::Endpoint {
   sim::Duration processing_ = 0;
   // Replay cache: (client address, request id) -> encoded reply.  Grants
   // at-most-once execution under client retries.
+  //
+  // Restart semantics: the cache is process state and dies with the
+  // server — at-most-once holds *per server incarnation*.  A retry that
+  // spans a crash-restart finds an empty cache and legitimately
+  // re-executes; clients needing exactly-once across restarts must make
+  // operations idempotent (chaos invariants key recorded executions by
+  // incarnation for exactly this reason).
   std::map<std::pair<net::Address, std::uint64_t>, std::string> replay_;
   // Async requests currently executing (retries are absorbed).
   std::set<std::pair<net::Address, std::uint64_t>> in_progress_;
+  // Replies delayed by processing_, cancelled on destruction so a server
+  // torn down mid-request (the crash-restart lifecycle) leaves no
+  // dangling timer.  Async handlers own their completion closures; an
+  // application that destroys the server with async work in flight must
+  // drop those closures itself.
+  std::set<sim::EventId> pending_replies_;
   // Registry-owned ("rpc.server.<node>:<port>.*"); accessors are views.
   util::Counter* handled_;
   util::Counter* replays_;
@@ -161,7 +181,8 @@ class RpcClient : public net::Endpoint {
     CallOptions opts;
     sim::TimePoint issued_at = 0;
     int attempt = 0;
-    sim::Duration current_timeout = 0;
+    sim::Duration current_timeout = 0;  ///< nominal (pre-jitter) timeout
+    sim::Duration armed_timeout = 0;    ///< jittered wait actually armed
     sim::EventId timer = sim::kInvalidEvent;
     obs::CausalContext ctx{};  ///< the call span; attempts are children
   };

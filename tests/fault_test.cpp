@@ -1,0 +1,374 @@
+// Tests for the deterministic chaos plane: scripted fault timelines,
+// seeded chaos schedules, wire integrity, safety invariants and
+// recovery-latency trace mining.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/invariants.hpp"
+#include "net/network.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::fault {
+namespace {
+
+class Recorder : public net::Endpoint {
+ public:
+  explicit Recorder(sim::Simulator& sim) : sim_(sim) {}
+  void on_message(const net::Message& msg) override {
+    arrivals.push_back({msg.payload, sim_.now()});
+  }
+  std::vector<std::pair<std::string, sim::TimePoint>> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  FaultPlanTest() : sim(11), net(sim), rx(sim) {
+    net.attach({2, 1}, rx);
+    net.set_default_link({.latency = sim::msec(10), .jitter = 0,
+                          .bandwidth_bps = 0 /* infinite */, .loss = 0});
+  }
+
+  void send_at(sim::TimePoint t, std::string payload) {
+    sim.schedule_at(t, [this, payload] {
+      net.send({.src = {1, 1}, .dst = {2, 1}, .payload = payload});
+    });
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  Recorder rx;
+};
+
+TEST_F(FaultPlanTest, ScriptedCrashRestartLifecycle) {
+  FaultPlan plan(net);
+  std::vector<net::NodeId> crashed, restarted;
+  plan.crash(sim::msec(100), 2, sim::msec(100))
+      .on_crash([&](net::NodeId n) { crashed.push_back(n); })
+      .on_restart([&](net::NodeId n) { restarted.push_back(n); });
+  plan.arm();
+
+  send_at(sim::msec(50), "before");   // delivered at 60ms
+  send_at(sim::msec(150), "during");  // node down: dropped
+  send_at(sim::msec(250), "after");   // delivered at 260ms
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].first, "before");
+  EXPECT_EQ(rx.arrivals[1].first, "after");
+  EXPECT_EQ(crashed, std::vector<net::NodeId>{2});
+  EXPECT_EQ(restarted, std::vector<net::NodeId>{2});
+  EXPECT_EQ(plan.injected().crashes, 1u);
+  EXPECT_EQ(plan.injected().restarts, 1u);
+  EXPECT_EQ(net.obs().metrics.counter("fault.crashes").value(), 1u);
+  EXPECT_EQ(net.obs().metrics.counter("fault.restarts").value(), 1u);
+}
+
+TEST_F(FaultPlanTest, OverlappingCrashWindowsForOneNodeAreCoalesced) {
+  // Two crash lifecycles racing on one node would let the second restart
+  // re-create protocol objects whose predecessors are still alive.  arm()
+  // keeps the first window, drops the overlapping spec, and accepts a
+  // back-to-back spec starting exactly at the restart instant.
+  FaultPlan plan(net);
+  std::vector<net::NodeId> crashed, restarted;
+  plan.crash(sim::msec(100), 2, sim::msec(100))
+      .crash(sim::msec(150), 2, sim::msec(100))   // inside the first window
+      .crash(sim::msec(200), 2, sim::msec(50))    // back-to-back: kept
+      .on_crash([&](net::NodeId n) { crashed.push_back(n); })
+      .on_restart([&](net::NodeId n) { restarted.push_back(n); });
+  plan.arm();
+  sim.run();
+
+  EXPECT_EQ(crashed.size(), 2u);
+  EXPECT_EQ(restarted.size(), 2u);
+  EXPECT_EQ(plan.injected().crashes, 2u);
+  EXPECT_EQ(plan.injected().restarts, 2u);
+}
+
+TEST_F(FaultPlanTest, ScriptedPartitionBlocksOnlyDuringWindow) {
+  FaultPlan plan(net);
+  plan.partition(sim::msec(100), {1}, sim::msec(200));
+  plan.arm();
+
+  send_at(sim::msec(50), "before");
+  send_at(sim::msec(200), "during");
+  send_at(sim::msec(350), "after");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].first, "before");
+  EXPECT_EQ(rx.arrivals[1].first, "after");
+  EXPECT_EQ(plan.injected().partitions, 1u);
+  EXPECT_EQ(plan.injected().heals, 1u);
+  EXPECT_EQ(net.stats().dropped_partition, 1u);
+}
+
+TEST_F(FaultPlanTest, DegradeWindowAddsLossThenClears) {
+  FaultPlan plan(net);
+  plan.degrade(sim::msec(100), sim::msec(200),
+               {.extra_loss = 1.0});  // total blackout window
+  plan.arm();
+
+  send_at(sim::msec(50), "before");
+  send_at(sim::msec(200), "during");
+  send_at(sim::msec(350), "after");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(net.stats().dropped_loss, 1u);
+  EXPECT_EQ(plan.injected().degrade_windows, 1u);
+  EXPECT_FALSE(net.disturbance().active());  // window cleaned up
+}
+
+TEST_F(FaultPlanTest, DegradeWindowAddsLatency) {
+  FaultPlan plan(net);
+  plan.degrade(sim::msec(100), sim::msec(100),
+               {.extra_latency = sim::msec(40)});
+  plan.arm();
+
+  send_at(sim::msec(150), "slow");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].second, sim::msec(200));  // 10 link + 40 extra
+}
+
+TEST_F(FaultPlanTest, CorruptedFramesNeverReachTheEndpoint) {
+  FaultPlan plan(net);
+  plan.corrupt(sim::msec(100), sim::msec(200), 1.0);
+  plan.arm();
+
+  send_at(sim::msec(50), "clean1");
+  for (int i = 0; i < 10; ++i) {
+    send_at(sim::msec(150 + i), "garbled" + std::to_string(i));
+  }
+  send_at(sim::msec(350), "clean2");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].first, "clean1");
+  EXPECT_EQ(rx.arrivals[1].first, "clean2");
+  EXPECT_EQ(plan.injected().corrupt_frames, 10u);
+  EXPECT_EQ(net.stats().dropped_corrupt, 10u);
+
+  Invariants inv;
+  inv.check_corruption_contained(net.stats(), plan.injected().corrupt_frames);
+  EXPECT_TRUE(inv.ok()) << inv.violations().front();
+}
+
+TEST_F(FaultPlanTest, DuplicatedFramesArriveTwice) {
+  FaultPlan plan(net);
+  plan.duplicate(sim::msec(100), sim::msec(100), 1.0);
+  plan.arm();
+
+  send_at(sim::msec(150), "twin");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].first, "twin");
+  EXPECT_EQ(rx.arrivals[1].first, "twin");
+  EXPECT_EQ(plan.injected().duplicate_frames, 1u);
+}
+
+TEST_F(FaultPlanTest, DelayWindowPostponesArrival) {
+  FaultPlan plan(net);
+  plan.delay(sim::msec(100), sim::msec(100), 1.0, sim::msec(70));
+  plan.arm();
+
+  send_at(sim::msec(150), "late");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].second, sim::msec(230));  // 10 link + 70 extra
+  EXPECT_EQ(plan.injected().delayed_frames, 1u);
+}
+
+TEST_F(FaultPlanTest, DuplicateOfCorruptFrameCarriesTheCleanPayload) {
+  // Duplication snapshots the frame before corruption mangles it: the
+  // duplicate models an independent copy on the wire, and the injection
+  // hook is not re-applied to it.
+  FaultPlan plan(net);
+  plan.corrupt(sim::msec(100), sim::msec(100), 1.0)
+      .duplicate(sim::msec(100), sim::msec(100), 1.0);
+  plan.arm();
+
+  send_at(sim::msec(150), "payload");
+  sim.run();
+
+  ASSERT_EQ(rx.arrivals.size(), 1u);  // original dropped, duplicate clean
+  EXPECT_EQ(rx.arrivals[0].first, "payload");
+  EXPECT_EQ(net.stats().dropped_corrupt, 1u);
+}
+
+// ------------------------------------------------------------ chaos engine
+
+// Runs a fixed workload under an engine-generated schedule and returns a
+// fingerprint of everything observable.
+std::string chaos_fingerprint(std::uint64_t engine_seed) {
+  sim::Simulator sim(7);
+  net::Network net(sim);
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  net.set_default_link({.latency = sim::msec(5), .jitter = sim::msec(2),
+                        .bandwidth_bps = 10e6, .loss = 0.01});
+
+  FaultPlan plan(net);
+  ChaosProfile profile;
+  profile.nodes = {1, 2, 3};
+  profile.horizon = sim::sec(2);
+  profile.crashes = 2;
+  profile.partitions = 1;
+  profile.degrade_windows = 1;
+  profile.corrupt_windows = 1;
+  profile.duplicate_windows = 1;
+  profile.delay_windows = 1;
+  ChaosEngine engine(engine_seed);
+  engine.populate(plan, profile);
+  plan.arm();
+
+  for (int i = 0; i < 200; ++i) {
+    sim.schedule_at(sim::msec(10 * i), [&net, i] {
+      net.send({.src = {1, 1}, .dst = {2, 1},
+                .payload = "m" + std::to_string(i)});
+    });
+  }
+  sim.run();
+
+  std::string fp;
+  for (const auto& [payload, at] : rx.arrivals) {
+    fp += payload + "@" + std::to_string(at) + ";";
+  }
+  const net::NetworkStats& s = net.stats();
+  fp += "|d" + std::to_string(s.delivered) + "l" +
+        std::to_string(s.dropped_loss) + "p" +
+        std::to_string(s.dropped_partition) + "c" +
+        std::to_string(s.dropped_corrupt) + "n" +
+        std::to_string(s.dropped_no_endpoint);
+  const InjectedStats& inj = plan.injected();
+  fp += "|i" + std::to_string(inj.crashes) + "," +
+        std::to_string(inj.partitions) + "," +
+        std::to_string(inj.corrupt_frames) + "," +
+        std::to_string(inj.duplicate_frames) + "," +
+        std::to_string(inj.delayed_frames);
+  return fp;
+}
+
+TEST(ChaosEngineTest, SameSeedReproducesTheRunExactly) {
+  const std::string a = chaos_fingerprint(1234);
+  const std::string b = chaos_fingerprint(1234);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaosEngineTest, DifferentSeedsProduceDifferentSchedules) {
+  EXPECT_NE(chaos_fingerprint(1), chaos_fingerprint(2));
+}
+
+// -------------------------------------------------------------- invariants
+
+TEST(InvariantsTest, CleanEvidencePasses) {
+  Invariants inv;
+  inv.record_execution("srv#1:op1");
+  inv.record_acknowledged("op1");
+  inv.record_applied("op1");
+  inv.record_state("a", "digest");
+  inv.record_state("b", "digest");
+  inv.record_view("a", 3, 2);
+  inv.record_view("b", 3, 2);
+  inv.check_all();
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(InvariantsTest, DoubleExecutionWithinIncarnationIsViolation) {
+  Invariants inv;
+  inv.record_execution("srv#1:op1");
+  inv.record_execution("srv#1:op1");
+  inv.check_at_most_once();
+  EXPECT_FALSE(inv.ok());
+  EXPECT_NE(inv.violations().front().find("at-most-once"), std::string::npos);
+}
+
+TEST(InvariantsTest, ReExecutionAcrossIncarnationsIsAllowed) {
+  // The replay cache dies with the server: keying executions by
+  // incarnation encodes the per-incarnation at-most-once contract.
+  Invariants inv;
+  inv.record_execution("srv#1:op1");
+  inv.record_execution("srv#2:op1");
+  inv.check_at_most_once();
+  EXPECT_TRUE(inv.ok());
+}
+
+TEST(InvariantsTest, AcknowledgedButUnappliedOpIsViolation) {
+  Invariants inv;
+  inv.record_acknowledged("op1");
+  inv.check_acknowledged_durable();
+  EXPECT_FALSE(inv.ok());
+}
+
+TEST(InvariantsTest, DivergentReplicasAreViolation) {
+  Invariants inv;
+  inv.record_state("a", "x");
+  inv.record_state("b", "y");
+  inv.check_convergence();
+  EXPECT_FALSE(inv.ok());
+}
+
+TEST(InvariantsTest, ViewDisagreementIsViolation) {
+  Invariants inv;
+  inv.record_view("a", 3, 2);
+  inv.record_view("b", 4, 2);
+  inv.check_view_agreement();
+  EXPECT_FALSE(inv.ok());
+}
+
+TEST(InvariantsTest, CorruptionLeakIsViolation) {
+  net::NetworkStats stats;
+  stats.dropped_corrupt = 3;
+  Invariants inv;
+  inv.check_corruption_contained(stats, 5);  // 2 frames unaccounted for
+  EXPECT_FALSE(inv.ok());
+  inv.clear();
+  stats.dropped_loss = 2;  // the missing two died of loss first
+  inv.check_corruption_contained(stats, 5);
+  EXPECT_TRUE(inv.ok());
+}
+
+// ---------------------------------------------------------- trace mining
+
+TEST(RecoveryLatencyTest, PairsOutageEndsWithRecoveries) {
+  std::vector<obs::TraceEvent> events;
+  const auto fault_event = [&](sim::TimePoint ts, const char* name) {
+    obs::TraceEvent e;
+    e.ts = ts;
+    e.category = obs::Category::kFault;
+    e.name = name;
+    events.push_back(e);
+  };
+  obs::TraceEvent noise;  // non-fault categories must be ignored
+  noise.ts = sim::msec(1);
+  noise.category = obs::Category::kNet;
+  noise.name = "recovered";
+  events.push_back(noise);
+
+  fault_event(sim::msec(100), "restart");
+  fault_event(sim::msec(130), "recovered");  // 30ms
+  fault_event(sim::msec(200), "heal");
+  fault_event(sim::msec(220), "restart");    // consecutive outage-ends:
+  fault_event(sim::msec(300), "recovered");  // measured from the latest
+  fault_event(sim::msec(400), "recovered");  // unpaired: ignored
+
+  const std::vector<sim::Duration> lat = recovery_latencies(events);
+  ASSERT_EQ(lat.size(), 2u);
+  EXPECT_EQ(lat[0], sim::msec(30));
+  EXPECT_EQ(lat[1], sim::msec(80));
+}
+
+}  // namespace
+}  // namespace coop::fault

@@ -155,6 +155,36 @@ TEST_F(MembershipTest, FalsePositiveEvictionSelfHeals) {
   EXPECT_TRUE(a->view()->contains({1, 1}));
 }
 
+TEST_F(MembershipTest, PartitionEvictedMemberRejoinsAfterHeal) {
+  auto a = make_member(1);
+  auto b = make_member(2);
+  a->join();
+  b->join();
+  sim.run_until(sim::msec(100));
+  EXPECT_EQ(coord.view().members.size(), 2u);
+
+  // Cut member 2 off from the coordinator's side: its heartbeats stop
+  // arriving and the failure detector evicts it.
+  net.partition({2}, {1, 100});
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(coord.view().members.size(), 1u);
+  EXPECT_FALSE(coord.view().contains({2, 1}));
+  const std::uint64_t evicted_view = coord.view().id;
+
+  // After the heal, no explicit rejoin: member 2's next heartbeat makes
+  // the coordinator re-send the current view, the member sees itself
+  // absent, and join_retry_period drives it back in.
+  net.heal_partition();
+  sim.run_until(sim::sec(4));
+  EXPECT_EQ(coord.view().members.size(), 2u);
+  EXPECT_TRUE(coord.view().contains({2, 1}));
+  ASSERT_TRUE(a->view().has_value());
+  ASSERT_TRUE(b->view().has_value());
+  EXPECT_EQ(a->view()->id, coord.view().id);
+  EXPECT_EQ(b->view()->id, coord.view().id);
+  EXPECT_GT(coord.view().id, evicted_view);
+}
+
 TEST_F(MembershipTest, AdministrativeEvictionChangesView) {
   auto a = make_member(1);
   auto b = make_member(2);

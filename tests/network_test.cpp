@@ -158,6 +158,94 @@ TEST_F(NetworkTest, CrashDuringFlightLosesInFlightMessage) {
   EXPECT_TRUE(rx.arrivals.empty());
 }
 
+TEST_F(NetworkTest, RestartedNodeRejoinsWithCleanNicState) {
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  // 1000 bytes at 8 kbps = 1 s serialization each: build an outbound
+  // backlog on node 1, then fail-stop it mid-queue.
+  net.set_link(1, 2, {.latency = 0, .jitter = 0,
+                      .bandwidth_bps = 8000, .loss = 0});
+  for (int i = 0; i < 3; ++i) {
+    Message m{.src = {1, 1}, .dst = {2, 1}, .payload = ""};
+    m.wire_size = 1000;
+    net.send(std::move(m));
+  }
+  sim.schedule_at(sim::msec(500), [&] { net.crash(1); });
+  sim.schedule_at(sim::msec(600), [&] { net.restart(1); });
+  // Post-restart the NIC serializer is idle: this frame serializes from
+  // "now" (arriving at 1.7s), not behind the dead incarnation's backlog
+  // (which would have pushed it to 4s).
+  sim.schedule_at(sim::msec(700), [&] {
+    Message m{.src = {1, 1}, .dst = {2, 1}, .payload = "fresh"};
+    m.wire_size = 1000;
+    net.send(std::move(m));
+  });
+  sim.run();
+  bool saw_fresh = false;
+  for (const auto& a : rx.arrivals) {
+    if (a.msg.payload == "fresh") {
+      saw_fresh = true;
+      EXPECT_EQ(a.at, sim::msec(700) + sim::sec(1));
+    }
+  }
+  EXPECT_TRUE(saw_fresh);
+}
+
+TEST_F(NetworkTest, ChecksumIsStampedAndVerified) {
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  net.send({.src = {1, 1}, .dst = {2, 1}, .payload = "payload"});
+  sim.run();
+  ASSERT_EQ(rx.arrivals.size(), 1u);
+  EXPECT_EQ(rx.arrivals[0].msg.checksum, frame_checksum("payload"));
+}
+
+TEST_F(NetworkTest, CorruptedFrameIsDroppedBeforeTheEndpoint) {
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  int frames = 0;
+  net.set_inject_hook([&](const Message&) {
+    ++frames;
+    return InjectDecision{.corrupt = true};
+  });
+  net.send({.src = {1, 1}, .dst = {2, 1}, .payload = "mangled"});
+  sim.run();
+  EXPECT_EQ(frames, 1);
+  EXPECT_TRUE(rx.arrivals.empty());
+  EXPECT_EQ(net.stats().dropped_corrupt, 1u);
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST_F(NetworkTest, EmptyPayloadCorruptionStillDetected) {
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  net.set_inject_hook(
+      [](const Message&) { return InjectDecision{.corrupt = true}; });
+  net.send({.src = {1, 1}, .dst = {2, 1}, .payload = ""});
+  sim.run();
+  EXPECT_TRUE(rx.arrivals.empty());
+  EXPECT_EQ(net.stats().dropped_corrupt, 1u);
+}
+
+TEST_F(NetworkTest, InjectHookDuplicatesAndDelays) {
+  Recorder rx(sim);
+  net.attach({2, 1}, rx);
+  net.set_link(1, 2, {.latency = sim::msec(10), .jitter = 0,
+                      .bandwidth_bps = 0, .loss = 0});
+  net.set_inject_hook([](const Message&) {
+    return InjectDecision{.duplicate = true, .extra_delay = sim::msec(5)};
+  });
+  net.send({.src = {1, 1}, .dst = {2, 1}, .payload = "twin"});
+  sim.run();
+  // The original is delayed by 5ms; the duplicate re-enters transmission
+  // with injection disabled (no duplicate storms) and no extra delay.
+  ASSERT_EQ(rx.arrivals.size(), 2u);
+  EXPECT_EQ(rx.arrivals[0].msg.payload, "twin");
+  EXPECT_EQ(rx.arrivals[1].msg.payload, "twin");
+  EXPECT_EQ(rx.arrivals[0].at, sim::msec(10));  // duplicate, undelayed
+  EXPECT_EQ(rx.arrivals[1].at, sim::msec(15));  // original + extra_delay
+}
+
 TEST_F(NetworkTest, DisconnectedMobileNodeIsUnreachable) {
   Recorder rx(sim);
   net.attach({2, 1}, rx);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/network.hpp"
@@ -392,6 +394,133 @@ TEST_F(GroupRpcTest, DeadlineMissRateGrowsWithGroupSizeUnderJitter) {
   const double small = miss_rate(1);
   const double large = miss_rate(4);
   EXPECT_GE(large, small);
+}
+
+TEST_F(GroupRpcTest, ReplyInSameStepAsDeadlineWins) {
+  // Zero jitter, infinite bandwidth, 10ms each way: every reply lands at
+  // exactly t=20ms.  A deadline of exactly 20ms was scheduled at invoke
+  // time, so the step's FIFO tie-break runs it *before* the deliveries —
+  // the deadline must defer to them, not expire the call.
+  net.set_default_link({.latency = sim::msec(10), .jitter = 0,
+                        .bandwidth_bps = 0 /* infinite */, .loss = 0});
+  GroupResult got;
+  int calls = 0;
+  invoker.invoke(targets, "ping", "",
+                 [&](const GroupResult& r) {
+                   got = r;
+                   ++calls;
+                 },
+                 {.policy = ReplyPolicy::kAll, .deadline = sim::msec(20),
+                  .per_call = {.timeout = sim::sec(1), .retries = 0}});
+  sim.run();
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(got.satisfied);
+  EXPECT_FALSE(got.deadline_hit);
+  EXPECT_EQ(got.ok_count, 4u);
+  EXPECT_EQ(got.latency, sim::msec(20));
+}
+
+// ------------------------------------------------- robustness satellites
+
+TEST(RpcJitterTest, BackoffJitterIsDeterministicAndOptIn) {
+  const auto fingerprint = [](double jitter) {
+    sim::Simulator sim(31);
+    net::Network net(sim);
+    net.set_default_link({.latency = sim::msec(5), .jitter = sim::msec(2),
+                          .bandwidth_bps = 10e6, .loss = 0.4});
+    RpcServer server(net, {2, 1});
+    server.register_method("echo", [](const std::string& req) {
+      return HandlerResult::success(req);
+    });
+    RpcClient client(net, {1, 1});
+    std::string fp;
+    for (int i = 0; i < 8; ++i) {
+      client.call({2, 1}, "echo", std::to_string(i),
+                  [&fp, i](const RpcResult& r) {
+                    fp += std::to_string(i) + ":" +
+                          std::to_string(static_cast<int>(r.status)) + "@" +
+                          std::to_string(r.rtt) + ";";
+                  },
+                  {.timeout = sim::msec(30), .retries = 6,
+                   .backoff_jitter = jitter});
+    }
+    sim.run();
+    return fp;
+  };
+  // Same seed + same knob => byte-identical outcomes...
+  EXPECT_EQ(fingerprint(0.3), fingerprint(0.3));
+  // ...and the jitter draw genuinely moves the retry schedule.
+  EXPECT_NE(fingerprint(0.3), fingerprint(0.0));
+}
+
+TEST(RpcJitterTest, RetryEventRecordsTheJitteredWait) {
+  sim::Simulator sim(5);
+  net::Network net(sim);
+  RpcClient client(net, {1, 1});
+  // No server attached: every attempt times out, producing retry events.
+  const sim::Duration nominal = sim::msec(100);
+  client.call({9, 1}, "void", "", [](const RpcResult&) {},
+              {.timeout = nominal, .retries = 1, .backoff = 1.0,
+               .backoff_jitter = 0.5});
+  sim.run();
+  bool saw_retry = false;
+  for (const obs::TraceEvent& e : net.obs().tracer.snapshot()) {
+    if (e.category != obs::Category::kRpc ||
+        std::string_view(e.name) != "retry") {
+      continue;
+    }
+    saw_retry = true;
+    for (std::uint8_t i = 0; i < e.attr_count; ++i) {
+      if (std::string_view(e.attrs[i].key) != "waited") continue;
+      const auto waited = static_cast<sim::Duration>(e.attrs[i].value);
+      // The recorded wait is the jittered one: inside [50ms, 150ms] and
+      // (with this seed) not the nominal value.
+      EXPECT_GE(waited, nominal / 2);
+      EXPECT_LE(waited, nominal + nominal / 2);
+      EXPECT_NE(waited, nominal);
+    }
+  }
+  EXPECT_TRUE(saw_retry);
+}
+
+TEST(RpcRestartTest, ReplayCacheIsPerIncarnation) {
+  sim::Simulator sim(13);
+  net::Network net(sim);
+  net.set_default_link({.latency = sim::msec(10), .jitter = 0,
+                        .bandwidth_bps = 0, .loss = 0});
+  int executions = 0;
+  const auto make_server = [&]() {
+    auto s = std::make_unique<RpcServer>(net, net::Address{2, 1});
+    s->register_method("bump", [&executions](const std::string&) {
+      ++executions;
+      return HandlerResult::success("done");
+    });
+    return s;
+  };
+  auto server = make_server();
+  server->set_processing_time(sim::msec(20));
+
+  RpcClient client(net, {1, 1});
+  RpcResult got;
+  client.call({2, 1}, "bump", "", [&](const RpcResult& r) { got = r; },
+              {.timeout = sim::msec(100), .retries = 3});
+
+  // The request arrives at 10ms and executes; the reply would leave at
+  // 30ms — but the server fail-stops at 15ms, taking the replay cache
+  // with it.  The client's retry reaches the restarted incarnation,
+  // whose empty cache legitimately re-executes the operation.
+  sim.schedule_at(sim::msec(15), [&] {
+    net.crash(2);
+    server.reset();
+  });
+  sim.schedule_at(sim::msec(50), [&] {
+    net.restart(2);
+    server = make_server();
+  });
+  sim.run();
+
+  EXPECT_TRUE(got.ok());
+  EXPECT_EQ(executions, 2);  // once per incarnation: at-most-once held twice
 }
 
 }  // namespace
