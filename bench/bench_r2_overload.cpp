@@ -1,0 +1,287 @@
+// R2 — overload sweep: goodput under saturation with the overload control
+// plane disabled vs. enabled (§4.2.2 graceful degradation).
+//
+// One serial RPC server (1 ms service time => 1000 ops/s capacity) takes
+// three open-loop arrival streams for two virtual seconds: core ops at
+// 250/s, control ops at 150/s, and background (awareness) traffic at
+// m x 500/s for a load multiplier m in {1,2,3,4}.  At m=1 the server has
+// headroom; at m=4 the offered load is 2.4x capacity.
+//
+//   disabled — unbounded run queue, no deadlines honoured anywhere, no
+//              budgets/breakers: the classic metastable shape.  Queue
+//              delay grows without bound and core goodput (acks within
+//              the 100 ms deadline budget) collapses as m rises.
+//   enabled  — bounded queue with priority watermarks (background shed
+//              first, control second), deadlines propagated in message
+//              headers and honoured on dequeue, retry budgets + circuit
+//              breakers on every client: background is refused at the
+//              door, and core goodput stays flat across the sweep.
+//
+// Every run feeds a fault::Invariants collector (at-most-once per call,
+// and the new no-acked-shed check: no op that only ever got pushback was
+// reported successful) and the binary exits non-zero if any run violates
+// one.  A representative enabled run traces into the ambient Obs so
+// BENCH_r2_overload.json carries critical-path buckets (queue/link/
+// service/retry).  Same seed => byte-identical artifacts modulo wall_ms.
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+constexpr sim::Duration kServiceTime = sim::msec(1);   // => 1000 ops/s
+constexpr sim::Duration kDeadlineBudget = sim::msec(100);
+constexpr sim::Duration kTrafficWindow = sim::sec(2);
+constexpr sim::Duration kDrainWindow = sim::sec(6);
+constexpr sim::Duration kCorePeriod = sim::usec(4000);     // 250/s
+constexpr sim::Duration kControlPeriod = sim::usec(6667);  // ~150/s
+constexpr sim::Duration kBackgroundBase = sim::usec(2000); // 500/s per m
+
+std::uint64_t g_total_violations = 0;
+
+struct ClassStats {
+  std::uint64_t offered = 0;
+  std::uint64_t goodput = 0;  ///< acked within the deadline budget
+  std::uint64_t rejected = 0;
+  std::uint64_t timeouts = 0;
+};
+
+struct RunOutcome {
+  std::array<ClassStats, net::kPriorityCount> cls;
+  std::uint64_t shed_background = 0;
+  std::uint64_t shed_control = 0;
+  std::uint64_t shed_core = 0;
+  std::uint64_t expired_drops = 0;
+  std::uint64_t retries_denied = 0;
+  std::size_t final_queue_depth = 0;
+  std::vector<std::string> violations;
+  util::Summary core_rtt_us;
+};
+
+/// One full offered-load run.  @p use_ambient routes traces/metrics into
+/// the bench harness Obs (for the artifact's critical-path buckets)
+/// instead of a throwaway per-run sink.
+RunOutcome run_overload(bool enabled, int multiplier, std::uint64_t seed,
+                        bool use_ambient) {
+  obs::Obs local;
+  Platform platform(seed, use_ambient ? nullptr : &local);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  // Clean fast LAN: every shed is answered, every deadline miss is the
+  // queue's fault, not the wire's — the collapse is pure overload.
+  net.set_default_link({.latency = sim::msec(1), .jitter = 0,
+                        .bandwidth_bps = 100e6, .loss = 0.0});
+
+  fault::Invariants inv;
+  rpc::RpcServer server(net, {1, 1});
+  server.set_processing_time(kServiceTime);
+  if (enabled) {
+    server.set_admission({.queue_capacity = 64, .control_watermark = 44,
+                          .background_watermark = 24, .drop_expired = true});
+  } else {
+    // The metastable baseline: still a serial worker (capacity is the
+    // same), but the queue is effectively unbounded global FIFO, nothing
+    // sheds, and expired work is serviced anyway.
+    server.set_admission({.queue_capacity = 1u << 20,
+                          .control_watermark = 1u << 20,
+                          .background_watermark = 1u << 20,
+                          .drop_expired = false,
+                          .priority_dequeue = false});
+  }
+  server.register_method("op", [&inv](const std::string& req) {
+    inv.record_execution(req);
+    return rpc::HandlerResult::success("");
+  });
+
+  const rpc::ClientOverloadConfig guards =
+      enabled ? rpc::ClientOverloadConfig{
+                    .budget = {.enabled = true, .ratio = 0.1,
+                               .initial = 10.0, .cap = 100.0},
+                    .breaker = {.enabled = true, .failure_threshold = 5,
+                                .open_duration = sim::msec(200)}}
+              : rpc::ClientOverloadConfig{};
+  // One client per traffic class (distinct nodes, so each class has its
+  // own budget/breaker toward the server, as separate apps would).
+  std::array<std::unique_ptr<rpc::RpcClient>, 3> clients;
+  for (std::size_t i = 0; i < 3; ++i) {
+    clients[i] = std::make_unique<rpc::RpcClient>(
+        net, net::Address{static_cast<net::NodeId>(10 + i), 1}, guards);
+  }
+
+  RunOutcome out;
+  std::uint64_t next_op = 0;
+
+  const auto issue = [&](net::Priority prio) {
+    const auto pi = static_cast<std::size_t>(prio);
+    const std::uint64_t op_id = next_op++;
+    const std::string op =
+        std::string(net::priority_name(prio)) + ":" + std::to_string(op_id);
+    ++out.cls[pi].offered;
+    rpc::CallOptions opts;
+    opts.timeout = sim::msec(50);
+    opts.retries = 3;
+    opts.backoff = enabled ? 2.0 : 1.0;  // disabled: aggressive retries
+    opts.backoff_jitter = 0.1;
+    opts.priority = prio;
+    if (enabled) opts.deadline = sim.now() + kDeadlineBudget;
+    const sim::TimePoint issued = sim.now();
+    clients[pi]->call(
+        {1, 1}, "op", op,
+        [&out, &inv, &sim, pi, op, issued](const rpc::RpcResult& r) {
+          if (r.ok()) {
+            inv.record_acknowledged(op);
+            const sim::Duration latency = sim.now() - issued;
+            if (latency <= kDeadlineBudget) ++out.cls[pi].goodput;
+            if (pi == 0)
+              out.core_rtt_us.add(static_cast<double>(latency));
+          } else if (r.status == rpc::Status::kRejected) {
+            ++out.cls[pi].rejected;
+            inv.record_shed(op);
+          } else {
+            ++out.cls[pi].timeouts;
+          }
+        },
+        opts);
+  };
+
+  // Open-loop arrivals with fixed phase offsets (no lock-step between
+  // classes); everything below is a pure function of (enabled, m, seed).
+  for (sim::TimePoint t = 0; t < kTrafficWindow; t += kCorePeriod) {
+    sim.schedule_at(t, [&] { issue(net::Priority::kCore); });
+  }
+  for (sim::TimePoint t = sim::usec(1300); t < kTrafficWindow;
+       t += kControlPeriod) {
+    sim.schedule_at(t, [&] { issue(net::Priority::kControl); });
+  }
+  const auto bg_period = kBackgroundBase / multiplier;
+  for (sim::TimePoint t = sim::usec(700); t < kTrafficWindow;
+       t += bg_period) {
+    sim.schedule_at(t, [&] { issue(net::Priority::kBackground); });
+  }
+
+  sim.run_until(kDrainWindow);
+
+  inv.check_at_most_once();
+  inv.check_no_acked_shed();
+  out.violations = inv.violations();
+  out.shed_background = server.shed(net::Priority::kBackground);
+  out.shed_control = server.shed(net::Priority::kControl);
+  out.shed_core = server.shed(net::Priority::kCore);
+  out.expired_drops = server.expired_drops();
+  out.final_queue_depth = server.queue_depth();
+  for (const auto& c : clients) out.retries_denied += c->retries_denied();
+  return out;
+}
+
+void BM_OverloadSweep(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const int multiplier = static_cast<int>(state.range(1));
+  const auto seed = static_cast<std::uint64_t>(state.range(2));
+  // Trace one representative saturated enabled run into the ambient Obs
+  // so the artifact's critical-path buckets show where admitted core ops
+  // spend their latency (runq wait vs. link vs. service vs. retry).
+  const bool use_ambient = enabled && multiplier == 4 && seed == 1;
+  RunOutcome out;
+  for (auto _ : state)
+    out = run_overload(enabled, multiplier, seed, use_ambient);
+
+  obs::Obs& ambient = *obs::default_obs();
+  const std::string key = std::string("r2.") +
+                          (enabled ? "enabled" : "disabled") + ".x" +
+                          std::to_string(multiplier) + ".";
+  const char* cls_name[] = {"core", "control", "background"};
+  for (std::size_t pi = 0; pi < net::kPriorityCount; ++pi) {
+    ambient.metrics.counter(key + cls_name[pi] + "_offered")
+        .inc(out.cls[pi].offered);
+    ambient.metrics.counter(key + cls_name[pi] + "_goodput")
+        .inc(out.cls[pi].goodput);
+    ambient.metrics.counter(key + cls_name[pi] + "_rejected")
+        .inc(out.cls[pi].rejected);
+    ambient.metrics.counter(key + cls_name[pi] + "_timeouts")
+        .inc(out.cls[pi].timeouts);
+  }
+  ambient.metrics.counter(key + "shed_background").inc(out.shed_background);
+  ambient.metrics.counter(key + "shed_control").inc(out.shed_control);
+  ambient.metrics.counter(key + "shed_core").inc(out.shed_core);
+  ambient.metrics.counter(key + "expired_drops").inc(out.expired_drops);
+  ambient.metrics.counter(key + "retries_denied").inc(out.retries_denied);
+  auto& rtt = ambient.metrics.summary(key + "core_rtt_us");
+  // Re-add the run's core latencies so the artifact has percentiles per
+  // (mode, multiplier) cell across all seeds.
+  for (double v : out.core_rtt_us.samples()) rtt.add(v);
+
+  if (!out.violations.empty()) {
+    ambient.metrics.counter("r2.invariant_violations")
+        .inc(out.violations.size());
+    g_total_violations += out.violations.size();
+    for (const std::string& v : out.violations) {
+      std::fprintf(stderr, "[%s x%d seed %llu] INVARIANT VIOLATION: %s\n",
+                   enabled ? "enabled" : "disabled", multiplier,
+                   static_cast<unsigned long long>(seed), v.c_str());
+    }
+  }
+
+  const auto& core = out.cls[0];
+  state.counters["core_goodput"] = static_cast<double>(core.goodput);
+  state.counters["core_offered"] = static_cast<double>(core.offered);
+  state.counters["bg_shed"] = static_cast<double>(out.shed_background);
+  state.counters["expired"] = static_cast<double>(out.expired_drops);
+  state.counters["violations"] =
+      static_cast<double>(out.violations.size());
+  state.SetLabel(std::string(enabled ? "enabled" : "disabled") + "/x" +
+                 std::to_string(multiplier));
+}
+
+BENCHMARK(BM_OverloadSweep)
+    ->ArgsProduct({{0, 1},
+                   {1, 2, 3, 4},
+                   benchmark::CreateDenseRange(1, 10, 1)})
+    ->Iterations(1);
+
+}  // namespace
+
+// COOP_BENCH_MAIN with one addition: a non-zero exit code when any run
+// violated an invariant, so CI fails on the soak itself, not on a diff.
+int main(int argc, char** argv) {
+  coop::obs::Obs obs;
+  coop::obs::ScopedDefaultObs ambient(&obs);
+  obs.meta.knobs["tag"] = "r2_overload";
+  obs.meta.knobs["trace_cap"] = std::to_string(obs.tracer.capacity());
+  if (const char* cap = std::getenv("COOP_TRACE_CAP"))
+    obs.meta.knobs["COOP_TRACE_CAP"] = cap;
+  {
+    std::string args;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) args += ' ';
+      args += argv[i];
+    }
+    if (!args.empty()) obs.meta.knobs["argv"] = args;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  obs.meta.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  if (!coop::obs::write_bench_artifacts(obs, "r2_overload")) {
+    std::fprintf(stderr, "warning: failed to write BENCH_r2_overload.*\n");
+  }
+  if (g_total_violations > 0) {
+    std::fprintf(stderr,
+                 "overload soak FAILED: %llu invariant violation(s)\n",
+                 static_cast<unsigned long long>(g_total_violations));
+    return 2;
+  }
+  return 0;
+}

@@ -99,6 +99,47 @@ int main() {
   video_src.start();
   audio_src.start();
 
+  // --- the conference directory under overload --------------------------------
+  // A small admission-controlled RPC service answers roster lookups (core)
+  // and awareness pings (background).  During the bulk transfer the ping
+  // rate spikes well past the service rate; the overload plane sheds the
+  // awareness traffic at the door while roster lookups keep their deadline.
+  rpc::RpcServer directory(net, {10, 2});
+  directory.set_processing_time(sim::msec(5));
+  directory.set_admission({.queue_capacity = 16, .control_watermark = 12,
+                           .background_watermark = 6, .drop_expired = true});
+  directory.register_method("roster", [](const std::string&) {
+    return rpc::HandlerResult::success("amy,ben,cho");
+  });
+  directory.register_method("presence", [](const std::string&) {
+    return rpc::HandlerResult::success("ok");
+  });
+  rpc::RpcClient dir_client(
+      net, {3, 2},
+      {.budget = {.enabled = true}, .breaker = {.enabled = true}});
+  std::uint64_t roster_ok = 0, roster_fail = 0, pings_refused = 0;
+  // Awareness pings at 250/s for 2 s against a 200/s service rate: the
+  // ping storm saturates the directory and gets shed at the door.
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_at(sim::sec(5) + i * sim::msec(4), [&] {
+      rpc::CallOptions opts;
+      opts.priority = net::Priority::kBackground;
+      opts.retries = 0;
+      dir_client.call({10, 2}, "presence", "cho", [&](const rpc::RpcResult& r) {
+        if (r.status == rpc::Status::kRejected) ++pings_refused;
+      }, opts);
+    });
+  }
+  for (int i = 0; i < 8; ++i) {  // roster lookups ride through the storm
+    sim.schedule_at(sim::sec(5) + i * sim::msec(500), [&] {
+      rpc::CallOptions opts;
+      opts.deadline = sim.now() + sim::msec(250);
+      dir_client.call({10, 2}, "roster", "", [&](const rpc::RpcResult& r) {
+        r.ok() ? ++roster_ok : ++roster_fail;
+      }, opts);
+    });
+  }
+
   // --- the disturbance: a bulk transfer on the same 1->2 path -----------------
   sim.schedule_at(sim::sec(4), [&] {
     std::printf("[%5.1f s] bulk file transfer begins on the video path\n",
@@ -138,5 +179,21 @@ int main() {
               lipsync.skew().samples().empty()
                   ? 0.0
                   : lipsync.skew().samples().back() / 1000.0);
+  std::printf("directory under overload: roster %llu ok / %llu failed; "
+              "shed background %llu, control %llu, core %llu; "
+              "expired drops %llu; pings refused %llu, client rejected "
+              "%llu, retries denied %llu\n",
+              static_cast<unsigned long long>(roster_ok),
+              static_cast<unsigned long long>(roster_fail),
+              static_cast<unsigned long long>(
+                  directory.shed(net::Priority::kBackground)),
+              static_cast<unsigned long long>(
+                  directory.shed(net::Priority::kControl)),
+              static_cast<unsigned long long>(
+                  directory.shed(net::Priority::kCore)),
+              static_cast<unsigned long long>(directory.expired_drops()),
+              static_cast<unsigned long long>(pings_refused),
+              static_cast<unsigned long long>(dir_client.rejected()),
+              static_cast<unsigned long long>(dir_client.retries_denied()));
   return 0;
 }

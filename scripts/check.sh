@@ -47,6 +47,17 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_chaos.json") \
 fi
 echo "chaos soak: clean, artifact reproducible"
 
+echo "== overload soak: goodput sweep + no-acked-shed invariant =="
+overload_bin="$(pwd)/build-check/bench/bench_r2_overload"
+(cd "${soak_a}" && run "${overload_bin}" >/dev/null)
+(cd "${soak_b}" && run "${overload_bin}" >/dev/null)
+if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r2_overload.json") \
+          <(grep -v wall_ms "${soak_b}/BENCH_r2_overload.json"); then
+  echo "overload soak artifact is not reproducible across identical runs" >&2
+  exit 1
+fi
+echo "overload soak: clean, artifact reproducible"
+
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
   exit 0
@@ -58,5 +69,7 @@ run cmake --build build-asan -j "${JOBS}"
 run ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 asan_bench="$(pwd)/build-asan/bench/bench_r1_chaos"
 (cd "${soak_a}" && run "${asan_bench}" >/dev/null)
+asan_overload="$(pwd)/build-asan/bench/bench_r2_overload"
+(cd "${soak_a}" && run "${asan_overload}" >/dev/null)
 
 echo "== all checks passed =="

@@ -56,6 +56,7 @@
 #include "mobile/share_server.hpp"
 #include "net/fifo_channel.hpp"
 #include "net/network.hpp"
+#include "net/overload.hpp"
 #include "obs/critical_path.hpp"
 #include "obs/obs.hpp"
 #include "rpc/group_rpc.hpp"

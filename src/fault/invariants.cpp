@@ -61,6 +61,21 @@ void Invariants::check_view_agreement() {
   }
 }
 
+void Invariants::check_no_acked_shed() {
+  for (const auto& [op, shed_count] : sheds_) {
+    if (shed_count == 0) continue;
+    const auto ack = acknowledged_.find(op);
+    if (ack == acknowledged_.end() || !ack->second) continue;
+    const auto exec = executions_.find(op);
+    if (exec == executions_.end() || exec->second == 0) {
+      violation("acked-but-shed: op '" + op + "' was acknowledged, " +
+                std::to_string(shed_count) +
+                " attempt(s) were shed, and no execution was recorded — a "
+                "pushback was converted into a success");
+    }
+  }
+}
+
 void Invariants::check_corruption_contained(const net::NetworkStats& stats,
                                             std::uint64_t injected_corrupt) {
   // Every injected corruption must be absorbed by a drop path.  Frames
@@ -90,10 +105,12 @@ void Invariants::check_all() {
   check_acknowledged_durable();
   check_convergence();
   check_view_agreement();
+  check_no_acked_shed();
 }
 
 void Invariants::clear() {
   executions_.clear();
+  sheds_.clear();
   acknowledged_.clear();
   applied_.clear();
   digests_.clear();

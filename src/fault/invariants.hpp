@@ -62,12 +62,22 @@ class Invariants {
     views_[member] = {view_id, members};
   }
 
+  /// The overload plane shed (or fast-failed) an attempt of @p op.
+  void record_shed(const std::string& op) { ++sheds_[op]; }
+
   // --- checks --------------------------------------------------------------
 
   void check_at_most_once();
   void check_acknowledged_durable();
   void check_convergence();
   void check_view_agreement();
+
+  /// Load shedding must refuse work, never lie about it: an op the client
+  /// saw acknowledged while every recorded attempt was shed (zero
+  /// executions) means a pushback was converted into a success somewhere.
+  /// A shed attempt followed by a successfully executed retry is
+  /// legitimate and does not trip this.
+  void check_no_acked_shed();
 
   /// Frame accounting: injected corruption must be fully absorbed by the
   /// drop paths — dropped_corrupt plus frames that died of loss/partition/
@@ -96,6 +106,7 @@ class Invariants {
   void violation(std::string what) { violations_.push_back(std::move(what)); }
 
   std::map<std::string, std::uint64_t> executions_;
+  std::map<std::string, std::uint64_t> sheds_;
   std::map<std::string, bool> acknowledged_;
   std::map<std::string, bool> applied_;
   std::map<std::string, std::string> digests_;

@@ -39,6 +39,12 @@ GroupChannel::GroupChannel(net::Network& net, net::Address self,
            [this] { return static_cast<double>(stats_.gave_up); });
   m.expose(metric_prefix_ + "held_back_max",
            [this] { return static_cast<double>(stats_.held_back_max); });
+  m.expose(metric_prefix_ + "held_back_shed",
+           [this] { return static_cast<double>(stats_.held_back_shed); });
+  m.expose(metric_prefix_ + "stash_shed",
+           [this] { return static_cast<double>(stats_.stash_shed); });
+  m.expose(metric_prefix_ + "expired_drops",
+           [this] { return static_cast<double>(stats_.expired_drops); });
 }
 
 GroupChannel::~GroupChannel() {
@@ -122,6 +128,11 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
   tracer.event(now, obs::Category::kGroup, "broadcast", bctx,
                {{"sender", static_cast<double>(self_index_)},
                 {"seq", static_cast<double>(seq)}});
+  // Deadline propagation: stamped into the wire header so the sequencer
+  // can drop the request once expired, and onto Pending so retransmission
+  // stops when the work is pointless.
+  const sim::TimePoint deadline =
+      config_.broadcast_deadline > 0 ? now + config_.broadcast_deadline : 0;
 
   if (config_.ordering == Ordering::kTotal && !is_sequencer()) {
     // Ship an ordering request to the sequencer; our message comes back to
@@ -139,9 +150,11 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
     p.wire = wire;
     p.awaiting = {seq_slot};
     p.is_total_req = true;
+    p.deadline = deadline;
     p.ctx = bctx;
     pending_[pending_key(self_index_, seq)] = std::move(p);
     net_.send({.src = self_, .dst = members_[seq_slot], .payload = wire,
+               .deadline = deadline, .priority = config_.priority,
                .ctx = bctx});
     arm_retransmit(pending_key(self_index_, seq));
     return seq;
@@ -153,7 +166,7 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
 
   const std::string wire =
       encode_data(self_index_, seq, total_seq, now, vclock_, payload);
-  send_data(pending_key(self_index_, seq), wire, bctx);
+  send_data(pending_key(self_index_, seq), wire, bctx, deadline);
 
   // Local delivery.  kTotal delivers at sequencing time (which, for the
   // sequencer itself, is right now); others echo immediately.
@@ -184,9 +197,11 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
 }
 
 void GroupChannel::send_data(std::uint64_t key, const std::string& wire,
-                             const obs::CausalContext& ctx) {
+                             const obs::CausalContext& ctx,
+                             sim::TimePoint deadline) {
   Pending p;
   p.wire = wire;
+  p.deadline = deadline;
   p.ctx = ctx;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     if (i != self_index_ && alive_[i]) p.awaiting.insert(i);
@@ -196,7 +211,8 @@ void GroupChannel::send_data(std::uint64_t key, const std::string& wire,
   // One context for the whole multicast; the network mints a per-copy hop
   // child, so each member's delivery still has a distinct span.
   net_.multicast(group_, {.src = self_, .dst = {}, .payload = wire,
-                          .ctx = ctx});
+                          .deadline = deadline,
+                          .priority = config_.priority, .ctx = ctx});
   arm_retransmit(key);
 }
 
@@ -210,6 +226,19 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
         Pending& p = pit->second;
         p.timer = sim::kInvalidEvent;
         obs::Tracer& tracer = net_.obs().tracer;
+        // Retries never extend past the deadline: once the work is
+        // pointless, stop paying for it (members that missed the frame
+        // would only have dropped it expired anyway).
+        if (p.deadline > 0 && net_.simulator().now() >= p.deadline) {
+          ++stats_.expired_abandoned;
+          tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                       "expired",
+                       p.ctx.valid() ? p.ctx.child(tracer.mint_id())
+                                     : obs::CausalContext{},
+                       {{"key", static_cast<double>(key)}});
+          pending_.erase(pit);
+          return;
+        }
         if (++p.retries > config_.max_retransmits) {
           ++stats_.gave_up;
           tracer.event(net_.simulator().now(), obs::Category::kGroup,
@@ -237,6 +266,7 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
                {"waited",
                 static_cast<double>(config_.retransmit_timeout)}});
           net_.send({.src = self_, .dst = members_[slot], .payload = p.wire,
+                     .deadline = p.deadline, .priority = config_.priority,
                      .ctx = rctx});
         }
         arm_retransmit(key);
@@ -333,6 +363,22 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   std::string payload = r.get_string();
   if (r.failed() || sender >= members_.size()) return;
 
+  // Admission control at the sequencer: a new request that would grow the
+  // stash past its cap is dropped *before* the ack, so the originator's
+  // retransmission redelivers it later — backpressure instead of an
+  // unbounded queue at the ordering bottleneck.
+  const bool fresh = is_sequencer() && seq >= next_req_[sender] &&
+                     stashed_reqs_[sender].count(seq) == 0;
+  if (fresh && config_.sequencer_stash_cap > 0 &&
+      stashed_reqs_[sender].size() >= config_.sequencer_stash_cap) {
+    ++stats_.stash_shed;
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                            "stash_shed", msg.ctx,
+                            {{"sender", static_cast<double>(sender)},
+                             {"seq", static_cast<double>(seq)}});
+    return;
+  }
+
   // Ack the request so the originator stops retransmitting.  The ack rides
   // the request's context so it links back to the attempt that arrived.
   util::Writer w;
@@ -342,15 +388,16 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
              .ctx = msg.ctx});
 
   if (!is_sequencer()) return;  // stale request to a demoted sequencer
-  if (seq < next_req_[sender] ||
-      stashed_reqs_[sender].count(seq) != 0) {
+  if (!fresh) {
     ++stats_.duplicates;  // retransmitted request already sequenced/stashed
     return;
   }
   // Stash, then sequence the sender's requests strictly in seq order so
   // total order preserves each sender's FIFO order even if the network
-  // delivered the requests out of order.
-  stashed_reqs_[sender][seq] = {sent_at, std::move(payload), msg.ctx};
+  // delivered the requests out of order.  The header deadline travels
+  // with the stash so expiry is judged at sequencing time.
+  stashed_reqs_[sender][seq] = {sent_at, std::move(payload), msg.deadline,
+                                msg.ctx};
   sequence_ready_reqs(sender);
 }
 
@@ -369,6 +416,22 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
     stash.erase(it);
     ++next_req_[sender];
     seen_[sender].insert(seq);
+    // Expired on dequeue: the deadline passed while the request sat in
+    // the stash, so sequencing it would multicast work every member will
+    // only throw away.  The request was already acked and is recorded
+    // seen with the cursor advanced past it, so skipping assigns it no
+    // slot in the total order and stalls nobody (receivers track
+    // total_seq contiguity, not per-sender seq).
+    if (req.deadline > 0 && net_.simulator().now() >= req.deadline) {
+      ++stats_.expired_drops;
+      net_.obs().metrics.counter("rpc.expired_drops").inc();
+      tracer.event(net_.simulator().now(), obs::Category::kGroup, "expired",
+                   req.ctx.valid() ? req.ctx.child(tracer.mint_id())
+                                   : obs::CausalContext{},
+                   {{"sender", static_cast<double>(sender)},
+                    {"seq", static_cast<double>(seq)}});
+      continue;
+    }
     const std::uint64_t total_seq = next_total_seq_++;
     // The sequencer's relay continues the originator's trace: the
     // sequencing decision is a child of the arriving request, and the
@@ -383,7 +446,7 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
                   {"total", static_cast<double>(total_seq)}});
     const std::string wire = encode_data(sender, seq, total_seq, req.sent_at,
                                          logical::VectorClock(), req.payload);
-    send_data(pending_key(sender, seq), wire, sctx);
+    send_data(pending_key(sender, seq), wire, sctx, req.deadline);
     // The sequencer's own delivery happens at sequencing time, keeping it
     // consistent with the global order it just defined.
     epoch_ = static_cast<std::uint32_t>(self_index_);
@@ -411,6 +474,36 @@ void GroupChannel::handle_data(const net::Message& msg) {
   std::string payload = r.get_string();
   if (r.failed() || sender >= members_.size()) return;
 
+  HeldBack hb;
+  hb.delivery = {.sender = sender,
+                 .sender_addr = members_[sender],
+                 .seq = seq,
+                 .total_seq = total_seq,
+                 .payload = std::move(payload),
+                 .sent_at = sent_at,
+                 // Even if delivery is deferred in the hold-back queue, the
+                 // chain stays anchored to the network arrival.
+                 .ctx = msg.ctx.valid()
+                            ? msg.ctx.child(net_.obs().tracer.mint_id())
+                            : obs::CausalContext{}};
+  hb.vclock = std::move(vc);
+  hb.epoch = epoch;
+
+  // Hold-back bound: a fresh arrival that cannot be delivered yet while
+  // the queue is at capacity is shed *before* being acked or recorded
+  // seen — the ack would stop the sender retransmitting and the dedupe
+  // would block redelivery, losing the message forever.  Unacked, the
+  // sender's retransmission redelivers it once the queue has drained.
+  if (config_.max_holdback > 0 && holdback_.size() >= config_.max_holdback &&
+      seen_[sender].count(seq) == 0 && !deliverable_now(hb)) {
+    ++stats_.held_back_shed;
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                            "holdback_shed", msg.ctx,
+                            {{"sender", static_cast<double>(sender)},
+                             {"seq", static_cast<double>(seq)}});
+    return;
+  }
+
   // Always ack — the original ack may have been the lost datagram.  The
   // ack goes to whoever (re)transmitted this copy: originator or sequencer.
   util::Writer w;
@@ -431,53 +524,30 @@ void GroupChannel::handle_data(const net::Message& msg) {
     return;
   }
 
-  HeldBack hb;
-  hb.delivery = {.sender = sender,
-                 .sender_addr = members_[sender],
-                 .seq = seq,
-                 .total_seq = total_seq,
-                 .payload = std::move(payload),
-                 .sent_at = sent_at,
-                 // Even if delivery is deferred in the hold-back queue, the
-                 // chain stays anchored to the network arrival.
-                 .ctx = msg.ctx.valid()
-                            ? msg.ctx.child(net_.obs().tracer.mint_id())
-                            : obs::CausalContext{}};
-  hb.vclock = std::move(vc);
-  hb.epoch = epoch;
   try_deliver(std::move(hb));
 }
 
-void GroupChannel::try_deliver(HeldBack hb) {
+bool GroupChannel::deliverable_now(const HeldBack& hb) const {
   const std::size_t s = hb.delivery.sender;
-  bool deliverable = false;
   switch (config_.ordering) {
     case Ordering::kUnordered:
-      deliverable = true;
-      break;
+      return true;
     case Ordering::kFifo:
-      deliverable = hb.delivery.seq == next_expected_[s];
-      break;
+      return hb.delivery.seq == next_expected_[s];
     case Ordering::kCausal:
-      deliverable = vclock_.deliverable_from(hb.vclock, s);
-      break;
+      return vclock_.deliverable_from(hb.vclock, s);
     case Ordering::kTotal:
-      deliverable =
-          (hb.epoch == epoch_ &&
-           hb.delivery.total_seq == next_expected_total_) ||
-          (hb.epoch > epoch_ && hb.delivery.total_seq == 1);
-      break;
+      return (hb.epoch == epoch_ &&
+              hb.delivery.total_seq == next_expected_total_) ||
+             (hb.epoch > epoch_ && hb.delivery.total_seq == 1);
   }
-  if (!deliverable) {
-    holdback_.push_back(std::move(hb));
-    stats_.held_back_max =
-        std::max<std::uint64_t>(stats_.held_back_max, holdback_.size());
-    return;
-  }
-  // Commit the ordering state, deliver, then drain anything unblocked.
+  return false;
+}
+
+void GroupChannel::commit_order(const HeldBack& hb) {
   switch (config_.ordering) {
     case Ordering::kFifo:
-      next_expected_[s] = hb.delivery.seq + 1;
+      next_expected_[hb.delivery.sender] = hb.delivery.seq + 1;
       break;
     case Ordering::kCausal:
       vclock_.merge(hb.vclock);
@@ -489,6 +559,17 @@ void GroupChannel::try_deliver(HeldBack hb) {
     case Ordering::kUnordered:
       break;
   }
+}
+
+void GroupChannel::try_deliver(HeldBack hb) {
+  if (!deliverable_now(hb)) {
+    holdback_.push_back(std::move(hb));
+    stats_.held_back_max =
+        std::max<std::uint64_t>(stats_.held_back_max, holdback_.size());
+    return;
+  }
+  // Commit the ordering state, deliver, then drain anything unblocked.
+  commit_order(hb);
   deliver_now(hb.delivery);
   flush_holdback();
 }
@@ -498,41 +579,10 @@ void GroupChannel::flush_holdback() {
   while (progress) {
     progress = false;
     for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
-      const std::size_t s = it->delivery.sender;
-      bool ok = false;
-      switch (config_.ordering) {
-        case Ordering::kUnordered:
-          ok = true;
-          break;
-        case Ordering::kFifo:
-          ok = it->delivery.seq == next_expected_[s];
-          break;
-        case Ordering::kCausal:
-          ok = vclock_.deliverable_from(it->vclock, s);
-          break;
-        case Ordering::kTotal:
-          ok = (it->epoch == epoch_ &&
-                it->delivery.total_seq == next_expected_total_) ||
-               (it->epoch > epoch_ && it->delivery.total_seq == 1);
-          break;
-      }
-      if (!ok) continue;
+      if (!deliverable_now(*it)) continue;
       HeldBack hb = std::move(*it);
       holdback_.erase(it);
-      switch (config_.ordering) {
-        case Ordering::kFifo:
-          next_expected_[s] = hb.delivery.seq + 1;
-          break;
-        case Ordering::kCausal:
-          vclock_.merge(hb.vclock);
-          break;
-        case Ordering::kTotal:
-          epoch_ = hb.epoch;
-          next_expected_total_ = hb.delivery.total_seq + 1;
-          break;
-        case Ordering::kUnordered:
-          break;
-      }
+      commit_order(hb);
       deliver_now(hb.delivery);
       progress = true;
       break;  // iterator invalidated; rescan

@@ -67,6 +67,26 @@ struct ChannelConfig {
   /// Sender delivers its own broadcast locally without a network round
   /// trip (kTotal ignores this: local delivery waits for the sequencer).
   bool local_echo = true;
+  /// Scheduling class stamped on every frame this channel sends; the
+  /// overload plane sheds lowest-priority-first.  Group streams carrying
+  /// awareness/media should run kBackground, membership kControl.
+  net::Priority priority = net::Priority::kCore;
+  /// Relative deadline applied to each broadcast (absolute deadline =
+  /// broadcast time + this); 0 = none.  Propagated in message headers so
+  /// the total-order sequencer drops expired requests on dequeue and
+  /// retransmission stops once the work is pointless.
+  sim::Duration broadcast_deadline = 0;
+  /// Bound on the receive hold-back queue; 0 = unbounded.  An arrival
+  /// that is not yet deliverable while the queue is full is shed *before*
+  /// it is acknowledged or deduped, so the sender's retransmission
+  /// redelivers it once space exists — bounded memory without breaking
+  /// the reliability contract.
+  std::size_t max_holdback = 0;
+  /// Bound on the sequencer's per-sender stash of out-of-order ordering
+  /// requests; 0 = unbounded.  Over the cap the request is dropped
+  /// *unacked* (retransmit backpressure) rather than queued without
+  /// bound.
+  std::size_t sequencer_stash_cap = 0;
 };
 
 /// Channel statistics for experiment accounting.
@@ -77,6 +97,10 @@ struct ChannelStats {
   std::uint64_t retransmits = 0;
   std::uint64_t gave_up = 0;        ///< messages that exhausted retries
   std::uint64_t held_back_max = 0;  ///< high-water mark of hold-back queue
+  std::uint64_t held_back_shed = 0;  ///< arrivals shed: hold-back at cap
+  std::uint64_t stash_shed = 0;      ///< ordering reqs dropped unacked at cap
+  std::uint64_t expired_drops = 0;   ///< reqs dropped expired at sequencing
+  std::uint64_t expired_abandoned = 0;  ///< retransmissions stopped: expired
 };
 
 /// One member's endpoint of a reliable ordered group channel.
@@ -146,6 +170,7 @@ class GroupChannel : public net::Endpoint {
     int retries = 0;
     sim::EventId timer = sim::kInvalidEvent;
     bool is_total_req = false;       ///< re-route to new sequencer on fail
+    sim::TimePoint deadline = 0;     ///< stamped on (re)sends; 0 = none
     obs::CausalContext ctx{};        ///< broadcast span; resends are children
   };
 
@@ -156,9 +181,14 @@ class GroupChannel : public net::Endpoint {
   };
 
   void send_data(std::uint64_t seq, const std::string& wire,
-                 const obs::CausalContext& ctx);
+                 const obs::CausalContext& ctx, sim::TimePoint deadline);
   void arm_retransmit(std::uint64_t seq);
   void handle_data(const net::Message& msg);
+  /// Ordering-agnostic "could this be delivered right now" predicate,
+  /// shared by try_deliver / flush_holdback / the hold-back bound.
+  [[nodiscard]] bool deliverable_now(const HeldBack& hb) const;
+  /// Commits the ordering cursors for a delivery about to happen.
+  void commit_order(const HeldBack& hb);
   void handle_ack(const net::Message& msg);
   void handle_total_req(const net::Message& msg);
   void sequence_ready_reqs(std::size_t sender);
@@ -194,6 +224,7 @@ class GroupChannel : public net::Endpoint {
   struct StashedReq {
     sim::TimePoint sent_at;
     std::string payload;
+    sim::TimePoint deadline = 0;  ///< from the request header; 0 = none
     obs::CausalContext ctx{};  ///< context of the arriving ordering request
   };
   std::uint64_t next_total_seq_ = 1;

@@ -27,7 +27,22 @@ const char* binding_state_name(BindingState s) noexcept {
 
 QosManager::QosManager(sim::Simulator& sim, obs::Obs& obs,
                        QosManagerConfig config)
-    : sim_(sim), obs_(obs), config_(config) {}
+    : sim_(sim), obs_(obs), config_(config) {
+  overload_windows_ = &obs_.metrics.counter("mgmt.qos.overload_windows");
+}
+
+void QosManager::note_overload() {
+  const sim::TimePoint now = sim_.now();
+  if (now >= overload_until_) {
+    // A fresh window (not an extension of an open one).
+    overload_windows_->inc();
+    obs_.tracer.event(now, obs::Category::kStream, "qos_overload",
+                      obs_.tracer.begin_trace(),
+                      {{"until", static_cast<double>(
+                                     now + config_.overload_window)}});
+  }
+  overload_until_ = now + config_.overload_window;
+}
 
 void QosManager::manage(const std::string& name, streams::QosMonitor& monitor,
                         streams::MediaSource& source,
@@ -94,10 +109,18 @@ void QosManager::on_window(const std::string& name,
   // Judge against the operating point (what the loop asked the source to
   // do) — min_fps is still the contract floor, so kUnacceptable always
   // means the medium's integrity is gone.
-  const streams::QosVerdict verdict =
+  streams::QosVerdict verdict =
       streams::compare(b.operating, report, config_.tolerance);
   obs::Tracer& tracer = obs_.tracer;
   const sim::TimePoint now = sim_.now();
+
+  // Overload window (note_overload): the control plane is shedding, so a
+  // stream whose own link metrics look healthy must still yield — demote
+  // the verdict one notch.  Media is the paper's "supporting" load; core
+  // cooperative operations get the freed capacity.
+  if (verdict == streams::QosVerdict::kHealthy && now < overload_until_) {
+    verdict = streams::QosVerdict::kDegraded;
+  }
 
   const auto scale_down = [&] {
     const double next = std::max(b.contract.min_fps,

@@ -54,6 +54,11 @@ struct QosManagerConfig {
   double decrease_factor = 0.5;     ///< multiplicative decrease per window
   double increase_fraction = 0.10;  ///< additive step, as share of contract fps
   double tolerance = 0.85;          ///< compare() boundary slack
+  /// How long one note_overload() keeps the manager in its overload
+  /// window.  While the window is open, healthy verdicts are demoted to
+  /// degraded, so media scales down in response to shed/pushback signals
+  /// even when the stream's own link metrics still look fine.
+  sim::Duration overload_window = sim::msec(500);
 };
 
 /// Supervises stream bindings: subscribes their monitors' windows and
@@ -79,6 +84,20 @@ class QosManager {
   /// Stops managing @p name without tearing it down (the source keeps
   /// whatever operating point it last had).
   void release(const std::string& name);
+
+  /// Feeds an overload signal (an RPC shed/pushback, a kRejected fast-
+  /// fail, a channel hold-back shed) into the control loop: opens — or
+  /// extends — a window of QosManagerConfig::overload_window during which
+  /// healthy stream verdicts are demoted to degraded, so supporting media
+  /// yields bandwidth while the session's control plane is saturated.
+  /// Each *opened* window (not each extension) counts in the global
+  /// metric "mgmt.qos.overload_windows".
+  void note_overload();
+
+  /// True while the manager is inside an overload window.
+  [[nodiscard]] bool in_overload_window() const noexcept {
+    return sim_.now() < overload_until_;
+  }
 
   [[nodiscard]] BindingState state(const std::string& name) const;
   [[nodiscard]] double operating_fps(const std::string& name) const;
@@ -115,6 +134,8 @@ class QosManager {
   obs::Obs& obs_;
   QosManagerConfig config_;
   std::map<std::string, Binding> bindings_;
+  sim::TimePoint overload_until_ = 0;   ///< overload window end (virtual)
+  util::Counter* overload_windows_;     ///< "mgmt.qos.overload_windows"
 };
 
 }  // namespace coop::mgmt

@@ -26,12 +26,23 @@ FifoChannel::~FifoChannel() {
 
 FifoChannel::PeerState& FifoChannel::peer_state(const Address& peer) {
   auto [it, inserted] = peers_.try_emplace(peer);
-  if (inserted) it->second.send_epoch = config_.epoch;
+  if (inserted) {
+    it->second.send_epoch = config_.epoch;
+    it->second.budget = RetryBudget(config_.retry_budget);
+  }
   return it->second;
 }
 
 void FifoChannel::send(const Address& peer, std::string payload) {
   PeerState& state = peer_state(peer);
+  // Bounded backlog: while a peer is unreachable the queue must not grow
+  // without bound.  Tail-drop keeps the oldest (in-order-next) frames,
+  // which is the only choice that lets the stream resume seamlessly once
+  // the peer heals; dropped sends are visible in overflow_dropped.
+  if (config_.max_unacked > 0 && state.unacked.size() >= config_.max_unacked) {
+    ++stats_.overflow_dropped;
+    return;
+  }
   const std::uint64_t seq = state.next_send_seq++;
   ++stats_.sent;
   transmit(peer, seq, payload);
@@ -87,6 +98,25 @@ void FifoChannel::arm_timer(const Address& peer) {
       stats_.gave_up += st.unacked.size();
       st.unacked.clear();
       st.hello_pending = false;
+      return;
+    }
+    // Enough consecutive silent rounds: the peer is unreachable.  Report
+    // once per episode (ack progress resets the episode) and keep
+    // retransmitting — backoff caps the chatter and max_unacked caps the
+    // state, so persistence stays affordable.
+    if (config_.unreachable_after > 0 &&
+        st.retries >= config_.unreachable_after && !st.unreachable_reported) {
+      st.unreachable_reported = true;
+      ++stats_.unreachable_events;
+      if (unreachable_) unreachable_(peer);
+    }
+    // Retransmit rounds draw from the same retry-budget abstraction as
+    // RPC retries: a dry bucket skips this round's wire traffic (the
+    // timer still re-arms, so a later round probes again once backoff
+    // has spread the load).
+    if (!st.budget.try_spend()) {
+      ++stats_.budget_denied;
+      arm_timer(peer);
       return;
     }
     if (st.hello_pending) send_hello(peer);
@@ -170,7 +200,13 @@ void FifoChannel::on_message(const Message& msg) {
     const std::size_t before = state.unacked.size();
     state.unacked.erase(state.unacked.begin(),
                         state.unacked.upper_bound(cum));
-    if (state.unacked.size() < before) state.retries = 0;
+    if (state.unacked.size() < before) {
+      state.retries = 0;
+      state.unreachable_reported = false;  // episode over: progress made
+      for (std::size_t i = state.unacked.size(); i < before; ++i) {
+        state.budget.on_success();  // each acked frame earns budget
+      }
+    }
     if (state.unacked.empty() && !state.hello_pending &&
         state.timer != sim::kInvalidEvent) {
       net_.simulator().cancel(state.timer);

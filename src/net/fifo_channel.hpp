@@ -30,6 +30,7 @@
 #include <string>
 
 #include "net/network.hpp"
+#include "net/overload.hpp"
 #include "sim/simulator.hpp"
 
 namespace coop::net {
@@ -42,7 +43,23 @@ struct FifoConfig {
   /// < 0 means never give up (the default: a reliable FIFO stream that
   /// drops a message is broken forever, so persistence is the only
   /// sensible default; bound it only when the application can cope).
+  /// Unbounded *retries* are safe because the backlog is no longer
+  /// unbounded: max_unacked caps memory and on_peer_unreachable surfaces
+  /// the condition, so persistence costs bounded state + bounded chatter.
   int max_retransmits = -1;
+  /// Cap on the per-peer unacknowledged backlog.  Sends beyond it are
+  /// tail-dropped (counted in FifoStats::overflow_dropped) instead of
+  /// growing the queue without bound while a peer is unreachable.
+  /// 0 = unbounded (the pre-overload-plane behaviour).
+  std::size_t max_unacked = 256;
+  /// Consecutive silent retransmit rounds after which the peer is
+  /// reported unreachable via the on_peer_unreachable callback (once per
+  /// episode; any ack progress re-arms it).  0 disables the report.
+  int unreachable_after = 8;
+  /// Retry budget gating retransmit *rounds* (the same token-bucket
+  /// abstraction RpcClient uses): each go-back-N round spends a token,
+  /// each acked frame earns `ratio`.  Disabled by default.
+  RetryBudgetConfig retry_budget{};
   /// Deterministic, seeded retransmit jitter: each armed timeout is
   /// scaled by a uniform draw from [1 - jitter, 1 + jitter] out of the
   /// simulator's stream, so peers that heal at the same instant do not
@@ -62,6 +79,9 @@ struct FifoStats {
   std::uint64_t gave_up = 0;
   std::uint64_t resyncs = 0;  ///< receive cursors reset by an epoch bump
   std::uint64_t stale = 0;    ///< frames of a dead incarnation dropped
+  std::uint64_t overflow_dropped = 0;  ///< sends refused: backlog at cap
+  std::uint64_t budget_denied = 0;     ///< retransmit rounds budget-dry
+  std::uint64_t unreachable_events = 0;  ///< kPeerUnreachable reports
 };
 
 /// One endpoint of (any number of) reliable ordered channels.
@@ -69,6 +89,10 @@ class FifoChannel : public Endpoint {
  public:
   using ReceiveFn =
       std::function<void(const Address& from, const std::string& payload)>;
+  /// Fired once per unreachability episode, after
+  /// FifoConfig::unreachable_after consecutive silent retransmit rounds
+  /// toward @p peer; re-armed by any ack progress.
+  using UnreachableFn = std::function<void(const Address& peer)>;
 
   FifoChannel(Network& net, Address self, FifoConfig config = {});
   ~FifoChannel() override;
@@ -86,6 +110,9 @@ class FifoChannel : public Endpoint {
   void resync(const Address& peer);
 
   void on_receive(ReceiveFn fn) { receive_ = std::move(fn); }
+  void on_peer_unreachable(UnreachableFn fn) {
+    unreachable_ = std::move(fn);
+  }
 
   [[nodiscard]] Address self() const noexcept { return self_; }
   [[nodiscard]] const FifoStats& stats() const noexcept { return stats_; }
@@ -104,6 +131,8 @@ class FifoChannel : public Endpoint {
     sim::EventId timer = sim::kInvalidEvent;
     int retries = 0;
     bool hello_pending = false;
+    RetryBudget budget;  ///< gates retransmit rounds (see FifoConfig)
+    bool unreachable_reported = false;  ///< this episode already reported
     // Receiver side.
     std::uint32_t remote_epoch = 0;  // 0 = nothing seen yet
     std::uint64_t next_expected = 1;
@@ -128,6 +157,7 @@ class FifoChannel : public Endpoint {
   FifoConfig config_;
   std::map<Address, PeerState> peers_;
   ReceiveFn receive_;
+  UnreachableFn unreachable_;
   FifoStats stats_;
 };
 

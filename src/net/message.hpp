@@ -20,6 +20,33 @@ using PortId = std::uint16_t;
 /// A multicast group address (distinct namespace from unicast nodes).
 using McastId = std::uint32_t;
 
+/// Three-level message priority for the overload control plane.  Under
+/// saturation the platform sheds lowest-priority-first: awareness and
+/// media traffic is "supporting" load that must yield to the cooperative
+/// operations a session cannot function without (floor changes, shared-
+/// document updates) — the graceful-degradation stance of §4.2.2.
+enum class Priority : std::uint8_t {
+  kCore = 0,        ///< shared-document updates, floor-critical RPCs
+  kControl = 1,     ///< floor control, membership, negotiations
+  kBackground = 2,  ///< awareness events, media frames, snapshots
+};
+
+inline constexpr std::size_t kPriorityCount = 3;
+
+/// Stable short name used in metrics/traces ("core", "control",
+/// "background").
+[[nodiscard]] constexpr const char* priority_name(Priority p) noexcept {
+  switch (p) {
+    case Priority::kCore:
+      return "core";
+    case Priority::kControl:
+      return "control";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "?";
+}
+
 /// Full endpoint address: host + port.
 struct Address {
   NodeId node = 0;
@@ -61,6 +88,15 @@ struct Message {
   /// never parsed by util::Reader).  Part of the simulated 32-byte
   /// header, not charged separately to wire_size.
   std::uint32_t checksum = 0;
+  /// Absolute deadline (virtual time) after which this work is worthless,
+  /// 0 = none.  Stamped by the sending protocol layer next to the causal
+  /// context and carried as part of the simulated header: servers and the
+  /// total-order sequencer drop already-expired work on dequeue instead of
+  /// burning service time on it (counted in `rpc.expired_drops`).
+  sim::TimePoint deadline = 0;
+  /// Scheduling class of this datagram's work (see Priority).  Admission
+  /// control sheds lowest-priority-first at its watermarks.
+  Priority priority = Priority::kCore;
   /// Causal-trace header (simulated; not charged to wire_size).  Set by
   /// the sending protocol layer; the network derives per-hop children, so
   /// the context an Endpoint sees identifies the *delivery*, with the

@@ -72,6 +72,11 @@ void CriticalPath::analyze(const std::vector<TraceEvent>& events) {
     } else if (e.category == Category::kRpc &&
                std::strcmp(e.name, "handle") == 0) {
       add(PathBucket::kService, static_cast<double>(e.dur));
+    } else if (e.category == Category::kRpc &&
+               std::strcmp(e.name, "runq") == 0) {
+      // Admission-controlled servers: time spent waiting in the bounded
+      // run queue — the server-side analogue of a link serializer queue.
+      add(PathBucket::kQueue, static_cast<double>(e.dur));
     } else {
       // RPC retries and group retransmits both stamp the timeout that
       // lapsed before the resend as "waited".

@@ -26,6 +26,14 @@ void GroupInvoker::invoke(const std::vector<net::Address>& targets,
       break;
   }
 
+  // Propagate the group deadline into each member call so it rides the
+  // message headers: servers drop the work once it is pointless instead
+  // of servicing replies this invocation will never look at.  An explicit
+  // per-call deadline (already absolute) wins.
+  if (opts.deadline > 0 && opts.per_call.deadline == 0) {
+    opts.per_call.deadline = rpc_.simulator().now() + opts.deadline;
+  }
+
   if (opts.deadline > 0) {
     call.deadline_timer = rpc_.simulator().schedule_after(
         opts.deadline, [this, call_id] {
