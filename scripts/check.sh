@@ -58,6 +58,22 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r2_overload.json") \
 fi
 echo "overload soak: clean, artifact reproducible"
 
+echo "== awareness parity smoke: indexed fan-out == brute force =="
+# bench_e12's parity mode replays the same seeded workload through the
+# indexed and brute-force engines and exits non-zero if the delivery
+# sequences or stats diverge; the artifact must also reproduce.
+awareness_bin="$(pwd)/build-check/bench/bench_e12_awareness_scaling"
+(cd "${soak_a}" && run "${awareness_bin}" \
+    --benchmark_filter=Parity >/dev/null)
+(cd "${soak_b}" && run "${awareness_bin}" \
+    --benchmark_filter=Parity >/dev/null)
+if ! diff <(grep -v wall_ms "${soak_a}/BENCH_e12_awareness.json") \
+          <(grep -v wall_ms "${soak_b}/BENCH_e12_awareness.json"); then
+  echo "awareness parity artifact is not reproducible across identical runs" >&2
+  exit 1
+fi
+echo "awareness parity: deliveries identical, artifact reproducible"
+
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
   exit 0
@@ -71,5 +87,8 @@ asan_bench="$(pwd)/build-asan/bench/bench_r1_chaos"
 (cd "${soak_a}" && run "${asan_bench}" >/dev/null)
 asan_overload="$(pwd)/build-asan/bench/bench_r2_overload"
 (cd "${soak_a}" && run "${asan_overload}" >/dev/null)
+asan_awareness="$(pwd)/build-asan/bench/bench_e12_awareness_scaling"
+(cd "${soak_a}" && run "${asan_awareness}" --benchmark_filter=Parity \
+    >/dev/null)
 
 echo "== all checks passed =="

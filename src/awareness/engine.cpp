@@ -5,23 +5,100 @@
 
 namespace coop::awareness {
 
+namespace {
+
+// Distinguishes multiple engines sharing one registry (e.g. one per
+// site).  Construction order is deterministic under the simulator, so
+// ids are stable across runs.
+std::uint64_t next_engine_id() {
+  static std::uint64_t id = 0;
+  return id++;
+}
+
+}  // namespace
+
 AwarenessEngine::AwarenessEngine(sim::Simulator& sim, SpatialModel& space,
-                                 EngineConfig config)
+                                 EngineConfig config, obs::Obs* obs)
     : sim_(sim),
       space_(space),
       config_(config),
       digest_timer_(sim, config.digest_period, [this] { flush_digests(); }) {
+  if (obs == nullptr) obs = obs::default_obs();
+  if (obs == nullptr) {
+    owned_obs_ = std::make_unique<obs::Obs>();
+    obs = owned_obs_.get();
+  }
+  obs_ = obs;
+  metric_prefix_ = "awareness." + std::to_string(next_engine_id()) + ".";
+  auto& m = obs_->metrics;
+  m.expose(metric_prefix_ + "published",
+           [this] { return static_cast<double>(stats_.published); });
+  m.expose(metric_prefix_ + "immediate",
+           [this] { return static_cast<double>(stats_.immediate); });
+  m.expose(metric_prefix_ + "digested",
+           [this] { return static_cast<double>(stats_.digested); });
+  m.expose(metric_prefix_ + "coalesced",
+           [this] { return static_cast<double>(stats_.coalesced); });
+  m.expose(metric_prefix_ + "suppressed",
+           [this] { return static_cast<double>(stats_.suppressed); });
+  m.expose(metric_prefix_ + "digests_dropped",
+           [this] { return static_cast<double>(stats_.digests_dropped); });
+  m.expose(metric_prefix_ + "interest_evicted",
+           [this] { return static_cast<double>(stats_.interest_evicted); });
+  m.expose(metric_prefix_ + "interest_table_size",
+           [this] { return static_cast<double>(last_touch_.size()); });
+  m.expose(metric_prefix_ + "candidate_set_size",
+           [this] { return static_cast<double>(last_candidate_set_); });
+  m.expose(metric_prefix_ + "observers",
+           [this] { return static_cast<double>(observers_.size()); });
+  // Publish cost = observers examined per publish; the e12 sweep reads
+  // its quantiles to show sub-linear growth.  Owned so the distribution
+  // survives engine teardown in bench artifacts.
+  publish_cost_ = &m.histogram(metric_prefix_ + "publish_cost", 0.0, 4096.0,
+                               64);
   digest_timer_.start();
 }
 
-AwarenessEngine::~AwarenessEngine() { digest_timer_.stop(); }
+AwarenessEngine::~AwarenessEngine() {
+  digest_timer_.stop();
+  obs_->metrics.retire_polled(metric_prefix_);
+}
 
 void AwarenessEngine::subscribe(ClientId observer, DeliverFn fn) {
+  if (dispatch_depth_ > 0) {
+    // Applied after the running dispatch; an observer unsubscribed earlier
+    // in this same dispatch stays squelched until then.
+    deferred_.emplace_back(observer, std::move(fn));
+    return;
+  }
   observers_[observer].deliver = std::move(fn);
 }
 
 void AwarenessEngine::unsubscribe(ClientId observer) {
-  observers_.erase(observer);
+  if (dispatch_depth_ > 0) {
+    deferred_.emplace_back(observer, DeliverFn{});
+    dead_.insert(observer);
+    return;
+  }
+  auto it = observers_.find(observer);
+  if (it == observers_.end()) return;
+  stats_.digests_dropped += it->second.pending.size();
+  observers_.erase(it);
+}
+
+void AwarenessEngine::apply_deferred() {
+  for (auto& [observer, fn] : deferred_) {
+    if (fn) {
+      observers_[observer].deliver = std::move(fn);
+    } else {
+      auto it = observers_.find(observer);
+      if (it == observers_.end()) continue;
+      stats_.digests_dropped += it->second.pending.size();
+      observers_.erase(it);
+    }
+  }
+  deferred_.clear();
+  dead_.clear();
 }
 
 double AwarenessEngine::interest(ClientId observer,
@@ -43,50 +120,165 @@ double AwarenessEngine::weight(ClientId observer, ClientId actor,
   return std::clamp(spatial + temporal * (1.0 - spatial), 0.0, 1.0);
 }
 
+void AwarenessEngine::touch(ClientId who, const std::string& object) {
+  last_touch_[{who, object}] = sim_.now();
+  interest_index_[object].insert(who);
+}
+
 void AwarenessEngine::mark_interest(ClientId observer,
                                     const std::string& object) {
-  last_touch_[{observer, object}] = sim_.now();
+  touch(observer, object);
+}
+
+bool AwarenessEngine::handle(Observer& state, const ActivityEvent& event,
+                             double w) {
+  if (w <= 0.0) return false;
+  if (w >= config_.full_threshold) {
+    ++stats_.immediate;
+    stats_.notification_time.add(static_cast<double>(sim_.now() - event.at));
+    if (state.deliver) state.deliver(event, w, /*via_digest=*/false);
+  } else {
+    auto [it, inserted] = state.pending.try_emplace(event.object, event, w);
+    if (!inserted) {
+      ++stats_.coalesced;
+      // Latest event wins *with its own weight*: delivering a newer event
+      // stamped with an older event's higher weight misled observers
+      // about what just happened (the old coalescing kept max(weight)).
+      it->second = {event, w};
+    }
+  }
+  return true;
 }
 
 void AwarenessEngine::publish(const ActivityEvent& event) {
   ++stats_.published;
   // The action itself refreshes the actor's interest in the object.
-  last_touch_[{event.actor, event.object}] = sim_.now();
+  touch(event.actor, event.object);
 
-  for (auto& [observer, state] : observers_) {
-    if (observer == event.actor) continue;
-    const double w = weight(observer, event.actor, event.object);
-    if (w <= 0.0) {
-      ++stats_.suppressed;
-      continue;
+  const std::uint64_t immediate_before = stats_.immediate;
+  std::size_t handled = 0;
+  std::size_t visited = 0;
+  ++dispatch_depth_;
+  if (config_.use_index) {
+    // Candidate set: grid neighbours inside the actor's nimbus ∪ ids with
+    // live interest in the object.  Everyone else provably weighs 0.
+    // Scratch vectors are moved out so a reentrant publish from a
+    // delivery callback grabs fresh (empty) ones instead of clobbering
+    // this walk.
+    std::vector<ClientId> candidates = std::move(candidate_scratch_);
+    candidates.clear();
+    space_.spatial_candidates(event.actor, candidates);
+    if (auto iit = interest_index_.find(event.object);
+        iit != interest_index_.end()) {
+      std::vector<ClientId> merged = std::move(merge_scratch_);
+      merged.clear();
+      std::set_union(candidates.begin(), candidates.end(),
+                     iit->second.begin(), iit->second.end(),
+                     std::back_inserter(merged));
+      candidates.swap(merged);
+      merge_scratch_ = std::move(merged);
     }
-    if (w >= config_.full_threshold) {
-      ++stats_.immediate;
-      stats_.notification_time.add(
-          static_cast<double>(sim_.now() - event.at));
-      if (state.deliver) state.deliver(event, w, /*via_digest=*/false);
-    } else {
-      auto [it, inserted] = state.pending.try_emplace(event.object,
-                                                      event, w);
-      if (!inserted) {
-        ++stats_.coalesced;
-        it->second = {event, std::max(w, it->second.second)};
-      }
+    for (ClientId observer : candidates) {
+      if (observer == event.actor || dead_.count(observer) != 0) continue;
+      auto it = observers_.find(observer);
+      if (it == observers_.end()) continue;
+      ++visited;
+      if (handle(it->second,
+                 event, weight(observer, event.actor, event.object)))
+        ++handled;
+    }
+    // Non-candidates weigh 0 by construction; count them suppressed
+    // without visiting so stats match the brute-force walk exactly.
+    std::size_t eligible = observers_.size();
+    if (observers_.count(event.actor) != 0) --eligible;
+    for (ClientId d : dead_)
+      if (d != event.actor && observers_.count(d) != 0) --eligible;
+    stats_.suppressed += eligible - handled;
+    candidate_scratch_ = std::move(candidates);
+  } else {
+    for (auto& [observer, state] : observers_) {
+      if (observer == event.actor || dead_.count(observer) != 0) continue;
+      ++visited;
+      if (!handle(state, event, weight(observer, event.actor, event.object)))
+        ++stats_.suppressed;
+      else
+        ++handled;
     }
   }
+  --dispatch_depth_;
+  if (dispatch_depth_ == 0) apply_deferred();
+
+  last_candidate_set_ = visited;
+  publish_cost_->add(static_cast<double>(visited));
+  obs_->tracer.event(
+      sim_.now(), obs::Category::kAwareness, "awareness_publish",
+      {{"actor", static_cast<double>(event.actor)},
+       {"candidates", static_cast<double>(visited)},
+       {"handled", static_cast<double>(handled)},
+       {"immediate", static_cast<double>(stats_.immediate -
+                                         immediate_before)}});
 }
 
 void AwarenessEngine::flush_digests() {
+  const std::uint64_t digested_before = stats_.digested;
+  const std::uint64_t evicted_before = stats_.interest_evicted;
+  std::uint64_t dropped = 0;
+  ++dispatch_depth_;
   for (auto& [observer, state] : observers_) {
-    if (state.pending.empty()) continue;
+    if (state.pending.empty() || dead_.count(observer) != 0) continue;
     auto pending = std::move(state.pending);
-    state.pending.clear();
+    state.pending = {};
+    std::size_t delivered = 0;
     for (auto& [object, entry] : pending) {
+      if (dead_.count(observer) != 0) {
+        // A callback earlier in this flush unsubscribed the observer:
+        // the rest of their digest dies with the subscription.
+        dropped += pending.size() - delivered;
+        break;
+      }
       ++stats_.digested;
       stats_.notification_time.add(
           static_cast<double>(sim_.now() - entry.first.at));
       if (state.deliver)
         state.deliver(entry.first, entry.second, /*via_digest=*/true);
+      ++delivered;
+    }
+  }
+  --dispatch_depth_;
+  stats_.digests_dropped += dropped;
+  if (dispatch_depth_ == 0) apply_deferred();
+  gc_interest();
+
+  if (stats_.digested != digested_before || dropped != 0 ||
+      stats_.interest_evicted != evicted_before) {
+    obs_->tracer.event(
+        sim_.now(), obs::Category::kAwareness, "awareness_flush",
+        {{"delivered", static_cast<double>(stats_.digested - digested_before)},
+         {"dropped", static_cast<double>(dropped)},
+         {"evicted",
+          static_cast<double>(stats_.interest_evicted - evicted_before)},
+         {"interest_table",
+          static_cast<double>(last_touch_.size())}});
+  }
+}
+
+void AwarenessEngine::gc_interest() {
+  const auto tau = static_cast<double>(config_.interest_decay);
+  if (tau <= 0 || config_.interest_gc_factor <= 0) return;
+  const auto horizon =
+      static_cast<sim::Duration>(tau * config_.interest_gc_factor);
+  const sim::TimePoint now = sim_.now();
+  for (auto it = last_touch_.begin(); it != last_touch_.end();) {
+    if (now - it->second > horizon) {
+      auto iit = interest_index_.find(it->first.second);
+      if (iit != interest_index_.end()) {
+        iit->second.erase(it->first.first);
+        if (iit->second.empty()) interest_index_.erase(iit);
+      }
+      it = last_touch_.erase(it);
+      ++stats_.interest_evicted;
+    } else {
+      ++it;
     }
   }
 }

@@ -16,16 +16,38 @@
 //   0 < weight < threshold    -> batched into a periodic digest; only the
 //                                latest event per object survives batching
 //   weight == 0               -> suppressed entirely
+//
+// Scale: publish() does not walk every observer.  An event can only carry
+// non-zero weight for (a) observers inside the actor's nimbus — served by
+// the SpatialModel's uniform grid — and (b) observers with a live
+// temporal-interest entry for the object — served by an inverted index
+// (object -> interested ids) maintained alongside last_touch_.  The two
+// sets are merged, sorted, and visited in ascending id order, which is
+// exactly the order a brute-force scan of the (sorted) observer map
+// visits the non-zero-weight subset, so deliveries and stats are
+// byte-identical to the O(N) walk (config.use_index = false keeps the
+// brute-force path alive as the differential baseline).
+//
+// Reentrancy contract: subscribe()/unsubscribe() may be called from
+// inside a DeliverFn.  The mutation is deferred until the dispatch that
+// is currently running completes; until then an unsubscribed observer
+// receives no further deliveries (its remaining digest entries are
+// dropped and counted in stats().digests_dropped) and a freshly
+// subscribed observer starts receiving only after the dispatch.
+// publish() and mark_interest() from inside a DeliverFn are safe.
 #pragma once
 
 #include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "awareness/spatial.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -46,6 +68,13 @@ struct EngineConfig {
   sim::Duration digest_period = sim::sec(5);
   /// e-folding time of the temporal interest term.
   sim::Duration interest_decay = sim::sec(60);
+  /// Interest entries older than this many decay constants are evicted on
+  /// the digest timer (their weight contribution, e^-10 ~ 5e-5, is far
+  /// below anything a delivery policy acts on).  <= 0 disables eviction.
+  double interest_gc_factor = 10.0;
+  /// false = brute-force all-observer walk per publish; the differential
+  /// baseline bench_e12 compares the indexed path against.
+  bool use_index = true;
 };
 
 struct EngineStats {
@@ -54,6 +83,8 @@ struct EngineStats {
   std::uint64_t digested = 0;        ///< events delivered via digests
   std::uint64_t coalesced = 0;       ///< events replaced inside a digest
   std::uint64_t suppressed = 0;      ///< weight-zero drops
+  std::uint64_t digests_dropped = 0; ///< pending entries lost to unsubscribe
+  std::uint64_t interest_evicted = 0;  ///< last-touch entries GC'd
   util::Summary notification_time;   ///< publish -> delivery, virtual µs
 };
 
@@ -67,14 +98,16 @@ class AwarenessEngine {
   using DeliverFn =
       std::function<void(const ActivityEvent&, double weight, bool via_digest)>;
 
+  /// Records into @p obs if given, else the ambient default, else a
+  /// private Obs (standalone engines in unit tests need no setup).
   AwarenessEngine(sim::Simulator& sim, SpatialModel& space,
-                  EngineConfig config = {});
+                  EngineConfig config = {}, obs::Obs* obs = nullptr);
   ~AwarenessEngine();
 
   AwarenessEngine(const AwarenessEngine&) = delete;
   AwarenessEngine& operator=(const AwarenessEngine&) = delete;
 
-  /// Registers @p observer's callback.
+  /// Registers @p observer's callback (deferred while a dispatch runs).
   void subscribe(ClientId observer, DeliverFn fn);
   void unsubscribe(ClientId observer);
 
@@ -93,6 +126,21 @@ class AwarenessEngine {
 
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
+  /// Live (ungarbage-collected) interest entries across all objects.
+  [[nodiscard]] std::size_t interest_table_size() const noexcept {
+    return last_touch_.size();
+  }
+
+  /// Observers visited by the most recent publish().
+  [[nodiscard]] std::size_t last_candidate_set() const noexcept {
+    return last_candidate_set_;
+  }
+
+  /// Metric key prefix ("awareness.<id>.") of this engine's instruments.
+  [[nodiscard]] const std::string& metric_prefix() const noexcept {
+    return metric_prefix_;
+  }
+
  private:
   struct Observer {
     DeliverFn deliver;
@@ -102,7 +150,13 @@ class AwarenessEngine {
 
   [[nodiscard]] double interest(ClientId observer,
                                 const std::string& object) const;
+  /// Refreshes (observer, object) interest and the inverted index.
+  void touch(ClientId who, const std::string& object);
+  /// Delivers or digests @p event for one observer; false if weight == 0.
+  bool handle(Observer& state, const ActivityEvent& event, double w);
   void flush_digests();
+  void gc_interest();
+  void apply_deferred();
 
   sim::Simulator& sim_;
   SpatialModel& space_;
@@ -110,8 +164,28 @@ class AwarenessEngine {
   std::map<ClientId, Observer> observers_;
   /// (observer, object) -> last time the observer acted on the object.
   std::map<std::pair<ClientId, std::string>, sim::TimePoint> last_touch_;
+  /// Inverted interest index: object -> ids with a last_touch_ entry.
+  std::map<std::string, std::set<ClientId>> interest_index_;
   sim::PeriodicTimer digest_timer_;
   EngineStats stats_;
+  std::size_t last_candidate_set_ = 0;
+
+  // --- dispatch reentrancy state ------------------------------------------
+  int dispatch_depth_ = 0;
+  /// Subscription mutations queued during dispatch; empty fn = remove.
+  std::vector<std::pair<ClientId, DeliverFn>> deferred_;
+  /// Unsubscribed during the current dispatch: squelched immediately.
+  std::set<ClientId> dead_;
+  /// Scratch storage recycled across publishes (moved out during use so
+  /// reentrant publishes never clobber an in-flight candidate walk).
+  std::vector<ClientId> candidate_scratch_;
+  std::vector<ClientId> merge_scratch_;
+
+  // --- observability ------------------------------------------------------
+  std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
+  obs::Obs* obs_;
+  std::string metric_prefix_;
+  util::Histogram* publish_cost_ = nullptr;  // owned by the registry
 };
 
 }  // namespace coop::awareness

@@ -9,6 +9,15 @@
 // position — so both parties shape how aware one is of the other.  The
 // space is an abstraction: coordinates can be a virtual room, a document's
 // section layout, or a media-space floor plan.
+//
+// Participants are mirrored into a UniformGridIndex (spatial_index.hpp),
+// updated incrementally on place/set_focus/set_nimbus/remove, so engines
+// can ask for the *candidate set* of an actor — everyone inside the
+// actor's nimbus, the exact superset of observers with non-zero spatial
+// awareness of the actor — without walking the whole space.  The grid's
+// cell size tracks the largest aura radius seen (growth rebuilds in
+// O(N); shrinking radii keep the larger cells, which stays correct and
+// avoids rebuild thrash).
 #pragma once
 
 #include <algorithm>
@@ -16,25 +25,11 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <vector>
 
-#include "ccontrol/locks.hpp"  // ClientId
+#include "awareness/spatial_index.hpp"
 
 namespace coop::awareness {
-
-using ClientId = ccontrol::ClientId;
-
-/// Position in the abstract cooperation space.
-struct Point {
-  double x = 0;
-  double y = 0;
-};
-
-/// Straight-line distance.
-[[nodiscard]] inline double distance(const Point& a, const Point& b) {
-  const double dx = a.x - b.x;
-  const double dy = a.y - b.y;
-  return std::sqrt(dx * dx + dy * dy);
-}
 
 /// Quantized awareness bands used by delivery policies.
 enum class AwarenessLevel : std::uint8_t {
@@ -55,19 +50,29 @@ class SpatialModel {
   /// Adds or moves a participant.
   void place(ClientId who, Point where) {
     participants_[who].position = where;
+    grid_.upsert(who, where);
   }
 
   /// Sets how far @p who's attention reaches.
   void set_focus(ClientId who, double radius) {
-    participants_[who].focus_radius = std::max(0.0, radius);
+    Participant& p = participants_[who];
+    p.focus_radius = std::max(0.0, radius);
+    grid_.upsert(who, p.position);  // may be a fresh default-placed entry
+    grow_cells(p.focus_radius);
   }
 
   /// Sets how far @p who's activity projects.
   void set_nimbus(ClientId who, double radius) {
-    participants_[who].nimbus_radius = std::max(0.0, radius);
+    Participant& p = participants_[who];
+    p.nimbus_radius = std::max(0.0, radius);
+    grid_.upsert(who, p.position);
+    grow_cells(p.nimbus_radius);
   }
 
-  void remove(ClientId who) { participants_.erase(who); }
+  void remove(ClientId who) {
+    participants_.erase(who);
+    grid_.erase(who);
+  }
 
   [[nodiscard]] std::optional<Point> position(ClientId who) const {
     auto it = participants_.find(who);
@@ -100,6 +105,19 @@ class SpatialModel {
     return AwarenessLevel::kNone;
   }
 
+  /// Appends, in ascending id order, every participant who could have
+  /// non-zero spatial awareness of @p actor: awareness(x, actor) > 0
+  /// requires distance(x, actor) < actor's nimbus radius, so the grid
+  /// query over that radius is an exact superset.  Unknown actors yield
+  /// nothing (their nimbus reaches nobody).
+  void spatial_candidates(ClientId actor, std::vector<ClientId>& out) const {
+    auto it = participants_.find(actor);
+    if (it == participants_.end()) return;
+    const std::size_t base = out.size();
+    grid_.query(it->second.position, it->second.nimbus_radius, actor, out);
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+  }
+
   [[nodiscard]] std::size_t participant_count() const noexcept {
     return participants_.size();
   }
@@ -109,13 +127,27 @@ class SpatialModel {
     return participants_;
   }
 
+  /// The backing index (tests and gauges).
+  [[nodiscard]] const UniformGridIndex& grid() const noexcept { return grid_; }
+
  private:
   static double falloff(double dist, double radius) {
     if (radius <= 0.0) return 0.0;
     return std::max(0.0, 1.0 - dist / radius);
   }
 
+  /// Cell size must stay >= the largest aura radius so any nimbus query
+  /// touches at most a 3x3 cell block.  Doubling amortizes rebuilds when
+  /// a session keeps nudging radii upward.
+  void grow_cells(double radius) {
+    if (radius <= grid_.cell_size()) return;
+    double next = grid_.cell_size();
+    while (next < radius) next *= 2;
+    grid_.set_cell_size(next);
+  }
+
   std::map<ClientId, Participant> participants_;
+  UniformGridIndex grid_;
 };
 
 }  // namespace coop::awareness

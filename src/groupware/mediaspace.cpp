@@ -25,8 +25,10 @@ MediaSpace::MediaSpace(sim::Simulator& sim, net::Network& net,
 
 MediaSpace::~MediaSpace() { snapshot_timer_.stop(); }
 
-void MediaSpace::add_office(ClientId who, net::NodeId node) {
+void MediaSpace::add_office(ClientId who, net::NodeId node,
+                            std::optional<awareness::Point> at) {
   offices_[who] = Office{node, DoorState::kOpen, {}};
+  if (space_ != nullptr && at.has_value()) space_->place(who, *at);
 }
 
 void MediaSpace::remove_office(ClientId who) {
@@ -53,6 +55,7 @@ void MediaSpace::remove_office(ClientId who) {
     }
   }
   portholes_subscribers_.erase(who);
+  if (space_ != nullptr) space_->remove(who);
 }
 
 void MediaSpace::set_door(ClientId who, DoorState state) {

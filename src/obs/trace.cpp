@@ -63,6 +63,8 @@ const char* category_name(Category c) noexcept {
       return "app";
     case Category::kFault:
       return "fault";
+    case Category::kAwareness:
+      return "awareness";
   }
   return "?";
 }

@@ -45,9 +45,10 @@ enum class Category : std::uint8_t {
   kStream,
   kApp,
   kFault,
+  kAwareness,
 };
 
-inline constexpr std::size_t kCategoryCount = 8;
+inline constexpr std::size_t kCategoryCount = 9;
 
 /// Stable short name used in exports ("sim", "net", ...).
 [[nodiscard]] const char* category_name(Category c) noexcept;
@@ -97,11 +98,11 @@ class Tracer {
 
   /// Per-category filter (all categories start enabled).
   void set_category_enabled(Category c, bool on) noexcept {
-    const auto bit = static_cast<std::uint8_t>(1u << static_cast<int>(c));
+    const auto bit = static_cast<std::uint16_t>(1u << static_cast<int>(c));
     if (on)
-      mask_ = static_cast<std::uint8_t>(mask_ | bit);
+      mask_ = static_cast<std::uint16_t>(mask_ | bit);
     else
-      mask_ = static_cast<std::uint8_t>(mask_ & ~bit);
+      mask_ = static_cast<std::uint16_t>(mask_ & ~bit);
   }
 
   [[nodiscard]] bool enabled(Category c) const noexcept {
@@ -204,7 +205,7 @@ class Tracer {
   std::uint64_t recorded_ = 0;
   std::uint64_t next_span_id_ = 1;
   std::array<std::uint64_t, kCategoryCount> dropped_by_cat_{};
-  std::uint8_t mask_ = 0xff;      // all categories on
+  std::uint16_t mask_ = (1u << kCategoryCount) - 1;  // all categories on
   bool master_enabled_ = true;
 };
 

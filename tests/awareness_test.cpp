@@ -1,12 +1,18 @@
-// Tests for the spatial model (focus/nimbus) and the awareness engine
-// (weighted immediate/digest/suppressed delivery).
+// Tests for the spatial model (focus/nimbus), the uniform-grid index, and
+// the awareness engine (weighted immediate/digest/suppressed delivery,
+// reentrancy contract, interest GC, and index-vs-brute-force parity).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "awareness/engine.hpp"
 #include "awareness/spatial.hpp"
+#include "awareness/spatial_index.hpp"
+#include "obs/obs.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
 namespace coop::awareness {
@@ -95,6 +101,80 @@ TEST(Spatial, RemoveErasesParticipant) {
   m.remove(kAlice);
   EXPECT_FALSE(m.position(kAlice).has_value());
   EXPECT_EQ(m.participant_count(), 0u);
+  EXPECT_EQ(m.grid().size(), 0u);
+}
+
+// ------------------------------------------------------- spatial index
+
+TEST(SpatialIndex, QueryMatchesLinearScan) {
+  // The grid must be exact under a seeded churn of inserts, moves,
+  // removals and cell-size rebuilds: every query equals the brute-force
+  // distance filter.
+  sim::Rng rng(7);
+  UniformGridIndex grid(8.0);
+  std::map<ClientId, Point> truth;
+  for (int step = 0; step < 600; ++step) {
+    const auto id = static_cast<ClientId>(rng.uniform_int(1, 60));
+    const double roll = rng.uniform();
+    if (roll < 0.70 || truth.find(id) == truth.end()) {
+      const Point p{rng.uniform(-150, 150), rng.uniform(-150, 150)};
+      grid.upsert(id, p);
+      truth[id] = p;
+    } else if (roll < 0.85) {
+      grid.erase(id);
+      truth.erase(id);
+    } else {
+      grid.set_cell_size(rng.uniform(2.0, 40.0));
+    }
+    const Point centre{rng.uniform(-150, 150), rng.uniform(-150, 150)};
+    const double radius = rng.uniform(0.0, 60.0);
+    std::vector<ClientId> got;
+    grid.query(centre, radius, /*exclude=*/id, got);
+    std::sort(got.begin(), got.end());
+    std::vector<ClientId> want;
+    for (const auto& [other, p] : truth) {
+      if (other == id) continue;
+      if (distance(p, centre) <= radius) want.push_back(other);
+    }
+    ASSERT_EQ(got, want) << "step " << step;
+  }
+}
+
+TEST(SpatialIndex, CandidatesCoverEveryNonZeroSpatialWeight) {
+  sim::Rng rng(11);
+  SpatialModel m;
+  for (ClientId id = 1; id <= 50; ++id) {
+    m.place(id, {rng.uniform(0, 300), rng.uniform(0, 300)});
+    m.set_focus(id, rng.uniform(5, 30));
+    m.set_nimbus(id, rng.uniform(5, 30));
+  }
+  for (ClientId actor = 1; actor <= 50; ++actor) {
+    std::vector<ClientId> cand;
+    m.spatial_candidates(actor, cand);
+    EXPECT_TRUE(std::is_sorted(cand.begin(), cand.end()));
+    for (ClientId obs = 1; obs <= 50; ++obs) {
+      if (obs == actor) continue;
+      if (m.awareness(obs, actor) > 0.0) {
+        EXPECT_TRUE(std::binary_search(cand.begin(), cand.end(), obs))
+            << "observer " << obs << " of actor " << actor
+            << " missing from candidate set";
+      }
+    }
+  }
+}
+
+TEST(SpatialIndex, CellSizeGrowsWithLargestAura) {
+  SpatialModel m;
+  m.place(kAlice, {0, 0});
+  const double before = m.grid().cell_size();
+  m.set_nimbus(kAlice, 500.0);
+  EXPECT_GE(m.grid().cell_size(), 500.0);
+  EXPECT_GT(m.grid().cell_size(), before);
+  // Everyone inside that huge nimbus is still found after the rebuild.
+  m.place(kBob, {400, 0});
+  std::vector<ClientId> cand;
+  m.spatial_candidates(kAlice, cand);
+  EXPECT_EQ(cand, std::vector<ClientId>{kBob});
 }
 
 // ------------------------------------------------------------ engine
@@ -233,6 +313,262 @@ TEST_F(EngineTest, WeightIsCombinedSpatialTemporal) {
   const double combined = engine.weight(kBob, kAlice, "doc");
   EXPECT_GT(combined, spatial_only);
   EXPECT_LE(combined, 1.0);
+}
+
+// ------------------------------------------------- reentrancy contract
+
+TEST_F(EngineTest, SelfUnsubscribeInsideDeliveryIsSafe) {
+  int bob_heard = 0;
+  engine.subscribe(kBob, [&](const ActivityEvent&, double, bool) {
+    ++bob_heard;
+    engine.unsubscribe(kBob);  // reentrant: must not invalidate the walk
+  });
+  engine.publish(edit(kAlice, "doc"));
+  engine.publish(edit(kAlice, "doc"));
+  EXPECT_EQ(bob_heard, 1);
+}
+
+TEST_F(EngineTest, UnsubscribingAnotherObserverMidDispatchSquelchesThem) {
+  // Bob (lower id) is visited first and pulls Carol's subscription; Carol
+  // must not hear the in-flight event, even via the digest she'd have
+  // been queued for.
+  space.place(kCarol, {2, 0});  // close enough for immediate delivery
+  engine.subscribe(kBob, [&](const ActivityEvent&, double, bool) {
+    engine.unsubscribe(kCarol);
+  });
+  engine.publish(edit(kAlice, "doc"));
+  sim.run_until(sim::sec(10));
+  EXPECT_TRUE(received[kCarol].empty());
+}
+
+TEST_F(EngineTest, SubscribeDuringDispatchTakesEffectAfterwards) {
+  constexpr ClientId kDave = 4;
+  space.place(kDave, {1, 1});
+  space.set_focus(kDave, 10);
+  space.set_nimbus(kDave, 10);
+  engine.subscribe(kBob, [&](const ActivityEvent& e, double w, bool d) {
+    received[kBob].push_back({e, w, d});
+    engine.subscribe(kDave, [&](const ActivityEvent& e2, double w2, bool d2) {
+      received[kDave].push_back({e2, w2, d2});
+    });
+  });
+  engine.publish(edit(kAlice, "doc"));
+  EXPECT_TRUE(received[kDave].empty());  // not part of the running dispatch
+  engine.publish(edit(kAlice, "doc"));
+  EXPECT_EQ(received[kDave].size(), 1u);
+}
+
+TEST_F(EngineTest, MidFlushUnsubscribeDropsRemainingDigestsAndCounts) {
+  // Bob and Carol both hold two-object digests; Bob's first digest
+  // delivery unsubscribes Carol, so her entries are dropped, not
+  // delivered to a dead callback.
+  space.place(kBob, {7.5, 0});  // weight 0.0625: digest band
+  engine.subscribe(kBob, [&](const ActivityEvent& e, double w, bool d) {
+    received[kBob].push_back({e, w, d});
+    engine.unsubscribe(kCarol);
+  });
+  engine.publish(edit(kAlice, "doc/a"));
+  engine.publish(edit(kAlice, "doc/b"));
+  sim.run_until(sim::sec(6));
+  EXPECT_EQ(received[kBob].size(), 2u);
+  EXPECT_TRUE(received[kCarol].empty());
+  EXPECT_EQ(engine.stats().digests_dropped, 2u);
+  EXPECT_EQ(engine.stats().digested, 2u);  // Bob's only
+}
+
+// ------------------------------------------------- interest GC + revival
+
+class GcEngineTest : public ::testing::Test {
+ protected:
+  GcEngineTest()
+      : engine(sim, space,
+               {.full_threshold = 0.4,
+                .digest_period = sim::sec(5),
+                .interest_decay = sim::sec(10),
+                .interest_gc_factor = 10.0}) {
+    space.place(kAlice, {0, 0});
+    space.set_focus(kAlice, 10);
+    space.set_nimbus(kAlice, 10);
+    space.place(kCarol, {1000, 1000});  // never in spatial range
+    space.set_focus(kCarol, 10);
+    space.set_nimbus(kCarol, 10);
+    engine.subscribe(kCarol, [this](const ActivityEvent& e, double w,
+                                    bool d) {
+      carol.push_back({e, w, d});
+    });
+  }
+
+  sim::Simulator sim;
+  SpatialModel space;
+  AwarenessEngine engine;
+  std::vector<Received> carol;
+};
+
+TEST_F(GcEngineTest, StaleInterestEntriesAreEvictedOnTheDigestTimer) {
+  engine.mark_interest(kCarol, "doc/sec1");
+  EXPECT_EQ(engine.interest_table_size(), 1u);
+  sim.run_until(sim::sec(120));  // horizon = 10 tau = 100 s
+  EXPECT_EQ(engine.interest_table_size(), 0u);
+  EXPECT_EQ(engine.stats().interest_evicted, 1u);
+  // With the entry gone the event is suppressed outright, not digested.
+  engine.publish({kAlice, "doc/sec1", "edit", sim.now()});
+  sim.run_until(sim::sec(130));
+  EXPECT_TRUE(carol.empty());
+  EXPECT_GE(engine.stats().suppressed, 1u);
+}
+
+TEST_F(GcEngineTest, MarkInterestAfterEvictionRevivesDelivery) {
+  engine.mark_interest(kCarol, "doc/sec1");
+  sim.run_until(sim::sec(120));
+  ASSERT_EQ(engine.interest_table_size(), 0u);
+  engine.mark_interest(kCarol, "doc/sec1");  // re-opens the document
+  engine.publish({kAlice, "doc/sec1", "edit", sim.now()});
+  ASSERT_EQ(carol.size(), 1u);
+  EXPECT_FALSE(carol[0].via_digest);
+  EXPECT_GE(carol[0].weight, 0.9);
+}
+
+// ------------------------------------------------- digest coalescing
+
+TEST_F(EngineTest, CoalescedDigestCarriesTheLatestEventsOwnWeight) {
+  // First event lands while Alice is near-ish Carol (weight 0.36 at
+  // distance 4 of her replaced position); the second after Alice moved
+  // away (weight 0.04).  The digest must deliver the *second* event with
+  // the second event's weight — not a hybrid of new event + old weight.
+  space.place(kCarol, {4, 0});
+  engine.publish({kAlice, "doc/sec1", "first", sim.now()});
+  space.place(kAlice, {-4, 0});  // distance 8 from Carol: weight 0.04
+  engine.publish({kAlice, "doc/sec1", "second", sim.now()});
+  sim.run_until(sim::sec(6));
+  ASSERT_EQ(received[kCarol].size(), 1u);
+  EXPECT_EQ(received[kCarol][0].event.verb, "second");
+  EXPECT_NEAR(received[kCarol][0].weight, 0.04, 1e-9);
+  EXPECT_EQ(engine.stats().coalesced, 1u);
+}
+
+// ------------------------------------------------- observability wiring
+
+TEST(EngineObs, MetricsAndTraceAreRecorded) {
+  obs::Obs obs;
+  sim::Simulator sim;
+  SpatialModel space;
+  AwarenessEngine engine(sim, space, {}, &obs);
+  space.place(kAlice, {0, 0});
+  space.place(kBob, {1, 0});
+  engine.subscribe(kBob, [](const ActivityEvent&, double, bool) {});
+  engine.publish({kAlice, "doc", "edit", sim.now()});
+  const std::string& p = engine.metric_prefix();
+  EXPECT_EQ(obs.metrics.value(p + "published"), 1.0);
+  EXPECT_EQ(obs.metrics.value(p + "immediate"), 1.0);
+  EXPECT_EQ(obs.metrics.value(p + "observers"), 1.0);
+  EXPECT_EQ(obs.metrics.value(p + "interest_table_size"), 1.0);
+  EXPECT_EQ(obs.metrics.value(p + "candidate_set_size"), 1.0);
+  EXPECT_TRUE(obs.metrics.contains(p + "publish_cost"));
+  bool saw_publish_event = false;
+  for (const auto& e : obs.tracer.snapshot()) {
+    if (e.category == obs::Category::kAwareness &&
+        std::string(e.name) == "awareness_publish")
+      saw_publish_event = true;
+  }
+  EXPECT_TRUE(saw_publish_event);
+}
+
+// ------------------------------------------------- index parity
+
+namespace {
+
+/// Records one engine's deliveries as exact, order-sensitive lines.
+struct DeliveryLog {
+  std::vector<std::string> lines;
+
+  AwarenessEngine::DeliverFn tap(sim::Simulator& sim, ClientId observer) {
+    return [this, &sim, observer](const ActivityEvent& e, double w, bool d) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "t=%lld obs=%llu act=%llu o=%s w=%a d=%d",
+                    static_cast<long long>(sim.now()),
+                    static_cast<unsigned long long>(observer),
+                    static_cast<unsigned long long>(e.actor),
+                    e.object.c_str(), w, d ? 1 : 0);
+      lines.emplace_back(buf);
+    };
+  }
+};
+
+void expect_stats_equal(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.published, b.published);
+  EXPECT_EQ(a.immediate, b.immediate);
+  EXPECT_EQ(a.digested, b.digested);
+  EXPECT_EQ(a.coalesced, b.coalesced);
+  EXPECT_EQ(a.suppressed, b.suppressed);
+  EXPECT_EQ(a.digests_dropped, b.digests_dropped);
+  EXPECT_EQ(a.interest_evicted, b.interest_evicted);
+  EXPECT_EQ(a.notification_time.count(), b.notification_time.count());
+}
+
+}  // namespace
+
+TEST(EngineParity, IndexedEngineMatchesBruteForceExactly) {
+  // Same seed, same spatial churn, same publishes: the indexed engine
+  // must produce the identical delivery sequence (observer, time, event,
+  // weight, path) and identical stats as the brute-force walk.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    sim::Simulator sim;
+    SpatialModel space;
+    EngineConfig base{.full_threshold = 0.4,
+                      .digest_period = sim::sec(5),
+                      .interest_decay = sim::sec(30),
+                      .interest_gc_factor = 10.0};
+    EngineConfig brute_cfg = base;
+    brute_cfg.use_index = false;
+    AwarenessEngine indexed(sim, space, base);
+    AwarenessEngine brute(sim, space, brute_cfg);
+
+    constexpr int kParticipants = 40;
+    sim::Rng rng(seed);
+    DeliveryLog log_indexed, log_brute;
+    for (ClientId id = 1; id <= kParticipants; ++id) {
+      space.place(id, {rng.uniform(0, 250), rng.uniform(0, 250)});
+      space.set_focus(id, rng.uniform(5, 30));
+      space.set_nimbus(id, rng.uniform(5, 30));
+      indexed.subscribe(id, log_indexed.tap(sim, id));
+      brute.subscribe(id, log_brute.tap(sim, id));
+    }
+
+    for (int step = 0; step < 400; ++step) {
+      const auto id = static_cast<ClientId>(
+          rng.uniform_int(1, kParticipants));
+      const double roll = rng.uniform();
+      if (roll < 0.5) {
+        // Random walk: drift within the space.
+        if (auto at = space.position(id)) {
+          space.place(id, {at->x + rng.uniform(-15, 15),
+                           at->y + rng.uniform(-15, 15)});
+        }
+      } else if (roll < 0.9) {
+        // Edit storm: bursts against a small hot set of objects.
+        const std::string object =
+            "doc/" + std::to_string(rng.uniform_int(0, 12));
+        const int burst = static_cast<int>(rng.uniform_int(1, 4));
+        for (int b = 0; b < burst; ++b) {
+          const ActivityEvent e{id, object, "edit", sim.now()};
+          indexed.publish(e);
+          brute.publish(e);
+        }
+      } else if (roll < 0.95) {
+        const std::string object =
+            "doc/" + std::to_string(rng.uniform_int(0, 12));
+        indexed.mark_interest(id, object);
+        brute.mark_interest(id, object);
+      } else {
+        sim.run_for(sim::sec(static_cast<sim::Duration>(
+            rng.uniform_int(1, 7))));
+      }
+    }
+    sim.run_for(sim::sec(10));  // final digest flushes
+
+    EXPECT_EQ(log_indexed.lines, log_brute.lines) << "seed " << seed;
+    expect_stats_equal(indexed.stats(), brute.stats());
+  }
 }
 
 }  // namespace
