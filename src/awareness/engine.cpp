@@ -68,7 +68,7 @@ void AwarenessEngine::subscribe(ClientId observer, DeliverFn fn) {
   if (dispatch_depth_ > 0) {
     // Applied after the running dispatch; an observer unsubscribed earlier
     // in this same dispatch stays squelched until then.
-    deferred_.emplace_back(observer, std::move(fn));
+    deferred_.emplace_back(observer, std::optional<DeliverFn>(std::move(fn)));
     return;
   }
   observers_[observer].deliver = std::move(fn);
@@ -76,7 +76,7 @@ void AwarenessEngine::subscribe(ClientId observer, DeliverFn fn) {
 
 void AwarenessEngine::unsubscribe(ClientId observer) {
   if (dispatch_depth_ > 0) {
-    deferred_.emplace_back(observer, DeliverFn{});
+    deferred_.emplace_back(observer, std::nullopt);
     dead_.insert(observer);
     return;
   }
@@ -88,8 +88,8 @@ void AwarenessEngine::unsubscribe(ClientId observer) {
 
 void AwarenessEngine::apply_deferred() {
   for (auto& [observer, fn] : deferred_) {
-    if (fn) {
-      observers_[observer].deliver = std::move(fn);
+    if (fn.has_value()) {
+      observers_[observer].deliver = std::move(*fn);
     } else {
       auto it = observers_.find(observer);
       if (it == observers_.end()) continue;
@@ -178,22 +178,42 @@ void AwarenessEngine::publish(const ActivityEvent& event) {
       candidates.swap(merged);
       merge_scratch_ = std::move(merged);
     }
+    // Observers already dead when this walk starts (unsubscribed by an
+    // enclosing dispatch) were never eligible; observers that die *during*
+    // the walk need the visited record below to be settled correctly.
+    const std::set<ClientId> dead_at_entry = dead_;
+    std::vector<ClientId> visited_ids = std::move(visited_scratch_);
+    visited_ids.clear();  // stays ascending: candidates are sorted
     for (ClientId observer : candidates) {
       if (observer == event.actor || dead_.count(observer) != 0) continue;
       auto it = observers_.find(observer);
       if (it == observers_.end()) continue;
       ++visited;
+      visited_ids.push_back(observer);
       if (handle(it->second,
                  event, weight(observer, event.actor, event.object)))
         ++handled;
     }
     // Non-candidates weigh 0 by construction; count them suppressed
     // without visiting so stats match the brute-force walk exactly.
+    // Observers unsubscribed mid-walk split two ways, mirroring the
+    // brute-force scan over the same ascending-id order: one already
+    // visited keeps whatever stat its visit earned (subtracting it again
+    // made `eligible - handled` wrap below zero), one not yet visited is
+    // skipped with no stat at all.
     std::size_t eligible = observers_.size();
     if (observers_.count(event.actor) != 0) --eligible;
-    for (ClientId d : dead_)
+    for (ClientId d : dead_at_entry)
       if (d != event.actor && observers_.count(d) != 0) --eligible;
-    stats_.suppressed += eligible - handled;
+    std::size_t dead_unvisited = 0;
+    for (ClientId d : dead_) {
+      if (d == event.actor || dead_at_entry.count(d) != 0) continue;
+      if (observers_.count(d) == 0) continue;
+      if (!std::binary_search(visited_ids.begin(), visited_ids.end(), d))
+        ++dead_unvisited;
+    }
+    stats_.suppressed += eligible - handled - dead_unvisited;
+    visited_scratch_ = std::move(visited_ids);
     candidate_scratch_ = std::move(candidates);
   } else {
     for (auto& [observer, state] : observers_) {

@@ -42,6 +42,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -172,14 +173,17 @@ class AwarenessEngine {
 
   // --- dispatch reentrancy state ------------------------------------------
   int dispatch_depth_ = 0;
-  /// Subscription mutations queued during dispatch; empty fn = remove.
-  std::vector<std::pair<ClientId, DeliverFn>> deferred_;
+  /// Subscription mutations queued during dispatch.  An engaged optional
+  /// (re)registers the callback — even an empty one, matching the
+  /// non-deferred subscribe(); nullopt removes the observer.
+  std::vector<std::pair<ClientId, std::optional<DeliverFn>>> deferred_;
   /// Unsubscribed during the current dispatch: squelched immediately.
   std::set<ClientId> dead_;
   /// Scratch storage recycled across publishes (moved out during use so
   /// reentrant publishes never clobber an in-flight candidate walk).
   std::vector<ClientId> candidate_scratch_;
   std::vector<ClientId> merge_scratch_;
+  std::vector<ClientId> visited_scratch_;
 
   // --- observability ------------------------------------------------------
   std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied

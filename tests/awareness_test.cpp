@@ -316,8 +316,52 @@ TEST_F(EngineTest, WeightIsCombinedSpatialTemporal) {
 }
 
 // ------------------------------------------------- reentrancy contract
+//
+// Parameterised over use_index so the deferred-mutation machinery *and*
+// the suppressed-counter arithmetic are exercised on both publish paths
+// (the indexed path once underflowed `eligible - handled` when a
+// delivered observer unsubscribed in the same dispatch, which delivery
+// counts alone never caught).
 
-TEST_F(EngineTest, SelfUnsubscribeInsideDeliveryIsSafe) {
+class ReentrancyTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ReentrancyTest()
+      : engine(sim, space, {.full_threshold = 0.4,
+                            .digest_period = sim::sec(5),
+                            .interest_decay = sim::sec(60),
+                            .use_index = GetParam()}) {
+    space.place(kAlice, {0, 0});
+    space.place(kBob, {1, 0});
+    space.place(kCarol, {9, 0});
+    for (ClientId c : {kAlice, kBob, kCarol}) {
+      space.set_focus(c, 10);
+      space.set_nimbus(c, 10);
+    }
+    for (ClientId c : {kAlice, kBob, kCarol}) {
+      engine.subscribe(c, [this, c](const ActivityEvent& e, double w,
+                                    bool digest) {
+        received[c].push_back({e, w, digest});
+      });
+    }
+  }
+
+  ActivityEvent edit(ClientId actor, const std::string& object) {
+    return {actor, object, "edit", sim.now()};
+  }
+
+  sim::Simulator sim;
+  SpatialModel space;
+  AwarenessEngine engine;
+  std::map<ClientId, std::vector<Received>> received;
+};
+
+INSTANTIATE_TEST_SUITE_P(BothPublishPaths, ReentrancyTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Indexed" : "BruteForce";
+                         });
+
+TEST_P(ReentrancyTest, SelfUnsubscribeInsideDeliveryIsSafe) {
   int bob_heard = 0;
   engine.subscribe(kBob, [&](const ActivityEvent&, double, bool) {
     ++bob_heard;
@@ -326,9 +370,37 @@ TEST_F(EngineTest, SelfUnsubscribeInsideDeliveryIsSafe) {
   engine.publish(edit(kAlice, "doc"));
   engine.publish(edit(kAlice, "doc"));
   EXPECT_EQ(bob_heard, 1);
+  // Bob was delivered to before unsubscribing, so he must not be counted
+  // suppressed; Carol (digest band) is handled both times.  Nothing in
+  // either publish weighs zero.
+  EXPECT_EQ(engine.stats().immediate, 1u);
+  EXPECT_EQ(engine.stats().suppressed, 0u);
+  EXPECT_EQ(engine.stats().digests_dropped, 0u);
 }
 
-TEST_F(EngineTest, UnsubscribingAnotherObserverMidDispatchSquelchesThem) {
+TEST_P(ReentrancyTest, SelfUnsubscribeCountsUnrelatedSuppressionExactly) {
+  // Dave sits far outside every aura with no interest: each publish must
+  // suppress exactly him — no more (Bob's mid-dispatch unsubscribe must
+  // not be double-subtracted) and no fewer.
+  constexpr ClientId kDave = 4;
+  space.place(kDave, {1000, 1000});
+  space.set_focus(kDave, 10);
+  space.set_nimbus(kDave, 10);
+  engine.subscribe(kDave, [&](const ActivityEvent& e, double w, bool d) {
+    received[kDave].push_back({e, w, d});
+  });
+  engine.subscribe(kBob, [&](const ActivityEvent&, double, bool) {
+    engine.unsubscribe(kBob);
+  });
+  engine.publish(edit(kAlice, "doc"));
+  engine.publish(edit(kAlice, "doc"));
+  EXPECT_TRUE(received[kDave].empty());
+  EXPECT_EQ(engine.stats().immediate, 1u);   // Bob, first publish only
+  EXPECT_EQ(engine.stats().suppressed, 2u);  // Dave, once per publish
+  EXPECT_EQ(engine.stats().digests_dropped, 0u);
+}
+
+TEST_P(ReentrancyTest, UnsubscribingAnotherObserverMidDispatchSquelchesThem) {
   // Bob (lower id) is visited first and pulls Carol's subscription; Carol
   // must not hear the in-flight event, even via the digest she'd have
   // been queued for.
@@ -339,9 +411,14 @@ TEST_F(EngineTest, UnsubscribingAnotherObserverMidDispatchSquelchesThem) {
   engine.publish(edit(kAlice, "doc"));
   sim.run_until(sim::sec(10));
   EXPECT_TRUE(received[kCarol].empty());
+  // Carol died before her visit: skipped with no stat, exactly as the
+  // brute-force walk skips a dead observer.
+  EXPECT_EQ(engine.stats().immediate, 1u);  // Bob only
+  EXPECT_EQ(engine.stats().suppressed, 0u);
+  EXPECT_EQ(engine.stats().digests_dropped, 0u);
 }
 
-TEST_F(EngineTest, SubscribeDuringDispatchTakesEffectAfterwards) {
+TEST_P(ReentrancyTest, SubscribeDuringDispatchTakesEffectAfterwards) {
   constexpr ClientId kDave = 4;
   space.place(kDave, {1, 1});
   space.set_focus(kDave, 10);
@@ -358,7 +435,21 @@ TEST_F(EngineTest, SubscribeDuringDispatchTakesEffectAfterwards) {
   EXPECT_EQ(received[kDave].size(), 1u);
 }
 
-TEST_F(EngineTest, MidFlushUnsubscribeDropsRemainingDigestsAndCounts) {
+TEST_P(ReentrancyTest, SubscribeWithEmptyCallbackDuringDispatchRegisters) {
+  // Re-subscribing Carol with an empty callback mid-dispatch must mean
+  // what it means outside a dispatch — register her with no deliverer —
+  // not be mistaken for an unsubscribe tombstone that drops her digests.
+  engine.subscribe(kBob, [&](const ActivityEvent&, double, bool) {
+    engine.subscribe(kCarol, AwarenessEngine::DeliverFn{});
+  });
+  engine.publish(edit(kAlice, "doc"));  // Carol (digest band) queues one
+  sim.run_until(sim::sec(6));
+  EXPECT_EQ(engine.stats().digests_dropped, 0u);
+  EXPECT_EQ(engine.stats().digested, 1u);  // counted, callback-less
+  EXPECT_TRUE(received[kCarol].empty());
+}
+
+TEST_P(ReentrancyTest, MidFlushUnsubscribeDropsRemainingDigestsAndCounts) {
   // Bob and Carol both hold two-object digests; Bob's first digest
   // delivery unsubscribes Carol, so her entries are dropped, not
   // delivered to a dead callback.
@@ -374,6 +465,7 @@ TEST_F(EngineTest, MidFlushUnsubscribeDropsRemainingDigestsAndCounts) {
   EXPECT_TRUE(received[kCarol].empty());
   EXPECT_EQ(engine.stats().digests_dropped, 2u);
   EXPECT_EQ(engine.stats().digested, 2u);  // Bob's only
+  EXPECT_EQ(engine.stats().suppressed, 0u);
 }
 
 // ------------------------------------------------- interest GC + revival
