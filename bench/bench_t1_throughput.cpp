@@ -1,0 +1,424 @@
+// T1 — wall-clock throughput of the hot message path.
+//
+// Every other bench in this suite reports *virtual-time* quality metrics
+// (latencies, miss rates, fairness).  T1 measures the one thing those hide:
+// how many kernel events and simulated datagrams the platform pushes
+// through per wall-clock second.  That number caps experiment scale — E12
+// tops out near 10k participants not because the model breaks but because
+// the host runs out of patience — so it is tracked as a first-class,
+// regression-guarded metric (scripts/bench_t1_gate.sh).
+//
+// Three drivers, shaped after the experiments that stress each hot path:
+//
+//   group     (E8 shape)  — reliable FIFO multicast storm: fan-out copies,
+//                           ack implosion, retransmit timers.
+//   rpc       (R2 shape)  — unicast request/response against a serial,
+//                           admission-controlled server: the steady-state
+//                           two-datagram round trip.
+//   awareness (E12 shape) — thousands of tiny timer events (heartbeats,
+//                           digest flushes) around an indexed awareness
+//                           engine: pure kernel scheduling pressure.
+//
+// Each driver is a pure function of its seed in virtual time: it folds an
+// FNV-1a hash over its delivery sequence and final counters.  The hashes
+// land in the BENCH artifact knobs, so the artifact diff (and the recorded
+// baseline in bench/baselines/) catches any change to simulated behaviour;
+// only the wall-clock figures may move.  A fixed CPU-bound calibration loop
+// is timed alongside the drivers so the regression gate can compare
+// machine-normalized throughput rather than raw events/sec.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awareness/engine.hpp"
+#include "awareness/spatial.hpp"
+#include "core/coop.hpp"
+
+using namespace coop;
+
+namespace {
+
+// --- outcome bookkeeping ---------------------------------------------------
+
+struct Outcome {
+  std::uint64_t hash = 1469598103934665603ULL;  ///< FNV-1a offset basis
+  std::uint64_t kernel_events = 0;   ///< sim events executed by the driver
+  std::uint64_t messages = 0;        ///< datagrams transmitted
+  std::uint64_t deliveries = 0;      ///< application-level deliveries
+  std::int64_t sim_span_us = 0;      ///< virtual time the driver covered
+  double wall_s = 0;                 ///< wall-clock seconds (nondeterministic)
+};
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 1099511628211ULL;
+  }
+}
+
+char hex_digit(std::uint64_t v) {
+  return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+}
+
+std::string hex64(std::uint64_t v) {
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i, v >>= 4)
+    s[static_cast<std::size_t>(i)] = hex_digit(v & 0xf);
+  return s;
+}
+
+struct DriverReport {
+  const char* name = nullptr;
+  Outcome out;
+};
+
+DriverReport g_reports[3];
+double g_calib_mhps = 0;  ///< calibration: FNV MB hashed per wall second
+
+// --- drivers ---------------------------------------------------------------
+
+/// E8 shape: a 16-member reliable FIFO group, every member broadcasting in
+/// lockstep rounds.  Each broadcast fans out to 15 copies, each delivery
+/// acks back — the multicast payload-sharing path and the retransmit
+/// machinery under full load.
+Outcome run_group_storm(std::uint64_t seed) {
+  constexpr int kMembers = 16;
+  constexpr int kRounds = 400;
+  Platform p(seed);
+  sim::Simulator& sim = p.simulator();
+
+  std::vector<net::Address> addrs;
+  for (int i = 0; i < kMembers; ++i)
+    addrs.push_back({static_cast<net::NodeId>(i + 1), 9});
+
+  groups::ChannelConfig cfg;
+  cfg.ordering = groups::Ordering::kFifo;
+  Outcome out;
+  std::vector<std::unique_ptr<groups::GroupChannel>> chans;
+  for (int i = 0; i < kMembers; ++i) {
+    chans.push_back(std::make_unique<groups::GroupChannel>(
+        p.network(), addrs[static_cast<std::size_t>(i)], /*group=*/77, cfg));
+    chans.back()->on_deliver([&out, &sim, i](const groups::Delivery& d) {
+      ++out.deliveries;
+      fnv_mix(out.hash, static_cast<std::uint64_t>(i));
+      fnv_mix(out.hash, static_cast<std::uint64_t>(d.sender));
+      fnv_mix(out.hash, d.seq);
+      fnv_mix(out.hash, static_cast<std::uint64_t>(sim.now()));
+      fnv_mix(out.hash, net::frame_checksum(d.payload));
+    });
+  }
+  for (auto& ch : chans) ch->set_members(addrs);
+
+  // The ambient registry aggregates across drivers in this process, so
+  // message totals are deltas from here.
+  const std::uint64_t sent0 = p.network().stats().sent;
+  for (int r = 0; r < kRounds; ++r) {
+    sim.schedule_at(sim::msec(2) * r, [&chans, r] {
+      for (std::size_t m = 0; m < chans.size(); ++m) {
+        chans[m]->broadcast("update/" + std::to_string(r) + "/" +
+                            std::to_string(m) + "/payload-body-64-bytes");
+      }
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  out.kernel_events = sim.events_processed();
+  out.messages = p.network().stats().sent - sent0;
+  out.sim_span_us = sim.now();
+  for (const auto& ch : chans) {
+    fnv_mix(out.hash, ch->stats().delivered);
+    fnv_mix(out.hash, ch->stats().retransmits);
+  }
+  fnv_mix(out.hash, p.network().stats().delivered);
+  fnv_mix(out.hash, static_cast<std::uint64_t>(sim.now()));
+  fnv_mix(out.hash, out.kernel_events);
+  return out;
+}
+
+/// R2 shape: eight clients hammering one serial, admission-controlled
+/// server with small echo calls — the steady-state unicast round trip
+/// (request out, reply back, timers armed and cancelled per call).
+Outcome run_rpc_storm(std::uint64_t seed) {
+  constexpr int kClients = 8;
+  constexpr int kCallsPerClient = 2000;
+  Platform p(seed);
+  sim::Simulator& sim = p.simulator();
+
+  rpc::RpcServer server(p.network(), {1, 1});
+  server.set_processing_time(sim::usec(50));
+  server.set_admission(rpc::AdmissionConfig{});
+  server.register_method("echo", [](const std::string& b) {
+    return rpc::HandlerResult::success(b);
+  });
+
+  Outcome out;
+  const std::uint64_t sent0 = p.network().stats().sent;
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<rpc::RpcClient>(
+        p.network(),
+        net::Address{static_cast<net::NodeId>(c + 2), 7}));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    rpc::RpcClient* cl = clients[static_cast<std::size_t>(c)].get();
+    for (int k = 0; k < kCallsPerClient; ++k) {
+      sim.schedule_at(sim::usec(500) * k + sim::usec(60) * c,
+                      [cl, &out, &sim, c, k] {
+                        cl->call({1, 1}, "echo",
+                                 "req/" + std::to_string(c) + "/" +
+                                     std::to_string(k),
+                                 [&out, &sim](const rpc::RpcResult& r) {
+                                   ++out.deliveries;
+                                   fnv_mix(out.hash,
+                                           static_cast<std::uint64_t>(
+                                               r.status));
+                                   fnv_mix(out.hash,
+                                           static_cast<std::uint64_t>(
+                                               sim.now()));
+                                   fnv_mix(out.hash,
+                                           static_cast<std::uint64_t>(r.rtt));
+                                 });
+                      });
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run();
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  out.kernel_events = sim.events_processed();
+  out.messages = p.network().stats().sent - sent0;
+  out.sim_span_us = sim.now();
+  fnv_mix(out.hash, server.requests_handled());
+  fnv_mix(out.hash, server.shed_total());
+  fnv_mix(out.hash, p.network().stats().delivered);
+  fnv_mix(out.hash, static_cast<std::uint64_t>(sim.now()));
+  fnv_mix(out.hash, out.kernel_events);
+  return out;
+}
+
+/// E12 shape: an indexed awareness engine under a publish storm, plus one
+/// 2 ms heartbeat timer per participant — more than a million tiny kernel
+/// events whose callbacks do almost nothing, isolating the cost of
+/// scheduling itself (callable storage, live-set upkeep, queue churn).
+Outcome run_awareness_churn(std::uint64_t seed) {
+  constexpr int kParticipants = 2000;
+  constexpr int kPublishes = 6000;
+  sim::Simulator sim(seed);
+  awareness::SpatialModel space;
+  awareness::EngineConfig cfg;
+  cfg.digest_period = sim::msec(50);
+  awareness::AwarenessEngine engine(sim, space, cfg, obs::default_obs());
+
+  Outcome out;
+  const double world = 450.0;
+  sim::Rng place_rng(seed * 1000003ULL);
+  for (awareness::ClientId id = 1; id <= kParticipants; ++id) {
+    space.place(id, {place_rng.uniform(0, world), place_rng.uniform(0, world)});
+    space.set_focus(id, 12.0);
+    space.set_nimbus(id, 12.0);
+    engine.subscribe(id, [&out, &sim, id](const awareness::ActivityEvent& e,
+                                          double w, bool digest) {
+      ++out.deliveries;
+      fnv_mix(out.hash, static_cast<std::uint64_t>(id));
+      fnv_mix(out.hash, static_cast<std::uint64_t>(sim.now()));
+      fnv_mix(out.hash, static_cast<std::uint64_t>(e.actor));
+      std::uint64_t bits;
+      std::memcpy(&bits, &w, sizeof(bits));
+      fnv_mix(out.hash, bits);
+      fnv_mix(out.hash, digest ? 1 : 0);
+    });
+  }
+
+  // Heartbeats: the kernel-pressure component.  Each tick folds its id
+  // into the hash so cross-timer ordering is part of the contract.
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> beats;
+  for (int i = 0; i < kParticipants; ++i) {
+    beats.push_back(std::make_unique<sim::PeriodicTimer>(
+        sim, sim::msec(2), [&out, i] {
+          fnv_mix(out.hash, static_cast<std::uint64_t>(i) * 2654435761ULL);
+        }));
+    beats.back()->start(sim::usec(i));
+  }
+
+  constexpr int kHotObjects = kParticipants / 8;
+  for (int n = 0; n < kPublishes; ++n) {
+    sim.schedule_at(sim::usec(250) * n, [&engine, &space, &sim, n] {
+      sim::Rng& rng = sim.rng();
+      const auto actor = static_cast<awareness::ClientId>(
+          rng.uniform_int(1, kParticipants));
+      if (auto at = space.position(actor)) {
+        space.place(actor, {at->x + rng.uniform(-5, 5),
+                            at->y + rng.uniform(-5, 5)});
+      }
+      engine.publish({actor,
+                      "doc/" + std::to_string(rng.uniform_int(
+                                   0, kHotObjects - 1)),
+                      "edit", sim.now()});
+      (void)n;
+    });
+  }
+  const sim::TimePoint horizon = sim::usec(250) * kPublishes + sim::msec(100);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // run_until, not run(): the engine's digest flush timer re-arms forever,
+  // so the awareness world never quiesces on its own.
+  sim.run_until(horizon);
+  for (auto& b : beats) b->stop();
+  sim.run_until(horizon + sim::msec(200));
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  out.kernel_events = sim.events_processed();
+  out.messages = 0;
+  out.sim_span_us = sim.now();
+  fnv_mix(out.hash, engine.stats().published);
+  fnv_mix(out.hash, out.deliveries);
+  fnv_mix(out.hash, static_cast<std::uint64_t>(sim.now()));
+  fnv_mix(out.hash, out.kernel_events);
+  return out;
+}
+
+/// Fixed CPU-bound work (FNV over 64 MiB), timed: a machine-speed score so
+/// the regression gate compares events/sec *per unit of host speed* and a
+/// slower CI box does not read as a platform regression.
+double run_calibration() {
+  std::vector<std::uint8_t> buf(1 << 20);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int pass = 0; pass < 64; ++pass) {
+    for (const std::uint8_t b : buf) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  benchmark::DoNotOptimize(h);
+  return 64.0 / secs;  // MiB hashed per second
+}
+
+// --- registration ----------------------------------------------------------
+
+void report(benchmark::State& state, const Outcome& out) {
+  state.counters["events_per_sec"] =
+      static_cast<double>(out.kernel_events) / out.wall_s;
+  state.counters["messages_per_sec"] =
+      static_cast<double>(out.messages) / out.wall_s;
+  state.counters["deliveries"] = static_cast<double>(out.deliveries);
+  state.counters["kernel_events"] = static_cast<double>(out.kernel_events);
+}
+
+void BM_T1_Group(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_group_storm(/*seed=*/101);
+  g_reports[0] = {"group", out};
+  report(state, out);
+}
+
+void BM_T1_Rpc(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_rpc_storm(/*seed=*/102);
+  g_reports[1] = {"rpc", out};
+  report(state, out);
+}
+
+void BM_T1_Awareness(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_awareness_churn(/*seed=*/103);
+  g_reports[2] = {"awareness", out};
+  report(state, out);
+}
+
+BENCHMARK(BM_T1_Group)->Iterations(1);
+BENCHMARK(BM_T1_Rpc)->Iterations(1);
+BENCHMARK(BM_T1_Awareness)->Iterations(1);
+
+/// Machine-readable report for scripts/bench_t1_gate.sh.  Wall-clock
+/// figures are nondeterministic by nature, so they live here rather than
+/// in the BENCH artifact (which must stay byte-stable modulo wall_ms).
+bool write_t1_report(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"calibration_mbps\": %.1f,\n", g_calib_mhps);
+  std::fprintf(f, "  \"drivers\": {\n");
+  for (int i = 0; i < 3; ++i) {
+    const DriverReport& r = g_reports[i];
+    const double eps = static_cast<double>(r.out.kernel_events) / r.out.wall_s;
+    const double mps = static_cast<double>(r.out.messages) / r.out.wall_s;
+    std::fprintf(f,
+                 "    \"%s\": {\"hash\": \"%s\", \"kernel_events\": %llu, "
+                 "\"messages\": %llu, \"deliveries\": %llu, "
+                 "\"sim_span_us\": %lld, \"wall_s\": %.6f, "
+                 "\"events_per_sec\": %.0f, \"messages_per_sec\": %.0f, "
+                 "\"events_per_sec_normalized\": %.3f}%s\n",
+                 r.name, hex64(r.out.hash).c_str(),
+                 static_cast<unsigned long long>(r.out.kernel_events),
+                 static_cast<unsigned long long>(r.out.messages),
+                 static_cast<unsigned long long>(r.out.deliveries),
+                 static_cast<long long>(r.out.sim_span_us), r.out.wall_s, eps,
+                 mps, eps / g_calib_mhps, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+// COOP_BENCH_MAIN with two additions: the calibration loop, and the
+// T1_report.json dump the regression gate consumes.  The deterministic
+// outcome hashes are also copied into the artifact knobs so the recorded
+// artifact baseline pins simulated behaviour.
+int main(int argc, char** argv) {
+  coop::obs::Obs obs;
+  coop::obs::ScopedDefaultObs ambient(&obs);
+  obs.meta.knobs["tag"] = "t1_throughput";
+  obs.meta.knobs["trace_cap"] = std::to_string(obs.tracer.capacity());
+  if (const char* cap = std::getenv("COOP_TRACE_CAP"))
+    obs.meta.knobs["COOP_TRACE_CAP"] = cap;
+  {
+    std::string args;
+    for (int i = 1; i < argc; ++i) {
+      if (i > 1) args += ' ';
+      args += argv[i];
+    }
+    if (!args.empty()) obs.meta.knobs["argv"] = args;
+  }
+  const auto wall_start = std::chrono::steady_clock::now();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  g_calib_mhps = run_calibration();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  obs.meta.wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - wall_start)
+                         .count();
+  for (const auto& r : g_reports) {
+    if (r.name != nullptr)
+      obs.meta.knobs[std::string("t1.") + r.name + ".hash"] =
+          hex64(r.out.hash);
+  }
+  if (!coop::obs::write_bench_artifacts(obs, "t1_throughput")) {
+    std::fprintf(stderr, "warning: failed to write BENCH_t1_throughput.*\n");
+  }
+  if (!write_t1_report("T1_report.json")) {
+    std::fprintf(stderr, "warning: failed to write T1_report.json\n");
+    return 2;
+  }
+  return 0;
+}

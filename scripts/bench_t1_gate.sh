@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# T1 throughput regression gate.
+#
+# Runs bench_t1_throughput and enforces two invariants against the
+# recorded baseline (bench/baselines/t1_baseline.json):
+#
+#   1. Simulated behaviour is IDENTICAL: each driver's outcome hash (an
+#      FNV-1a fold over its delivery sequence and final counters) must
+#      equal the baseline hash exactly.  Any mismatch means a change
+#      altered virtual-time behaviour, which is never acceptable from a
+#      performance patch.
+#   2. Wall-clock throughput has not regressed: each driver's
+#      machine-normalized events/sec (events/sec divided by the run's own
+#      CPU calibration score, making slow CI boxes comparable to fast
+#      dev machines) must stay >= MIN_RATIO (default 0.8) of baseline.
+#
+# Usage:
+#   scripts/bench_t1_gate.sh [--record] [build-dir]
+#
+#   --record   re-record the baseline from the current build instead of
+#              gating (use after an intentional, reviewed change to the
+#              drivers or to simulated behaviour).
+#   build-dir  tree containing bench/bench_t1_throughput (default: build)
+#
+# Environment: MIN_RATIO overrides the normalized-throughput floor.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RECORD=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "${arg}" in
+    --record) RECORD=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+BASELINE="bench/baselines/t1_baseline.json"
+BIN="$(pwd)/${BUILD_DIR}/bench/bench_t1_throughput"
+MIN_RATIO="${MIN_RATIO:-0.8}"
+
+if [[ ! -x "${BIN}" ]]; then
+  echo "bench_t1_gate: ${BIN} not built" >&2
+  exit 2
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+(cd "${workdir}" && "${BIN}" >/dev/null)
+
+if [[ "${RECORD}" == "1" ]]; then
+  cp "${workdir}/T1_report.json" "${BASELINE}"
+  echo "bench_t1_gate: baseline re-recorded at ${BASELINE}"
+  exit 0
+fi
+
+if [[ ! -f "${BASELINE}" ]]; then
+  echo "bench_t1_gate: no baseline at ${BASELINE}; run with --record" >&2
+  exit 2
+fi
+
+python3 - "${workdir}/T1_report.json" "${BASELINE}" "${MIN_RATIO}" <<'EOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+base = json.load(open(sys.argv[2]))
+min_ratio = float(sys.argv[3])
+
+calib = report["calibration_mbps"]
+base_calib = base["calibration_mbps"]
+failed = False
+print(f"bench_t1_gate: calibration {calib:.1f} MB/s "
+      f"(baseline machine {base_calib:.1f} MB/s)")
+for name, b in base["drivers"].items():
+    d = report["drivers"][name]
+    if d["hash"] != b["hash"]:
+        print(f"FAIL {name}: outcome hash {d['hash']} != baseline "
+              f"{b['hash']} — simulated behaviour changed")
+        failed = True
+        continue
+    norm = d["events_per_sec"] / calib
+    base_norm = b["events_per_sec"] / base_calib
+    ratio = norm / base_norm
+    status = "ok" if ratio >= min_ratio else "FAIL"
+    print(f"{status:4s} {name}: {d['events_per_sec']:.0f} ev/s "
+          f"({d['messages_per_sec']:.0f} msg/s), normalized {ratio:.2f}x "
+          f"baseline (floor {min_ratio}x)")
+    if ratio < min_ratio:
+        failed = True
+sys.exit(1 if failed else 0)
+EOF

@@ -74,6 +74,13 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_e12_awareness.json") \
 fi
 echo "awareness parity: deliveries identical, artifact reproducible"
 
+echo "== T1 throughput gate: hot-path speed + behaviour pin =="
+# bench_t1_throughput re-runs the three hot-path drivers and the gate
+# compares (a) their outcome hashes — any drift means simulated behaviour
+# changed — and (b) machine-normalized events/sec against the recorded
+# baseline (>20% regression fails).
+run scripts/bench_t1_gate.sh build-check
+
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="
   exit 0

@@ -96,7 +96,7 @@ void GroupChannel::take_over_sequencing() {
   }
 }
 
-std::string GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
+util::Buf GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
                                       std::uint64_t total_seq,
                                       sim::TimePoint sent_at,
                                       const logical::VectorClock& vc,
@@ -110,7 +110,7 @@ std::string GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
       .put(sent_at);
   vc.encode(w);
   w.put_string(payload);
-  return w.take();
+  return w.take_buf();
 }
 
 std::uint64_t GroupChannel::broadcast(std::string payload,
@@ -143,7 +143,7 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
         .put(seq)
         .put(now)
         .put_string(payload);
-    const std::string wire = w.take();
+    const util::Buf wire = w.take_buf();
 
     const std::size_t seq_slot = sequencer_slot();
     Pending p;
@@ -164,7 +164,7 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
   if (config_.ordering == Ordering::kCausal) vclock_.tick(self_index_);
   if (config_.ordering == Ordering::kTotal) total_seq = next_total_seq_++;
 
-  const std::string wire =
+  const util::Buf wire =
       encode_data(self_index_, seq, total_seq, now, vclock_, payload);
   send_data(pending_key(self_index_, seq), wire, bctx, deadline);
 
@@ -196,7 +196,7 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
   return seq;
 }
 
-void GroupChannel::send_data(std::uint64_t key, const std::string& wire,
+void GroupChannel::send_data(std::uint64_t key, const util::Buf& wire,
                              const obs::CausalContext& ctx,
                              sim::TimePoint deadline) {
   Pending p;
@@ -384,7 +384,7 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   util::Writer w;
   w.put(MsgType::kAck).put(sender).put(seq).put(
       static_cast<std::uint32_t>(self_index_));
-  net_.send({.src = self_, .dst = msg.src, .payload = w.take(),
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
              .ctx = msg.ctx});
 
   if (!is_sequencer()) return;  // stale request to a demoted sequencer
@@ -444,7 +444,7 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
                  {{"sender", static_cast<double>(sender)},
                   {"seq", static_cast<double>(seq)},
                   {"total", static_cast<double>(total_seq)}});
-    const std::string wire = encode_data(sender, seq, total_seq, req.sent_at,
+    const util::Buf wire = encode_data(sender, seq, total_seq, req.sent_at,
                                          logical::VectorClock(), req.payload);
     send_data(pending_key(sender, seq), wire, sctx, req.deadline);
     // The sequencer's own delivery happens at sequencing time, keeping it
@@ -509,7 +509,7 @@ void GroupChannel::handle_data(const net::Message& msg) {
   util::Writer w;
   w.put(MsgType::kAck).put(sender).put(seq).put(
       static_cast<std::uint32_t>(self_index_));
-  net_.send({.src = self_, .dst = msg.src, .payload = w.take(),
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
              .ctx = msg.ctx});
 
   if (!seen_[sender].insert(seq).second) {

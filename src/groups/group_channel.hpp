@@ -165,7 +165,7 @@ class GroupChannel : public net::Endpoint {
   };
 
   struct Pending {  // sender side: awaiting acks
-    std::string wire;                ///< encoded DATA, for retransmission
+    util::Buf wire;                  ///< encoded DATA, shared by resends
     std::set<std::size_t> awaiting;  ///< member slots yet to ack
     int retries = 0;
     sim::EventId timer = sim::kInvalidEvent;
@@ -180,7 +180,7 @@ class GroupChannel : public net::Endpoint {
     std::uint32_t epoch = 0;       // kTotal only: sequencing epoch
   };
 
-  void send_data(std::uint64_t seq, const std::string& wire,
+  void send_data(std::uint64_t seq, const util::Buf& wire,
                  const obs::CausalContext& ctx, sim::TimePoint deadline);
   void arm_retransmit(std::uint64_t seq);
   void handle_data(const net::Message& msg);
@@ -196,7 +196,7 @@ class GroupChannel : public net::Endpoint {
   void flush_holdback();
   void deliver_now(const Delivery& d);
 
-  std::string encode_data(std::size_t sender, std::uint64_t seq,
+  util::Buf encode_data(std::size_t sender, std::uint64_t seq,
                           std::uint64_t total_seq, sim::TimePoint sent_at,
                           const logical::VectorClock& vc,
                           const std::string& payload) const;

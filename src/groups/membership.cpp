@@ -77,7 +77,7 @@ void MembershipCoordinator::send_view(const net::Address& to) {
   w.put(kView).put(view_.id).put(
       static_cast<std::uint32_t>(view_.members.size()));
   for (const auto& m : view_.members) encode_address(w, m);
-  net_.send({.src = self_, .dst = to, .payload = w.take()});
+  net_.send({.src = self_, .dst = to, .payload = w.take_buf()});
 }
 
 void MembershipCoordinator::evict(const net::Address& member) {
@@ -201,7 +201,7 @@ MembershipMember::~MembershipMember() {
 void MembershipMember::send_simple(std::uint8_t type) {
   util::Writer w;
   w.put(type);
-  net_.send({.src = self_, .dst = coordinator_, .payload = w.take()});
+  net_.send({.src = self_, .dst = coordinator_, .payload = w.take_buf()});
 }
 
 void MembershipMember::join() {
@@ -233,7 +233,7 @@ void MembershipMember::on_message(const net::Message& msg) {
   // Ack regardless of novelty; the coordinator tracks our progress.
   util::Writer w;
   w.put(kViewAck).put(v.id);
-  net_.send({.src = self_, .dst = coordinator_, .payload = w.take()});
+  net_.send({.src = self_, .dst = coordinator_, .payload = w.take_buf()});
 
   if (!view_ || v.id > view_->id) {
     view_ = std::move(v);

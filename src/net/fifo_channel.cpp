@@ -45,8 +45,11 @@ void FifoChannel::send(const Address& peer, std::string payload) {
   }
   const std::uint64_t seq = state.next_send_seq++;
   ++stats_.sent;
-  transmit(peer, seq, payload);
-  state.unacked[seq] = std::move(payload);
+  // Encode once; the backlog keeps a reference to the same wire bytes the
+  // network is carrying, so retransmits cost no further encoding.
+  util::Buf wire = encode_frame(state.send_epoch, seq, payload);
+  net_.send({.src = self_, .dst = peer, .payload = wire});
+  state.unacked[seq] = Backlog{std::move(payload), std::move(wire)};
   if (state.timer == sim::kInvalidEvent) arm_timer(peer);
 }
 
@@ -57,18 +60,17 @@ void FifoChannel::resync(const Address& peer) {
   if (state.timer == sim::kInvalidEvent) arm_timer(peer);
 }
 
-void FifoChannel::transmit(const Address& peer, std::uint64_t seq,
-                           const std::string& payload) {
-  const PeerState& state = peer_state(peer);
+util::Buf FifoChannel::encode_frame(std::uint32_t epoch, std::uint64_t seq,
+                                    std::string_view payload) {
   util::Writer w;
-  w.put(kData).put(state.send_epoch).put(seq).put_string(payload);
-  net_.send({.src = self_, .dst = peer, .payload = w.take()});
+  w.put(kData).put(epoch).put(seq).put_string(payload);
+  return w.take_buf();
 }
 
 void FifoChannel::send_hello(const Address& peer) {
   util::Writer w;
   w.put(kHello).put(peer_state(peer).send_epoch);
-  net_.send({.src = self_, .dst = peer, .payload = w.take()});
+  net_.send({.src = self_, .dst = peer, .payload = w.take_buf()});
 }
 
 void FifoChannel::arm_timer(const Address& peer) {
@@ -120,10 +122,11 @@ void FifoChannel::arm_timer(const Address& peer) {
       return;
     }
     if (st.hello_pending) send_hello(peer);
-    // Go-back-N style: retransmit everything outstanding.
-    for (const auto& [seq, payload] : st.unacked) {
+    // Go-back-N style: retransmit everything outstanding, re-sending the
+    // original wire buffers (shared, not re-encoded).
+    for (const auto& [seq, b] : st.unacked) {
       ++stats_.retransmits;
-      transmit(peer, seq, payload);
+      net_.send({.src = self_, .dst = peer, .payload = b.wire});
     }
     arm_timer(peer);
   });
@@ -133,7 +136,7 @@ void FifoChannel::send_ack(const Address& peer, std::uint32_t epoch,
                            std::uint64_t cumulative) {
   util::Writer w;
   w.put(kAck).put(epoch).put(cumulative);
-  net_.send({.src = self_, .dst = peer, .payload = w.take()});
+  net_.send({.src = self_, .dst = peer, .payload = w.take_buf()});
 }
 
 bool FifoChannel::observe_epoch(PeerState& state, std::uint32_t epoch) {
@@ -160,8 +163,8 @@ void FifoChannel::resync_send(const Address& peer, PeerState& state) {
   ++state.send_epoch;
   std::vector<std::string> backlog;
   backlog.reserve(state.unacked.size());
-  for (auto& [seq, payload] : state.unacked) {
-    backlog.push_back(std::move(payload));
+  for (auto& [seq, b] : state.unacked) {
+    backlog.push_back(std::move(b.payload));
   }
   state.unacked.clear();
   state.next_send_seq = 1;
@@ -169,8 +172,9 @@ void FifoChannel::resync_send(const Address& peer, PeerState& state) {
   for (std::string& payload : backlog) {
     const std::uint64_t seq = state.next_send_seq++;
     ++stats_.retransmits;
-    transmit(peer, seq, payload);
-    state.unacked[seq] = std::move(payload);
+    util::Buf wire = encode_frame(state.send_epoch, seq, payload);
+    net_.send({.src = self_, .dst = peer, .payload = wire});
+    state.unacked[seq] = Backlog{std::move(payload), std::move(wire)};
   }
   if (state.timer != sim::kInvalidEvent) {
     net_.simulator().cancel(state.timer);

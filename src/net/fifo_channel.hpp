@@ -122,12 +122,21 @@ class FifoChannel : public Endpoint {
   void on_message(const Message& msg) override;
 
  private:
+  /// One unacknowledged frame.  The encoded wire Buf is shared with every
+  /// in-flight (re)transmission of the frame — retransmits re-send the
+  /// same allocation instead of re-encoding — while the raw payload is
+  /// kept for the one case that must re-encode: an epoch resync, which
+  /// renumbers the backlog under new sequence numbers.
+  struct Backlog {
+    std::string payload;
+    util::Buf wire;
+  };
+
   struct PeerState {
-    // Sender side.  `unacked` keeps raw payloads (not encoded frames) so
-    // an epoch resync can renumber and re-encode the backlog.
+    // Sender side.
     std::uint32_t send_epoch = 1;
     std::uint64_t next_send_seq = 1;
-    std::map<std::uint64_t, std::string> unacked;  // seq -> payload
+    std::map<std::uint64_t, Backlog> unacked;  // seq -> frame
     sim::EventId timer = sim::kInvalidEvent;
     int retries = 0;
     bool hello_pending = false;
@@ -140,8 +149,9 @@ class FifoChannel : public Endpoint {
   };
 
   PeerState& peer_state(const Address& peer);
-  void transmit(const Address& peer, std::uint64_t seq,
-                const std::string& payload);
+  /// Encodes one kData frame into a shareable wire buffer.
+  util::Buf encode_frame(std::uint32_t epoch, std::uint64_t seq,
+                         std::string_view payload);
   void send_hello(const Address& peer);
   void arm_timer(const Address& peer);
   void send_ack(const Address& peer, std::uint32_t epoch,

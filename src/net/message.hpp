@@ -8,6 +8,7 @@
 
 #include "obs/causal.hpp"
 #include "sim/time.hpp"
+#include "util/buf.hpp"
 
 namespace coop::net {
 
@@ -72,10 +73,16 @@ struct Address {
 /// One datagram in flight.  `payload` carries the application encoding
 /// (util::Writer output); `wire_size` is what the link-bandwidth model
 /// charges, normally payload size plus a fixed header.
+///
+/// The payload is a ref-counted immutable util::Buf: copying a Message
+/// (multicast fan-out, retransmit backlogs, replay caches) shares one
+/// payload allocation instead of deep-copying the bytes.  Buf converts
+/// implicitly from std::string/string_view and to string_view, so
+/// existing encode/decode call sites read the same.
 struct Message {
   Address src;
   Address dst;
-  std::string payload;
+  util::Buf payload;
   std::size_t wire_size = 0;
   std::uint64_t id = 0;              ///< unique per network, for tracing
   sim::TimePoint sent_at = 0;        ///< stamped by Network::send
@@ -121,6 +128,18 @@ class Endpoint {
 template <>
 struct std::hash<coop::net::Address> {
   std::size_t operator()(const coop::net::Address& a) const noexcept {
-    return (static_cast<std::size_t>(a.node) << 16) ^ a.port;
+    // Multiply-mix (murmur3 finalizer) over all 48 address bits.  The old
+    // `(node << 16) ^ port` discarded the high node bits on 32-bit size_t
+    // and kept sequential node ids in consecutive buckets — pessimal for
+    // the hot endpoints_ lookup where experiments allocate node ids
+    // densely from 0.
+    std::uint64_t k =
+        (static_cast<std::uint64_t>(a.node) << 16) | a.port;
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
   }
 };

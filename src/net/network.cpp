@@ -112,7 +112,6 @@ void Network::transmit(Message msg, bool injectable) {
 
   const NodeId from = msg.src.node;
   const NodeId to = msg.dst.node;
-  auto& state = link_states_[key(from, to)];
   obs::Tracer& tracer = obs_->tracer;
   // Each hop gets a child span of whatever the sending layer stamped, so
   // drops and deliveries hang off the protocol action that caused them.
@@ -124,7 +123,6 @@ void Network::transmit(Message msg, bool injectable) {
 
   if (is_crashed(from) || is_crashed(to) || partition_blocks(from, to)) {
     dropped_partition_->inc();
-    ++state.dropped;
     tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
                  {{"src", static_cast<double>(from)},
                   {"dst", static_cast<double>(to)}});
@@ -133,12 +131,16 @@ void Network::transmit(Message msg, bool injectable) {
   const std::optional<LinkModel> model = effective_link(from, to);
   if (!model) {
     dropped_partition_->inc();
-    ++state.dropped;
     tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
                  {{"src", static_cast<double>(from)},
                   {"dst", static_cast<double>(to)}});
     return;
   }
+  // The link-state entry is materialized only past the crash/partition
+  // checks: a frame a dead or partitioned source never put on the wire
+  // must not grow link_states_ or perturb that link's counters.  (Loss
+  // below still counts per-link — the frame did occupy the link.)
+  auto& state = link_states_[key(from, to)];
   const double loss = model->loss + disturbance_.extra_loss;
   if (loss > 0 && sim_.rng().bernoulli(loss)) {
     dropped_loss_->inc();
@@ -182,63 +184,141 @@ void Network::transmit(Message msg, bool injectable) {
   if (inject.corrupt) {
     // Flip one payload byte (or mangle the stamped checksum of an empty
     // frame) *after* the checksum was stamped: the frame now fails
-    // integrity verification at arrival.
+    // integrity verification at arrival.  mutate_byte clones shared
+    // storage first, so the sender's retransmit backlog and the other
+    // multicast legs keep the clean bytes.
     if (!msg.payload.empty()) {
       const auto pos = static_cast<std::size_t>(sim_.rng().uniform_int(
           0, static_cast<std::int64_t>(msg.payload.size()) - 1));
-      msg.payload[pos] = static_cast<char>(msg.payload[pos] ^ 0xA5);
+      msg.payload.mutate_byte(pos, 0xA5);
     } else {
       msg.checksum ^= 0xA5;
     }
   }
 
-  sim_.schedule_at(arrival, [this, queue_wait,
-                             msg = std::move(msg)]() mutable {
-    // Faults are re-checked at arrival: a crash or disconnection that
-    // happened while the datagram was in flight still loses it.
-    if (is_crashed(msg.dst.node) ||
-        connectivity(msg.dst.node) == Connectivity::kDisconnected ||
-        partition_blocks(msg.src.node, msg.dst.node)) {
-      dropped_partition_->inc();
-      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
-                         msg.ctx,
-                         {{"src", static_cast<double>(msg.src.node)},
-                          {"dst", static_cast<double>(msg.dst.node)}});
-      return;
-    }
-    // Integrity verification at the receiving NIC, before demux: a frame
-    // whose payload no longer matches its stamped checksum is dropped
-    // here — corrupt bytes never reach an Endpoint handler.
-    if (msg.checksum != frame_checksum(msg.payload)) {
-      dropped_corrupt_->inc();
-      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_corrupt",
-                         msg.ctx,
-                         {{"src", static_cast<double>(msg.src.node)},
-                          {"dst", static_cast<double>(msg.dst.node)}});
-      return;
-    }
-    auto it = endpoints_.find(msg.dst);
-    if (it == endpoints_.end()) {
-      dropped_no_endpoint_->inc();
-      obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_no_endpoint",
-                         msg.ctx,
-                         {{"dst", static_cast<double>(msg.dst.node)}});
-      return;
-    }
-    delivered_->inc();
-    // The `queue` attribute splits the hop for the critical-path
-    // analyzer: dur = queueing behind the serializer + link time.
-    if (msg.ctx.valid()) msg.ctx = msg.ctx.child(obs_->tracer.mint_id());
-    obs_->tracer.span(msg.sent_at, sim_.now(), obs::Category::kNet,
-                      "deliver", msg.ctx,
-                      {{"src", static_cast<double>(msg.src.node)},
-                       {"dst", static_cast<double>(msg.dst.node)},
-                       {"bytes", static_cast<double>(msg.wire_size)},
-                       {"queue", static_cast<double>(queue_wait)}});
-    it->second->on_message(msg);
-  });
+  schedule_delivery(arrival, std::move(msg), queue_wait);
 
   if (dup) transmit(std::move(*dup), false);
+}
+
+std::uint32_t Network::acquire_dslot(Message&& msg, sim::Duration queue_wait) {
+  if (dfree_.empty()) {
+    dslots_.push_back(DeliverySlot{std::move(msg), queue_wait, kNoSlot});
+    return static_cast<std::uint32_t>(dslots_.size() - 1);
+  }
+  const std::uint32_t slot = dfree_.back();
+  dfree_.pop_back();
+  DeliverySlot& d = dslots_[slot];
+  d.msg = std::move(msg);
+  d.queue_wait = queue_wait;
+  d.next = kNoSlot;
+  return slot;
+}
+
+Network::DeliverySlot Network::take_dslot(std::uint32_t slot) {
+  // Move out by value: the delivery handler may transmit() and grow the
+  // pool, invalidating any reference into dslots_.
+  DeliverySlot d = std::move(dslots_[slot]);
+  dslots_[slot].next = kNoSlot;
+  dfree_.push_back(slot);
+  return d;
+}
+
+void Network::schedule_delivery(sim::TimePoint arrival, Message&& msg,
+                                sim::Duration queue_wait) {
+  const std::uint64_t link = key(msg.src.node, msg.dst.node);
+  const std::uint32_t slot = acquire_dslot(std::move(msg), queue_wait);
+  if (!coalesce_) {
+    sim_.schedule_at(arrival, [this, slot] {
+      DeliverySlot d = take_dslot(slot);
+      deliver(d.msg, d.queue_wait);
+    });
+    return;
+  }
+  // Coalescing: append to the link's open batch when the arrival matches,
+  // otherwise open a new batch (superseding the old map entry; the old
+  // batch still fires from its own event).
+  auto it = open_batch_.find(link);
+  if (it != open_batch_.end() && batches_[it->second].at == arrival) {
+    Batch& b = batches_[it->second];
+    dslots_[b.tail].next = slot;
+    b.tail = slot;
+    ++coalesced_;
+    return;
+  }
+  std::uint32_t bi;
+  if (bfree_.empty()) {
+    batches_.push_back(Batch{arrival, link, slot, slot});
+    bi = static_cast<std::uint32_t>(batches_.size() - 1);
+  } else {
+    bi = bfree_.back();
+    bfree_.pop_back();
+    batches_[bi] = Batch{arrival, link, slot, slot};
+  }
+  open_batch_[link] = bi;
+  sim_.schedule_at(arrival, [this, bi] { fire_batch(bi); });
+}
+
+void Network::fire_batch(std::uint32_t batch) {
+  // Close the batch before delivering: handlers may transmit() on this
+  // link, which must open a fresh batch rather than append to a firing
+  // one (and batches_ may grow, so copy what we need out first).
+  const std::uint64_t link = batches_[batch].link;
+  std::uint32_t s = batches_[batch].head;
+  auto it = open_batch_.find(link);
+  if (it != open_batch_.end() && it->second == batch) open_batch_.erase(it);
+  bfree_.push_back(batch);
+  while (s != kNoSlot) {
+    const std::uint32_t next = dslots_[s].next;
+    DeliverySlot d = take_dslot(s);
+    deliver(d.msg, d.queue_wait);
+    s = next;
+  }
+}
+
+void Network::deliver(Message& msg, sim::Duration queue_wait) {
+  // Faults are re-checked at arrival: a crash or disconnection that
+  // happened while the datagram was in flight still loses it.
+  if (is_crashed(msg.dst.node) ||
+      connectivity(msg.dst.node) == Connectivity::kDisconnected ||
+      partition_blocks(msg.src.node, msg.dst.node)) {
+    dropped_partition_->inc();
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
+                       msg.ctx,
+                       {{"src", static_cast<double>(msg.src.node)},
+                        {"dst", static_cast<double>(msg.dst.node)}});
+    return;
+  }
+  // Integrity verification at the receiving NIC, before demux: a frame
+  // whose payload no longer matches its stamped checksum is dropped
+  // here — corrupt bytes never reach an Endpoint handler.
+  if (msg.checksum != frame_checksum(msg.payload)) {
+    dropped_corrupt_->inc();
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_corrupt",
+                       msg.ctx,
+                       {{"src", static_cast<double>(msg.src.node)},
+                        {"dst", static_cast<double>(msg.dst.node)}});
+    return;
+  }
+  auto it = endpoints_.find(msg.dst);
+  if (it == endpoints_.end()) {
+    dropped_no_endpoint_->inc();
+    obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_no_endpoint",
+                       msg.ctx,
+                       {{"dst", static_cast<double>(msg.dst.node)}});
+    return;
+  }
+  delivered_->inc();
+  // The `queue` attribute splits the hop for the critical-path
+  // analyzer: dur = queueing behind the serializer + link time.
+  if (msg.ctx.valid()) msg.ctx = msg.ctx.child(obs_->tracer.mint_id());
+  obs_->tracer.span(msg.sent_at, sim_.now(), obs::Category::kNet, "deliver",
+                    msg.ctx,
+                    {{"src", static_cast<double>(msg.src.node)},
+                     {"dst", static_cast<double>(msg.dst.node)},
+                     {"bytes", static_cast<double>(msg.wire_size)},
+                     {"queue", static_cast<double>(queue_wait)}});
+  it->second->on_message(msg);
 }
 
 }  // namespace coop::net

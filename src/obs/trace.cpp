@@ -102,7 +102,10 @@ void Tracer::record(sim::TimePoint ts, sim::Duration dur, Category c,
     if (e.attr_count >= e.attrs.size()) break;
     e.attrs[e.attr_count++] = a;
   }
-  head_ = (head_ + 1) % capacity_;
+  // Conditional wrap, not `% capacity_`: record() runs once per kernel
+  // step, and the capacity is runtime-chosen so the modulo is a real
+  // integer division on the hottest path in the tracer.
+  if (++head_ == capacity_) head_ = 0;
   if (count_ < capacity_) ++count_;
   ++recorded_;
 }

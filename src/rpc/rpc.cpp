@@ -58,7 +58,8 @@ void RpcServer::reply(const net::Address& to, std::uint64_t req_id,
                          {{"req", static_cast<double>(req_id)}});
   util::Writer w;
   w.put(kReply).put(req_id).put(status).put_string(body);
-  std::string wire = w.take();
+  // The replay cache and the outgoing datagram share one wire buffer.
+  util::Buf wire = w.take_buf();
   replay_[{to, req_id}] = wire;
   net_.send({.src = self_, .dst = to, .payload = std::move(wire),
              .ctx = handle_ctx});
@@ -69,7 +70,7 @@ void RpcServer::push_back_shed(const net::Message& msg, std::uint64_t req_id) {
   // replay-cache entry — a retry after the queue drains may be admitted.
   util::Writer w;
   w.put(kReply).put(req_id).put(Status::kRejected).put_string("");
-  net_.send({.src = self_, .dst = msg.src, .payload = w.take(),
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
              .ctx = msg.ctx});
 }
 
@@ -316,7 +317,7 @@ void RpcClient::call(const net::Address& server, const std::string& method,
   const sim::TimePoint now = net_.simulator().now();
   Outstanding o;
   o.server = server;
-  o.wire = w.take();
+  o.wire = w.take_buf();
   o.done = std::move(done);
   o.opts = opts;
   o.issued_at = now;

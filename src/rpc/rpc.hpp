@@ -217,7 +217,7 @@ class RpcServer : public net::Endpoint {
   // re-executes; clients needing exactly-once across restarts must make
   // operations idempotent (chaos invariants key recorded executions by
   // incarnation for exactly this reason).
-  std::map<std::pair<net::Address, std::uint64_t>, std::string> replay_;
+  std::map<std::pair<net::Address, std::uint64_t>, util::Buf> replay_;
   // Async requests currently executing (retries are absorbed).
   std::set<std::pair<net::Address, std::uint64_t>> in_progress_;
   // Replies delayed by processing_, cancelled on destruction so a server
@@ -298,7 +298,7 @@ class RpcClient : public net::Endpoint {
  private:
   struct Outstanding {
     net::Address server;
-    std::string wire;  ///< encoded request for retransmission
+    util::Buf wire;  ///< encoded request, shared by every retransmission
     Callback done;
     CallOptions opts;
     sim::TimePoint issued_at = 0;

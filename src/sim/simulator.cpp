@@ -1,38 +1,108 @@
 #include "sim/simulator.hpp"
 
-#include <memory>
 #include <utility>
 
 namespace coop::sim {
 
+void Simulator::heap_push(const Entry& e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop() {
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
 EventId Simulator::schedule_at(TimePoint when, EventFn fn) {
   if (when < now_) when = now_;
-  const std::uint64_t seq = next_seq_++;
-  const EventId id = seq;  // seq doubles as the handle; unique per kernel
-  queue_.push(Entry{when, seq, id, std::make_shared<EventFn>(std::move(fn))});
-  live_.insert(id);
-  return id;
+  const std::uint64_t seq = next_seq_++;  // doubles as the handle
+  heap_push(Entry{when, seq, acquire_slot(std::move(fn))});
+  live_.insert(seq);
+  if (next_seq_ >= compact_check_) maybe_compact_live();
+  return seq;
+}
+
+void Simulator::maybe_compact_live() {
+  // Drop the dead prefix of the liveness bitmap so its memory tracks the
+  // seq spread of the queue, not the total events ever scheduled.  Every
+  // id the kernel will still test is in the heap, so the minimum queued
+  // seq bounds the window from below.
+  compact_check_ = next_seq_ + kCompactInterval;
+  std::uint64_t min_seq = next_seq_;
+  for (const Entry& e : heap_) min_seq = std::min(min_seq, e.seq);
+  live_.compact(min_seq);
+}
+
+std::uint32_t Simulator::acquire_slot(EventFn&& fn) {
+  if (free_slots_.empty()) {
+    slots_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[slot] = std::move(fn);
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  slots_[slot].reset();
+  free_slots_.push_back(slot);
 }
 
 bool Simulator::cancel(EventId id) {
-  // Only genuinely pending events can be cancelled.  Erasing from the live
-  // set (rather than accumulating a tombstone) means cancelling an
-  // already-fired id is a clean no-op — the old tombstone scheme reported
-  // success for fired events and skewed pending() forever after.
-  return id != kInvalidEvent && live_.erase(id) > 0;
+  // Only genuinely pending events can be cancelled.  Clearing the
+  // liveness bit (rather than accumulating a tombstone) means cancelling
+  // an already-fired id is a clean no-op — the old tombstone scheme
+  // reported success for fired events and skewed pending() forever
+  // after.  The queue entry and its callable slot are reclaimed lazily
+  // when the entry pops.
+  if (id == kInvalidEvent) return false;
+  return live_.erase(id);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    queue_.pop();
-    // Lazy deletion: a queue entry whose id is no longer live was
-    // cancelled; discard it.
-    if (live_.erase(top.id) == 0) continue;
+  while (!heap_.empty()) {
+    const Entry top = heap_[0];
+    heap_pop();
+    // Lazy deletion: a queue entry whose liveness bit is clear was
+    // cancelled; free its slot (destroying the captures) and move on.
+    if (!live_.erase(top.seq)) {
+      release_slot(top.slot);
+      continue;
+    }
     now_ = top.when;
     ++processed_;
-    if (step_hook_) step_hook_(top.id, top.when, live_.size());
-    (*top.fn)();
+    if (step_hook_) step_hook_(top.seq, top.when, live_.size());
+    // Move the callable out and free the slot *before* invoking: the
+    // callback may schedule new events (reusing this very slot) or even
+    // re-enter run().
+    EventFn fn = std::move(slots_[top.slot]);
+    release_slot(top.slot);
+    fn();
     return true;
   }
   return false;
@@ -46,14 +116,24 @@ std::size_t Simulator::run(std::size_t max_events) {
 
 std::size_t Simulator::run_until(TimePoint t) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (live_.count(top.id) == 0) {
-      queue_.pop();  // cancelled; discard without advancing the clock
+  while (!heap_.empty()) {
+    const Entry top = heap_[0];
+    if (top.when > t) {
+      // Nothing at or before t remains: every live entry above fires
+      // later, and any cancelled residue up there can stay lazy.
+      break;
+    }
+    heap_pop();
+    if (!live_.erase(top.seq)) {  // cancelled; reclaim the slot now
+      release_slot(top.slot);
       continue;
     }
-    if (top.when > t) break;
-    step();
+    now_ = top.when;
+    ++processed_;
+    if (step_hook_) step_hook_(top.seq, top.when, live_.size());
+    EventFn fn = std::move(slots_[top.slot]);
+    release_slot(top.slot);
+    fn();
     ++n;
   }
   if (now_ < t) now_ = t;

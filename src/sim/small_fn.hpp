@@ -1,0 +1,145 @@
+// sim::SmallFn — the kernel's event callable, without the per-event heap.
+//
+// std::function plus the shared_ptr that used to wrap it cost two heap
+// allocations per scheduled event; at millions of events per second that
+// was the single largest line item on the hot path.  SmallFn stores the
+// capture inline when it fits (48 bytes covers every kernel-internal
+// lambda: the network delivery thunk captures {this, slot-index}, timers
+// capture {this}) and spills to a BlockPool block otherwise, so even the
+// overflow case recycles storage instead of hitting malloc.
+//
+// Move-only by design: the simulator owns each callable in exactly one
+// slot, moves it out to invoke, and never copies.  Moves are noexcept —
+// heap-stored callables move by pointer steal, inline ones by relocating
+// the capture — which is what lets the slot table grow with vector
+// semantics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/pool.hpp"
+
+namespace coop::sim {
+
+class SmallFn {
+ public:
+  /// Captures up to this many bytes are stored inline (no allocation).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+             std::is_invocable_r_v<void, std::decay_t<F>&>)
+  SmallFn(F&& f) {  // NOLINT
+    using D = std::decay_t<F>;
+    if constexpr (inlinable<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      heap_ = util::BlockPool::alloc(sizeof(D));
+      ::new (heap_) D(std::forward<F>(f));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(storage()); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// True when the capture lives in the inline buffer (test hook).
+  [[nodiscard]] bool inline_stored() const noexcept {
+    return ops_ != nullptr && !ops_->heap;
+  }
+
+  /// Destroys the stored callable (and returns overflow storage to the
+  /// pool); the SmallFn becomes empty.
+  void reset() noexcept {
+    if (ops_ == nullptr) return;
+    ops_->destroy(storage());
+    if (ops_->heap) util::BlockPool::free(heap_, ops_->size);
+    ops_ = nullptr;
+    heap_ = nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* src, void* dst) noexcept;  ///< inline only
+    void (*destroy)(void*) noexcept;
+    std::uint32_t size;  ///< sizeof the stored callable
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr bool inlinable =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static void do_invoke(void* p) {
+    (*static_cast<D*>(p))();
+  }
+  template <typename D>
+  static void do_relocate(void* src, void* dst) noexcept {
+    ::new (dst) D(std::move(*static_cast<D*>(src)));
+    static_cast<D*>(src)->~D();
+  }
+  template <typename D>
+  static void do_destroy(void* p) noexcept {
+    static_cast<D*>(p)->~D();
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{&do_invoke<D>, &do_relocate<D>,
+                                  &do_destroy<D>,
+                                  static_cast<std::uint32_t>(sizeof(D)), false};
+  template <typename D>
+  static constexpr Ops kHeapOps{&do_invoke<D>, nullptr, &do_destroy<D>,
+                                static_cast<std::uint32_t>(sizeof(D)), true};
+
+  void* storage() noexcept {
+    return ops_->heap ? heap_ : static_cast<void*>(buf_);
+  }
+
+  void steal(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->heap) {
+      heap_ = other.heap_;
+      other.heap_ = nullptr;
+    } else {
+      ops_->relocate(other.buf_, buf_);
+    }
+    other.ops_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace coop::sim

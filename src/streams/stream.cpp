@@ -120,7 +120,7 @@ std::string StreamBinding::encode(const Frame& f) {
   return w.take();
 }
 
-std::optional<Frame> StreamBinding::decode(const std::string& payload) {
+std::optional<Frame> StreamBinding::decode(std::string_view payload) {
   util::Reader r(payload);
   if (r.get<std::uint8_t>() != 0xF7) return std::nullopt;
   Frame f;

@@ -25,6 +25,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/network.hpp"
@@ -162,7 +163,7 @@ class StreamBinding {
   /// Serializes a frame (header only; payload bytes are simulated by
   /// wire_size).
   static std::string encode(const Frame& f);
-  static std::optional<Frame> decode(const std::string& payload);
+  static std::optional<Frame> decode(std::string_view payload);
 
  private:
   void send(const Frame& f);

@@ -1,0 +1,157 @@
+// util::Buf — a ref-counted immutable byte buffer for message payloads.
+//
+// The hot message path used to deep-copy payload strings at every hand-off:
+// multicast fan-out copied the payload once per member, FifoChannel kept a
+// second copy per unacked frame for retransmission, and the RPC replay
+// cache a third.  Buf replaces those with a single allocation shared by
+// reference count: copying a Buf bumps a counter, and the bytes live in
+// one BlockPool block together with the control header (so a payload costs
+// one pooled allocation total, and zero once the pool is warm).
+//
+// Buffers are logically immutable — everyone holding a Buf sees the same
+// bytes forever.  The one writer is fault injection (bit corruption on the
+// wire), which goes through mutate_byte(): it clones the storage first if
+// anyone else holds a reference, so corrupting one in-flight copy never
+// rewrites history for the sender's backlog or the other multicast legs.
+//
+// Interop is by std::string_view in both directions: Buf converts
+// implicitly from string-like types (one copy in) and to string_view
+// (zero copy out), which keeps `msg.payload = "hello"` and
+// `decode(msg.payload)` call sites working unchanged.
+//
+// Single-threaded by design, like the simulator that carries it: the
+// refcount is not atomic.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/pool.hpp"
+
+namespace coop::util {
+
+class Writer;
+
+class Buf {
+ public:
+  Buf() = default;
+  Buf(std::string_view s) { assign(s); }                       // NOLINT
+  Buf(const char* s) { assign(std::string_view(s)); }          // NOLINT
+  Buf(const std::string& s) { assign(std::string_view(s)); }   // NOLINT
+
+  Buf(const Buf& other) noexcept : ctrl_(other.ctrl_) {
+    if (ctrl_ != nullptr) ++ctrl_->refs;
+  }
+  Buf(Buf&& other) noexcept : ctrl_(other.ctrl_) { other.ctrl_ = nullptr; }
+  Buf& operator=(const Buf& other) noexcept {
+    if (this != &other) {
+      release();
+      ctrl_ = other.ctrl_;
+      if (ctrl_ != nullptr) ++ctrl_->refs;
+    }
+    return *this;
+  }
+  Buf& operator=(Buf&& other) noexcept {
+    if (this != &other) {
+      release();
+      ctrl_ = other.ctrl_;
+      other.ctrl_ = nullptr;
+    }
+    return *this;
+  }
+  ~Buf() { release(); }
+
+  [[nodiscard]] const char* data() const noexcept {
+    return ctrl_ != nullptr ? bytes(ctrl_) : "";
+  }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return ctrl_ != nullptr ? ctrl_->size : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::string_view view() const noexcept {
+    return {data(), size()};
+  }
+  operator std::string_view() const noexcept { return view(); }  // NOLINT
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+  char operator[](std::size_t i) const noexcept { return data()[i]; }
+
+  /// Number of Buf handles sharing this storage (0 for the empty buf).
+  [[nodiscard]] std::uint32_t refs() const noexcept {
+    return ctrl_ != nullptr ? ctrl_->refs : 0;
+  }
+
+  /// XORs the byte at @p pos with @p mask (fault injection).  Clones the
+  /// storage first when it is shared, so aliases keep the original bytes.
+  void mutate_byte(std::size_t pos, unsigned char mask) {
+    if (ctrl_ == nullptr || pos >= ctrl_->size) return;
+    if (ctrl_->refs > 1) {
+      Ctrl* clone = make(ctrl_->size);
+      clone->size = ctrl_->size;
+      std::memcpy(bytes(clone), bytes(ctrl_), ctrl_->size);
+      --ctrl_->refs;
+      ctrl_ = clone;
+    }
+    bytes(ctrl_)[pos] =
+        static_cast<char>(static_cast<unsigned char>(bytes(ctrl_)[pos]) ^ mask);
+  }
+
+  // The single string_view overload covers Buf==Buf, Buf=="lit" and
+  // Buf==std::string (each right-hand side converts); a separate
+  // (Buf, Buf) overload would make literal comparisons ambiguous.
+  friend bool operator==(const Buf& b, std::string_view s) noexcept {
+    return b.view() == s;
+  }
+
+ private:
+  friend class Writer;
+
+  /// Header living in the same pooled block as the bytes.
+  struct Ctrl {
+    std::uint32_t refs;
+    std::uint32_t size;
+    std::uint32_t cap;  ///< data capacity after the header
+    std::uint32_t pad;
+  };
+  static_assert(sizeof(Ctrl) == 16);
+  static_assert(alignof(Ctrl) <= alignof(std::max_align_t));
+
+  static char* bytes(Ctrl* c) noexcept { return reinterpret_cast<char*>(c + 1); }
+  static const char* bytes(const Ctrl* c) noexcept {
+    return reinterpret_cast<const char*>(c + 1);
+  }
+
+  /// Allocates a block for @p cap data bytes with refs=1, size=0.
+  static Ctrl* make(std::size_t cap) {
+    assert(cap <= UINT32_MAX - sizeof(Ctrl));
+    auto* c = static_cast<Ctrl*>(BlockPool::alloc(sizeof(Ctrl) + cap));
+    c->refs = 1;
+    c->size = 0;
+    c->cap = static_cast<std::uint32_t>(cap);
+    c->pad = 0;
+    return c;
+  }
+
+  void assign(std::string_view s) {
+    if (s.empty()) return;
+    ctrl_ = make(s.size());
+    ctrl_->size = static_cast<std::uint32_t>(s.size());
+    std::memcpy(bytes(ctrl_), s.data(), s.size());
+  }
+
+  void release() noexcept {
+    if (ctrl_ != nullptr && --ctrl_->refs == 0) {
+      BlockPool::free(ctrl_, sizeof(Ctrl) + ctrl_->cap);
+    }
+    ctrl_ = nullptr;
+  }
+
+  /// Adopts a finalized block (Writer::take_buf).
+  explicit Buf(Ctrl* adopted) noexcept : ctrl_(adopted) {}
+
+  Ctrl* ctrl_ = nullptr;
+};
+
+}  // namespace coop::util

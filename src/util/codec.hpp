@@ -8,15 +8,24 @@
 // Reader reports malformed input via a sticky error flag rather than
 // exceptions, so protocol code can bail out with a single check after
 // decoding a struct (the common pattern in the rpc/groups modules).
+//
+// Writer builds directly into the pooled block that will become the
+// payload Buf: take_buf() hands the finished bytes to the network layer
+// with zero copies, and the legacy take() keeps returning a std::string
+// for call sites that still want one.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <string_view>
 #include <type_traits>
 #include <vector>
+
+#include "util/buf.hpp"
+#include "util/pool.hpp"
 
 namespace coop::util {
 
@@ -24,30 +33,45 @@ namespace coop::util {
 class Writer {
  public:
   Writer() = default;
+  ~Writer() { discard(); }
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  /// Length prefixes are 32-bit on the wire; a longer string or blob
+  /// cannot be represented.  Exceeding it asserts in debug builds and
+  /// sets the sticky failed() flag in release (the value is not written
+  /// and the eventual take()/take_buf() yields an empty wire).
+  static constexpr std::size_t kMaxLength =
+      std::numeric_limits<std::uint32_t>::max();
 
   /// Appends a fixed-width integral or floating value.
   template <typename T>
     requires(std::is_arithmetic_v<T> || std::is_enum_v<T>)
   Writer& put(T value) {
     assert(!taken_ && "Writer reused after take()");
-    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
-    buf_.insert(buf_.end(), bytes, bytes + sizeof(T));
+    if (failed_) return *this;
+    ensure(sizeof(T));
+    std::memcpy(Buf::bytes(ctrl_) + size_, &value, sizeof(T));
+    size_ += sizeof(T);
     return *this;
   }
 
   /// Appends a length-prefixed string.
   Writer& put_string(std::string_view s) {
     assert(!taken_ && "Writer reused after take()");
+    if (!check_length(s.size())) return *this;
     put(static_cast<std::uint32_t>(s.size()));
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    append(s.data(), s.size());
     return *this;
   }
 
   /// Appends a length-prefixed blob.
   Writer& put_bytes(const std::vector<std::uint8_t>& b) {
     assert(!taken_ && "Writer reused after take()");
+    if (!check_length(b.size())) return *this;
     put(static_cast<std::uint32_t>(b.size()));
-    buf_.insert(buf_.end(), b.begin(), b.end());
+    append(b.data(), b.size());
     return *this;
   }
 
@@ -55,6 +79,7 @@ class Writer {
   template <typename T>
     requires(std::is_arithmetic_v<T>)
   Writer& put_vector(const std::vector<T>& v) {
+    if (!check_length(v.size())) return *this;
     put(static_cast<std::uint32_t>(v.size()));
     for (const T& x : v) put(x);
     return *this;
@@ -64,20 +89,85 @@ class Writer {
   /// reused afterwards.  Moving the storage out (rather than copying)
   /// means a stale Writer cannot silently re-serialize its old bytes —
   /// a second take() returns an empty string, and debug builds assert.
+  /// A failed() Writer yields an empty wire.
   [[nodiscard]] std::string take() {
     assert(!taken_ && "Writer::take() called twice");
     taken_ = true;
-    std::string out(buf_.begin(), buf_.end());
-    buf_.clear();
-    buf_.shrink_to_fit();
+    if (failed_ || ctrl_ == nullptr) {
+      discard();
+      return {};
+    }
+    std::string out(Buf::bytes(ctrl_), size_);
+    discard();
     return out;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  /// Finishes encoding and hands the bytes over as a shared Buf without
+  /// copying: the block the Writer filled *is* the payload storage.
+  [[nodiscard]] Buf take_buf() {
+    assert(!taken_ && "Writer::take() called twice");
+    taken_ = true;
+    if (failed_ || ctrl_ == nullptr || size_ == 0) {
+      discard();
+      return {};
+    }
+    ctrl_->size = static_cast<std::uint32_t>(size_);
+    Buf out(ctrl_);
+    ctrl_ = nullptr;
+    size_ = 0;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// True if a length-prefixed value exceeded kMaxLength; once set,
+  /// stays set and further writes are dropped.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  /// Validates a length prefix *before* any bytes are touched.
+  bool check_length(std::size_t n) {
+    assert(n <= kMaxLength &&
+           "Writer: length-prefixed value exceeds the 32-bit wire cap");
+    if (n > kMaxLength) failed_ = true;
+    return !failed_;
+  }
+
+  void append(const void* data, std::size_t n) {
+    if (failed_ || n == 0) return;
+    ensure(n);
+    std::memcpy(Buf::bytes(ctrl_) + size_, data, n);
+    size_ += n;
+  }
+
+  void ensure(std::size_t need) {
+    if (ctrl_ != nullptr && size_ + need <= ctrl_->cap) return;
+    // Capacities stay at "pool class minus header" so every growth step
+    // lands on a recyclable block size.
+    std::size_t cap =
+        ctrl_ != nullptr ? static_cast<std::size_t>(ctrl_->cap) * 2
+                         : BlockPool::kMinBlock * 2 - sizeof(Buf::Ctrl);
+    while (cap < size_ + need) cap *= 2;
+    Buf::Ctrl* grown = Buf::make(cap);
+    if (ctrl_ != nullptr) {
+      std::memcpy(Buf::bytes(grown), Buf::bytes(ctrl_), size_);
+      BlockPool::free(ctrl_, sizeof(Buf::Ctrl) + ctrl_->cap);
+    }
+    ctrl_ = grown;
+  }
+
+  void discard() noexcept {
+    if (ctrl_ != nullptr) {
+      BlockPool::free(ctrl_, sizeof(Buf::Ctrl) + ctrl_->cap);
+      ctrl_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  Buf::Ctrl* ctrl_ = nullptr;
+  std::size_t size_ = 0;
   bool taken_ = false;
+  bool failed_ = false;
 };
 
 /// Deserializes values written by Writer, in the same order.
@@ -104,10 +194,11 @@ class Reader {
     return value;
   }
 
-  /// Reads a length-prefixed string.
+  /// Reads a length-prefixed string.  The bound is checked as
+  /// `len > remaining` (never `pos_ + len`, which can wrap size_t).
   std::string get_string() {
     const auto len = get<std::uint32_t>();
-    if (failed_ || pos_ + len > data_.size()) {
+    if (failed_ || len > data_.size() - pos_) {
       failed_ = true;
       return {};
     }
@@ -119,7 +210,7 @@ class Reader {
   /// Reads a length-prefixed blob.
   std::vector<std::uint8_t> get_bytes() {
     const auto len = get<std::uint32_t>();
-    if (failed_ || pos_ + len > data_.size()) {
+    if (failed_ || len > data_.size() - pos_) {
       failed_ = true;
       return {};
     }
@@ -129,14 +220,17 @@ class Reader {
     return b;
   }
 
-  /// Reads a vector of arithmetic values written by put_vector.
+  /// Reads a vector of arithmetic values written by put_vector.  The
+  /// element count is validated against the remaining bytes by division
+  /// — `len * sizeof(T)` can wrap a 32-bit size_t and sail past an
+  /// additive check, which would then reserve() an attacker-chosen
+  /// length from a malformed frame.
   template <typename T>
     requires(std::is_arithmetic_v<T>)
   std::vector<T> get_vector() {
     const auto len = get<std::uint32_t>();
     std::vector<T> v;
-    if (failed_ || pos_ + static_cast<std::size_t>(len) * sizeof(T) >
-                       data_.size()) {
+    if (failed_ || len > (data_.size() - pos_) / sizeof(T)) {
       failed_ = true;
       return v;
     }

@@ -1,0 +1,85 @@
+// Size-classed freelist allocator for hot-path blocks.
+//
+// The simulation kernel and the network hot path allocate the same small
+// objects over and over: callable captures that spill the inline buffer,
+// payload buffers, encoder scratch.  General-purpose malloc is both the
+// dominant per-event cost and a source of wall-clock jitter, so those
+// paths draw fixed-size blocks from per-thread freelists instead: a block
+// is carved from the heap once, then recycled forever.  Steady state does
+// zero heap calls — the property the allocation-counting test in
+// tests/alloc_path_test.cpp pins down.
+//
+// Blocks are bucketed into power-of-two size classes from 64 bytes to
+// 64 KiB; larger requests (rare: jumbo payloads) pass straight through to
+// operator new.  Freelists are thread_local, so the pool needs no locks
+// and the single-threaded determinism story of the kernel is untouched.
+// Freed blocks are retained until process exit (bounded by each thread's
+// peak usage); they remain reachable through the thread-local list heads,
+// so leak checkers classify them as "still reachable", not leaked.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <new>
+
+namespace coop::util {
+
+class BlockPool {
+ public:
+  /// Smallest / largest pooled block. Requests above kMaxBlock go to the
+  /// heap directly (and are returned there by free()).
+  static constexpr std::size_t kMinBlock = 64;
+  static constexpr std::size_t kMaxBlock = 64 * 1024;
+
+  /// Returns a block of at least @p size bytes, aligned for any object.
+  [[nodiscard]] static void* alloc(std::size_t size) {
+    const int c = class_index(size);
+    if (c < 0) return ::operator new(size);
+    Lists& l = lists();
+    if (void* p = l.head[static_cast<std::size_t>(c)]) {
+      l.head[static_cast<std::size_t>(c)] = *static_cast<void**>(p);
+      return p;
+    }
+    return ::operator new(kMinBlock << c);
+  }
+
+  /// Returns a block obtained from alloc(@p size).  The size must match
+  /// the original request (same class), as with sized deallocation.
+  static void free(void* p, std::size_t size) noexcept {
+    const int c = class_index(size);
+    if (c < 0) {
+      ::operator delete(p);
+      return;
+    }
+    Lists& l = lists();
+    *static_cast<void**>(p) = l.head[static_cast<std::size_t>(c)];
+    l.head[static_cast<std::size_t>(c)] = p;
+  }
+
+  /// Capacity of the class serving @p size (test/diagnostic aid).
+  [[nodiscard]] static std::size_t class_capacity(std::size_t size) noexcept {
+    const int c = class_index(size);
+    return c < 0 ? size : kMinBlock << c;
+  }
+
+ private:
+  static constexpr int kClasses = 11;  // 64, 128, ..., 65536
+
+  struct Lists {
+    void* head[kClasses] = {};
+  };
+
+  static Lists& lists() noexcept {
+    thread_local Lists l;
+    return l;
+  }
+
+  /// Index of the smallest class holding @p size bytes; -1 if too large.
+  [[nodiscard]] static int class_index(std::size_t size) noexcept {
+    if (size > kMaxBlock) return -1;
+    if (size <= kMinBlock) return 0;
+    return std::bit_width(size - 1) - 6;  // 2^6 == kMinBlock
+  }
+};
+
+}  // namespace coop::util

@@ -21,7 +21,7 @@ class Recorder : public net::Endpoint {
  public:
   explicit Recorder(sim::Simulator& sim) : sim_(sim) {}
   void on_message(const net::Message& msg) override {
-    arrivals.push_back({msg.payload, sim_.now()});
+    arrivals.push_back({msg.payload.str(), sim_.now()});
   }
   std::vector<std::pair<std::string, sim::TimePoint>> arrivals;
 
