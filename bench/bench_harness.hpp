@@ -27,6 +27,16 @@
         std::to_string(obs.tracer.capacity());                       \
     if (const char* cap = std::getenv("COOP_TRACE_CAP"))             \
       obs.meta.knobs["COOP_TRACE_CAP"] = cap;                        \
+    if (const char* tr = std::getenv("COOP_TRACE"))                  \
+      obs.meta.knobs["COOP_TRACE"] = tr;                             \
+    if (const char* sr = std::getenv("COOP_TRACE_SAMPLE"))           \
+      obs.meta.knobs["COOP_TRACE_SAMPLE"] = sr;                      \
+    if (const char* ss = std::getenv("COOP_TRACE_SAMPLE_SEED"))      \
+      obs.meta.knobs["COOP_TRACE_SAMPLE_SEED"] = ss;                 \
+    if (const char* tw = std::getenv("COOP_TS_WINDOW_US"))           \
+      obs.meta.knobs["COOP_TS_WINDOW_US"] = tw;                      \
+    if (coop::obs::Profiler::env_enabled())                          \
+      obs.meta.knobs["COOP_PROFILE"] = "1";                          \
     {                                                                \
       std::string args;                                              \
       for (int i = 1; i < argc; ++i) {                               \

@@ -42,9 +42,12 @@ constexpr const char* kScenarioNames[] = {"crash_restart", "partition_heal",
                                           "corruption_storm"};
 
 std::uint64_t g_total_violations = 0;
+std::uint64_t g_slo_violations = 0;
 
 struct RunOutcome {
   std::vector<std::string> violations;
+  std::vector<std::string> slo_violations;
+  std::uint64_t slo_transitions = 0;
   std::vector<sim::Duration> recovery;
   std::uint64_t ops_acked = 0;
   std::uint64_t injected_corrupt = 0;
@@ -54,6 +57,27 @@ struct RunOutcome {
 
 RunOutcome run_chaos(int scenario, std::uint64_t seed) {
   obs::Obs local;  // per-run sink so trace mining never crosses runs
+  // Health objectives for the chaos window.  Outages legitimately stall
+  // acks, so the breach budgets cover the ~2.4 s fault horizon (24
+  // 100 ms windows) plus retry drain — what strict mode checks is that
+  // the stall is bounded and the run ends healthy, i.e. it *recovered*.
+  local.slo.add_rule({.name = "ack_rate_floor",
+                      .series = "rpc.ok",
+                      .kind = obs::SloRule::Kind::kRateFloor,
+                      .threshold = 5.0,  // acks/sec; nominal is ~27/s
+                      .trip_windows = 2,
+                      .recover_windows = 1,
+                      .active_from = sim::msec(200),
+                      .active_until = sim::msec(2900),
+                      .allowed_breach_windows = 30});
+  local.slo.add_rule({.name = "rpc_rtt_p99",
+                      .series = "rpc.latency_us",
+                      .kind = obs::SloRule::Kind::kP99Ceiling,
+                      .threshold = 400000.0,  // 400 ms: 100 ms timeout x
+                                              // retries + backoff
+                      .trip_windows = 2,
+                      .recover_windows = 2,
+                      .allowed_breach_windows = 30});
   Platform platform(seed, &local);
   auto& sim = platform.simulator();
   auto& net = platform.network();
@@ -276,6 +300,9 @@ RunOutcome run_chaos(int scenario, std::uint64_t seed) {
   inv.check_corruption_contained(net.stats(), plan.injected().corrupt_frames);
 
   out.violations = inv.violations();
+  local.series.finish();  // seal the tail window before the verdict
+  out.slo_violations = local.slo.violation_messages();
+  out.slo_transitions = local.slo.transitions_total();
   out.recovery = fault::recovery_latencies(local.tracer.snapshot());
   out.injected_corrupt = plan.injected().corrupt_frames;
   out.dropped_corrupt = net.stats().dropped_corrupt;
@@ -307,6 +334,19 @@ void BM_ChaosSoak(benchmark::State& state) {
     g_total_violations += out.violations.size();
     for (const std::string& v : out.violations) {
       std::fprintf(stderr, "[%s seed %llu] INVARIANT VIOLATION: %s\n",
+                   kScenarioNames[scenario],
+                   static_cast<unsigned long long>(seed), v.c_str());
+    }
+  }
+  // Health-trajectory evidence: how often objectives flipped under this
+  // scenario, and whether any overspent its breach budget.
+  ambient.metrics.counter("fault.slo_transitions").inc(out.slo_transitions);
+  if (!out.slo_violations.empty()) {
+    ambient.metrics.counter("fault.slo_violations")
+        .inc(out.slo_violations.size());
+    g_slo_violations += out.slo_violations.size();
+    for (const std::string& v : out.slo_violations) {
+      std::fprintf(stderr, "[%s seed %llu] SLO VIOLATION: %s\n",
                    kScenarioNames[scenario],
                    static_cast<unsigned long long>(seed), v.c_str());
     }
@@ -357,6 +397,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "chaos soak FAILED: %llu invariant violation(s)\n",
                  static_cast<unsigned long long>(g_total_violations));
     return 2;
+  }
+  // Opt-in SLO-checked soak: breach budgets already tolerate the fault
+  // horizon, so a violation here means a run failed to *recover*.
+  if (g_slo_violations > 0 && std::getenv("COOP_SLO_STRICT") != nullptr) {
+    std::fprintf(stderr, "chaos soak FAILED: %llu SLO violation(s)\n",
+                 static_cast<unsigned long long>(g_slo_violations));
+    return 3;
   }
   return 0;
 }

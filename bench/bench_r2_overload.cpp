@@ -249,8 +249,10 @@ BENCHMARK(BM_OverloadSweep)
 
 }  // namespace
 
-// COOP_BENCH_MAIN with one addition: a non-zero exit code when any run
-// violated an invariant, so CI fails on the soak itself, not on a diff.
+// COOP_BENCH_MAIN with two additions: a non-zero exit code when any run
+// violated an invariant (so CI fails on the soak itself, not on a diff),
+// and an SLO watchdog over the representative traced run — with
+// COOP_SLO_STRICT set, an overspent objective also fails the soak.
 int main(int argc, char** argv) {
   coop::obs::Obs obs;
   coop::obs::ScopedDefaultObs ambient(&obs);
@@ -258,6 +260,42 @@ int main(int argc, char** argv) {
   obs.meta.knobs["trace_cap"] = std::to_string(obs.tracer.capacity());
   if (const char* cap = std::getenv("COOP_TRACE_CAP"))
     obs.meta.knobs["COOP_TRACE_CAP"] = cap;
+  // Objectives for the representative enabled x4 run (the only one that
+  // feeds the ambient timeseries).  Bounds skip warm-up and the drain
+  // tail, where a goodput floor would fire on intentional silence.
+  obs.slo.add_rule({.name = "core_rtt_p99",
+                    .series = "rpc.latency_us",
+                    .kind = obs::SloRule::Kind::kP99Ceiling,
+                    .threshold = 120000.0,  // 120 ms, vs the 100 ms budget
+                    .trip_windows = 2,
+                    .recover_windows = 2,
+                    .active_until = kTrafficWindow,
+                    .allowed_breach_windows = 2});
+  obs.slo.add_rule({.name = "goodput_floor",
+                    .series = "rpc.ok",
+                    .kind = obs::SloRule::Kind::kRateFloor,
+                    .threshold = 100.0,  // acks/sec; core alone offers 250/s
+                    .trip_windows = 2,
+                    .recover_windows = 1,
+                    .active_from = sim::msec(200),
+                    .active_until = kTrafficWindow - sim::msec(200),
+                    .allowed_breach_windows = 1});
+  obs.slo.add_rule({.name = "net_drop_ceiling",
+                    .series = "net.dropped",
+                    .kind = obs::SloRule::Kind::kRateCeiling,
+                    .threshold = 50.0,  // clean LAN: the wire drops nothing
+                    .allowed_breach_windows = 0});
+  // Pressure indicator, not a pass/fail gate: sustained shedding above
+  // 500/s marks the overload plateau.  At x4 the plateau is ~1400/s for
+  // the whole 2 s traffic window, so this rule trips at the first window
+  // and recovers when arrivals stop — the health trajectory in the
+  // artifact shows the overload as a (breach, recover) transition pair.
+  // The budget covers the plateau; what must hold is ending healthy.
+  obs.slo.add_rule({.name = "shed_pressure",
+                    .series = "rpc.shed",
+                    .kind = obs::SloRule::Kind::kRateCeiling,
+                    .threshold = 500.0,
+                    .allowed_breach_windows = 25});
   {
     std::string args;
     for (int i = 1; i < argc; ++i) {
@@ -282,6 +320,17 @@ int main(int argc, char** argv) {
                  "overload soak FAILED: %llu invariant violation(s)\n",
                  static_cast<unsigned long long>(g_total_violations));
     return 2;
+  }
+  // write_bench_artifacts() sealed the tail window, so the watchdog has
+  // seen every window.  Report always; fail only in strict mode.
+  if (obs.slo.violations() > 0) {
+    for (const std::string& msg : obs.slo.violation_messages())
+      std::fprintf(stderr, "SLO VIOLATION: %s\n", msg.c_str());
+    if (std::getenv("COOP_SLO_STRICT") != nullptr) {
+      std::fprintf(stderr, "overload soak FAILED: %zu SLO violation(s)\n",
+                   obs.slo.violations());
+      return 3;
+    }
   }
   return 0;
 }

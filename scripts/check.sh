@@ -33,13 +33,16 @@ run cmake -B build-check -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build-check -j "${JOBS}"
 run ctest --test-dir build-check --output-on-failure -j "${JOBS}"
 
-echo "== chaos soak: invariants across the seed matrix =="
+echo "== chaos soak: invariants + SLO rules across the seed matrix =="
+# COOP_SLO_STRICT=1 upgrades the soak: rules (ack-rate floor, RTT p99
+# ceiling) are evaluated per virtual-time window and any rule that
+# overspends its breach budget or never recovers fails the run.
 soak_a="$(mktemp -d)"
 soak_b="$(mktemp -d)"
 trap 'rm -rf "${soak_a}" "${soak_b}"' EXIT
 bench_bin="$(pwd)/build-check/bench/bench_r1_chaos"
-(cd "${soak_a}" && run "${bench_bin}" >/dev/null)
-(cd "${soak_b}" && run "${bench_bin}" >/dev/null)
+(cd "${soak_a}" && COOP_SLO_STRICT=1 run "${bench_bin}" >/dev/null)
+(cd "${soak_b}" && COOP_SLO_STRICT=1 run "${bench_bin}" >/dev/null)
 if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_chaos.json") \
           <(grep -v wall_ms "${soak_b}/BENCH_r1_chaos.json"); then
   echo "chaos soak artifact is not reproducible across identical runs" >&2
@@ -47,10 +50,10 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_chaos.json") \
 fi
 echo "chaos soak: clean, artifact reproducible"
 
-echo "== overload soak: goodput sweep + no-acked-shed invariant =="
+echo "== overload soak: goodput sweep + no-acked-shed + SLO rules =="
 overload_bin="$(pwd)/build-check/bench/bench_r2_overload"
-(cd "${soak_a}" && run "${overload_bin}" >/dev/null)
-(cd "${soak_b}" && run "${overload_bin}" >/dev/null)
+(cd "${soak_a}" && COOP_SLO_STRICT=1 run "${overload_bin}" >/dev/null)
+(cd "${soak_b}" && COOP_SLO_STRICT=1 run "${overload_bin}" >/dev/null)
 if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r2_overload.json") \
           <(grep -v wall_ms "${soak_b}/BENCH_r2_overload.json"); then
   echo "overload soak artifact is not reproducible across identical runs" >&2
@@ -80,6 +83,13 @@ echo "== T1 throughput gate: hot-path speed + behaviour pin =="
 # changed — and (b) machine-normalized events/sec against the recorded
 # baseline (>20% regression fails).
 run scripts/bench_t1_gate.sh build-check
+
+echo "== obs overhead gate: instrumentation must stay under 3% =="
+# Interleaved tracer-off vs sampling-off runs of the same drivers: the
+# always-on observability plane may not cost more than 3% events/sec,
+# and its outcome hashes must match the baseline's exactly.  5 reps
+# because best-of needs a few samples to escape machine noise.
+REPS="${OBS_GATE_REPS:-5}" run scripts/obs_overhead_gate.sh build-check
 
 if [[ "${SKIP_SANITIZE}" == "1" ]]; then
   echo "== sanitizer pass skipped (--skip-sanitize) =="

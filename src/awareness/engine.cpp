@@ -56,6 +56,10 @@ AwarenessEngine::AwarenessEngine(sim::Simulator& sim, SpatialModel& space,
   // survives engine teardown in bench artifacts.
   publish_cost_ = &m.histogram(metric_prefix_ + "publish_cost", 0.0, 4096.0,
                                64);
+  prof_publish_ = obs_->profiler.site("awareness.publish",
+                                      obs::Category::kAwareness);
+  prof_flush_ = obs_->profiler.site("awareness.flush",
+                                    obs::Category::kAwareness);
   digest_timer_.start();
 }
 
@@ -151,6 +155,7 @@ bool AwarenessEngine::handle(Observer& state, const ActivityEvent& event,
 }
 
 void AwarenessEngine::publish(const ActivityEvent& event) {
+  obs::ProfScope prof(obs_->profiler, prof_publish_);
   ++stats_.published;
   // The action itself refreshes the actor's interest in the object.
   touch(event.actor, event.object);
@@ -240,6 +245,7 @@ void AwarenessEngine::publish(const ActivityEvent& event) {
 }
 
 void AwarenessEngine::flush_digests() {
+  obs::ProfScope prof(obs_->profiler, prof_flush_);
   const std::uint64_t digested_before = stats_.digested;
   const std::uint64_t evicted_before = stats_.interest_evicted;
   std::uint64_t dropped = 0;

@@ -190,6 +190,9 @@ class AwarenessEngine {
   obs::Obs* obs_;
   std::string metric_prefix_;
   util::Histogram* publish_cost_ = nullptr;  // owned by the registry
+  // Wall-clock attribution of the two awareness hot paths.
+  obs::Profiler::SiteId prof_publish_;
+  obs::Profiler::SiteId prof_flush_;
 };
 
 }  // namespace coop::awareness

@@ -87,12 +87,14 @@ class Platform {
         sim_(seed),
         net_(sim_, obs_) {
     obs_->meta.note_platform(seed);
-    sim_.set_step_hook([this](sim::EventId id, sim::TimePoint when,
-                              std::size_t pending) {
-      obs_->tracer.event(when, obs::Category::kSim, "step",
-                         {{"id", static_cast<double>(id)},
-                          {"pending", static_cast<double>(pending)}});
-    });
+    // Raw fn-ptr trampolines: the step hook sits on the kernel's hottest
+    // seam, so installing it must not reintroduce a type-erased call.
+    sim_.set_step_hook(&Platform::trace_step, this);
+    if (obs_->profiler.enabled()) {
+      // Pay-for-use wall-clock attribution of every event dispatch; the
+      // kernel only reads the steady clock while this is installed.
+      sim_.set_step_timer(&Platform::profile_step, this);
+    }
   }
 
   Platform(const Platform&) = delete;
@@ -114,6 +116,18 @@ class Platform {
   std::size_t run_until(sim::TimePoint t) { return sim_.run_until(t); }
 
  private:
+  static void trace_step(void* self, sim::EventId id, sim::TimePoint when,
+                         std::size_t pending) {
+    auto* p = static_cast<Platform*>(self);
+    p->obs_->tracer.event(when, obs::Category::kSim, "step",
+                          {{"id", static_cast<double>(id)},
+                           {"pending", static_cast<double>(pending)}});
+  }
+
+  static void profile_step(void* self, std::uint64_t elapsed_ns) {
+    static_cast<Platform*>(self)->obs_->profiler.note_step(elapsed_ns);
+  }
+
   std::unique_ptr<obs::Obs> owned_obs_;  // only when no context was supplied
   obs::Obs* obs_;
   sim::Simulator sim_;

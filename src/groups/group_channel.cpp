@@ -45,6 +45,9 @@ GroupChannel::GroupChannel(net::Network& net, net::Address self,
            [this] { return static_cast<double>(stats_.stash_shed); });
   m.expose(metric_prefix_ + "expired_drops",
            [this] { return static_cast<double>(stats_.expired_drops); });
+  ts_delivered_ = net_.obs().series.series("group.delivered");
+  prof_deliver_ = net_.obs().profiler.site("group.deliver",
+                                           obs::Category::kGroup);
 }
 
 GroupChannel::~GroupChannel() {
@@ -592,13 +595,17 @@ void GroupChannel::flush_holdback() {
 
 void GroupChannel::deliver_now(const Delivery& d) {
   ++stats_.delivered;
+  net_.obs().series.count(ts_delivered_, net_.simulator().now());
   // Span covering broadcast -> application delivery, i.e. the end-to-end
   // ordering+reliability latency the experiments measure.
   net_.obs().tracer.span(d.sent_at, net_.simulator().now(),
                          obs::Category::kGroup, "deliver", d.ctx,
                          {{"sender", static_cast<double>(d.sender)},
                           {"seq", static_cast<double>(d.seq)}});
-  if (deliver_) deliver_(d);
+  if (deliver_) {
+    obs::ProfScope prof(net_.obs().profiler, prof_deliver_);
+    deliver_(d);
+  }
 }
 
 }  // namespace coop::groups

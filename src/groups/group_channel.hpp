@@ -241,6 +241,10 @@ class GroupChannel : public net::Endpoint {
   // polled views under metric_prefix_ (retired/frozen in the destructor).
   ChannelStats stats_;
   std::string metric_prefix_;
+  // Observability plane: windowed delivery rate and the wall-clock cost
+  // of the application delivery callback.
+  obs::Timeseries::SeriesId ts_delivered_;
+  obs::Profiler::SiteId prof_deliver_;
 };
 
 }  // namespace coop::groups

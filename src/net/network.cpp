@@ -19,6 +19,9 @@ Network::Network(sim::Simulator& sim, obs::Obs* obs) : sim_(sim) {
   dropped_no_endpoint_ = &m.counter("net.dropped_no_endpoint");
   dropped_corrupt_ = &m.counter("net.dropped_corrupt");
   bytes_sent_ = &m.counter("net.bytes_sent");
+  ts_delivered_ = obs_->series.series("net.delivered");
+  ts_dropped_ = obs_->series.series("net.dropped");
+  prof_deliver_ = obs_->profiler.site("net.deliver", obs::Category::kNet);
 }
 
 void Network::restart(NodeId node) {
@@ -123,6 +126,7 @@ void Network::transmit(Message msg, bool injectable) {
 
   if (is_crashed(from) || is_crashed(to) || partition_blocks(from, to)) {
     dropped_partition_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
                  {{"src", static_cast<double>(from)},
                   {"dst", static_cast<double>(to)}});
@@ -131,6 +135,7 @@ void Network::transmit(Message msg, bool injectable) {
   const std::optional<LinkModel> model = effective_link(from, to);
   if (!model) {
     dropped_partition_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     tracer.event(sim_.now(), obs::Category::kNet, "drop_partition", msg.ctx,
                  {{"src", static_cast<double>(from)},
                   {"dst", static_cast<double>(to)}});
@@ -144,6 +149,7 @@ void Network::transmit(Message msg, bool injectable) {
   const double loss = model->loss + disturbance_.extra_loss;
   if (loss > 0 && sim_.rng().bernoulli(loss)) {
     dropped_loss_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     ++state.dropped;
     tracer.event(sim_.now(), obs::Category::kNet, "drop_loss", msg.ctx,
                  {{"src", static_cast<double>(from)},
@@ -283,6 +289,7 @@ void Network::deliver(Message& msg, sim::Duration queue_wait) {
       connectivity(msg.dst.node) == Connectivity::kDisconnected ||
       partition_blocks(msg.src.node, msg.dst.node)) {
     dropped_partition_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_partition",
                        msg.ctx,
                        {{"src", static_cast<double>(msg.src.node)},
@@ -294,6 +301,7 @@ void Network::deliver(Message& msg, sim::Duration queue_wait) {
   // here — corrupt bytes never reach an Endpoint handler.
   if (msg.checksum != frame_checksum(msg.payload)) {
     dropped_corrupt_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_corrupt",
                        msg.ctx,
                        {{"src", static_cast<double>(msg.src.node)},
@@ -303,12 +311,14 @@ void Network::deliver(Message& msg, sim::Duration queue_wait) {
   auto it = endpoints_.find(msg.dst);
   if (it == endpoints_.end()) {
     dropped_no_endpoint_->inc();
+    obs_->series.count(ts_dropped_, sim_.now());
     obs_->tracer.event(sim_.now(), obs::Category::kNet, "drop_no_endpoint",
                        msg.ctx,
                        {{"dst", static_cast<double>(msg.dst.node)}});
     return;
   }
   delivered_->inc();
+  obs_->series.count(ts_delivered_, sim_.now());
   // The `queue` attribute splits the hop for the critical-path
   // analyzer: dur = queueing behind the serializer + link time.
   if (msg.ctx.valid()) msg.ctx = msg.ctx.child(obs_->tracer.mint_id());
@@ -318,6 +328,7 @@ void Network::deliver(Message& msg, sim::Duration queue_wait) {
                      {"dst", static_cast<double>(msg.dst.node)},
                      {"bytes", static_cast<double>(msg.wire_size)},
                      {"queue", static_cast<double>(queue_wait)}});
+  obs::ProfScope prof(obs_->profiler, prof_deliver_);
   it->second->on_message(msg);
 }
 

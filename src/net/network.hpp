@@ -272,6 +272,11 @@ class Network {
   util::Counter* dropped_no_endpoint_;
   util::Counter* dropped_corrupt_;
   util::Counter* bytes_sent_;
+  // Observability plane hooks: windowed delivery/drop trajectories and
+  // the wall-clock profile of endpoint dispatch.
+  obs::Timeseries::SeriesId ts_delivered_;
+  obs::Timeseries::SeriesId ts_dropped_;
+  obs::Profiler::SiteId prof_deliver_;
   InjectHook inject_;
   LinkDisturbance disturbance_;
   LinkModel default_link_ = LinkModel::lan();

@@ -175,8 +175,18 @@ std::string MetricsRegistry::to_json() const {
         put_number(out, h.lo());
         out << ",\"hi\":";
         put_number(out, h.hi());
-        out << ",\"total\":" << h.total() << ",\"nan\":" << h.nan_count()
-            << ",\"buckets\":[";
+        out << ",\"total\":" << h.total() << ",\"nan\":" << h.nan_count();
+        // Same percentile quad CriticalPath reports, so histogram- and
+        // summary-backed latencies read the same in artifacts.
+        out << ",\"p50\":";
+        put_number(out, h.quantile(0.50));
+        out << ",\"p95\":";
+        put_number(out, h.quantile(0.95));
+        out << ",\"p99\":";
+        put_number(out, h.quantile(0.99));
+        out << ",\"max\":";
+        put_number(out, h.max_seen());
+        out << ",\"buckets\":[";
         bool bfirst = true;
         for (std::uint64_t c : h.buckets()) {
           if (!bfirst) out << ',';

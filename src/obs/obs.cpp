@@ -37,7 +37,16 @@ void put_meta(std::ostream& out, const Obs& obs) {
       << ",\"sim_span_us\":" << (any ? end - begin : 0)
       << ",\"trace_recorded\":" << obs.tracer.recorded()
       << ",\"trace_retained\":" << obs.tracer.size()
-      << ",\"trace_dropped\":" << obs.tracer.dropped()
+      << ",\"trace_dropped\":" << obs.tracer.dropped();
+  std::uint64_t sampled = 0;
+  std::uint64_t unsampled = 0;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    sampled += obs.tracer.sampled_of(static_cast<Category>(c));
+    unsampled += obs.tracer.unsampled_of(static_cast<Category>(c));
+  }
+  out << ",\"trace_sampled\":" << sampled
+      << ",\"trace_unsampled\":" << unsampled
+      << ",\"cap_clamps\":" << Tracer::cap_clamps()
       << ",\"knobs\":{";
   bool first = true;
   for (const auto& [key, value] : m.knobs) {
@@ -62,9 +71,10 @@ ScopedDefaultObs::ScopedDefaultObs(Obs* obs) noexcept : prev_(g_default_obs) {
 
 ScopedDefaultObs::~ScopedDefaultObs() { g_default_obs = prev_; }
 
-bool write_bench_artifacts(const Obs& obs, const std::string& tag,
+bool write_bench_artifacts(Obs& obs, const std::string& tag,
                            const std::string& dir) {
   const std::string base = dir + "/BENCH_" + tag;
+  obs.series.finish();  // seal the tail window (idempotent)
   {
     std::ofstream out(base + ".json");
     if (!out) return false;
@@ -72,8 +82,18 @@ bool write_bench_artifacts(const Obs& obs, const std::string& tag,
     put_meta(out, obs);
     out << ",\n\"latency_breakdown\":";
     CriticalPath(obs.tracer).write_json(out);
+    out << ",\n\"timeseries\":";
+    obs.series.export_json(out);
     out << ",\n\"metrics\":" << obs.metrics.to_json() << "\n}\n";
     if (!out) return false;
+  }
+  if (obs.profiler.enabled()) {
+    // Wall-clock profile: best-effort, never fails the deterministic
+    // artifacts.
+    std::ofstream top(base + ".prof.txt");
+    if (top) obs.profiler.write_top(top);
+    std::ofstream folded(base + ".folded");
+    if (folded) obs.profiler.write_collapsed(folded);
   }
   {
     std::ofstream out(base + ".trace.json");

@@ -15,6 +15,9 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace coop::obs {
@@ -40,10 +43,19 @@ struct RunMeta {
   }
 };
 
-/// The per-platform observability context.
+/// The per-platform observability context: run-level metrics, the causal
+/// trace ring (with head sampling), the wall-clock profiler, windowed
+/// virtual-time series, and the SLO watchdog observing those windows.
 struct Obs {
+  Obs() : slo(series, tracer, metrics) {
+    if (Profiler::env_enabled()) profiler.set_enabled(true);
+  }
+
   MetricsRegistry metrics;
   Tracer tracer;
+  Profiler profiler;
+  Timeseries series;
+  SloWatchdog slo;
   RunMeta meta;
 };
 
@@ -68,10 +80,14 @@ class ScopedDefaultObs {
 
 /// Dumps an experiment's observability state for offline inspection:
 /// `BENCH_<tag>.json` (run metadata + critical-path latency breakdown +
-/// metrics snapshot) and `BENCH_<tag>.trace.json` (Chrome trace_event
-/// format) written into @p dir.  Returns false if either file could not
-/// be written.
-bool write_bench_artifacts(const Obs& obs, const std::string& tag,
+/// metrics snapshot + windowed timeseries) and `BENCH_<tag>.trace.json`
+/// (Chrome trace_event format) written into @p dir.  Seals the open
+/// timeseries window first (hence non-const).  When the profiler is
+/// enabled, also writes `BENCH_<tag>.prof.txt` (sim top) and
+/// `BENCH_<tag>.folded` (collapsed stacks) — wall-clock data kept out of
+/// the deterministic .json, same isolation rule as wall_ms.  Returns
+/// false if a deterministic artifact could not be written.
+bool write_bench_artifacts(Obs& obs, const std::string& tag,
                            const std::string& dir = ".");
 
 /// Writes @p tracer's retained records as Chrome trace_event JSON to

@@ -1,0 +1,145 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace coop::obs {
+
+SloWatchdog::SloWatchdog(Timeseries& ts, Tracer& tracer,
+                         MetricsRegistry& metrics)
+    : ts_(ts), tracer_(tracer), metrics_(metrics) {
+  ts_.set_observer(&SloWatchdog::on_window, this);
+}
+
+void SloWatchdog::add_rule(SloRule rule) {
+  Entry e;
+  e.rule = std::move(rule);
+  // Resolve lazily if the series is not registered yet — modules may
+  // register feeds after the rules are declared.
+  e.series_id = ts_.find(e.rule.series.c_str());
+  rules_.push_back(std::move(e));
+  metrics_.gauge("slo." + rules_.back().rule.name + ".healthy").set(1);
+}
+
+void SloWatchdog::on_window(void* self, const Timeseries& ts,
+                            const Timeseries::Window& w) {
+  static_cast<SloWatchdog*>(self)->evaluate(ts, w);
+}
+
+void SloWatchdog::evaluate(const Timeseries& ts, const Timeseries::Window& w) {
+  const double window_sec =
+      static_cast<double>(ts.window()) / 1e6;
+  const sim::TimePoint w_end = w.t0 + ts.window();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    Entry& e = rules_[i];
+    const SloRule& r = e.rule;
+    if (w.t0 < r.active_from || w.t0 >= r.active_until) continue;
+    if (e.series_id == Timeseries::kInvalidSeries)
+      e.series_id = ts.find(r.series.c_str());
+    if (e.series_id == Timeseries::kInvalidSeries) continue;
+
+    const bool have_cell = e.series_id < w.n_cells;
+    static const Timeseries::Cell kEmpty{};
+    const Timeseries::Cell& c =
+        have_cell ? ts.cells(w)[e.series_id] : kEmpty;
+
+    double value = 0;
+    bool breach = false;
+    switch (r.kind) {
+      case SloRule::Kind::kP50Ceiling:
+      case SloRule::Kind::kP95Ceiling:
+      case SloRule::Kind::kP99Ceiling:
+        // A percentile objective is undefined on a window with no
+        // samples; skip rather than manufacture a breach or a pass.
+        if (!c.has_values || c.count == 0) continue;
+        value = r.kind == SloRule::Kind::kP50Ceiling   ? c.p50
+                : r.kind == SloRule::Kind::kP95Ceiling ? c.p95
+                                                       : c.p99;
+        breach = value > r.threshold;
+        break;
+      case SloRule::Kind::kRateFloor:
+        // An idle window IS a goodput failure: rate 0.
+        value = static_cast<double>(c.count) / window_sec;
+        breach = value < r.threshold;
+        break;
+      case SloRule::Kind::kRateCeiling:
+        value = static_cast<double>(c.count) / window_sec;
+        breach = value > r.threshold;
+        break;
+    }
+
+    RuleState& s = e.state;
+    ++s.evaluated;
+    if (breach) {
+      ++s.breach_windows;
+      metrics_.counter("slo." + r.name + ".breach_windows").inc();
+      ++s.consec_breach;
+      s.consec_ok = 0;
+      if (s.healthy && s.consec_breach >= r.trip_windows) {
+        s.healthy = false;
+        ++s.transitions;
+        metrics_.counter("slo." + r.name + ".trips").inc();
+        metrics_.gauge("slo." + r.name + ".healthy").set(0);
+        tracer_.event(w_end, Category::kApp, "slo_breach",
+                      {{"rule", static_cast<double>(i)},
+                       {"value", value},
+                       {"threshold", r.threshold}});
+      }
+    } else {
+      ++s.consec_ok;
+      s.consec_breach = 0;
+      if (!s.healthy && s.consec_ok >= r.recover_windows) {
+        s.healthy = true;
+        ++s.transitions;
+        metrics_.counter("slo." + r.name + ".recoveries").inc();
+        metrics_.gauge("slo." + r.name + ".healthy").set(1);
+        tracer_.event(w_end, Category::kApp, "slo_recovered",
+                      {{"rule", static_cast<double>(i)},
+                       {"value", value},
+                       {"threshold", r.threshold}});
+      }
+    }
+  }
+}
+
+std::uint64_t SloWatchdog::transitions_total() const noexcept {
+  std::uint64_t n = 0;
+  for (const Entry& e : rules_) n += e.state.transitions;
+  return n;
+}
+
+bool SloWatchdog::violating(const Entry& e) const noexcept {
+  if (e.state.breach_windows > e.rule.allowed_breach_windows) return true;
+  if (e.rule.must_end_healthy && e.state.evaluated > 0 && !e.state.healthy)
+    return true;
+  return false;
+}
+
+std::size_t SloWatchdog::violations() const {
+  std::size_t n = 0;
+  for (const Entry& e : rules_)
+    if (violating(e)) ++n;
+  return n;
+}
+
+std::vector<std::string> SloWatchdog::violation_messages() const {
+  std::vector<std::string> out;
+  for (const Entry& e : rules_) {
+    if (!violating(e)) continue;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "SLO '%s' on %s: %llu/%llu breach windows (budget %llu)%s",
+                  e.rule.name.c_str(), e.rule.series.c_str(),
+                  static_cast<unsigned long long>(e.state.breach_windows),
+                  static_cast<unsigned long long>(e.state.evaluated),
+                  static_cast<unsigned long long>(
+                      e.rule.allowed_breach_windows),
+                  e.state.healthy ? "" : ", ended unhealthy");
+    out.emplace_back(buf);
+  }
+  return out;
+}
+
+}  // namespace coop::obs

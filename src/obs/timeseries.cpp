@@ -1,0 +1,223 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+
+namespace coop::obs {
+
+namespace {
+
+/// Same stable JSON number formatting as the metrics exporter: integral
+/// values print without a fractional part, the rest as %.6g.
+void put_number(std::ostream& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out << "null";
+    return;
+  }
+  if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+    out << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out << buf;
+}
+
+/// Nearest-rank percentile over a sorted sample vector.
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Timeseries::Timeseries() {
+  if (const char* env = std::getenv("COOP_TS_WINDOW_US")) {
+    char* end = nullptr;
+    const long long w = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && w > 0)
+      window_us_ = static_cast<sim::Duration>(w);
+  }
+}
+
+Timeseries::SeriesId Timeseries::series(const char* name) noexcept {
+  const SeriesId existing = find(name);
+  if (existing != kInvalidSeries) return existing;
+  if (n_series_ >= kMaxSeries) {
+    ++dropped_series_;
+    return kInvalidSeries;
+  }
+  names_[n_series_] = name;
+  return static_cast<SeriesId>(n_series_++);
+}
+
+Timeseries::SeriesId Timeseries::find(const char* name) const noexcept {
+  for (std::size_t i = 0; i < n_series_; ++i) {
+    if (names_[i] == name || std::strcmp(names_[i], name) == 0)
+      return static_cast<SeriesId>(i);
+  }
+  return kInvalidSeries;
+}
+
+const char* Timeseries::name_of(SeriesId s) const noexcept {
+  return s < n_series_ ? names_[s] : "?";
+}
+
+void Timeseries::advance(sim::TimePoint ts) {
+  const std::uint64_t w =
+      ts <= 0 ? 0
+              : static_cast<std::uint64_t>(ts) /
+                    static_cast<std::uint64_t>(window_us_);
+  if (!started_) {
+    started_ = true;
+    cur_w_ = w;
+    return;
+  }
+  // Late or in-window points fold into the open window: with several
+  // Platforms aggregating into one ambient Obs, each restart rewinds
+  // virtual time to 0 — folding keeps that case deterministic.
+  if (w <= cur_w_) return;
+  const std::uint64_t target = w;
+  seal_window();  // the open (dirty) window
+  // Empty windows in the gap seal normally up to the cap — the SLO
+  // watchdog must see idle windows (a rate floor breaches on silence) —
+  // then the remainder is skipped and counted.
+  std::uint64_t sealed = 0;
+  while (cur_w_ < target && sealed < kMaxGapSeal) {
+    seal_window();
+    ++sealed;
+  }
+  if (cur_w_ < target) {
+    gap_skipped_ += target - cur_w_;
+    cur_w_ = target;
+  }
+}
+
+void Timeseries::seal_window() {
+  Window w;
+  w.t0 = static_cast<sim::TimePoint>(
+      cur_w_ * static_cast<std::uint64_t>(window_us_));
+  w.first = static_cast<std::uint32_t>(cell_arena_.size());
+  w.n_cells = static_cast<std::uint16_t>(n_series_);
+  // Chunked growth: one reservation covers the next kChunkWindows seals,
+  // so a window edge crossed on the steady-state event path does not
+  // touch the allocator (the zero-alloc hot-path test's warm-up absorbs
+  // the chunk).
+  if (windows_.size() == windows_.capacity())
+    windows_.reserve(windows_.capacity() + kChunkWindows);
+  if (cell_arena_.size() + n_series_ > cell_arena_.capacity()) {
+    cell_arena_.reserve(cell_arena_.capacity() +
+                        kChunkWindows * std::max<std::size_t>(n_series_, 1));
+  }
+  cell_arena_.resize(cell_arena_.size() + n_series_);
+  Cell* cells = cell_arena_.data() + w.first;
+  for (std::size_t i = 0; i < n_series_; ++i) {
+    Active& a = active_[i];
+    Cell& c = cells[i];
+    c.count = a.count;
+    c.sum = a.sum;
+    c.min = a.min;
+    c.max = a.max;
+    c.has_values = a.any_value;
+    if (a.any_value && !a.samples.empty()) {
+      std::sort(a.samples.begin(), a.samples.end());
+      c.p50 = pct(a.samples, 0.50);
+      c.p95 = pct(a.samples, 0.95);
+      c.p99 = pct(a.samples, 0.99);
+    }
+    a.reset();
+  }
+  dirty_ = false;
+  ++cur_w_;
+  if (observer_ != nullptr) observer_(observer_ctx_, *this, w);
+  if (windows_.size() < kMaxWindows) {
+    windows_.push_back(w);
+  } else {
+    cell_arena_.resize(w.first);  // the cells drop with the window
+    ++dropped_windows_;
+  }
+}
+
+void Timeseries::count(SeriesId s, sim::TimePoint ts, std::uint64_t n) {
+  if (s >= n_series_) return;
+  advance(ts);
+  active_[s].count += n;
+  dirty_ = true;
+}
+
+void Timeseries::observe(SeriesId s, sim::TimePoint ts, double v) {
+  if (s >= n_series_) return;
+  advance(ts);
+  Active& a = active_[s];
+  if (!a.any_value || v < a.min) a.min = v;
+  if (!a.any_value || v > a.max) a.max = v;
+  a.any_value = true;
+  ++a.count;
+  a.sum += v;
+  if (a.tick++ % a.stride == 0) {
+    if (a.samples.size() == kMaxSamples) {
+      // Stride decimation: keep every other retained sample and double
+      // the stride — bounded memory, deterministic percentile inputs.
+      for (std::size_t i = 0; i * 2 < kMaxSamples; ++i)
+        a.samples[i] = a.samples[i * 2];
+      a.samples.resize(kMaxSamples / 2);
+      a.stride *= 2;
+    }
+    a.samples.push_back(v);
+  }
+  dirty_ = true;
+}
+
+void Timeseries::finish() {
+  if (started_ && dirty_) seal_window();
+}
+
+void Timeseries::export_json(std::ostream& out) const {
+  out << "{\"window_us\":" << window_us_ << ",\"sealed\":" << windows_.size()
+      << ",\"gap_skipped\":" << gap_skipped_
+      << ",\"dropped_windows\":" << dropped_windows_
+      << ",\"dropped_series\":" << dropped_series_ << ",\"series\":{";
+  bool first_series = true;
+  for (std::size_t s = 0; s < n_series_; ++s) {
+    if (!first_series) out << ',';
+    first_series = false;
+    out << "\n\"" << names_[s] << "\":[";
+    bool first_w = true;
+    for (const Window& w : windows_) {
+      if (s >= w.n_cells) continue;
+      const Cell& c = cell_arena_[w.first + s];
+      if (c.count == 0) continue;  // sparse: idle windows are implicit
+      if (!first_w) out << ',';
+      first_w = false;
+      out << "\n{\"t\":" << w.t0 << ",\"n\":" << c.count << ",\"rate\":";
+      put_number(out, static_cast<double>(c.count) * 1e6 /
+                          static_cast<double>(window_us_));
+      if (c.has_values) {
+        out << ",\"mean\":";
+        put_number(out, c.count > 0 ? c.sum / static_cast<double>(c.count)
+                                    : 0.0);
+        out << ",\"min\":";
+        put_number(out, c.min);
+        out << ",\"max\":";
+        put_number(out, c.max);
+        out << ",\"p50\":";
+        put_number(out, c.p50);
+        out << ",\"p95\":";
+        put_number(out, c.p95);
+        out << ",\"p99\":";
+        put_number(out, c.p99);
+      }
+      out << '}';
+    }
+    out << "\n]";
+  }
+  out << "}}";
+}
+
+}  // namespace coop::obs

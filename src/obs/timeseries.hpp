@@ -1,0 +1,176 @@
+// Windowed virtual-time timeseries: trajectories, not run-level scalars.
+//
+// Run-end aggregates hide transients — a 30-second goodput dip during a
+// partition heal vanishes into a run-level p99.  This module buckets
+// selected metrics into fixed-width virtual-time windows and seals each
+// window as the clock crosses its edge, yielding per-window rate /
+// min / max / p50 / p95 / p99 series that export as a "timeseries"
+// section of BENCH_<tag>.json.  Everything is keyed on sim::TimePoint,
+// so the output is byte-identical across same-seed runs.
+//
+// Cost model: feeding a point is a branch (same open window?) plus a few
+// adds.  Percentile windows keep at most kMaxSamples raw values via
+// deterministic stride decimation (keep every 2^k-th once full) — an
+// approximation, but a reproducible one.  A sealed window notifies one
+// observer (the SLO watchdog) before being archived.
+//
+// Edge rules: a point with a timestamp before the open window (multiple
+// Platforms restarting virtual time at 0 into one ambient Obs) folds
+// into the open window rather than asserting — deterministic, and the
+// common aggregate-across-platforms case stays meaningful.  Long idle
+// gaps seal at most kMaxGapSeal empty windows (counted beyond that) so a
+// sparse day of virtual time cannot flood the archive.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace coop::obs {
+
+class Timeseries {
+ public:
+  using SeriesId = std::uint16_t;
+  static constexpr SeriesId kInvalidSeries = 0xffff;
+
+  static constexpr std::size_t kMaxSeries = 24;
+  static constexpr std::size_t kMaxSamples = 256;  ///< per window, decimated
+  static constexpr std::size_t kMaxWindows = 4096; ///< archived per run
+  static constexpr std::size_t kMaxGapSeal = 64;   ///< empty windows per gap
+  static constexpr std::size_t kChunkWindows = 64; ///< arena growth quantum
+  static constexpr sim::Duration kDefaultWindow = 100000;  // 100 ms
+
+  /// Sealed per-series per-window aggregate.
+  struct Cell {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    bool has_values = false;  ///< any observe()d values (vs bare counts)
+  };
+
+  /// Archived windows index into a shared flat cell arena (grown in
+  /// kChunkWindows-sized reservations) instead of owning a vector each,
+  /// so sealing a window on the hot event path does not allocate in
+  /// steady state.  Read a window's cells through cells(w).
+  struct Window {
+    sim::TimePoint t0 = 0;      ///< inclusive start
+    std::uint32_t first = 0;    ///< offset of cell 0 in the arena
+    std::uint16_t n_cells = 0;  ///< series count at seal time
+  };
+
+  /// Cells of @p w, indexed by SeriesId in [0, w.n_cells).  The pointer
+  /// is invalidated by the next seal; copy what outlives the callback.
+  [[nodiscard]] const Cell* cells(const Window& w) const noexcept {
+    return cell_arena_.data() + w.first;
+  }
+
+  /// Sealed-window observer (the SLO watchdog).  Raw fn-ptr + ctx: fires
+  /// once per sealed window on the hot path's tail.
+  using WindowFn = void (*)(void* ctx, const Timeseries& ts,
+                            const Window& w);
+
+  Timeseries();
+  Timeseries(const Timeseries&) = delete;
+  Timeseries& operator=(const Timeseries&) = delete;
+
+  /// Window width; settable only before the first data point.
+  [[nodiscard]] sim::Duration window() const noexcept { return window_us_; }
+  void set_window(sim::Duration w) noexcept {
+    if (!started_ && w > 0) window_us_ = w;
+  }
+
+  /// Registers (or looks up) a series by literal name.  Returns
+  /// kInvalidSeries once kMaxSeries exist (counted in dropped_series()).
+  SeriesId series(const char* name) noexcept;
+
+  /// Looks up a registered series without creating it.
+  [[nodiscard]] SeriesId find(const char* name) const noexcept;
+
+  [[nodiscard]] const char* name_of(SeriesId s) const noexcept;
+  [[nodiscard]] std::size_t series_count() const noexcept { return n_series_; }
+
+  /// Adds @p n occurrences at @p ts (rate-style series).
+  void count(SeriesId s, sim::TimePoint ts, std::uint64_t n = 1);
+
+  /// Adds a valued sample at @p ts (latency-style series).
+  void observe(SeriesId s, sim::TimePoint ts, double v);
+
+  /// Seals the open window if it holds data.  Idempotent; called by the
+  /// artifact writer so the tail of a run is never silently dropped.
+  void finish();
+
+  void set_observer(WindowFn fn, void* ctx) noexcept {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+  }
+
+  [[nodiscard]] const std::vector<Window>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] std::uint64_t gap_skipped() const noexcept {
+    return gap_skipped_;
+  }
+  [[nodiscard]] std::uint64_t dropped_windows() const noexcept {
+    return dropped_windows_;
+  }
+  [[nodiscard]] std::uint64_t dropped_series() const noexcept {
+    return dropped_series_;
+  }
+
+  /// The "timeseries" artifact section: window metadata plus, per series,
+  /// one compact JSON object per sealed window it had data in.  Output is
+  /// a pure function of the fed points — deterministic.
+  void export_json(std::ostream& out) const;
+
+ private:
+  /// Open-window accumulator for one series.
+  struct Active {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::vector<double> samples;  // decimated raw values
+    std::uint32_t stride = 1;
+    std::uint32_t tick = 0;
+    bool any_value = false;
+
+    void reset() noexcept {
+      count = 0;
+      sum = 0;
+      min = 0;
+      max = 0;
+      samples.clear();
+      stride = 1;
+      tick = 0;
+      any_value = false;
+    }
+  };
+
+  /// Seals windows up to the one containing @p ts.
+  void advance(sim::TimePoint ts);
+  void seal_window();
+
+  std::array<const char*, kMaxSeries> names_{};
+  std::array<Active, kMaxSeries> active_{};
+  std::vector<Window> windows_;
+  std::vector<Cell> cell_arena_;  ///< sealed cells, windows index into it
+  sim::Duration window_us_ = kDefaultWindow;
+  std::uint64_t cur_w_ = 0;  ///< index (t0 / window) of the open window
+  std::size_t n_series_ = 0;
+  std::uint64_t gap_skipped_ = 0;
+  std::uint64_t dropped_windows_ = 0;
+  std::uint64_t dropped_series_ = 0;
+  WindowFn observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
+  bool started_ = false;  ///< any data point seen yet
+  bool dirty_ = false;    ///< open window holds unsealed data
+};
+
+}  // namespace coop::obs

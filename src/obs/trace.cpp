@@ -43,6 +43,32 @@ void put_args(std::ostream& out, const TraceEvent& e) {
 /// timeline readable and gives flow events unambiguous anchor slices.
 int chrome_tid(Category c) noexcept { return static_cast<int>(c) + 1; }
 
+/// Maps a keep rate to a 64-bit comparison threshold.  Rates >= 1 return
+/// the kSampleAlways sentinel (no hash on the hot path); rates <= 0 (or
+/// NaN) return 0 (keep nothing).  The 2^53-then-shift dance keeps the
+/// double -> u64 conversion exact and in range.
+std::uint64_t rate_to_threshold(double r) noexcept {
+  if (!(r > 0.0)) return 0;
+  if (r >= 1.0) return ~std::uint64_t{0};
+  const double scaled = r * 9007199254740992.0;  // r * 2^53, < 2^53
+  std::uint64_t t = static_cast<std::uint64_t>(scaled) << 11;
+  if (t == ~std::uint64_t{0}) --t;  // never collide with the sentinel
+  if (t == 0) t = 1;                // a positive rate keeps a sliver
+  return t;
+}
+
+/// Process-wide count of ring-capacity requests clamped to kMaxCapacity.
+std::uint64_t g_cap_clamps = 0;
+
+std::size_t clamp_capacity(std::size_t cap) noexcept {
+  if (cap == 0) return 1;
+  if (cap > Tracer::kMaxCapacity) {
+    ++g_cap_clamps;
+    return Tracer::kMaxCapacity;
+  }
+  return cap;
+}
+
 }  // namespace
 
 const char* category_name(Category c) noexcept {
@@ -69,6 +95,68 @@ const char* category_name(Category c) noexcept {
   return "?";
 }
 
+bool category_from_name(const char* begin, const char* end,
+                        Category& out) noexcept {
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    const char* name = category_name(static_cast<Category>(c));
+    std::size_t i = 0;
+    while (name[i] != '\0' && begin + i != end && name[i] == begin[i]) ++i;
+    if (name[i] == '\0' && begin + i == end) {
+      out = static_cast<Category>(c);
+      return true;
+    }
+  }
+  return false;
+}
+
+SampleConfig SampleConfig::from_env() noexcept {
+  SampleConfig cfg;
+  if (const char* env = std::getenv("COOP_TRACE_SAMPLE_SEED")) {
+    char* end = nullptr;
+    const unsigned long long seed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') cfg.seed = seed;
+  }
+  const char* env = std::getenv("COOP_TRACE_SAMPLE");
+  if (env == nullptr || *env == '\0') return cfg;
+
+  // Global form: the whole value is one number.
+  {
+    char* end = nullptr;
+    const double r = std::strtod(env, &end);
+    if (end != env && *end == '\0') {
+      cfg.set_all(r);
+      return cfg;
+    }
+  }
+
+  // Per-category form: "name=rate[,name=rate...]", "*" = every category.
+  // Unknown names and malformed tokens are ignored (observability config
+  // must never take a run down).
+  const char* p = env;
+  while (*p != '\0') {
+    const char* tok_end = p;
+    while (*tok_end != '\0' && *tok_end != ',') ++tok_end;
+    const char* eq = p;
+    while (eq != tok_end && *eq != '=') ++eq;
+    if (eq != tok_end) {
+      char* end = nullptr;
+      const double r = std::strtod(eq + 1, &end);
+      // end == eq + 1 is strtod's "no conversion" case: an empty or
+      // non-numeric value must be ignored, not read as rate 0.
+      if (end != eq + 1 && end == tok_end) {
+        Category c;
+        if (eq - p == 1 && *p == '*') {
+          cfg.set_all(r);
+        } else if (category_from_name(p, eq, c)) {
+          cfg.rate[static_cast<std::size_t>(c)] = r;
+        }
+      }
+    }
+    p = *tok_end == ',' ? tok_end + 1 : tok_end;
+  }
+  return cfg;
+}
+
 std::size_t Tracer::default_capacity() noexcept {
   // Read the environment on every call (cheap: construction-time only) so
   // tests and harnesses can adjust the cap between tracer instances.
@@ -76,16 +164,44 @@ std::size_t Tracer::default_capacity() noexcept {
     char* end = nullptr;
     const unsigned long long cap = std::strtoull(env, &end, 10);
     if (end != env && *end == '\0' && cap > 0) {
-      return static_cast<std::size_t>(cap);
+      return clamp_capacity(static_cast<std::size_t>(
+          cap > kMaxCapacity ? kMaxCapacity + 1 : cap));
     }
   }
   return kDefaultCapacity;
 }
 
-void Tracer::record(sim::TimePoint ts, sim::Duration dur, Category c,
-                    const char* name, const CausalContext& ctx,
-                    std::initializer_list<Attr> attrs) {
-  if (!enabled(c)) return;
+std::uint64_t Tracer::cap_clamps() noexcept { return g_cap_clamps; }
+
+Tracer::Tracer(std::size_t capacity) : capacity_(clamp_capacity(capacity)) {
+  set_sampling(SampleConfig::from_env());
+  // COOP_TRACE=0 master-disables every tracer at construction — the
+  // baseline configuration for the obs-overhead gate.
+  if (const char* env = std::getenv("COOP_TRACE")) {
+    if (env[0] == '0' && env[1] == '\0') master_enabled_ = false;
+  }
+}
+
+void Tracer::set_sampling(const SampleConfig& cfg) noexcept {
+  sample_cfg_ = cfg;
+  for (std::size_t c = 0; c < kCategoryCount; ++c) {
+    cat_[c].threshold = rate_to_threshold(cfg.rate[c]);
+    reset_nonctx(c);
+  }
+}
+
+bool Tracer::would_sample(Category c, std::uint64_t trace_id) const noexcept {
+  const std::uint64_t th = cat_[static_cast<std::size_t>(c)].threshold;
+  if (th == kSampleAlways) return true;
+  return detail::sample_mix(trace_id ^ sample_cfg_.seed) < th;
+}
+
+void Tracer::record_kept(sim::TimePoint ts, sim::Duration dur, Category c,
+                         const char* name, const CausalContext& ctx,
+                         std::initializer_list<Attr> attrs) {
+  // The inline record() already made the keep decision; everything that
+  // reaches here is stored.
+  ++cat_[static_cast<std::size_t>(c)].sampled;
   if (ring_.empty()) ring_.resize(capacity_);
   TraceEvent& e = ring_[head_];
   if (count_ == capacity_) {

@@ -15,6 +15,18 @@
 // children per hop, so one user action is reconstructable across every
 // seam.
 //
+// Sampling: head-based and trace-consistent.  The keep/drop decision for
+// a causal record hashes only its trace_id (seed-stable splitmix64
+// finalizer), so every span of a sampled trace is retained end-to-end
+// across net/rpc/groups/fifo while an unsampled trace costs one branch
+// per would-be record.  Rates are per category (SampleConfig /
+// COOP_TRACE_SAMPLE); records without a context use stratified
+// sampling instead — a per-category accumulator that wraps once every
+// 1/rate attempts, advancing whether or not the record is kept — so
+// the sampled set is a pure function of (seed, rate), independent of
+// category masks and identical across same-seed runs, and the per-
+// attempt cost is one add and compare instead of a hash.
+//
 // Two offline formats are exported: JSONL (one record per line, easy to
 // grep/jq) and the Chrome trace_event JSON array, which opens directly in
 // about:tracing / Perfetto.  The Chrome exporter lays each category out
@@ -53,6 +65,56 @@ inline constexpr std::size_t kCategoryCount = 9;
 /// Stable short name used in exports ("sim", "net", ...).
 [[nodiscard]] const char* category_name(Category c) noexcept;
 
+/// Parses a category short name ("sim", "net", ...).  Returns true and
+/// sets @p out on a match.
+[[nodiscard]] bool category_from_name(const char* begin, const char* end,
+                                      Category& out) noexcept;
+
+/// Head-sampling policy: per-category keep rates plus the hash seed.
+/// Deterministic by construction — the same (seed, rate) pair always
+/// selects the same trace ids, on any run, with any category mask.
+struct SampleConfig {
+  /// Default hash seed ("Coop93"); any fixed value works, the seed only
+  /// decorrelates the sampled set from the trace-id sequence.
+  static constexpr std::uint64_t kDefaultSeed = 0x436f6f703933ULL;
+
+  SampleConfig() { rate.fill(1.0); }
+
+  std::array<double, kCategoryCount> rate;  ///< keep probability in [0,1]
+  std::uint64_t seed = kDefaultSeed;
+
+  /// Sets every category to the same rate.
+  void set_all(double r) noexcept { rate.fill(r); }
+
+  /// Builds a config from the environment:
+  ///   COOP_TRACE_SAMPLE       "0.01" (global) or "net=0.1,rpc=1,*=0.01"
+  ///                           (per category; "*" sets the remainder)
+  ///   COOP_TRACE_SAMPLE_SEED  decimal hash seed override
+  /// Unset or unparsable pieces fall back to rate 1.0 / kDefaultSeed.
+  [[nodiscard]] static SampleConfig from_env() noexcept;
+};
+
+namespace detail {
+
+/// splitmix64 finalizer: a full-avalanche bijection, so comparing the
+/// mixed key against rate * 2^64 keeps exactly that fraction of ids with
+/// no correlation to the sequential trace-id stream.  Inline because the
+/// sampling decision runs on the hot record() path.
+inline std::uint64_t sample_mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Salt decorrelating ctx-less accumulator phases from real trace ids.
+inline constexpr std::uint64_t kNonCtxSalt = 0x6e6f2d63747800ULL;  // "no-ctx"
+
+}  // namespace detail
+
 /// One key/value attribute.  The key must outlive the tracer (use string
 /// literals); the value is always numeric — addresses, sizes, durations
 /// and ids all fit, and it keeps records fixed-size.
@@ -80,15 +142,22 @@ class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 8192;
 
+  /// Hard ceiling on ring capacity (~4M records, ~0.5 GiB).  Requests
+  /// above it — e.g. an absurd COOP_TRACE_CAP — clamp here and are
+  /// counted in cap_clamps() instead of attempting a giant resize.
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 22;
+
   /// Ring capacity of a default-constructed tracer: the COOP_TRACE_CAP
-  /// environment variable if set to a positive integer, else
-  /// kDefaultCapacity.
+  /// environment variable if set to a positive integer (clamped to
+  /// kMaxCapacity), else kDefaultCapacity.
   [[nodiscard]] static std::size_t default_capacity() noexcept;
 
-  Tracer() : capacity_(default_capacity()) {}
+  /// Process-wide count of capacity requests clamped to kMaxCapacity.
+  [[nodiscard]] static std::uint64_t cap_clamps() noexcept;
 
-  explicit Tracer(std::size_t capacity)
-      : capacity_(capacity > 0 ? capacity : 1) {}
+  Tracer() : Tracer(default_capacity()) {}
+
+  explicit Tracer(std::size_t capacity);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -108,6 +177,31 @@ class Tracer {
   [[nodiscard]] bool enabled(Category c) const noexcept {
     return master_enabled_ &&
            (mask_ & (1u << static_cast<int>(c))) != 0;
+  }
+
+  // --- sampling ------------------------------------------------------------
+
+  /// Installs a head-sampling policy (default: keep everything).
+  void set_sampling(const SampleConfig& cfg) noexcept;
+
+  [[nodiscard]] const SampleConfig& sampling() const noexcept {
+    return sample_cfg_;
+  }
+
+  /// The keep/drop decision this tracer would make for a causal record of
+  /// @p c carrying @p trace_id.  Pure: depends only on the installed
+  /// (seed, rate) — lets tests and analyzers predict the sampled set.
+  [[nodiscard]] bool would_sample(Category c, std::uint64_t trace_id)
+      const noexcept;
+
+  /// Records kept by the sampler per category (includes rate-1.0 keeps).
+  [[nodiscard]] std::uint64_t sampled_of(Category c) const noexcept {
+    return cat_[static_cast<std::size_t>(c)].sampled;
+  }
+
+  /// Records rejected by the sampler per category.
+  [[nodiscard]] std::uint64_t unsampled_of(Category c) const noexcept {
+    return cat_[static_cast<std::size_t>(c)].unsampled;
   }
 
   // --- causal ids ----------------------------------------------------------
@@ -175,6 +269,12 @@ class Tracer {
     head_ = 0;
     recorded_ = 0;
     dropped_by_cat_.fill(0);
+    for (std::size_t c = 0; c < kCategoryCount; ++c) {
+      reset_nonctx(c);
+      cat_[c].sampled = 0;
+      cat_[c].unsampled = 0;
+      // thresholds are config, not counters: they survive clear().
+    }
     // next_span_id_ is deliberately not reset: retained contexts held by
     // live modules must never collide with post-clear mints.
   }
@@ -194,9 +294,73 @@ class Tracer {
   void export_chrome(std::ostream& out) const;
 
  private:
+  /// Inline keep/drop decision: disabled, rate-0 and hashed-out records
+  /// are rejected without any out-of-line call (so the compiler can also
+  /// discard the caller's attribute materialization) — the "always-on,
+  /// never felt" cost the overhead gate enforces.  Only kept records pay
+  /// the record_kept() call and ring store.
   void record(sim::TimePoint ts, sim::Duration dur, Category c,
               const char* name, const CausalContext& ctx,
-              std::initializer_list<Attr> attrs);
+              std::initializer_list<Attr> attrs) {
+    if (!enabled(c)) return;
+    CatSample& cs = cat_[static_cast<std::size_t>(c)];
+    if (cs.threshold != kSampleAlways) {
+      if (cs.threshold == 0) {
+        // Sampled out wholesale.  The attempt counter is not advanced:
+        // nothing from this category can be kept, so there is no
+        // sampled set whose stability could depend on it.
+        ++cs.unsampled;
+        return;
+      }
+      // Causal records hash only their trace id: one trace is either
+      // kept whole across every seam or skipped whole.  Ctx-less
+      // records use the stratified accumulator — it wraps (keeps) once
+      // every 1/rate attempts on average and advances either way, so
+      // the sampled set never depends on what else was filtered, and
+      // the hot per-step kernel record pays an add instead of a hash.
+      bool keep;
+      if (ctx.valid()) {
+        keep = detail::sample_mix(ctx.trace_id ^ sample_cfg_.seed) <
+               cs.threshold;
+      } else {
+        keep = (cs.nonctx_acc += cs.threshold) < cs.threshold;
+      }
+      if (!keep) {
+        ++cs.unsampled;
+        return;
+      }
+    }
+    record_kept(ts, dur, c, name, ctx, attrs);
+  }
+
+  void record_kept(sim::TimePoint ts, sim::Duration dur, Category c,
+                   const char* name, const CausalContext& ctx,
+                   std::initializer_list<Attr> attrs);
+
+  /// Sentinel threshold meaning "keep everything, skip the hash".
+  static constexpr std::uint64_t kSampleAlways = ~std::uint64_t{0};
+
+  /// Per-category sampling hot state, packed so one drop decision
+  /// touches a single cache line instead of four parallel arrays.
+  /// hash(trace_id ^ seed) < threshold keeps a causal record;
+  /// kSampleAlways short-circuits so the default (rate 1.0) path never
+  /// hashes.  nonctx_acc drives ctx-less records: it starts at a
+  /// seed-derived phase and gains `threshold` per attempt (kept or
+  /// not), keeping exactly the attempts where the 64-bit add wraps —
+  /// evenly spaced at the configured rate and mask-independent.
+  struct CatSample {
+    std::uint64_t threshold = 0;
+    std::uint64_t nonctx_acc = 0;
+    std::uint64_t sampled = 0;
+    std::uint64_t unsampled = 0;
+  };
+
+  /// Re-phases category @p c's ctx-less accumulator from the seed so the
+  /// stratified sampled set is a pure function of (seed, rate).
+  void reset_nonctx(std::size_t c) noexcept {
+    cat_[c].nonctx_acc =
+        detail::sample_mix(sample_cfg_.seed ^ (detail::kNonCtxSalt + c));
+  }
 
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;  // allocated on first record
@@ -205,6 +369,8 @@ class Tracer {
   std::uint64_t recorded_ = 0;
   std::uint64_t next_span_id_ = 1;
   std::array<std::uint64_t, kCategoryCount> dropped_by_cat_{};
+  std::array<CatSample, kCategoryCount> cat_{};
+  SampleConfig sample_cfg_;
   std::uint16_t mask_ = (1u << kCategoryCount) - 1;  // all categories on
   bool master_enabled_ = true;
 };

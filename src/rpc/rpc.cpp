@@ -33,6 +33,8 @@ RpcServer::RpcServer(net::Network& net, net::Address self)
   shed_[2] = &m.counter(metric_key("rpc.server", self_, "shed_background"));
   expired_ = &m.counter(metric_key("rpc.server", self_, "expired"));
   expired_global_ = &m.counter("rpc.expired_drops");
+  ts_shed_ = net_.obs().series.series("rpc.shed");
+  prof_handle_ = net_.obs().profiler.site("rpc.handle", obs::Category::kRpc);
   net_.attach(self_, *this);
 }
 
@@ -136,6 +138,7 @@ void RpcServer::on_message(const net::Message& msg) {
             : admission_->background_watermark;
     if (depth >= watermark) {
       shed_[pi]->inc();
+      net_.obs().series.count(ts_shed_, arrived);
       tracer.event(arrived, obs::Category::kRpc, "shed", msg.ctx,
                    {{"req", static_cast<double>(req_id)},
                     {"priority", static_cast<double>(pi)},
@@ -152,7 +155,11 @@ void RpcServer::on_message(const net::Message& msg) {
   // processing delay.  Every request is serviced concurrently, which is
   // exactly the unbounded-queue behaviour the admission path replaces.
   handled_->inc();
-  const HandlerResult hr = handler->second(body);
+  HandlerResult hr;
+  {
+    obs::ProfScope prof(net_.obs().profiler, prof_handle_);
+    hr = handler->second(body);
+  }
   const Status status = hr.ok ? Status::kOk : Status::kAppError;
   if (processing_ > 0) {
     auto id_holder = std::make_shared<sim::EventId>(sim::kInvalidEvent);
@@ -239,7 +246,11 @@ void RpcServer::service_next() {
     }
 
     handled_->inc();
-    const HandlerResult hr = methods_[q.method](q.body);
+    HandlerResult hr;
+    {
+      obs::ProfScope prof(net_.obs().profiler, prof_handle_);
+      hr = methods_[q.method](q.body);
+    }
     const Status status = hr.ok ? Status::kOk : Status::kAppError;
     if (processing_ > 0) {
       serving_ = true;
@@ -272,6 +283,10 @@ RpcClient::RpcClient(net::Network& net, net::Address self,
   rejected_ = &m.counter(metric_key("rpc.client", self_, "rejected"));
   retries_denied_ =
       &m.counter(metric_key("rpc.client", self_, "retries_denied"));
+  obs::Timeseries& ts = net_.obs().series;
+  ts_latency_ = ts.series("rpc.latency_us");
+  ts_ok_ = ts.series("rpc.ok");
+  ts_error_ = ts.series("rpc.error");
   net_.attach(self_, *this);
 }
 
@@ -475,7 +490,15 @@ void RpcClient::complete(std::uint64_t req_id, const RpcResult& result,
     net_.simulator().cancel(it->second.timer);
   const sim::TimePoint issued_at = it->second.issued_at;
   outstanding_.erase(it);
-  if (result.ok()) rtts_->add(static_cast<double>(result.rtt));
+  const sim::TimePoint now = net_.simulator().now();
+  if (result.ok()) {
+    rtts_->add(static_cast<double>(result.rtt));
+    net_.obs().series.observe(ts_latency_, now,
+                              static_cast<double>(result.rtt));
+    net_.obs().series.count(ts_ok_, now);
+  } else {
+    net_.obs().series.count(ts_error_, now);
+  }
   obs::Tracer& tracer = net_.obs().tracer;
   // The end-to-end span: child of whatever finished the call (the reply
   // delivery, or the final timeout) so the arrowhead lands on completion.

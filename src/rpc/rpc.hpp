@@ -239,6 +239,8 @@ class RpcServer : public net::Endpoint {
   util::Counter* shed_[net::kPriorityCount];
   util::Counter* expired_;
   util::Counter* expired_global_;  ///< shared "rpc.expired_drops"
+  obs::Timeseries::SeriesId ts_shed_;   ///< shared "rpc.shed" trajectory
+  obs::Profiler::SiteId prof_handle_;   ///< handler wall-clock attribution
 };
 
 /// Client-side overload guards (see net/overload.hpp).  One retry budget
@@ -334,6 +336,11 @@ class RpcClient : public net::Endpoint {
   util::Counter* timeouts_;
   util::Counter* rejected_;
   util::Counter* retries_denied_;
+  // Shared windowed trajectories ("rpc.latency_us" / "rpc.ok" /
+  // "rpc.error"): the per-window view the SLO watchdog evaluates.
+  obs::Timeseries::SeriesId ts_latency_;
+  obs::Timeseries::SeriesId ts_ok_;
+  obs::Timeseries::SeriesId ts_error_;
 };
 
 }  // namespace coop::rpc

@@ -84,6 +84,31 @@ bool Simulator::cancel(EventId id) {
   return live_.erase(id);
 }
 
+void Simulator::dispatch(const Entry& top) {
+  now_ = top.when;
+  ++processed_;
+  if (step_hook_fn_ != nullptr)
+    step_hook_fn_(step_hook_ctx_, top.seq, top.when, live_.size());
+  // Move the callable out and free the slot *before* invoking: the
+  // callback may schedule new events (reusing this very slot) or even
+  // re-enter run().
+  EventFn fn = std::move(slots_[top.slot]);
+  release_slot(top.slot);
+  if (step_timer_fn_ != nullptr) {
+    // The steady clock is read only while a timer hook is installed:
+    // profiling is pay-for-use, the unprofiled path stays two branches.
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    step_timer_fn_(step_timer_ctx_,
+                   static_cast<std::uint64_t>(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count()));
+  } else {
+    fn();
+  }
+}
+
 bool Simulator::step() {
   while (!heap_.empty()) {
     const Entry top = heap_[0];
@@ -94,15 +119,7 @@ bool Simulator::step() {
       release_slot(top.slot);
       continue;
     }
-    now_ = top.when;
-    ++processed_;
-    if (step_hook_) step_hook_(top.seq, top.when, live_.size());
-    // Move the callable out and free the slot *before* invoking: the
-    // callback may schedule new events (reusing this very slot) or even
-    // re-enter run().
-    EventFn fn = std::move(slots_[top.slot]);
-    release_slot(top.slot);
-    fn();
+    dispatch(top);
     return true;
   }
   return false;
@@ -128,12 +145,7 @@ std::size_t Simulator::run_until(TimePoint t) {
       release_slot(top.slot);
       continue;
     }
-    now_ = top.when;
-    ++processed_;
-    if (step_hook_) step_hook_(top.seq, top.when, live_.size());
-    EventFn fn = std::move(slots_[top.slot]);
-    release_slot(top.slot);
-    fn();
+    dispatch(top);
     ++n;
   }
   if (now_ < t) now_ = t;

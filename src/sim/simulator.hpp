@@ -11,8 +11,9 @@
 // that determinism never depends on container iteration order.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/id_set.hpp"
@@ -34,10 +35,18 @@ inline constexpr EventId kInvalidEvent = 0;
 using EventFn = SmallFn;
 
 /// Observer invoked once per executed event, just before its callback runs:
-/// (event id, its timestamp, events still pending after this one).  Lets an
-/// observability layer trace kernel activity without the kernel depending
-/// on it.
-using StepHook = std::function<void(EventId, TimePoint, std::size_t)>;
+/// (context, event id, its timestamp, events still pending after this one).
+/// A raw function pointer + context — not a type-erased callable — because
+/// this is the hottest seam in the kernel: the test-and-call must cost one
+/// predictable branch per step.  Lets an observability layer trace kernel
+/// activity without the kernel depending on it.
+using StepHookFn = void (*)(void* ctx, EventId id, TimePoint when,
+                            std::size_t pending);
+
+/// Observer handed the wall-clock nanoseconds an event callback took.  The
+/// kernel reads the steady clock only while one is installed, so profiling
+/// is strictly pay-for-use.
+using StepTimerFn = void (*)(void* ctx, std::uint64_t elapsed_ns);
 
 /// The event-driven virtual-time kernel.
 ///
@@ -99,7 +108,16 @@ class Simulator {
   [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
 
   /// Installs (or clears, with nullptr) the per-step observer.
-  void set_step_hook(StepHook hook) { step_hook_ = std::move(hook); }
+  void set_step_hook(StepHookFn fn, void* ctx = nullptr) noexcept {
+    step_hook_fn_ = fn;
+    step_hook_ctx_ = ctx;
+  }
+
+  /// Installs (or clears, with nullptr) the per-step wall-clock timer.
+  void set_step_timer(StepTimerFn fn, void* ctx = nullptr) noexcept {
+    step_timer_fn_ = fn;
+    step_timer_ctx_ = ctx;
+  }
 
   static constexpr std::size_t kNoEventLimit = ~static_cast<std::size_t>(0);
 
@@ -130,6 +148,7 @@ class Simulator {
   std::uint32_t acquire_slot(EventFn&& fn);
   void release_slot(std::uint32_t slot);
   void maybe_compact_live();
+  void dispatch(const Entry& top);
 
   std::vector<Entry> heap_;
   std::vector<EventFn> slots_;         // callable storage, index-stable
@@ -141,7 +160,10 @@ class Simulator {
   // fire-side clear land on recently touched words (L1-hot), unlike a
   // hash set whose probes each cost a cache miss at this event rate.
   LiveBits live_;
-  StepHook step_hook_;
+  StepHookFn step_hook_fn_ = nullptr;
+  void* step_hook_ctx_ = nullptr;
+  StepTimerFn step_timer_fn_ = nullptr;
+  void* step_timer_ctx_ = nullptr;
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t compact_check_ = kCompactInterval;

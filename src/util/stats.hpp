@@ -147,6 +147,7 @@ class Histogram {
       return;
     }
     ++total_;
+    max_seen_ = std::max(max_seen_, x);
     const double n = static_cast<double>(counts_.size());
     // Clamp in double space *before* the integer cast: a far-out-of-range
     // sample (huge latency vs a narrow QoS window, or +-inf) would make
@@ -180,6 +181,13 @@ class Histogram {
     return hi_;
   }
 
+  /// Largest non-NaN sample seen (exact, not bucket-quantized; lo() when
+  /// empty).  Bucket clamping loses the true maximum, which the p50/p95/
+  /// p99/max export quad needs for tail reporting.
+  [[nodiscard]] double max_seen() const noexcept {
+    return total_ == 0 ? lo_ : max_seen_;
+  }
+
   [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
     return counts_;
   }
@@ -190,6 +198,7 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   std::uint64_t nan_ = 0;
+  double max_seen_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace coop::util

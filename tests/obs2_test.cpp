@@ -1,0 +1,499 @@
+// Tests for the tier-2 observability plane: head-based trace sampling
+// (determinism, mask-independence, causal completeness), ring eviction
+// accounting, capacity clamping, profiler overflow policy, windowed
+// timeseries edges, and the SLO watchdog.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "rpc/rpc.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace coop::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring eviction accounting
+
+TEST(Tracer, EvictionIsAccountedToTheEvictedCategory) {
+  Tracer t(4);
+  for (int i = 0; i < 3; ++i) t.event(i, Category::kNet, "n");
+  for (int i = 0; i < 7; ++i) t.event(3 + i, Category::kRpc, "r");
+  // 10 records through a 4-slot ring: the oldest 6 (3 net + 3 rpc) were
+  // overwritten, and each eviction lands on the evicted record's seam.
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.dropped_of(Category::kNet), 3u);
+  EXPECT_EQ(t.dropped_of(Category::kRpc), 3u);
+  EXPECT_EQ(t.dropped_of(Category::kSim), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity clamping
+
+TEST(Tracer, CapacityRequestsClampToTheDocumentedMax) {
+  const std::uint64_t clamps_before = Tracer::cap_clamps();
+  Tracer t(Tracer::kMaxCapacity + 1);
+  EXPECT_EQ(t.capacity(), Tracer::kMaxCapacity);
+  EXPECT_EQ(Tracer::cap_clamps(), clamps_before + 1);
+
+  ::setenv("COOP_TRACE_CAP", "99999999999999", 1);
+  EXPECT_EQ(Tracer::default_capacity(), Tracer::kMaxCapacity);
+  EXPECT_GT(Tracer::cap_clamps(), clamps_before + 1);
+
+  ::setenv("COOP_TRACE_CAP", "4096", 1);
+  EXPECT_EQ(Tracer::default_capacity(), 4096u);
+  ::unsetenv("COOP_TRACE_CAP");
+  EXPECT_EQ(Tracer::default_capacity(), Tracer::kDefaultCapacity);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+
+using RecordKey = std::tuple<sim::TimePoint, std::string, std::uint64_t>;
+
+std::multiset<RecordKey> keys_of(const Tracer& t) {
+  std::multiset<RecordKey> out;
+  for (const TraceEvent& e : t.snapshot())
+    out.insert({e.ts, e.name, e.ctx.trace_id});
+  return out;
+}
+
+/// Feeds the same mixed causal + ctx-less stream into @p t.
+void feed_stream(Tracer& t) {
+  for (std::uint64_t i = 1; i <= 400; ++i) {
+    const CausalContext ctx{i, i, 0};
+    t.event(static_cast<sim::TimePoint>(i), Category::kRpc, "call", ctx);
+    t.event(static_cast<sim::TimePoint>(i), Category::kNet, "send", ctx);
+    t.event(static_cast<sim::TimePoint>(i), Category::kSim, "step");
+  }
+}
+
+TEST(Sampling, SameSeedAndRateSelectTheSameRecordsAcrossRuns) {
+  SampleConfig cfg;
+  cfg.set_all(0.2);
+  cfg.seed = 77;
+
+  Tracer a(4096), b(4096);
+  a.set_sampling(cfg);
+  b.set_sampling(cfg);
+  feed_stream(a);
+  feed_stream(b);
+
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_LT(a.size(), 1200u);
+  EXPECT_EQ(keys_of(a), keys_of(b));
+
+  // clear() re-phases the ctx-less accumulator, so a reused tracer
+  // selects the same set as a fresh one.
+  a.clear();
+  feed_stream(a);
+  EXPECT_EQ(keys_of(a), keys_of(b));
+}
+
+TEST(Sampling, SampledSetIsIndependentOfCategoryMasks) {
+  SampleConfig cfg;
+  cfg.set_all(0.2);
+  cfg.seed = 77;
+
+  Tracer full(4096), masked(4096);
+  full.set_sampling(cfg);
+  masked.set_sampling(cfg);
+  masked.set_category_enabled(Category::kNet, false);
+  feed_stream(full);
+  feed_stream(masked);
+
+  // Per category, the kept set must match the unmasked tracer exactly —
+  // filtering net must not shift what sim or rpc keep.
+  std::multiset<RecordKey> full_rest, masked_all;
+  for (const TraceEvent& e : full.snapshot())
+    if (e.category != Category::kNet)
+      full_rest.insert({e.ts, e.name, e.ctx.trace_id});
+  masked_all = keys_of(masked);
+  EXPECT_EQ(full_rest, masked_all);
+}
+
+TEST(Sampling, CausalRecordsFollowWouldSampleTraceConsistently) {
+  SampleConfig cfg;
+  cfg.set_all(0.3);
+  cfg.seed = 5;
+  Tracer t(8192);
+  t.set_sampling(cfg);
+
+  // Three records per trace across two categories (same rate): each
+  // trace must be kept whole or dropped whole, as predicted.
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    const CausalContext ctx{i, i, 0};
+    t.event(1, Category::kRpc, "call", ctx);
+    t.span(1, 2, Category::kRpc, "rpc", ctx);
+    t.event(2, Category::kNet, "deliver", ctx);
+  }
+  std::map<std::uint64_t, int> per_trace;
+  for (const TraceEvent& e : t.snapshot()) ++per_trace[e.ctx.trace_id];
+  int kept = 0;
+  for (std::uint64_t i = 1; i <= 300; ++i) {
+    const bool want = t.would_sample(Category::kRpc, i);
+    EXPECT_EQ(per_trace.count(i) ? per_trace[i] : 0, want ? 3 : 0)
+        << "trace " << i;
+    kept += want ? 1 : 0;
+  }
+  EXPECT_GT(kept, 0);
+  EXPECT_LT(kept, 300);
+}
+
+TEST(Sampling, CtxLessStratifiedRateIsAccurate) {
+  SampleConfig cfg;
+  cfg.set_all(0.01);
+  Tracer t(4096);
+  t.set_sampling(cfg);
+  for (int i = 0; i < 10000; ++i) t.event(i, Category::kSim, "step");
+  // The accumulator wraps once every 1/rate attempts: 10000 attempts at
+  // 1% keep 100 +/- 1 (phase rounding).
+  EXPECT_NEAR(static_cast<double>(t.sampled_of(Category::kSim)), 100.0, 1.0);
+  EXPECT_EQ(t.sampled_of(Category::kSim) + t.unsampled_of(Category::kSim),
+            10000u);
+}
+
+TEST(Sampling, RateZeroCountsAttemptsWithoutStoring) {
+  SampleConfig cfg;
+  cfg.set_all(0.0);
+  Tracer t(64);
+  t.set_sampling(cfg);
+  for (int i = 0; i < 50; ++i) t.event(i, Category::kNet, "send");
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.unsampled_of(Category::kNet), 50u);
+  EXPECT_EQ(t.sampled_of(Category::kNet), 0u);
+}
+
+TEST(Sampling, ConfigParsesGlobalAndPerCategoryForms) {
+  ::setenv("COOP_TRACE_SAMPLE", "0.25", 1);
+  ::setenv("COOP_TRACE_SAMPLE_SEED", "123", 1);
+  SampleConfig global = SampleConfig::from_env();
+  EXPECT_DOUBLE_EQ(global.rate[static_cast<std::size_t>(Category::kNet)],
+                   0.25);
+  EXPECT_EQ(global.seed, 123u);
+
+  ::setenv("COOP_TRACE_SAMPLE", "*=0.1,net=0.5,bogus=9,rpc=", 1);
+  SampleConfig per = SampleConfig::from_env();
+  EXPECT_DOUBLE_EQ(per.rate[static_cast<std::size_t>(Category::kNet)], 0.5);
+  EXPECT_DOUBLE_EQ(per.rate[static_cast<std::size_t>(Category::kRpc)], 0.1);
+  EXPECT_DOUBLE_EQ(per.rate[static_cast<std::size_t>(Category::kSim)], 0.1);
+  ::unsetenv("COOP_TRACE_SAMPLE");
+  ::unsetenv("COOP_TRACE_SAMPLE_SEED");
+}
+
+// The acceptance property, end to end: run a real RPC workload twice with
+// the same sim seed — once keeping everything, once sampled — and check
+// every trace the sampler kept is causally complete (its record set is
+// exactly the unsampled run's set for that trace id).
+TEST(Sampling, SampledTracesAreCausallyCompleteOnAnRpcWorkload) {
+  const auto run = [](double rate) {
+    auto obs = std::make_unique<Obs>();
+    SampleConfig cfg;
+    cfg.set_all(rate);
+    obs->tracer.set_sampling(cfg);
+    sim::Simulator sim(42);
+    net::Network net(sim, obs.get());
+    rpc::RpcServer server(net, {2, 1});
+    server.register_method("echo", [](const std::string& req) {
+      return rpc::HandlerResult::success(req);
+    });
+    rpc::RpcClient client(net, {1, 1});
+    for (int i = 0; i < 40; ++i) {
+      sim.schedule_at(i * 1000, [&client] {
+        client.call({2, 1}, "echo", "x", [](const rpc::RpcResult&) {});
+      });
+    }
+    sim.run();
+    std::map<std::uint64_t, std::multiset<RecordKey>> by_trace;
+    for (const TraceEvent& e : obs->tracer.snapshot())
+      if (e.ctx.valid())
+        by_trace[e.ctx.trace_id].insert({e.ts, e.name, e.ctx.span_id});
+    return by_trace;
+  };
+
+  const auto reference = run(1.0);
+  const auto sampled = run(0.25);
+  ASSERT_GT(reference.size(), 0u);
+  EXPECT_GT(sampled.size(), 0u);
+  EXPECT_LT(sampled.size(), reference.size());
+  for (const auto& [trace_id, records] : sampled) {
+    ASSERT_TRUE(reference.count(trace_id)) << "trace " << trace_id;
+    EXPECT_EQ(records, reference.at(trace_id))
+        << "trace " << trace_id << " is incomplete";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Profiler overflow policy
+
+TEST(Profiler, SiteTableOverflowIsCountedNotGrown) {
+  Profiler p;
+  p.set_enabled(true);
+  std::vector<std::string> names;
+  names.reserve(Profiler::kMaxSites + 6);
+  for (std::size_t i = 0; i < Profiler::kMaxSites + 6; ++i)
+    names.push_back("site." + std::to_string(i));
+  for (std::size_t i = 0; i < Profiler::kMaxSites; ++i)
+    EXPECT_NE(p.site(names[i].c_str(), Category::kSim), Profiler::kInvalidSite);
+  for (std::size_t i = Profiler::kMaxSites; i < names.size(); ++i)
+    EXPECT_EQ(p.site(names[i].c_str(), Category::kSim), Profiler::kInvalidSite);
+  EXPECT_EQ(p.site_count(), Profiler::kMaxSites);
+  EXPECT_EQ(p.dropped_sites(), 6u);
+  // Re-registering an existing spelling is a lookup, not a drop.
+  EXPECT_EQ(p.site(names[0].c_str(), Category::kSim), 0);
+  EXPECT_EQ(p.dropped_sites(), 6u);
+}
+
+TEST(Profiler, DepthOverflowSkipsFramesAndStaysBalanced) {
+  Profiler p;
+  p.set_enabled(true);
+  const Profiler::SiteId s = p.site("deep", Category::kSim);
+  const std::size_t kOver = Profiler::kMaxDepth + 4;
+  for (std::size_t i = 0; i < kOver; ++i) p.enter(s);
+  for (std::size_t i = 0; i < kOver; ++i) p.exit(s);
+  EXPECT_EQ(p.dropped_frames(), 4u);
+  // Only the frames that fit were attributed; the stack fully unwound.
+  EXPECT_EQ(p.calls_of(s), Profiler::kMaxDepth);
+  p.enter(s);
+  p.exit(s);
+  EXPECT_EQ(p.calls_of(s), Profiler::kMaxDepth + 1);
+}
+
+TEST(Profiler, PathTableOverflowIsCountedAndExportsStillWork) {
+  Profiler p;
+  p.set_enabled(true);
+  std::vector<std::string> names;
+  names.reserve(24);
+  std::vector<Profiler::SiteId> ids;
+  for (int i = 0; i < 24; ++i) {
+    names.push_back("p" + std::to_string(i));
+    ids.push_back(p.site(names.back().c_str(), Category::kSim));
+  }
+  // 24 roots + 24*24 two-deep paths > kMaxPaths: the table must fold the
+  // excess into dropped_paths() instead of growing.
+  for (Profiler::SiteId a : ids) {
+    for (Profiler::SiteId b : ids) {
+      p.enter(a);
+      p.enter(b);
+      p.exit(b);
+      p.exit(a);
+    }
+  }
+  EXPECT_GT(p.dropped_paths(), 0u);
+  std::ostringstream top, folded;
+  p.write_top(top);
+  p.write_collapsed(folded);
+  EXPECT_NE(top.str().find("sim top"), std::string::npos);
+  EXPECT_NE(top.str().find("paths dropped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries edges
+
+TEST(Timeseries, SealsWindowsWithRateAndPercentileCells) {
+  Timeseries ts;
+  ts.set_window(100);
+  const auto lat = ts.series("lat");
+  const auto ok = ts.series("ok");
+  for (int i = 0; i < 50; ++i) ts.observe(lat, 10, 5.0);
+  ts.count(ok, 20, 7);
+  ts.count(ok, 150, 1);  // crosses the edge: seals window 0
+  ts.finish();
+
+  ASSERT_EQ(ts.windows().size(), 2u);
+  const Timeseries::Window& w0 = ts.windows()[0];
+  EXPECT_EQ(w0.t0, 0);
+  ASSERT_EQ(w0.n_cells, 2u);
+  const Timeseries::Cell& c_lat = ts.cells(w0)[lat];
+  EXPECT_EQ(c_lat.count, 50u);
+  EXPECT_DOUBLE_EQ(c_lat.sum, 250.0);
+  EXPECT_DOUBLE_EQ(c_lat.min, 5.0);
+  EXPECT_DOUBLE_EQ(c_lat.p50, 5.0);
+  EXPECT_DOUBLE_EQ(c_lat.p99, 5.0);
+  EXPECT_TRUE(c_lat.has_values);
+  const Timeseries::Cell& c_ok = ts.cells(w0)[ok];
+  EXPECT_EQ(c_ok.count, 7u);
+  EXPECT_FALSE(c_ok.has_values);
+
+  std::ostringstream out;
+  ts.export_json(out);
+  EXPECT_NE(out.str().find("\"window_us\":100"), std::string::npos);
+  EXPECT_NE(out.str().find("\"lat\":["), std::string::npos);
+  EXPECT_NE(out.str().find("\"p99\":5"), std::string::npos);
+}
+
+TEST(Timeseries, BackwardTimestampsFoldIntoTheOpenWindow) {
+  Timeseries ts;
+  ts.set_window(100);
+  const auto s = ts.series("s");
+  ts.count(s, 250, 1);
+  ts.count(s, 10, 1);  // a second Platform restarting virtual time
+  ts.finish();
+  ASSERT_EQ(ts.windows().size(), 1u);
+  EXPECT_EQ(ts.cells(ts.windows()[0])[s].count, 2u);
+}
+
+TEST(Timeseries, LongIdleGapsSealBoundedEmptyWindows) {
+  Timeseries ts;
+  ts.set_window(100);
+  const auto s = ts.series("s");
+  ts.count(s, 10, 1);
+  // Jump far past the gap-seal cap: kMaxGapSeal empties seal (the SLO
+  // watchdog must see idle windows), the rest are skipped and counted.
+  const sim::TimePoint far =
+      static_cast<sim::TimePoint>(100 * (Timeseries::kMaxGapSeal + 500));
+  ts.count(s, far, 1);
+  ts.finish();
+  EXPECT_EQ(ts.windows().size(), 1 + Timeseries::kMaxGapSeal + 1);
+  // Of the 500-window jump, one window beyond the sealed empties opens
+  // for the new point; the other 499 are skipped and counted.
+  EXPECT_EQ(ts.gap_skipped(), 499u);
+  EXPECT_EQ(ts.dropped_windows(), 0u);
+}
+
+TEST(Timeseries, SeriesTableOverflowIsCounted) {
+  Timeseries ts;
+  std::vector<std::string> names;
+  names.reserve(Timeseries::kMaxSeries + 3);
+  for (std::size_t i = 0; i < Timeseries::kMaxSeries + 3; ++i)
+    names.push_back("s" + std::to_string(i));
+  for (std::size_t i = 0; i < Timeseries::kMaxSeries; ++i)
+    EXPECT_NE(ts.series(names[i].c_str()), Timeseries::kInvalidSeries);
+  for (std::size_t i = Timeseries::kMaxSeries; i < names.size(); ++i)
+    EXPECT_EQ(ts.series(names[i].c_str()), Timeseries::kInvalidSeries);
+  EXPECT_EQ(ts.dropped_series(), 3u);
+  // Feeding an invalid id is a no-op, not a crash.
+  ts.count(Timeseries::kInvalidSeries, 10, 1);
+  ts.finish();
+  EXPECT_TRUE(ts.windows().empty());
+}
+
+TEST(Timeseries, DecimationKeepsPercentilesStableOnLargeWindows) {
+  Timeseries ts;
+  ts.set_window(1000000);
+  const auto s = ts.series("v");
+  // 10k evenly spread values in one window: far beyond kMaxSamples, so
+  // stride decimation kicks in; percentiles must stay near the truth.
+  for (int i = 0; i < 10000; ++i)
+    ts.observe(s, 10, static_cast<double>(i % 1000));
+  ts.count(s, 2000000, 1);  // seal
+  const Timeseries::Cell& c = ts.cells(ts.windows()[0])[s];
+  EXPECT_EQ(c.count, 10000u);
+  EXPECT_NEAR(c.p50, 500.0, 60.0);
+  EXPECT_NEAR(c.p99, 990.0, 60.0);
+}
+
+// ---------------------------------------------------------------------------
+// SLO watchdog
+
+TEST(Slo, TripsAndRecoversWithHysteresisEmittingTraceEvents) {
+  Timeseries ts;
+  ts.set_window(100);
+  Tracer tr(256);
+  MetricsRegistry m;
+  SloWatchdog dog(ts, tr, m);
+  dog.add_rule({.name = "goodput",
+                .series = "ok",
+                .kind = SloRule::Kind::kRateFloor,
+                .threshold = 5.0,  // events/sec; 1 count / 100us = 10000/s
+                .trip_windows = 2,
+                .recover_windows = 1,
+                .allowed_breach_windows = 1});
+  const auto ok = ts.series("ok");
+
+  ts.count(ok, 10, 1);    // w0 healthy
+  ts.count(ok, 110, 1);   // w1 healthy (seals w0)
+  ts.count(ok, 410, 1);   // seals w1, then empty w2 + w3 breach -> trip
+  ts.finish();            // seals w4 (healthy, count 1) -> recover
+
+  ASSERT_EQ(dog.rule_count(), 1u);
+  const SloWatchdog::RuleState& s = dog.state(0);
+  EXPECT_EQ(s.evaluated, 5u);
+  EXPECT_EQ(s.breach_windows, 2u);
+  EXPECT_EQ(s.transitions, 2u);
+  EXPECT_TRUE(s.healthy);
+  EXPECT_EQ(dog.transitions_total(), 2u);
+
+  bool saw_breach = false, saw_recover = false;
+  for (const TraceEvent& e : tr.snapshot()) {
+    if (std::string_view(e.name) == "slo_breach") saw_breach = true;
+    if (std::string_view(e.name) == "slo_recovered") saw_recover = true;
+  }
+  EXPECT_TRUE(saw_breach);
+  EXPECT_TRUE(saw_recover);
+  EXPECT_DOUBLE_EQ(m.value("slo.goodput.trips"), 1.0);
+  EXPECT_DOUBLE_EQ(m.value("slo.goodput.recoveries"), 1.0);
+  EXPECT_DOUBLE_EQ(m.value("slo.goodput.healthy"), 1.0);
+
+  // 2 breach windows against a budget of 1: a strict-mode violation even
+  // though the rule ended healthy.
+  EXPECT_EQ(dog.violations(), 1u);
+  const auto msgs = dog.violation_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_NE(msgs[0].find("'goodput'"), std::string::npos);
+  EXPECT_NE(msgs[0].find("2/5 breach windows"), std::string::npos);
+}
+
+TEST(Slo, PercentileRulesSkipEmptyWindowsAndRespectActiveRange) {
+  Timeseries ts;
+  ts.set_window(100);
+  Tracer tr(64);
+  MetricsRegistry m;
+  SloWatchdog dog(ts, tr, m);
+  dog.add_rule({.name = "rtt",
+                .series = "lat",
+                .kind = SloRule::Kind::kP99Ceiling,
+                .threshold = 50.0,
+                .active_from = 100});  // skip the warm-up window
+  const auto lat = ts.series("lat");
+  const auto tick = ts.series("tick");
+
+  ts.observe(lat, 10, 900.0);   // w0: over threshold but outside range
+  ts.observe(lat, 110, 10.0);   // w1: healthy
+  ts.count(tick, 210, 1);       // w2: no lat samples -> skipped
+  ts.observe(lat, 310, 80.0);   // w3: breach, trips immediately
+  ts.finish();
+
+  const SloWatchdog::RuleState& s = dog.state(0);
+  EXPECT_EQ(s.evaluated, 2u);  // w0 out of range, w2 skipped
+  EXPECT_EQ(s.breach_windows, 1u);
+  EXPECT_FALSE(s.healthy);
+  // Ended unhealthy: a violation under must_end_healthy.
+  EXPECT_EQ(dog.violations(), 1u);
+  const auto msgs = dog.violation_messages();
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_NE(msgs[0].find("ended unhealthy"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram max
+
+TEST(Histogram, TracksExactMaxAcrossBuckets) {
+  util::Histogram h(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.0);  // empty: lo
+  h.add(2.5);
+  h.add(7.9);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 7.9);
+  h.add(25.0);  // overflow bucket still updates the exact max
+  EXPECT_DOUBLE_EQ(h.max_seen(), 25.0);
+}
+
+}  // namespace
+}  // namespace coop::obs

@@ -70,6 +70,7 @@ TEST(MetricsRegistry, ToJsonSnapshotsEveryKind) {
             "{\"n.count\":2,"
             "\"n.gauge\":1.5,"
             "\"n.hist\":{\"lo\":0,\"hi\":2,\"total\":1,\"nan\":0,"
+            "\"p50\":0.5,\"p95\":0.5,\"p99\":0.5,\"max\":0.5,"
             "\"buckets\":[1,0]},"
             "\"n.sum\":{\"count\":1,\"mean\":4,\"min\":4,\"max\":4,"
             "\"p50\":4,\"p95\":4,\"p99\":4},"

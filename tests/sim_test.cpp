@@ -133,13 +133,22 @@ TEST(Simulator, PeriodicStartStopCyclesKeepPendingExact) {
 
 TEST(Simulator, StepHookSeesEveryExecutedEvent) {
   Simulator sim;
-  std::vector<EventId> hooked;
-  std::vector<TimePoint> times;
-  sim.set_step_hook([&](EventId id, TimePoint when, std::size_t pending) {
-    hooked.push_back(id);
-    times.push_back(when);
-    EXPECT_EQ(pending, sim.pending());
-  });
+  struct HookState {
+    Simulator* sim;
+    std::vector<EventId> hooked;
+    std::vector<TimePoint> times;
+  } state{&sim, {}, {}};
+  // The hook is a raw fn ptr + context (hot-seam discipline): no captures.
+  sim.set_step_hook(
+      [](void* ctx, EventId id, TimePoint when, std::size_t pending) {
+        auto* s = static_cast<HookState*>(ctx);
+        s->hooked.push_back(id);
+        s->times.push_back(when);
+        EXPECT_EQ(pending, s->sim->pending());
+      },
+      &state);
+  std::vector<EventId>& hooked = state.hooked;
+  std::vector<TimePoint>& times = state.times;
   const EventId a = sim.schedule_at(msec(1), [] {});
   const EventId b = sim.schedule_at(msec(2), [] {});
   const EventId c = sim.schedule_at(msec(3), [] {});
