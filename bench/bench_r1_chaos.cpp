@@ -43,6 +43,7 @@ constexpr const char* kScenarioNames[] = {"crash_restart", "partition_heal",
 
 std::uint64_t g_total_violations = 0;
 std::uint64_t g_slo_violations = 0;
+bool g_durable = false;  // --durable: replicas recover from WAL+checkpoint
 
 struct RunOutcome {
   std::vector<std::string> violations;
@@ -53,6 +54,14 @@ struct RunOutcome {
   std::uint64_t injected_corrupt = 0;
   std::uint64_t dropped_corrupt = 0;
   std::uint64_t fifo_delivered = 0;
+  // Durable-mode evidence (zero in the classic harness-map mode).
+  std::uint64_t wal_replays = 0;
+  std::uint64_t wal_replayed_records = 0;
+  std::uint64_t wal_truncated_tails = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t ae_keys_pulled = 0;
+  std::size_t peak_log_bytes = 0;
+  std::vector<double> recovery_us;  ///< modeled replay cost per recovery
 };
 
 RunOutcome run_chaos(int scenario, std::uint64_t seed) {
@@ -310,11 +319,340 @@ RunOutcome run_chaos(int scenario, std::uint64_t seed) {
   return out;
 }
 
+// Durable variant of the soak: the two replicas keep their state in real
+// durable::DurableStore instances over harness-owned StableMedia.  A crash
+// kills every volatile object — store, WAL buffer, RPC server, replay
+// cache, anti-entropy puller — and may tear the in-flight WAL frame; the
+// restart seam reconstructs the replica solely from checkpoint + log
+// replay.  Each logical op targets ONE replica (unlike the classic mode's
+// write-both), so replica convergence genuinely requires anti-entropy, and
+// a tmp-key write-then-delete exercise proves tombstones replicate instead
+// of resurrecting.  At quiesce both replicas are torn down and rebuilt
+// from their media once more: every invariant is checked against state
+// that demonstrably came off the platter.
+RunOutcome run_durable_chaos(int scenario, std::uint64_t seed) {
+  obs::Obs local;  // per-run sink so trace mining never crosses runs
+  local.slo.add_rule({.name = "ack_rate_floor",
+                      .series = "rpc.ok",
+                      .kind = obs::SloRule::Kind::kRateFloor,
+                      .threshold = 5.0,
+                      .trip_windows = 2,
+                      .recover_windows = 1,
+                      .active_from = sim::msec(200),
+                      .active_until = sim::msec(2900),
+                      .allowed_breach_windows = 30});
+  local.slo.add_rule({.name = "rpc_rtt_p99",
+                      .series = "rpc.latency_us",
+                      .kind = obs::SloRule::Kind::kP99Ceiling,
+                      .threshold = 400000.0,
+                      .trip_windows = 2,
+                      .recover_windows = 2,
+                      .allowed_breach_windows = 30});
+  Platform platform(seed, &local);
+  auto& sim = platform.simulator();
+  auto& net = platform.network();
+  net.set_default_link({.latency = sim::msec(5), .jitter = sim::msec(2),
+                        .bandwidth_bps = 10e6, .loss = 0.005});
+
+  fault::Invariants inv;
+  RunOutcome out;
+
+  // --- membership plane: identical to the classic mode.
+  groups::MembershipConfig mcfg;
+  mcfg.failure_timeout = sim::msec(500);
+  groups::MembershipCoordinator coord(net, {100, 1}, mcfg);
+  std::array<std::unique_ptr<groups::MembershipMember>, 3> members;
+  const auto start_member = [&](int idx) {
+    members[static_cast<std::size_t>(idx)].reset();
+    members[static_cast<std::size_t>(idx)] =
+        std::make_unique<groups::MembershipMember>(
+            net, net::Address{static_cast<net::NodeId>(idx + 1), 1},
+            net::Address{100, 1}, mcfg);
+    members[static_cast<std::size_t>(idx)]->join();
+  };
+  for (int i = 0; i < 3; ++i) start_member(i);
+
+  // --- durable replicas on nodes 1-2.  The StableMedia is the harness's
+  // only cross-incarnation state: everything else is rebuilt by recovery.
+  const auto durable_cfg = [](int s) {
+    durable::DurableConfig dc;
+    dc.name = "r" + std::to_string(s);
+    dc.sync_interval = sim::msec(5);
+    dc.checkpoint_log_bytes = 2048;  // several compactions per run
+    dc.tombstone_ttl = sim::sec(60);  // outlives the run: no GC races
+    dc.tombstone_cap = 1024;
+    return dc;
+  };
+  struct Replica {
+    // Declaration order is teardown-safety: the AE puller (owns an rpc
+    // client) and server (handlers reference the store) die before it.
+    std::unique_ptr<durable::DurableStore> store;
+    std::unique_ptr<rpc::RpcServer> server;
+    std::unique_ptr<durable::AntiEntropy> ae;
+  };
+  std::array<durable::StableMedia, 2> media;
+  std::array<Replica, 2> replicas;
+  std::array<int, 2> incarnation{1, 1};
+  std::array<std::size_t, 2> peak_log{0, 0};
+  const auto start_replica = [&](int s) {
+    auto& r = replicas[static_cast<std::size_t>(s)];
+    r.ae.reset();
+    r.server.reset();
+    r.store.reset();  // old endpoints/timers down before recovery
+    r.store = std::make_unique<durable::DurableStore>(
+        sim, local, media[static_cast<std::size_t>(s)], durable_cfg(s));
+    out.recovery_us.push_back(0.05 * static_cast<double>(
+                                         r.store->recovery().scanned_bytes));
+    durable::DurableStore* st = r.store.get();
+    r.server = std::make_unique<rpc::RpcServer>(
+        net, net::Address{static_cast<net::NodeId>(s + 1), 2});
+    const int inc = incarnation[static_cast<std::size_t>(s)];
+    // "set"/"del" ack only once the mutation's WAL record is synced: the
+    // reply closure rides the group-commit waiter, so a crash before sync
+    // drops the op AND its ack together — acks never lie.
+    r.server->register_async_method(
+        "set", [&inv, st, s, inc](const std::string& req, auto reply) {
+          // req = "<op>|<value>|<call nonce>"; executions keyed by
+          // (server, incarnation, op, nonce) as in the classic mode.
+          const auto bar1 = req.find('|');
+          const auto bar2 = req.rfind('|');
+          const std::string op = req.substr(0, bar1);
+          inv.record_execution("s" + std::to_string(s) + "#" +
+                               std::to_string(inc) + ":" + op + ":" +
+                               req.substr(bar2 + 1));
+          st->put(op, req.substr(bar1 + 1, bar2 - bar1 - 1), [reply] {
+            reply(rpc::HandlerResult::success("ok"));
+          });
+        });
+    r.server->register_async_method(
+        "del", [&inv, st, s, inc](const std::string& req, auto reply) {
+          const auto bar = req.find('|');
+          const std::string op = req.substr(0, bar);
+          inv.record_execution("s" + std::to_string(s) + "#" +
+                               std::to_string(inc) + ":del:" + op + ":" +
+                               req.substr(bar + 1));
+          st->erase(op, [reply] {
+            reply(rpc::HandlerResult::success("ok"));
+          });
+        });
+    durable::AntiEntropy::serve(*r.server, *st);
+    durable::AeConfig ac;
+    ac.name = durable_cfg(s).name;
+    ac.period = sim::msec(250);
+    r.ae = std::make_unique<durable::AntiEntropy>(
+        net, net::Address{static_cast<net::NodeId>(s + 1), 11},
+        net::Address{static_cast<net::NodeId>(2 - s), 2}, *st, ac);
+  };
+  start_replica(0);
+  start_replica(1);
+
+  // --- workload: each op targets ONE replica (op i -> replica i%2), so
+  // the other replica can only learn it via anti-entropy.  Re-issued
+  // until acked; values are op-keyed so re-execution converges.
+  rpc::RpcClient client(net, {10, 1});
+  std::uint64_t nonce = 0;
+  bool failed_since_success = false;
+  const std::string pad(48, 'x');  // log volume: force real compaction work
+  std::function<void(int, const std::string&, const std::string&,
+                     const std::function<void()>&)>
+      issue_to = [&](int s, const std::string& method, const std::string& req,
+                     const std::function<void()>& on_ack) {
+        client.call(
+            {static_cast<net::NodeId>(s + 1), 2}, method,
+            req + "|n" + std::to_string(++nonce),
+            [&, s, method, req, on_ack](const rpc::RpcResult& r) {
+              if (r.ok()) {
+                ++out.ops_acked;
+                if (failed_since_success) {
+                  failed_since_success = false;
+                  local.tracer.event(sim.now(), obs::Category::kFault,
+                                     "recovered", {});
+                }
+                if (on_ack) on_ack();
+              } else {
+                failed_since_success = true;
+                sim.schedule_after(sim::msec(100), [&issue_to, s, method, req,
+                                                    on_ack] {
+                  issue_to(s, method, req, on_ack);
+                });
+              }
+            },
+            {.timeout = sim::msec(100), .retries = 2, .backoff_jitter = 0.2});
+      };
+  constexpr int kOps = 40;
+  for (int i = 0; i < kOps; ++i) {
+    sim.schedule_at(sim::msec(75) * i, [&, i] {
+      const int s = i % 2;
+      const std::string op = "op" + std::to_string(i);
+      issue_to(s, "set", op + "|v" + std::to_string(i) + pad, [&inv, s, op] {
+        inv.record_acknowledged("s" + std::to_string(s) + ":" + op);
+      });
+    });
+  }
+  // Tombstone exercise: write tmp keys, then delete them once the write
+  // is acked.  An acked delete must survive every later crash-restart and
+  // must not resurrect via anti-entropy on either replica.
+  constexpr int kTmp = 5;
+  for (int j = 0; j < kTmp; ++j) {
+    sim.schedule_at(sim::sec(3) + sim::msec(60) * j, [&, j] {
+      const int s = j % 2;
+      const std::string op = "tmp" + std::to_string(j);
+      issue_to(s, "set", op + "|v" + pad, [&issue_to, s, op] {
+        issue_to(s, "del", op, nullptr);
+      });
+    });
+  }
+
+  // --- the chaos schedule: same profiles as the classic mode.
+  fault::FaultPlan plan(net);
+  fault::ChaosProfile profile;
+  profile.nodes = {1, 2, 3};
+  profile.horizon = sim::sec(2);
+  switch (scenario) {
+    case 0:
+      profile.crashes = 3;
+      break;
+    case 1:
+      profile.partitions = 3;
+      break;
+    case 2:
+      profile.degrade_windows = 3;
+      profile.disturbance = {.extra_loss = 0.15,
+                             .extra_latency = sim::msec(10),
+                             .extra_jitter = sim::msec(5)};
+      break;
+    case 3:
+      profile.corrupt_windows = 3;
+      profile.corrupt_prob = 0.25;
+      profile.duplicate_windows = 2;
+      profile.delay_windows = 2;
+      break;
+    default:
+      break;
+  }
+  // Deterministic torn-tail draw, independent of the chaos engine's and
+  // the simulator's streams so it perturbs neither.
+  sim::Rng torn_rng(seed * 7919 + static_cast<std::uint64_t>(scenario));
+  plan.on_crash([&](net::NodeId n) {
+    const int idx = static_cast<int>(n) - 1;
+    if (idx >= 0 && idx < 3) members[static_cast<std::size_t>(idx)].reset();
+    if (idx >= 0 && idx < 2) {
+      auto& r = replicas[static_cast<std::size_t>(idx)];
+      peak_log[static_cast<std::size_t>(idx)] =
+          std::max(peak_log[static_cast<std::size_t>(idx)],
+                   r.store->max_log_bytes());
+      // Model a write caught mid-flight: appended but never synced, so
+      // the crash can tear its frame.  The record is never acked and its
+      // garbage prefix must be discarded (unparsed) by recovery.
+      r.store->put("inflight", std::string(16, 'x'));
+      // Fail-stop with a possibly-torn tail: pending acks drop unfired,
+      // the unsynced suffix dies, a garbage prefix of it may land.
+      r.store->crash(
+          static_cast<std::size_t>(torn_rng.uniform_int(0, 24)));
+      r.ae.reset();
+      r.server.reset();
+      r.store.reset();  // in-memory state is GONE; only the media remains
+    }
+  });
+  plan.on_restart([&](net::NodeId n) {
+    const int idx = static_cast<int>(n) - 1;
+    if (idx >= 0 && idx < 3) start_member(idx);
+    if (idx >= 0 && idx < 2) {
+      ++incarnation[static_cast<std::size_t>(idx)];
+      start_replica(idx);  // recovery: checkpoint + WAL replay
+    }
+  });
+  fault::ChaosEngine engine(seed * 1000 +
+                            static_cast<std::uint64_t>(scenario));
+  engine.populate(plan, profile);
+  plan.arm();
+
+  sim.run_until(sim::sec(8));
+
+  // --- quiesce proof: rebuild both replicas from their media one final
+  // time and run every check against the RECOVERED state.
+  for (int s = 0; s < 2; ++s) {
+    auto& r = replicas[static_cast<std::size_t>(s)];
+    r.store->sync();  // flush the tail so adopted AE entries are on disk
+    peak_log[static_cast<std::size_t>(s)] = std::max(
+        peak_log[static_cast<std::size_t>(s)], r.store->max_log_bytes());
+    const ccontrol::ObjectStore before = r.store->store();
+    r.ae.reset();
+    r.server.reset();
+    r.store->crash();
+    r.store.reset();
+    durable::DurableStore recovered(
+        sim, local, media[static_cast<std::size_t>(s)], durable_cfg(s));
+    if (!(recovered.store() == before)) {
+      inv.report_violation("replica r" + std::to_string(s) +
+                           ": state recovered from WAL+checkpoint differs "
+                           "from the synced pre-teardown state");
+    }
+    std::string digest;
+    for (const auto& k : recovered.store().keys()) {
+      digest += k + "=" + *recovered.store().read(k) + "@" +
+                std::to_string(recovered.store().version(k)) + ";";
+      inv.record_applied("s" + std::to_string(s) + ":" + k);
+      // An op acked on the *other* replica that anti-entropy carried here
+      // is durable on this side too; recording it is harmless (the check
+      // only requires acked ops to be present somewhere they were acked).
+    }
+    inv.record_state("r" + std::to_string(s), digest);
+    for (int j = 0; j < kTmp; ++j) {
+      if (recovered.read("tmp" + std::to_string(j)).has_value()) {
+        inv.report_violation("tombstone lost: acked delete of tmp" +
+                             std::to_string(j) + " resurrected on r" +
+                             std::to_string(s));
+      }
+    }
+    inv.check_log_bounded("r" + std::to_string(s),
+                          peak_log[static_cast<std::size_t>(s)],
+                          2048 + 4096);  // threshold + one commit batch
+  }
+  inv.record_view("coord", coord.view().id, coord.view().members.size());
+  for (int i = 0; i < 3; ++i) {
+    const auto& m = members[static_cast<std::size_t>(i)];
+    if (m && m->view().has_value()) {
+      inv.record_view("m" + std::to_string(i), m->view()->id,
+                      m->view()->members.size());
+    }
+  }
+  if (out.ops_acked < kOps + 2 * kTmp) {
+    inv.report_violation("liveness: only " + std::to_string(out.ops_acked) +
+                         "/" + std::to_string(kOps + 2 * kTmp) +
+                         " ops acknowledged by quiesce");
+  }
+  inv.check_all();
+  inv.check_corruption_contained(net.stats(), plan.injected().corrupt_frames);
+
+  out.violations = inv.violations();
+  local.series.finish();
+  out.slo_violations = local.slo.violation_messages();
+  out.slo_transitions = local.slo.transitions_total();
+  out.recovery = fault::recovery_latencies(local.tracer.snapshot());
+  out.injected_corrupt = plan.injected().corrupt_frames;
+  out.dropped_corrupt = net.stats().dropped_corrupt;
+  const auto sum2 = [&local](const char* leaf) {
+    return local.metrics.counter("durable.r0." + std::string(leaf)).value() +
+           local.metrics.counter("durable.r1." + std::string(leaf)).value();
+  };
+  out.wal_replays = sum2("replays");
+  out.wal_replayed_records = sum2("replayed_records");
+  out.wal_truncated_tails = sum2("truncated_tail");
+  out.checkpoints = sum2("checkpoints");
+  out.ae_keys_pulled = sum2("ae_keys_pulled");
+  out.peak_log_bytes = std::max(peak_log[0], peak_log[1]);
+  return out;
+}
+
 void BM_ChaosSoak(benchmark::State& state) {
   const int scenario = static_cast<int>(state.range(0));
   const auto seed = static_cast<std::uint64_t>(state.range(1));
   RunOutcome out;
-  for (auto _ : state) out = run_chaos(scenario, seed);
+  for (auto _ : state) {
+    out = g_durable ? run_durable_chaos(scenario, seed)
+                    : run_chaos(scenario, seed);
+  }
 
   obs::Obs& ambient = *obs::default_obs();
   auto& recovery = ambient.metrics.summary("fault.recovery_us");
@@ -328,6 +666,18 @@ void BM_ChaosSoak(benchmark::State& state) {
       .inc(out.injected_corrupt);
   ambient.metrics.counter("fault.soak.dropped_corrupt")
       .inc(out.dropped_corrupt);
+  if (g_durable) {
+    ambient.metrics.counter("durable.soak.replays").inc(out.wal_replays);
+    ambient.metrics.counter("durable.soak.replayed_records")
+        .inc(out.wal_replayed_records);
+    ambient.metrics.counter("durable.soak.truncated_tails")
+        .inc(out.wal_truncated_tails);
+    ambient.metrics.counter("durable.soak.checkpoints").inc(out.checkpoints);
+    ambient.metrics.counter("durable.soak.ae_keys_pulled")
+        .inc(out.ae_keys_pulled);
+    auto& rec_us = ambient.metrics.summary("durable.recovery_us");
+    for (const double v : out.recovery_us) rec_us.add(v);
+  }
   if (!out.violations.empty()) {
     ambient.metrics.counter("fault.invariant_violations")
         .inc(out.violations.size());
@@ -354,9 +704,17 @@ void BM_ChaosSoak(benchmark::State& state) {
   state.counters["violations"] = static_cast<double>(out.violations.size());
   state.counters["recoveries"] = static_cast<double>(out.recovery.size());
   state.counters["ops_acked"] = static_cast<double>(out.ops_acked);
-  state.counters["fifo_delivered"] =
-      static_cast<double>(out.fifo_delivered);
-  state.SetLabel(kScenarioNames[scenario]);
+  if (g_durable) {
+    state.counters["wal_replays"] = static_cast<double>(out.wal_replays);
+    state.counters["checkpoints"] = static_cast<double>(out.checkpoints);
+    state.counters["ae_pulled"] = static_cast<double>(out.ae_keys_pulled);
+    state.counters["peak_log"] = static_cast<double>(out.peak_log_bytes);
+    state.SetLabel(std::string(kScenarioNames[scenario]) + "_durable");
+  } else {
+    state.counters["fifo_delivered"] =
+        static_cast<double>(out.fifo_delivered);
+    state.SetLabel(kScenarioNames[scenario]);
+  }
 }
 
 BENCHMARK(BM_ChaosSoak)
@@ -368,9 +726,20 @@ BENCHMARK(BM_ChaosSoak)
 // COOP_BENCH_MAIN with one addition: a non-zero exit code when any run
 // violated an invariant, so CI fails on the soak, not on a diff.
 int main(int argc, char** argv) {
+  // --durable (stripped before benchmark::Initialize): run the soak
+  // against real WAL+checkpoint replicas instead of harness-owned maps.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--durable") {
+      g_durable = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  const char* tag = g_durable ? "r1_durable" : "r1_chaos";
   coop::obs::Obs obs;
   coop::obs::ScopedDefaultObs ambient(&obs);
-  obs.meta.knobs["tag"] = "r1_chaos";
+  obs.meta.knobs["tag"] = tag;
   obs.meta.knobs["trace_cap"] = std::to_string(obs.tracer.capacity());
   if (const char* cap = std::getenv("COOP_TRACE_CAP"))
     obs.meta.knobs["COOP_TRACE_CAP"] = cap;
@@ -390,8 +759,8 @@ int main(int argc, char** argv) {
   obs.meta.wall_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - wall_start)
                          .count();
-  if (!coop::obs::write_bench_artifacts(obs, "r1_chaos")) {
-    std::fprintf(stderr, "warning: failed to write BENCH_r1_chaos.*\n");
+  if (!coop::obs::write_bench_artifacts(obs, tag)) {
+    std::fprintf(stderr, "warning: failed to write BENCH_%s.*\n", tag);
   }
   if (g_total_violations > 0) {
     std::fprintf(stderr, "chaos soak FAILED: %llu invariant violation(s)\n",

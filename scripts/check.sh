@@ -50,6 +50,21 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_chaos.json") \
 fi
 echo "chaos soak: clean, artifact reproducible"
 
+echo "== durable soak: WAL + checkpoint recovery + anti-entropy =="
+# --durable swaps the replicas for durable::DurableStore instances:
+# crashes drop the unsynced tail (plus seeded torn garbage), restarts
+# recover solely from checkpoint + log replay, and on top of the R1
+# invariants the run proves a quiesce-and-recover identity, zero
+# acked-op loss and a bounded WAL.  Same determinism contract.
+(cd "${soak_a}" && COOP_SLO_STRICT=1 run "${bench_bin}" --durable >/dev/null)
+(cd "${soak_b}" && COOP_SLO_STRICT=1 run "${bench_bin}" --durable >/dev/null)
+if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_durable.json") \
+          <(grep -v wall_ms "${soak_b}/BENCH_r1_durable.json"); then
+  echo "durable soak artifact is not reproducible across identical runs" >&2
+  exit 1
+fi
+echo "durable soak: clean, artifact reproducible"
+
 echo "== overload soak: goodput sweep + no-acked-shed + SLO rules =="
 overload_bin="$(pwd)/build-check/bench/bench_r2_overload"
 (cd "${soak_a}" && COOP_SLO_STRICT=1 run "${overload_bin}" >/dev/null)
@@ -102,6 +117,7 @@ run cmake --build build-asan -j "${JOBS}"
 run ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 asan_bench="$(pwd)/build-asan/bench/bench_r1_chaos"
 (cd "${soak_a}" && run "${asan_bench}" >/dev/null)
+(cd "${soak_a}" && run "${asan_bench}" --durable >/dev/null)
 asan_overload="$(pwd)/build-asan/bench/bench_r2_overload"
 (cd "${soak_a}" && run "${asan_overload}" >/dev/null)
 asan_awareness="$(pwd)/build-asan/bench/bench_e12_awareness_scaling"

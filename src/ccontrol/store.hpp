@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <string>
@@ -11,11 +12,25 @@
 namespace coop::ccontrol {
 
 /// A single-node versioned store.  Replication and remote access are
-/// layered above (rpc/, groups/); concurrency *control* is layered above
+/// layered above (rpc/, durable/); concurrency *control* is layered above
 /// too (locks, transactions, transaction groups) — the store itself is a
 /// plain last-writer state container.
+///
+/// Deletions leave a *tombstone* carrying the deletion's version, so a
+/// replication layer (durable::AntiEntropy) can distinguish "deleted at
+/// version v" from "never existed" and never resurrects an erased key from
+/// a peer that still holds the old value.  Tombstones are bounded: the
+/// durability plane GC's them at checkpoint time via gc_tombstones().
 class ObjectStore {
  public:
+  /// Replication metadata for a deleted key: the version the deletion
+  /// occupies in the key's version order, and a caller-supplied stamp
+  /// (virtual time in the durability plane) used for TTL-based GC.
+  struct Tombstone {
+    std::uint64_t version = 0;
+    std::uint64_t stamp = 0;
+  };
+
   /// Current value of @p key, if present.
   [[nodiscard]] std::optional<std::string> read(const std::string& key) const {
     auto it = items_.find(key);
@@ -23,25 +38,78 @@ class ObjectStore {
     return it->second.value;
   }
 
-  /// Overwrites @p key, bumping its version.
+  /// Overwrites @p key, bumping its version.  A re-write of a deleted key
+  /// continues the version order above the tombstone (and clears it), so
+  /// the new value dominates the deletion under last-writer-wins.
   void write(const std::string& key, std::string value) {
     auto& item = items_[key];
+    std::uint64_t base = item.version;
+    if (auto it = tombstones_.find(key); it != tombstones_.end()) {
+      if (it->second.version > base) base = it->second.version;
+      tombstones_.erase(it);
+    }
     item.value = std::move(value);
-    ++item.version;
+    item.version = base + 1;
   }
 
-  /// Removes @p key.  Returns true if it existed.
-  bool erase(const std::string& key) { return items_.erase(key) > 0; }
+  /// Removes @p key, leaving a tombstone one version above the deleted
+  /// value.  Returns true if the key was live.  Erasing an absent key is a
+  /// no-op (no tombstone: there is no deletion to replicate).
+  bool erase(const std::string& key, std::uint64_t stamp = 0) {
+    auto it = items_.find(key);
+    if (it == items_.end()) return false;
+    tombstones_[key] = {it->second.version + 1, stamp};
+    items_.erase(it);
+    return true;
+  }
 
-  /// Monotonic per-key version (0 = never written).
+  // --- replication / replay applies ---------------------------------------
+  //
+  // The durability plane replays log records and adopts anti-entropy
+  // transfers with *absolute* versions (the version the op had where it
+  // originated), never bumping — so replay is idempotent and replicas
+  // converge on identical (value, version) pairs.
+
+  /// Sets @p key to (@p value, @p version) verbatim iff the version is not
+  /// dominated by the known local version; clears any tombstone the new
+  /// version dominates.  Ties overwrite a live value (replay idempotence)
+  /// but never a tombstone (deletion wins ties, so a dominated or tied put
+  /// cannot resurrect a deleted key).
+  void apply_put(const std::string& key, std::string value,
+                 std::uint64_t version) {
+    if (auto it = tombstones_.find(key); it != tombstones_.end()) {
+      if (it->second.version >= version) return;
+      tombstones_.erase(it);
+    }
+    auto it = items_.find(key);
+    if (it != items_.end() && it->second.version > version) return;
+    items_[key] = {std::move(value), version};
+  }
+
+  /// Records a deletion at @p version verbatim: drops the live value if
+  /// the deletion dominates it and keeps the highest-version tombstone.
+  void apply_erase(const std::string& key, std::uint64_t version,
+                   std::uint64_t stamp) {
+    auto it = items_.find(key);
+    if (it != items_.end() && it->second.version <= version) items_.erase(it);
+    auto& t = tombstones_[key];
+    if (version >= t.version) t = {version, stamp};
+  }
+
+  /// Monotonic per-key version (0 = never written).  A deleted key reports
+  /// its tombstone's version, keeping the order monotonic across deletion
+  /// and re-creation (first-writer-wins users see a version bump, never a
+  /// reset).
   [[nodiscard]] std::uint64_t version(const std::string& key) const {
     auto it = items_.find(key);
-    return it == items_.end() ? 0 : it->second.version;
+    if (it != items_.end()) return it->second.version;
+    auto tit = tombstones_.find(key);
+    return tit == tombstones_.end() ? 0 : tit->second.version;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
 
-  /// Snapshot of all keys (test/experiment introspection).
+  /// Snapshot of all live keys (test/experiment introspection).
   [[nodiscard]] std::vector<std::string> keys() const {
     std::vector<std::string> out;
     out.reserve(items_.size());
@@ -49,12 +117,56 @@ class ObjectStore {
     return out;
   }
 
+  /// Live tombstones, keyed by deleted key.
+  [[nodiscard]] const std::map<std::string, Tombstone>& tombstones()
+      const noexcept {
+    return tombstones_;
+  }
+
+  /// Garbage-collects tombstones: drops every one with stamp < @p min_stamp,
+  /// then — if more than @p max_keep remain — the oldest (by stamp, then
+  /// key) until the cap holds.  Returns the number collected.  The
+  /// durability plane calls this at checkpoint seal time; a collected
+  /// tombstone's deletion is already in every checkpoint that matters, so
+  /// the bound trades anti-entropy memory for a TTL on delete/recreate
+  /// races.
+  std::size_t gc_tombstones(std::uint64_t min_stamp, std::size_t max_keep) {
+    std::size_t collected = 0;
+    for (auto it = tombstones_.begin(); it != tombstones_.end();) {
+      if (it->second.stamp < min_stamp) {
+        it = tombstones_.erase(it);
+        ++collected;
+      } else {
+        ++it;
+      }
+    }
+    while (tombstones_.size() > max_keep) {
+      auto oldest = tombstones_.begin();
+      for (auto it = std::next(tombstones_.begin()); it != tombstones_.end();
+           ++it) {
+        if (it->second.stamp < oldest->second.stamp) oldest = it;
+      }
+      tombstones_.erase(oldest);
+      ++collected;
+    }
+    return collected;
+  }
+
+  /// Structural equality of the live state: same keys, same values, same
+  /// per-key versions.  Versions matter — two replicas holding equal
+  /// values at diverged versions have *not* converged (the next
+  /// last-writer-wins decision would differ), so the convergence invariant
+  /// must see them as unequal.  Tombstones are replication metadata and
+  /// deliberately excluded ("deleted" and "never existed" are the same
+  /// live state).
   bool operator==(const ObjectStore& other) const {
     if (items_.size() != other.items_.size()) return false;
     for (const auto& [k, v] : items_) {
       auto it = other.items_.find(k);
-      if (it == other.items_.end() || it->second.value != v.value)
+      if (it == other.items_.end() || it->second.value != v.value ||
+          it->second.version != v.version) {
         return false;
+      }
     }
     return true;
   }
@@ -65,6 +177,7 @@ class ObjectStore {
     std::uint64_t version = 0;
   };
   std::map<std::string, Item> items_;
+  std::map<std::string, Tombstone> tombstones_;
 };
 
 }  // namespace coop::ccontrol

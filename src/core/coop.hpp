@@ -17,6 +17,8 @@
 //   rpc/        request-response, trader, group RPC with deadlines
 //   ccontrol/   transactions, cooperative locks, transaction groups,
 //               operational transformation, floor control
+//   durable/    per-node write-ahead log, checkpoint/compaction, crash
+//               recovery, anti-entropy replica catch-up
 //   access/     matrix/ACL/capabilities, dynamic fine-grained roles,
 //               rights negotiation
 //   awareness/  focus/nimbus spatial model, weighted event engine
@@ -39,6 +41,9 @@
 #include "ccontrol/store.hpp"
 #include "ccontrol/transactions.hpp"
 #include "ccontrol/txgroup.hpp"
+#include "durable/anti_entropy.hpp"
+#include "durable/store.hpp"
+#include "durable/wal.hpp"
 #include "fault/fault.hpp"
 #include "fault/invariants.hpp"
 #include "groups/group_channel.hpp"

@@ -1,0 +1,173 @@
+// Per-node write-ahead log in virtual time.
+//
+// The paper's asynchronous quadrants assume the shared information space
+// outlives any one session or node; the chaos plane (DESIGN.md §10) only
+// proved "no acked op lost" because the harness kept server state in
+// harness-owned maps across restart().  This module makes durability a
+// *platform* concern: state survives a crash because — and only because —
+// it was written ahead to a stable medium and replayed on recovery.
+//
+// Model.  StableMedia is the disk platter: plain byte arrays owned by the
+// harness, the one thing a fail-stop crash does not erase.  Wal is the
+// volatile runtime on top: appends buffer in memory and become durable at
+// the next group-commit sync (a configurable virtual-time interval), so a
+// crash deterministically drops the unsynced tail.  A crash may also leave
+// a *torn* prefix of the record that was being written — garbage bytes the
+// recovery scanner must detect and discard, never parse.
+//
+// Record format (util::Writer little-endian encoding), one frame per op:
+//
+//   u32 body_len | u32 fnv1a(body) | body
+//   body = u8 type | u64 lsn | u64 version | u64 stamp | key | value
+//
+// The per-record checksum (FNV-1a, the same function the NIC uses for
+// frame integrity) is what makes the torn/corrupt tail detectable: the
+// scanner stops at the first frame whose length overruns the medium or
+// whose body hashes wrong, counts the truncated bytes, and the replayer
+// proceeds with the intact prefix.  Acknowledgements are gated on sync
+// (Wal::on_durable), so truncated records are by construction un-acked.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+
+namespace coop::durable {
+
+/// The crash-surviving stable medium of one node.  Owned by the harness
+/// (it *is* the disk); every volatile object — Wal, DurableStore, the
+/// protocol endpoints — dies at crash time and is rebuilt from these bytes.
+struct StableMedia {
+  std::vector<std::uint8_t> log;         ///< synced WAL frames (+ torn tail)
+  std::vector<std::uint8_t> checkpoint;  ///< last sealed snapshot, [] = none
+  std::uint64_t torn_writes = 0;         ///< crashes that left a torn tail
+  std::uint64_t checkpoints = 0;         ///< snapshots sealed over lifetime
+};
+
+/// One logical WAL record.
+struct WalRecord {
+  enum Type : std::uint8_t { kPut = 1, kErase = 2 };
+
+  Type type = kPut;
+  std::uint64_t lsn = 0;      ///< log sequence number, monotonic per node
+  std::uint64_t version = 0;  ///< absolute per-key version of the op
+  std::uint64_t stamp = 0;    ///< virtual time of the op (tombstone TTL)
+  std::string key;
+  std::string value;  ///< empty for kErase
+};
+
+struct WalConfig {
+  std::string name = "wal";  ///< metrics key component: durable.<name>.*
+  /// Group-commit interval: appends buffer until the next sync tick, so a
+  /// sync amortizes over every op that arrived in the window.  0 = sync
+  /// synchronously on every append (tests).
+  sim::Duration sync_interval = sim::msec(5);
+};
+
+/// The volatile write-ahead-log runtime over one StableMedia.
+class Wal {
+ public:
+  using DurableFn = std::function<void()>;
+
+  Wal(sim::Simulator& sim, obs::Obs& obs, StableMedia& media, WalConfig cfg,
+      std::uint64_t first_lsn);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Appends @p rec (its lsn is assigned here), buffers the frame for the
+  /// next group commit and arms the sync timer.  If @p on_durable is
+  /// given it fires exactly once, when the record's frame has reached the
+  /// stable medium — or never, if a crash intervenes.  Returns the lsn.
+  std::uint64_t append(WalRecord rec, DurableFn on_durable = nullptr);
+
+  /// Flushes every buffered frame to the medium and fires their
+  /// on_durable callbacks in append order.  Idempotent when empty.
+  void sync();
+
+  /// Fail-stop crash: the unsynced tail is lost, except for the first
+  /// @p torn_bytes of it, which reach the medium as a torn (garbage) tail
+  /// for the recovery scanner to discard.  Pending on_durable callbacks
+  /// are dropped unfired.  The Wal is inert afterwards; destroy it.
+  void crash(std::size_t torn_bytes = 0);
+
+  /// Truncates the medium's log to empty (checkpoint seal).  Buffered
+  /// unsynced frames are unaffected — callers sync() first.
+  void truncate_log();
+
+  /// Hook fired after each group commit that flushed data (after the
+  /// flushed records' on_durable callbacks).  The durability plane uses it
+  /// to trigger checkpoints on log growth.
+  void set_after_sync(DurableFn fn) { after_sync_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t next_lsn() const noexcept { return next_lsn_; }
+  [[nodiscard]] std::uint64_t synced_lsn() const noexcept {
+    return synced_lsn_;
+  }
+  [[nodiscard]] std::size_t log_bytes() const noexcept {
+    return media_.log.size();
+  }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] StableMedia& media() noexcept { return media_; }
+
+  /// Encodes @p rec as one checksummed frame appended to @p out.
+  static void encode_frame(std::vector<std::uint8_t>& out,
+                           const WalRecord& rec);
+
+  /// Sequential scanner over a medium's log bytes.  next() yields intact
+  /// records until the end of the log or the first torn/corrupt frame;
+  /// after it returns false, truncated_bytes()/truncated() report what
+  /// the scan discarded (0/false for a clean log).
+  class Scanner {
+   public:
+    explicit Scanner(const std::vector<std::uint8_t>& log) : log_(log) {}
+
+    bool next(WalRecord& out);
+
+    [[nodiscard]] std::size_t truncated_bytes() const noexcept {
+      return log_.size() - pos_;
+    }
+    [[nodiscard]] bool truncated() const noexcept { return torn_; }
+    [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+   private:
+    const std::vector<std::uint8_t>& log_;
+    std::size_t pos_ = 0;
+    std::uint64_t records_ = 0;
+    bool torn_ = false;
+    bool done_ = false;
+  };
+
+ private:
+  struct Waiter {
+    std::uint64_t lsn;
+    DurableFn fn;
+  };
+
+  void arm_sync_timer();
+
+  sim::Simulator& sim_;
+  StableMedia& media_;
+  WalConfig cfg_;
+  std::vector<std::uint8_t> pending_;  ///< encoded, not yet synced
+  std::vector<Waiter> waiters_;        ///< ack gates for pending records
+  DurableFn after_sync_;               ///< post-commit hook (may be empty)
+  std::uint64_t next_lsn_;
+  std::uint64_t synced_lsn_;  ///< highest lsn on the medium (0 = none)
+  sim::EventId sync_timer_ = sim::kInvalidEvent;
+  bool crashed_ = false;
+  obs::Obs& obs_;
+  // Registry-owned "durable.<name>.*" counters.
+  util::Counter* appends_;
+  util::Counter* syncs_;
+  util::Counter* synced_bytes_;
+};
+
+}  // namespace coop::durable

@@ -100,6 +100,17 @@ void Invariants::check_corruption_contained(const net::NetworkStats& stats,
   }
 }
 
+void Invariants::check_log_bounded(const std::string& replica,
+                                   std::size_t max_observed_bytes,
+                                   std::size_t cap_bytes) {
+  if (max_observed_bytes > cap_bytes) {
+    violation("unbounded log: replica '" + replica + "' WAL peaked at " +
+              std::to_string(max_observed_bytes) + " bytes, cap " +
+              std::to_string(cap_bytes) +
+              " — compaction fell behind sustained writes");
+  }
+}
+
 void Invariants::check_all() {
   check_at_most_once();
   check_acknowledged_durable();

@@ -86,6 +86,15 @@ class Invariants {
   void check_corruption_contained(const net::NetworkStats& stats,
                                   std::uint64_t injected_corrupt);
 
+  /// Log compaction must bound durable-log growth: @p max_observed_bytes
+  /// (the largest synced WAL ever seen on @p replica, peak — not final —
+  /// size) must stay within @p cap_bytes.  The cap is the checkpoint
+  /// trigger threshold plus one group-commit batch of slack; exceeding it
+  /// means checkpointing fell behind sustained writes.
+  void check_log_bounded(const std::string& replica,
+                         std::size_t max_observed_bytes,
+                         std::size_t cap_bytes);
+
   /// Runs every state-based check (not corruption containment, which
   /// needs the network counters).
   void check_all();

@@ -91,6 +91,8 @@ const char* category_name(Category c) noexcept {
       return "fault";
     case Category::kAwareness:
       return "awareness";
+    case Category::kDurable:
+      return "durable";
   }
   return "?";
 }

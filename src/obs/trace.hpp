@@ -58,9 +58,10 @@ enum class Category : std::uint8_t {
   kApp,
   kFault,
   kAwareness,
+  kDurable,
 };
 
-inline constexpr std::size_t kCategoryCount = 9;
+inline constexpr std::size_t kCategoryCount = 10;
 
 /// Stable short name used in exports ("sim", "net", ...).
 [[nodiscard]] const char* category_name(Category c) noexcept;

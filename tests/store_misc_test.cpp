@@ -32,16 +32,87 @@ TEST(ObjectStore, EraseAndKeys) {
   EXPECT_EQ(store.size(), 1u);
 }
 
-TEST(ObjectStore, EqualityComparesValuesNotVersions) {
+// Regression: equality used to ignore per-key versions, so two replicas
+// holding equal values at diverged versions counted as "converged" even
+// though the next last-writer-wins decision would differ between them.
+TEST(ObjectStore, EqualityComparesVersionsToo) {
   ccontrol::ObjectStore a, b;
   a.write("k", "old");
   a.write("k", "same");  // version 2
   b.write("k", "same");  // version 1
+  EXPECT_FALSE(a == b);  // equal values, diverged versions: NOT converged
+  b.write("k", "same");  // version 2
   EXPECT_TRUE(a == b);
   b.write("k", "different");
   EXPECT_FALSE(a == b);
-  b.write("extra", "x");
-  EXPECT_FALSE(a == b);
+}
+
+TEST(ObjectStore, EqualityIgnoresTombstones) {
+  ccontrol::ObjectStore a, b;
+  a.write("k", "v");
+  b.write("k", "v");
+  a.write("gone", "x");
+  EXPECT_TRUE(a.erase("gone"));
+  // "deleted" (a) and "never existed" (b) are the same live state.
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a.tombstones().empty());
+}
+
+TEST(ObjectStore, EraseLeavesTombstoneAboveDeletedVersion) {
+  ccontrol::ObjectStore store;
+  store.write("k", "v1");
+  store.write("k", "v2");          // version 2
+  EXPECT_TRUE(store.erase("k", 7));
+  ASSERT_EQ(store.tombstones().count("k"), 1u);
+  EXPECT_EQ(store.tombstones().at("k").version, 3u);
+  EXPECT_EQ(store.tombstones().at("k").stamp, 7u);
+  EXPECT_EQ(store.version("k"), 3u);  // monotonic across deletion
+  // A re-write continues the order above the tombstone and clears it.
+  store.write("k", "v3");
+  EXPECT_EQ(store.version("k"), 4u);
+  EXPECT_TRUE(store.tombstones().empty());
+  // Erasing a never-written key leaves no tombstone (nothing to replicate).
+  EXPECT_FALSE(store.erase("ghost"));
+  EXPECT_TRUE(store.tombstones().empty());
+}
+
+TEST(ObjectStore, AppliesAreIdempotentAndLwwSafe) {
+  ccontrol::ObjectStore store;
+  store.apply_put("k", "v5", 5);
+  store.apply_put("k", "v5", 5);  // replaying the same record is a no-op
+  EXPECT_EQ(store.read("k"), "v5");
+  EXPECT_EQ(store.version("k"), 5u);
+  store.apply_erase("k", 6, 100);
+  store.apply_erase("k", 6, 100);
+  EXPECT_FALSE(store.read("k").has_value());
+  EXPECT_EQ(store.version("k"), 6u);
+  // A dominated put cannot resurrect the deleted key...
+  store.apply_put("k", "stale", 4);
+  store.apply_put("k", "stale", 4);
+  EXPECT_EQ(store.version("k"), 6u);
+  EXPECT_EQ(store.tombstones().at("k").version, 6u);
+  // ...but a dominating one clears the tombstone.
+  store.apply_put("k", "v7", 7);
+  EXPECT_EQ(store.read("k"), "v7");
+  EXPECT_TRUE(store.tombstones().empty());
+}
+
+TEST(ObjectStore, TombstoneGcHonorsTtlAndCap) {
+  ccontrol::ObjectStore store;
+  for (int i = 0; i < 6; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    store.write(key, "v");
+    store.erase(key, static_cast<std::uint64_t>(10 * i));  // stamps 0..50
+  }
+  ASSERT_EQ(store.tombstones().size(), 6u);
+  // TTL: stamps below 15 (k0, k1) are collected.
+  EXPECT_EQ(store.gc_tombstones(15, 100), 2u);
+  EXPECT_EQ(store.tombstones().size(), 4u);
+  // Cap: oldest-by-stamp go first until 2 remain.
+  EXPECT_EQ(store.gc_tombstones(0, 2), 2u);
+  ASSERT_EQ(store.tombstones().size(), 2u);
+  EXPECT_EQ(store.tombstones().count("k4"), 1u);
+  EXPECT_EQ(store.tombstones().count("k5"), 1u);
 }
 
 TEST(Simulator, PendingExcludesCancelled) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -229,22 +231,31 @@ TEST_P(SerializabilityProperty, CommitOrderReplayMatches) {
 
   EXPECT_GT(tm.stats().commits, 0u);
 
-  // Sequential replay oracle: execute each committed transaction's ops in
-  // program order, at its commit position.  Strict 2PL guarantees every
-  // recorded read matches what this serial execution produces.
+  // Sequential replay oracle: execute each committed transaction at its
+  // commit position, mirroring the engine's write-buffer semantics — reads
+  // see the transaction's own earlier writes (read-your-writes), and the
+  // write set lands once per key at commit (last value wins), so per-key
+  // versions advance exactly as the real store's did.  Strict 2PL
+  // guarantees every recorded read matches this serial execution.
   ObjectStore oracle;
   for (const CommitRecord& rec : tm.commit_log()) {
+    std::map<std::string, std::string> buffer;
     for (const CommitRecord::Op& op : rec.ops) {
       if (op.is_write) {
-        oracle.write(op.key, *op.value);
+        buffer[op.key] = *op.value;
       } else {
-        EXPECT_EQ(op.value, oracle.read(op.key))
+        const auto it = buffer.find(op.key);
+        const std::optional<std::string> expect =
+            it != buffer.end() ? std::optional<std::string>(it->second)
+                               : oracle.read(op.key);
+        EXPECT_EQ(op.value, expect)
             << "txn " << rec.id << " read of " << op.key
             << " is not serializable at its commit position";
       }
     }
+    for (const auto& [key, value] : buffer) oracle.write(key, value);
   }
-  // Final states agree.
+  // Final states agree, per-key versions included.
   EXPECT_TRUE(store == oracle);
 }
 
