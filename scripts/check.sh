@@ -65,6 +65,24 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r1_durable.json") \
 fi
 echo "durable soak: clean, artifact reproducible"
 
+echo "== failover soak: coordinator/sequencer crash matrix + partitions =="
+# bench_r4_failover drives a five-participant total-order session through
+# six failure modes (coordinator crash, crash-restart recovery, sequencer
+# crash, both at once, asymmetric partition + heal, flapping member) over
+# 20 seeds each.  Every run asserts zero acked-broadcast loss, identical
+# core delivery logs, exactly one active coordinator per primary
+# partition, and strictly monotone view ids; the binary exits non-zero on
+# any violation.  Same determinism contract as the other soaks.
+failover_bin="$(pwd)/build-check/bench/bench_r4_failover"
+(cd "${soak_a}" && run "${failover_bin}" >/dev/null)
+(cd "${soak_b}" && run "${failover_bin}" >/dev/null)
+if ! diff <(grep -v wall_ms "${soak_a}/BENCH_r4_failover.json") \
+          <(grep -v wall_ms "${soak_b}/BENCH_r4_failover.json"); then
+  echo "failover soak artifact is not reproducible across identical runs" >&2
+  exit 1
+fi
+echo "failover soak: clean, artifact reproducible"
+
 echo "== overload soak: goodput sweep + no-acked-shed + SLO rules =="
 overload_bin="$(pwd)/build-check/bench/bench_r2_overload"
 (cd "${soak_a}" && COOP_SLO_STRICT=1 run "${overload_bin}" >/dev/null)
@@ -118,6 +136,8 @@ run ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
 asan_bench="$(pwd)/build-asan/bench/bench_r1_chaos"
 (cd "${soak_a}" && run "${asan_bench}" >/dev/null)
 (cd "${soak_a}" && run "${asan_bench}" --durable >/dev/null)
+asan_failover="$(pwd)/build-asan/bench/bench_r4_failover"
+(cd "${soak_a}" && run "${asan_failover}" >/dev/null)
 asan_overload="$(pwd)/build-asan/bench/bench_r2_overload"
 (cd "${soak_a}" && run "${asan_overload}" >/dev/null)
 asan_awareness="$(pwd)/build-asan/bench/bench_e12_awareness_scaling"

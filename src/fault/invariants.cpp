@@ -100,6 +100,53 @@ void Invariants::check_corruption_contained(const net::NetworkStats& stats,
   }
 }
 
+void Invariants::check_acked_broadcasts_delivered() {
+  for (const auto& [member, delivered] : delivered_broadcasts_) {
+    for (const auto& [key, acked] : acked_broadcasts_) {
+      if (!acked) continue;
+      if (delivered.count(key) == 0) {
+        violation("acked broadcast lost: '" + key +
+                  "' was committed by the group but survivor '" + member +
+                  "' never delivered it");
+      }
+    }
+  }
+}
+
+void Invariants::check_single_active_coordinator() {
+  if (coordinators_.empty()) return;
+  std::vector<std::string> active;
+  for (const auto& [name, is_active] : coordinators_) {
+    if (is_active) active.push_back(name);
+  }
+  if (active.size() > 1) {
+    std::string who;
+    for (const auto& a : active) {
+      if (!who.empty()) who += ", ";
+      who += "'" + a + "'";
+    }
+    violation("split brain: " + std::to_string(active.size()) +
+              " coordinators ended the run active (" + who + ")");
+  } else if (active.empty()) {
+    violation("headless group: " + std::to_string(coordinators_.size()) +
+              " coordinator instance(s) recorded, none active — the "
+              "primary partition failed to elect");
+  }
+}
+
+void Invariants::check_views_monotone() {
+  for (const auto& [member, ids] : installed_) {
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      if (ids[i] <= ids[i - 1]) {
+        violation("view rollback: '" + member + "' installed view " +
+                  std::to_string(ids[i]) + " after view " +
+                  std::to_string(ids[i - 1]) +
+                  " — ids must be strictly monotone across failover");
+      }
+    }
+  }
+}
+
 void Invariants::check_log_bounded(const std::string& replica,
                                    std::size_t max_observed_bytes,
                                    std::size_t cap_bytes) {
@@ -117,6 +164,9 @@ void Invariants::check_all() {
   check_convergence();
   check_view_agreement();
   check_no_acked_shed();
+  check_acked_broadcasts_delivered();
+  check_single_active_coordinator();
+  check_views_monotone();
 }
 
 void Invariants::clear() {
@@ -126,6 +176,10 @@ void Invariants::clear() {
   applied_.clear();
   digests_.clear();
   views_.clear();
+  acked_broadcasts_.clear();
+  delivered_broadcasts_.clear();
+  coordinators_.clear();
+  installed_.clear();
   violations_.clear();
 }
 

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,33 @@ class Invariants {
   /// The overload plane shed (or fast-failed) an attempt of @p op.
   void record_shed(const std::string& op) { ++sheds_[op]; }
 
+  /// Broadcast @p key was acknowledged to its originator (it saw the
+  /// message delivered back to itself, i.e. the group committed it).
+  void record_broadcast_acked(const std::string& key) {
+    acked_broadcasts_[key] = true;
+  }
+
+  /// Surviving member @p member delivered broadcast @p key.  Only feed
+  /// members that lived through the run: a crashed member legitimately
+  /// misses traffic.
+  void record_broadcast_delivered(const std::string& member,
+                                  const std::string& key) {
+    delivered_broadcasts_[member].insert(key);
+  }
+
+  /// Coordinator instance @p name ended the run with the given active
+  /// flag (feed every instance that ever existed, survivors only).
+  void record_coordinator(const std::string& name, bool active) {
+    coordinators_.emplace_back(name, active);
+  }
+
+  /// Member @p member installed view @p view_id — call in installation
+  /// order; the monotonicity check replays the sequence.
+  void record_view_installed(const std::string& member,
+                             std::uint64_t view_id) {
+    installed_[member].push_back(view_id);
+  }
+
   // --- checks --------------------------------------------------------------
 
   void check_at_most_once();
@@ -85,6 +113,23 @@ class Invariants {
   /// frame reached an Endpoint.
   void check_corruption_contained(const net::NetworkStats& stats,
                                   std::uint64_t injected_corrupt);
+
+  /// Zero acked-broadcast loss: every broadcast the group committed must
+  /// be present in every surviving member's delivered set — the failover
+  /// replay contract.  (With replay disabled, stats().failover_lost
+  /// quantifies exactly the messages that trip this.)
+  void check_acked_broadcasts_delivered();
+
+  /// Exactly one active coordinator: among the recorded coordinator
+  /// instances, precisely one may end the run active — two means a split
+  /// brain (both sides installing views), zero means the primary
+  /// partition failed to elect.  No-op when none were recorded.
+  void check_single_active_coordinator();
+
+  /// View ids must be strictly monotone at every member, across any
+  /// number of failovers — a promoted coordinator resuming below a
+  /// survivor's installed id would silently roll membership back.
+  void check_views_monotone();
 
   /// Log compaction must bound durable-log growth: @p max_observed_bytes
   /// (the largest synced WAL ever seen on @p replica, peak — not final —
@@ -120,6 +165,10 @@ class Invariants {
   std::map<std::string, bool> applied_;
   std::map<std::string, std::string> digests_;
   std::map<std::string, std::pair<std::uint64_t, std::size_t>> views_;
+  std::map<std::string, bool> acked_broadcasts_;
+  std::map<std::string, std::set<std::string>> delivered_broadcasts_;
+  std::vector<std::pair<std::string, bool>> coordinators_;
+  std::map<std::string, std::vector<std::uint64_t>> installed_;
   std::vector<std::string> violations_;
 };
 

@@ -45,6 +45,12 @@ GroupChannel::GroupChannel(net::Network& net, net::Address self,
            [this] { return static_cast<double>(stats_.stash_shed); });
   m.expose(metric_prefix_ + "expired_drops",
            [this] { return static_cast<double>(stats_.expired_drops); });
+  m.expose(metric_prefix_ + "failover_lost",
+           [this] { return static_cast<double>(stats_.failover_lost); });
+  m.expose(metric_prefix_ + "failover_replayed",
+           [this] { return static_cast<double>(stats_.failover_replayed); });
+  m.expose(metric_prefix_ + "phantom_commits",
+           [this] { return static_cast<double>(stats_.phantom_commits); });
   ts_delivered_ = net_.obs().series.series("group.delivered");
   prof_deliver_ = net_.obs().profiler.site("group.deliver",
                                            obs::Category::kGroup);
@@ -54,6 +60,8 @@ GroupChannel::~GroupChannel() {
   for (auto& [key, p] : pending_) {
     if (p.timer != sim::kInvalidEvent) net_.simulator().cancel(p.timer);
   }
+  if (recover_timer_ != sim::kInvalidEvent)
+    net_.simulator().cancel(recover_timer_);
   net_.obs().metrics.retire_polled(metric_prefix_);
   net_.mcast_leave(group_, self_);
   net_.detach(self_);
@@ -97,6 +105,255 @@ void GroupChannel::take_over_sequencing() {
     while (seen_[s].count(next) != 0) ++next;
     next_req_[s] = next;
   }
+  if (total_replay()) begin_recovery();
+}
+
+void GroupChannel::tail_push(std::uint32_t sender, std::uint64_t seq,
+                             std::uint32_t epoch, std::uint64_t total,
+                             sim::TimePoint sent_at,
+                             const std::string& payload) {
+  if (!total_replay() || config_.recovery_tail == 0) return;
+  delivered_tail_.push_back(
+      {sender, seq, epoch, total, sent_at, payload});
+  while (delivered_tail_.size() > config_.recovery_tail)
+    delivered_tail_.pop_front();
+}
+
+void GroupChannel::begin_recovery() {
+  recovering_ = true;
+  recovered_.clear();
+  relay_replays_.clear();
+  recover_await_.clear();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != self_index_ && alive_[i]) recover_await_.insert(i);
+  }
+  // Our own un-relayed broadcasts join the replay pool exactly like a
+  // solicited member's would.
+  for (const auto& [seq, rw] : relay_wait_) {
+    relay_replays_.try_emplace(
+        pending_key(self_index_, seq),
+        ReplayReq{static_cast<std::uint32_t>(self_index_), seq, rw.sent_at,
+                  rw.deadline, rw.payload});
+  }
+  recover_min_pos_ = {epoch_, next_expected_total_ - 1};
+  recover_started_ = net_.simulator().now();
+  net_.obs().tracer.event(
+      recover_started_, obs::Category::kGroup, "failover_solicit",
+      {{"slot", static_cast<double>(self_index_)},
+       {"await", static_cast<double>(recover_await_.size())}});
+  if (recover_await_.empty()) {
+    finish_recovery();
+    return;
+  }
+  send_solicits();
+}
+
+void GroupChannel::send_solicits() {
+  util::Writer w;
+  w.put(MsgType::kSolicit)
+      .put(static_cast<std::uint32_t>(epoch_))
+      .put(next_expected_total_ - 1);
+  const util::Buf wire = w.take_buf();
+  for (std::size_t slot : recover_await_) {
+    net_.send({.src = self_, .dst = members_[slot], .payload = wire,
+               .priority = config_.priority});
+  }
+  recover_timer_ = net_.simulator().schedule_after(
+      config_.retransmit_timeout, [this] {
+        recover_timer_ = sim::kInvalidEvent;
+        if (!recovering_) return;
+        if (net_.simulator().now() - recover_started_ >=
+            config_.recovery_timeout) {
+          // Some solicited member never answered (it likely died without
+          // a view change reaching us yet): recover from what we have.
+          net_.obs().tracer.event(
+              net_.simulator().now(), obs::Category::kGroup,
+              "failover_recovery_timeout",
+              {{"unanswered", static_cast<double>(recover_await_.size())}});
+          finish_recovery();
+          return;
+        }
+        send_solicits();
+      });
+}
+
+void GroupChannel::handle_solicit(const net::Message& msg) {
+  if (!total_replay()) return;
+  util::Reader r(msg.payload);
+  r.get<MsgType>();
+  const auto their_epoch = r.get<std::uint32_t>();
+  const auto their_total = r.get<std::uint64_t>();
+  if (r.failed()) return;
+  // Answer with our delivered position, every tail entry the solicitor has
+  // not itself delivered, and every own broadcast not yet relayed back to
+  // us.  Responding is read-only: authority stays with the solicitor.
+  util::Writer w;
+  w.put(MsgType::kRecover)
+      .put(static_cast<std::uint32_t>(self_index_))
+      .put(static_cast<std::uint32_t>(epoch_))
+      .put(next_expected_total_ - 1);
+  std::uint32_t n_tail = 0;
+  for (const TailEntry& e : delivered_tail_) {
+    if (std::pair(e.epoch, e.total) > std::pair(their_epoch, their_total))
+      ++n_tail;
+  }
+  w.put(n_tail);
+  for (const TailEntry& e : delivered_tail_) {
+    if (std::pair(e.epoch, e.total) <= std::pair(their_epoch, their_total))
+      continue;
+    w.put(e.sender).put(e.seq).put(e.epoch).put(e.total).put(e.sent_at);
+    w.put_string(e.payload);
+  }
+  w.put(static_cast<std::uint32_t>(relay_wait_.size()));
+  for (const auto& [seq, rw] : relay_wait_) {
+    w.put(seq).put(rw.sent_at).put(rw.deadline);
+    w.put_string(rw.payload);
+  }
+  net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
+             .priority = config_.priority});
+}
+
+void GroupChannel::handle_recover(const net::Message& msg) {
+  if (!recovering_) return;  // late/duplicate summary
+  util::Reader r(msg.payload);
+  r.get<MsgType>();
+  const auto responder = r.get<std::uint32_t>();
+  const auto their_epoch = r.get<std::uint32_t>();
+  const auto their_total = r.get<std::uint64_t>();
+  const auto n_tail = r.get<std::uint32_t>();
+  if (r.failed() || responder >= members_.size()) return;
+  for (std::uint32_t i = 0; i < n_tail && !r.failed(); ++i) {
+    TailEntry e;
+    e.sender = r.get<std::uint32_t>();
+    e.seq = r.get<std::uint64_t>();
+    e.epoch = r.get<std::uint32_t>();
+    e.total = r.get<std::uint64_t>();
+    e.sent_at = r.get<sim::TimePoint>();
+    e.payload = r.get_string();
+    if (r.failed() || e.sender >= members_.size()) break;
+    // Keep the highest-position copy: after chained failovers the latest
+    // epoch's slot is the binding one.
+    auto [it, inserted] =
+        recovered_.try_emplace(pending_key(e.sender, e.seq), e);
+    if (!inserted &&
+        std::pair(e.epoch, e.total) >
+            std::pair(it->second.epoch, it->second.total)) {
+      it->second = std::move(e);
+    }
+  }
+  const auto n_relay = r.get<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_relay && !r.failed(); ++i) {
+    ReplayReq rep;
+    rep.sender = responder;
+    rep.seq = r.get<std::uint64_t>();
+    rep.sent_at = r.get<sim::TimePoint>();
+    rep.deadline = r.get<sim::TimePoint>();
+    rep.payload = r.get_string();
+    if (r.failed()) break;
+    relay_replays_.try_emplace(pending_key(responder, rep.seq),
+                               std::move(rep));
+  }
+  if (recover_await_.erase(responder) == 0) return;  // duplicate summary
+  recover_min_pos_ =
+      std::min(recover_min_pos_, std::pair(their_epoch, their_total));
+  if (recover_await_.empty()) finish_recovery();
+}
+
+void GroupChannel::finish_recovery() {
+  recovering_ = false;
+  if (recover_timer_ != sim::kInvalidEvent) {
+    net_.simulator().cancel(recover_timer_);
+    recover_timer_ = sim::kInvalidEvent;
+  }
+  // Our own tail is a summary like any other (merged late so deliveries
+  // that landed during the solicit round are included).
+  for (const TailEntry& e : delivered_tail_) {
+    auto [it, inserted] =
+        recovered_.try_emplace(pending_key(e.sender, e.seq), e);
+    if (!inserted &&
+        std::pair(e.epoch, e.total) >
+            std::pair(it->second.epoch, it->second.total)) {
+      it->second = e;
+    }
+  }
+  // Phase 1: re-sequence the recovered suffix — everything some survivor
+  // delivered beyond the *minimum* live prefix — in the old global order,
+  // so the new epoch's order extends every survivor's delivered prefix.
+  std::vector<const TailEntry*> suffix;
+  for (const auto& [key, e] : recovered_) {
+    if (std::pair(e.epoch, e.total) > recover_min_pos_)
+      suffix.push_back(&e);
+  }
+  std::sort(suffix.begin(), suffix.end(),
+            [](const TailEntry* a, const TailEntry* b) {
+              return std::pair(a->epoch, a->total) <
+                     std::pair(b->epoch, b->total);
+            });
+  std::uint64_t resequenced = 0;
+  for (const TailEntry* e : suffix) {
+    resequence(e->sender, e->seq, e->sent_at, e->payload);
+    ++resequenced;
+  }
+  // Phase 2: replay acked-but-unrelayed requests (the loss window) in
+  // deterministic (sender, seq) order — map order already is that.
+  std::uint64_t replayed = 0;
+  for (auto& [key, rep] : relay_replays_) {
+    if (recovered_.count(key) != 0) continue;       // relayed after all
+    if (seen_[rep.sender].count(rep.seq) != 0) continue;  // already placed
+    if (rep.deadline > 0 && net_.simulator().now() >= rep.deadline) {
+      ++stats_.expired_drops;
+      seen_[rep.sender].insert(rep.seq);
+      next_req_[rep.sender] = std::max(next_req_[rep.sender], rep.seq + 1);
+      continue;
+    }
+    resequence(rep.sender, rep.seq, rep.sent_at, std::move(rep.payload));
+    ++stats_.failover_replayed;
+    ++replayed;
+  }
+  recovered_.clear();
+  relay_replays_.clear();
+  net_.obs().tracer.event(
+      net_.simulator().now(), obs::Category::kGroup, "failover_recovered",
+      {{"slot", static_cast<double>(self_index_)},
+       {"resequenced", static_cast<double>(resequenced)},
+       {"replayed", static_cast<double>(replayed)}});
+  // Phase 3: fresh requests that arrived (and were stashed) during the
+  // round.  Anything the replay already placed is pruned first so the
+  // stash cannot re-sequence it.
+  for (std::size_t s = 0; s < members_.size(); ++s) {
+    auto& stash = stashed_reqs_[s];
+    for (auto it = stash.begin();
+         it != stash.end() && it->first < next_req_[s];) {
+      it = stash.erase(it);
+    }
+    sequence_ready_reqs(s);
+  }
+}
+
+void GroupChannel::resequence(std::uint32_t sender, std::uint64_t seq,
+                              sim::TimePoint sent_at, std::string payload) {
+  obs::Tracer& tracer = net_.obs().tracer;
+  next_req_[sender] = std::max(next_req_[sender], seq + 1);
+  const bool already_delivered_here = seen_[sender].count(seq) != 0;
+  seen_[sender].insert(seq);
+  const std::uint64_t total_seq = next_total_seq_++;
+  const util::Buf wire = encode_data(sender, seq, total_seq, sent_at,
+                                     logical::VectorClock(), payload);
+  send_data(pending_key(sender, seq), wire, obs::CausalContext{}, 0);
+  epoch_ = static_cast<std::uint32_t>(self_index_);
+  next_expected_total_ = total_seq + 1;
+  tail_push(sender, seq, epoch_, total_seq, sent_at, payload);
+  if (already_delivered_here) {
+    ++stats_.phantom_commits;  // slot committed; app already saw it
+    return;
+  }
+  deliver_now({.sender = sender,
+               .sender_addr = members_[sender],
+               .seq = seq,
+               .total_seq = total_seq,
+               .payload = std::move(payload),
+               .sent_at = sent_at,
+               .ctx = {}});
 }
 
 util::Buf GroupChannel::encode_data(std::size_t sender, std::uint64_t seq,
@@ -137,9 +394,18 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
   const sim::TimePoint deadline =
       config_.broadcast_deadline > 0 ? now + config_.broadcast_deadline : 0;
 
-  if (config_.ordering == Ordering::kTotal && !is_sequencer()) {
+  // A recovering sequencer routes its own broadcasts through the ordinary
+  // request path (to itself) so they stash and sequence after the replayed
+  // suffix, not before it.
+  if (config_.ordering == Ordering::kTotal &&
+      (!is_sequencer() || recovering_)) {
     // Ship an ordering request to the sequencer; our message comes back to
     // us (and everyone) inside the sequencer's totally ordered stream.
+    // Retain the payload until we deliver it ourselves: if the sequencer
+    // dies after acking but before relaying, the promoted sequencer
+    // replays it from this buffer (with replay disabled the buffer only
+    // quantifies the loss window).
+    relay_wait_[seq] = {now, deadline, payload, bctx};
     util::Writer w;
     w.put(MsgType::kTotalReq)
         .put(static_cast<std::uint32_t>(self_index_))
@@ -177,6 +443,8 @@ std::uint64_t GroupChannel::broadcast(std::string payload,
     seen_[self_index_].insert(seq);
     epoch_ = static_cast<std::uint32_t>(self_index_);
     next_expected_total_ = total_seq + 1;
+    tail_push(static_cast<std::uint32_t>(self_index_), seq, epoch_, total_seq,
+              now, payload);
     deliver_now({.sender = self_index_,
                  .sender_addr = self_,
                  .seq = seq,
@@ -239,6 +507,8 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
                        p.ctx.valid() ? p.ctx.child(tracer.mint_id())
                                      : obs::CausalContext{},
                        {{"key", static_cast<double>(key)}});
+          if (p.is_total_req)
+            relay_wait_.erase(key & ((std::uint64_t{1} << 40) - 1));
           pending_.erase(pit);
           return;
         }
@@ -249,6 +519,8 @@ void GroupChannel::arm_retransmit(std::uint64_t key) {
                        p.ctx.valid() ? p.ctx.child(tracer.mint_id())
                                      : obs::CausalContext{},
                        {{"key", static_cast<double>(key)}});
+          if (p.is_total_req)
+            relay_wait_.erase(key & ((std::uint64_t{1} << 40) - 1));
           pending_.erase(pit);
           return;
         }
@@ -310,12 +582,42 @@ void GroupChannel::mark_failed(const net::Address& member) {
   }
 
   if (config_.ordering == Ordering::kTotal && was_sequencer &&
+      !config_.failover_replay) {
+    // Legacy failover: an own broadcast the dead sequencer acked (no
+    // pending left) but that never came back to us is gone for good —
+    // nobody replays it.  Quantify the loss window.
+    for (auto it = relay_wait_.begin(); it != relay_wait_.end();) {
+      if (pending_.count(pending_key(self_index_, it->first)) == 0) {
+        ++stats_.failover_lost;
+        net_.obs().tracer.event(net_.simulator().now(),
+                                obs::Category::kGroup, "failover_lost",
+                                {{"sender",
+                                  static_cast<double>(self_index_)},
+                                 {"seq", static_cast<double>(it->first)}});
+        it = relay_wait_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // A member dying mid-recovery will never answer the solicit.
+  if (recovering_ && recover_await_.erase(slot) > 0 &&
+      recover_await_.empty()) {
+    finish_recovery();
+    return;
+  }
+
+  if (config_.ordering == Ordering::kTotal && was_sequencer &&
       is_sequencer()) {
     take_over_sequencing();
     // Requests that reached us before the promotion may be stashed
-    // already: sequence whatever is now eligible.
-    for (std::size_t s = 0; s < members_.size(); ++s)
-      sequence_ready_reqs(s);
+    // already: sequence whatever is now eligible (with replay enabled the
+    // recovery round sequences them when it finishes instead).
+    if (!recovering_) {
+      for (std::size_t s = 0; s < members_.size(); ++s)
+        sequence_ready_reqs(s);
+    }
   }
 }
 
@@ -332,6 +634,12 @@ void GroupChannel::on_message(const net::Message& msg) {
       break;
     case MsgType::kTotalReq:
       handle_total_req(msg);
+      break;
+    case MsgType::kSolicit:
+      handle_solicit(msg);
+      break;
+    case MsgType::kRecover:
+      handle_recover(msg);
       break;
   }
 }
@@ -366,11 +674,23 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   std::string payload = r.get_string();
   if (r.failed() || sender >= members_.size()) return;
 
+  // A request that reaches a non-sequencer (the slot demoted, or the
+  // sender's sequencer view is ahead of ours) is dropped *unacked*: an
+  // ack from a node that will never sequence the message converts the
+  // sender's retransmission — its only recovery path — into silence.
+  if (!is_sequencer()) {
+    net_.obs().tracer.event(net_.simulator().now(), obs::Category::kGroup,
+                            "req_wrong_sequencer", msg.ctx,
+                            {{"sender", static_cast<double>(sender)},
+                             {"seq", static_cast<double>(seq)}});
+    return;
+  }
+
   // Admission control at the sequencer: a new request that would grow the
   // stash past its cap is dropped *before* the ack, so the originator's
   // retransmission redelivers it later — backpressure instead of an
   // unbounded queue at the ordering bottleneck.
-  const bool fresh = is_sequencer() && seq >= next_req_[sender] &&
+  const bool fresh = seq >= next_req_[sender] &&
                      stashed_reqs_[sender].count(seq) == 0;
   if (fresh && config_.sequencer_stash_cap > 0 &&
       stashed_reqs_[sender].size() >= config_.sequencer_stash_cap) {
@@ -390,7 +710,6 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
              .ctx = msg.ctx});
 
-  if (!is_sequencer()) return;  // stale request to a demoted sequencer
   if (!fresh) {
     ++stats_.duplicates;  // retransmitted request already sequenced/stashed
     return;
@@ -398,13 +717,16 @@ void GroupChannel::handle_total_req(const net::Message& msg) {
   // Stash, then sequence the sender's requests strictly in seq order so
   // total order preserves each sender's FIFO order even if the network
   // delivered the requests out of order.  The header deadline travels
-  // with the stash so expiry is judged at sequencing time.
+  // with the stash so expiry is judged at sequencing time.  A recovering
+  // sequencer only stashes: fresh requests sequence after the replayed
+  // suffix, when the recovery round closes.
   stashed_reqs_[sender][seq] = {sent_at, std::move(payload), msg.deadline,
                                 msg.ctx};
-  sequence_ready_reqs(sender);
+  if (!recovering_) sequence_ready_reqs(sender);
 }
 
 void GroupChannel::sequence_ready_reqs(std::size_t sender) {
+  if (recovering_) return;  // replay first; fresh requests wait in the stash
   auto& stash = stashed_reqs_[sender];
   // Post-failover resync: the first request from a sender may jump over
   // messages lost with the old sequencer (one jump per sender).
@@ -454,6 +776,8 @@ void GroupChannel::sequence_ready_reqs(std::size_t sender) {
     // consistent with the global order it just defined.
     epoch_ = static_cast<std::uint32_t>(self_index_);
     next_expected_total_ = total_seq + 1;
+    tail_push(static_cast<std::uint32_t>(sender), seq, epoch_, total_seq,
+              req.sent_at, req.payload);
     deliver_now({.sender = sender,
                  .sender_addr = members_[sender],
                  .seq = seq,
@@ -515,6 +839,36 @@ void GroupChannel::handle_data(const net::Message& msg) {
   net_.send({.src = self_, .dst = msg.src, .payload = w.take_buf(),
              .ctx = msg.ctx});
 
+  if (total_replay()) {
+    // Replay mode dedupes on *delivery position*, not receipt: a
+    // resequenced copy of a message this member already delivered must
+    // still occupy its new slot in the total order (so later messages can
+    // flush) without reaching the application twice — it commits as a
+    // phantom.  Any copy at a position we committed past is a duplicate.
+    if (std::pair(epoch, total_seq) <
+        std::pair(epoch_, next_expected_total_)) {
+      ++stats_.duplicates;
+      return;
+    }
+    hb.phantom = seen_[sender].count(seq) != 0;
+    // One queued copy per message: a newer-epoch copy supersedes a held
+    // stale-epoch one; an equal-position copy is a retransmission.
+    for (auto it = holdback_.begin(); it != holdback_.end(); ++it) {
+      if (it->delivery.sender != hb.delivery.sender ||
+          it->delivery.seq != hb.delivery.seq)
+        continue;
+      if (std::pair(it->epoch, it->delivery.total_seq) >=
+          std::pair(hb.epoch, hb.delivery.total_seq)) {
+        ++stats_.duplicates;
+        return;
+      }
+      holdback_.erase(it);
+      break;
+    }
+    try_deliver(std::move(hb));
+    return;
+  }
+
   if (!seen_[sender].insert(seq).second) {
     ++stats_.duplicates;
     return;
@@ -556,6 +910,13 @@ void GroupChannel::commit_order(const HeldBack& hb) {
       vclock_.merge(hb.vclock);
       break;
     case Ordering::kTotal:
+      if (total_replay() && hb.epoch != epoch_) {
+        // Epoch transition: copies sequenced in superseded epochs can
+        // never be delivered consistently any more.
+        std::erase_if(holdback_, [&](const HeldBack& h) {
+          return h.epoch < hb.epoch;
+        });
+      }
       epoch_ = hb.epoch;
       next_expected_total_ = hb.delivery.total_seq + 1;
       break;
@@ -573,7 +934,14 @@ void GroupChannel::try_deliver(HeldBack hb) {
   }
   // Commit the ordering state, deliver, then drain anything unblocked.
   commit_order(hb);
-  deliver_now(hb.delivery);
+  tail_push(static_cast<std::uint32_t>(hb.delivery.sender), hb.delivery.seq,
+            hb.epoch, hb.delivery.total_seq, hb.delivery.sent_at,
+            hb.delivery.payload);
+  if (hb.phantom) {
+    ++stats_.phantom_commits;
+  } else {
+    deliver_now(hb.delivery);
+  }
   flush_holdback();
 }
 
@@ -586,7 +954,14 @@ void GroupChannel::flush_holdback() {
       HeldBack hb = std::move(*it);
       holdback_.erase(it);
       commit_order(hb);
-      deliver_now(hb.delivery);
+      tail_push(static_cast<std::uint32_t>(hb.delivery.sender),
+                hb.delivery.seq, hb.epoch, hb.delivery.total_seq,
+                hb.delivery.sent_at, hb.delivery.payload);
+      if (hb.phantom) {
+        ++stats_.phantom_commits;
+      } else {
+        deliver_now(hb.delivery);
+      }
       progress = true;
       break;  // iterator invalidated; rescan
     }
@@ -594,6 +969,14 @@ void GroupChannel::flush_holdback() {
 }
 
 void GroupChannel::deliver_now(const Delivery& d) {
+  if (config_.ordering == Ordering::kTotal) {
+    // Our own broadcast came back around the sequencer: the relay is
+    // complete and the retained payload can go.
+    if (d.sender == self_index_) relay_wait_.erase(d.seq);
+    // Replay mode marks messages seen at *delivery* so a resequenced copy
+    // is recognizable as a phantom rather than silently deduped.
+    if (total_replay()) seen_[d.sender].insert(d.seq);
+  }
   ++stats_.delivered;
   net_.obs().series.count(ts_delivered_, net_.simulator().now());
   // Span covering broadcast -> application delivery, i.e. the end-to-end

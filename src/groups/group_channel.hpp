@@ -87,6 +87,24 @@ struct ChannelConfig {
   /// *unacked* (retransmit backpressure) rather than queued without
   /// bound.
   std::size_t sequencer_stash_cap = 0;
+  /// kTotal: close the sequencer-failover loss window.  The promoted
+  /// sequencer solicits every survivor's delivered tail plus each
+  /// sender's buffer of acked-but-not-yet-self-delivered requests, and
+  /// replays them into the new epoch in the old global order — so a
+  /// broadcast the dead sequencer acknowledged but never finished
+  /// relaying is re-sequenced instead of lost.  Off = legacy behavior
+  /// (resume from the new sequencer's own prefix; acked-but-unrelayed
+  /// messages may be lost and are counted in stats().failover_lost).
+  bool failover_replay = true;
+  /// kTotal failover recovery: per-member bound (entries) on the retained
+  /// tail of past deliveries that seeds the replay.  Survivors lagging
+  /// further behind the common prefix than this cannot be caught up by
+  /// recovery alone (retransmission still repairs them pre-failover).
+  std::size_t recovery_tail = 128;
+  /// kTotal failover recovery: the promoted sequencer waits at most this
+  /// long for solicited summaries before proceeding with what arrived
+  /// (covers survivors that die mid-recovery without a view change).
+  sim::Duration recovery_timeout = sim::msec(500);
 };
 
 /// Channel statistics for experiment accounting.
@@ -101,6 +119,10 @@ struct ChannelStats {
   std::uint64_t stash_shed = 0;      ///< ordering reqs dropped unacked at cap
   std::uint64_t expired_drops = 0;   ///< reqs dropped expired at sequencing
   std::uint64_t expired_abandoned = 0;  ///< retransmissions stopped: expired
+  std::uint64_t failover_lost = 0;   ///< acked broadcasts lost to failover
+  std::uint64_t failover_replayed = 0;  ///< broadcasts replayed at failover
+  std::uint64_t phantom_commits = 0;  ///< re-sequenced slots committed w/o
+                                      ///< redelivery (already delivered)
 };
 
 /// One member's endpoint of a reliable ordered group channel.
@@ -138,13 +160,19 @@ class GroupChannel : public net::Endpoint {
   ///
   /// kTotal sequencer failover: if the failed member was the sequencer,
   /// the lowest surviving slot takes over in a new *epoch*.  Unacked
-  /// ordering requests are re-routed to the new sequencer, which resumes
-  /// sequencing from what it has itself delivered.  Guarantees after
-  /// failover: per-sender order is preserved and survivors agree on the
-  /// new epoch's order; messages the old sequencer acknowledged but did
-  /// not finish relaying may be lost (full atomic view-synchronous
-  /// delivery is out of scope — sessions re-form channels on view
-  /// change when that matters).
+  /// ordering requests are re-routed to the new sequencer.
+  ///
+  /// With ChannelConfig::failover_replay (default) the new sequencer runs
+  /// a recovery round first: it solicits every survivor's delivered tail
+  /// and un-relayed-but-acked request buffer, re-sequences the recovered
+  /// suffix into the new epoch in the old global order, and replays the
+  /// acked requests the dead sequencer never relayed — so survivors agree
+  /// on one order that *extends* each survivor's delivered prefix and no
+  /// acked broadcast from a surviving sender is lost, even when the
+  /// coordinator dies in the same incident.  With replay disabled the new
+  /// sequencer resumes from its own delivered prefix and messages the old
+  /// sequencer acknowledged but did not finish relaying may be lost
+  /// (counted in stats().failover_lost).
   void mark_failed(const net::Address& member);
 
   [[nodiscard]] std::size_t self_index() const noexcept { return self_index_; }
@@ -162,6 +190,8 @@ class GroupChannel : public net::Endpoint {
     kData = 1,      ///< reliable broadcast payload
     kAck = 2,       ///< receiver ack for kData
     kTotalReq = 3,  ///< sender -> sequencer ordering request
+    kSolicit = 4,   ///< new sequencer -> members: send recovery summaries
+    kRecover = 5,   ///< member -> new sequencer: tail + un-relayed requests
   };
 
   struct Pending {  // sender side: awaiting acks
@@ -178,6 +208,7 @@ class GroupChannel : public net::Endpoint {
     Delivery delivery;
     logical::VectorClock vclock;   // kCausal only
     std::uint32_t epoch = 0;       // kTotal only: sequencing epoch
+    bool phantom = false;  // kTotal replay: commit the slot, don't redeliver
   };
 
   void send_data(std::uint64_t seq, const util::Buf& wire,
@@ -233,6 +264,61 @@ class GroupChannel : public net::Endpoint {
   bool resync_ = false;  // new sequencer: relax req contiguity once
   std::vector<std::uint64_t> next_req_;    // per-sender request cursor
   std::vector<std::map<std::uint64_t, StashedReq>> stashed_reqs_;
+
+  // kTotal failover-recovery state (failover_replay).
+  //
+  // Every member retains a bounded tail of its past total-order deliveries
+  // (delivered_tail_) and every sender keeps the payload of each broadcast
+  // until it has delivered it *itself* (relay_wait_ — once self-delivered,
+  // the whole group's sequencer has relayed it and it can no longer be
+  // lost to a sequencer crash).  On takeover the new sequencer solicits
+  // both from all survivors and replays them into the new epoch.
+  struct TailEntry {
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t epoch = 0;     ///< epoch the delivery committed under
+    std::uint64_t total = 0;     ///< total_seq the delivery committed under
+    sim::TimePoint sent_at = 0;
+    std::string payload;
+  };
+  struct RelayWait {  // an own broadcast not yet delivered back to us
+    sim::TimePoint sent_at = 0;
+    sim::TimePoint deadline = 0;
+    std::string payload;
+    obs::CausalContext ctx{};
+  };
+  struct ReplayReq {  // recovered un-relayed request, keyed by (sender,seq)
+    std::uint32_t sender = 0;
+    std::uint64_t seq = 0;
+    sim::TimePoint sent_at = 0;
+    sim::TimePoint deadline = 0;
+    std::string payload;
+  };
+  std::deque<TailEntry> delivered_tail_;
+  std::map<std::uint64_t, RelayWait> relay_wait_;  // own seq -> payload
+  bool recovering_ = false;
+  std::set<std::size_t> recover_await_;            // slots yet to answer
+  std::map<std::uint64_t, TailEntry> recovered_;   // pending_key -> entry
+  std::map<std::uint64_t, ReplayReq> relay_replays_;
+  std::pair<std::uint32_t, std::uint64_t> recover_min_pos_{0, 0};
+  sim::TimePoint recover_started_ = 0;
+  sim::EventId recover_timer_ = sim::kInvalidEvent;
+
+  /// kTotal with the replay protocol active (dedupe becomes delivery-based
+  /// so re-sequenced copies of undelivered messages are not swallowed).
+  [[nodiscard]] bool total_replay() const noexcept {
+    return config_.ordering == Ordering::kTotal && config_.failover_replay;
+  }
+  void tail_push(std::uint32_t sender, std::uint64_t seq, std::uint32_t epoch,
+                 std::uint64_t total, sim::TimePoint sent_at,
+                 const std::string& payload);
+  void begin_recovery();
+  void send_solicits();
+  void handle_solicit(const net::Message& msg);
+  void handle_recover(const net::Message& msg);
+  void finish_recovery();
+  void resequence(std::uint32_t sender, std::uint64_t seq,
+                  sim::TimePoint sent_at, std::string payload);
 
   [[nodiscard]] std::size_t sequencer_slot() const;
   void take_over_sequencing();

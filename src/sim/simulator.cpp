@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace coop::sim {
@@ -167,6 +168,11 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::arm(Duration delay) {
+  if (jitter_ > 0.0 && jitter_rng_ != nullptr && delay > 0) {
+    const double f = jitter_rng_->uniform(1.0 - jitter_, 1.0 + jitter_);
+    delay = std::max<Duration>(
+        1, static_cast<Duration>(static_cast<double>(delay) * f));
+  }
   pending_ = sim_.schedule_after(delay, [this] {
     pending_ = kInvalidEvent;
     if (!running_) return;

@@ -198,6 +198,17 @@ class PeriodicTimer {
   /// Changes the period; takes effect from the next tick.
   void set_period(Duration period) noexcept { period_ = period; }
 
+  /// Applies deterministic multiplicative jitter: every armed delay is
+  /// scaled by a factor drawn uniformly from [1-frac, 1+frac] out of
+  /// @p rng (normally the owning Simulator's seeded rng, so runs stay
+  /// reproducible).  Desynchronizes fleets of timers that share a cadence
+  /// — without jitter every member of a group fires in lockstep and their
+  /// traffic arrives in bursts.  frac <= 0 or a null rng disables.
+  void set_jitter(double frac, Rng* rng) noexcept {
+    jitter_ = frac;
+    jitter_rng_ = rng;
+  }
+
   [[nodiscard]] bool running() const noexcept { return running_; }
   [[nodiscard]] Duration period() const noexcept { return period_; }
 
@@ -209,6 +220,8 @@ class PeriodicTimer {
   EventFn on_tick_;
   EventId pending_ = kInvalidEvent;
   bool running_ = false;
+  double jitter_ = 0.0;
+  Rng* jitter_rng_ = nullptr;
 };
 
 }  // namespace coop::sim

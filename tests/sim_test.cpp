@@ -362,5 +362,46 @@ TEST(Rng, ForkProducesIndependentStream) {
   EXPECT_TRUE(differs);
 }
 
+TEST(PeriodicTimer, SeededJitterIsDeterministicAndBounded) {
+  auto run = [](std::uint64_t seed) {
+    Simulator s(seed);
+    std::vector<TimePoint> ticks;
+    PeriodicTimer t(s, msec(100), [&] { ticks.push_back(s.now()); });
+    t.set_jitter(0.2, &s.rng());
+    t.start();
+    s.run_until(sec(2));
+    return ticks;
+  };
+  const auto a = run(5);
+  const auto b = run(5);
+  const auto c = run(6);
+  // Same seed, same schedule — jitter draws only from the seeded rng.
+  EXPECT_EQ(a, b);
+  // Different seed, different phase.
+  EXPECT_NE(a, c);
+  // Every gap stays inside the +/-20% band around the nominal period.
+  ASSERT_GE(a.size(), 2u);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const Duration gap = a[i] - a[i - 1];
+    EXPECT_GE(gap, msec(80));
+    EXPECT_LE(gap, msec(120));
+  }
+  bool uneven = false;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] - a[i - 1] != msec(100)) uneven = true;
+  }
+  EXPECT_TRUE(uneven);  // the jitter actually moved the ticks
+}
+
+TEST(PeriodicTimer, ZeroJitterKeepsLockstep) {
+  Simulator s(3);
+  std::vector<TimePoint> ticks;
+  PeriodicTimer t(s, msec(100), [&] { ticks.push_back(s.now()); });
+  t.start();
+  s.run_until(msec(500));
+  EXPECT_EQ(ticks, (std::vector<TimePoint>{msec(100), msec(200), msec(300),
+                                           msec(400), msec(500)}));
+}
+
 }  // namespace
 }  // namespace coop::sim

@@ -1,11 +1,16 @@
 // Tests for relaxed-WYSIWIS shared views: per-user presentation policies
-// over one shared state, visible and tailorable at runtime.
+// over one shared state, visible and tailorable at runtime — including
+// view agreement when the state is replicated over a failing session.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "groupware/session.hpp"
 #include "groupware/views.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace coop::groupware {
 namespace {
@@ -95,6 +100,67 @@ TEST_F(ViewsTest, EraseRemovesFromAllViews) {
   EXPECT_FALSE(space.erase("minutes"));
   EXPECT_EQ(space.render(kAlice).size(), 2u);
   EXPECT_FALSE(space.get("minutes").has_value());
+}
+
+// The membership sense of "view" meets the WYSIWIS sense: each
+// participant replicates one SharedViewSpace through a totally ordered
+// SessionGroup, the coordinator and the sequencer crash together, and the
+// survivors' rendered views must still agree after the partition of
+// authority heals.
+TEST(SharedViewAgreement, SurvivesCoordinatorAndSequencerCrash) {
+  sim::Simulator sim(29);
+  net::Network net(sim);
+  const net::Address coord_addr{100, 1};
+  groups::MembershipConfig mcfg;
+  mcfg.enable_failover = true;
+  groups::ChannelConfig ccfg;
+  ccfg.ordering = groups::Ordering::kTotal;
+  ccfg.retransmit_timeout = sim::msec(50);
+  ccfg.max_retransmits = 100;
+  auto coord = std::make_unique<groups::MembershipCoordinator>(net, coord_addr,
+                                                               mcfg);
+  struct Part {
+    std::unique_ptr<SessionGroup> sg;
+    SharedViewSpace space;
+  };
+  std::vector<std::unique_ptr<Part>> parts;
+  const std::vector<net::NodeId> roster{1, 2, 3};
+  for (const net::NodeId n : roster) {
+    auto p = std::make_unique<Part>();
+    p->sg = std::make_unique<SessionGroup>(net, n, roster, coord_addr, 7,
+                                           SessionGroup::Ports(), mcfg, ccfg);
+    Part* pp = p.get();
+    p->sg->on_deliver([pp, &sim](const groups::Delivery& d) {
+      // Payload is "key|value"; the author is the sending site.
+      const auto bar = d.payload.find('|');
+      pp->space.put(static_cast<ccontrol::ClientId>(d.sender + 1),
+                    d.payload.substr(0, bar), d.payload.substr(bar + 1),
+                    sim.now());
+    });
+    p->sg->join();
+    parts.push_back(std::move(p));
+  }
+  sim.run_until(sim::msec(800));
+
+  parts[0]->sg->broadcast("agenda|1. QoS  2. AOB");
+  parts[1]->sg->broadcast("minutes|draft");
+  sim.run_until(sim::msec(1200));
+
+  net.crash(100);  // membership coordinator
+  net.crash(1);    // total-order sequencer (and participant 0)
+  sim.run_until(sim::sec(5));
+
+  parts[1]->sg->broadcast("minutes|approved");
+  parts[2]->sg->broadcast("actions|send figures");
+  sim.run_until(sim::sec(9));
+
+  // Same shared state at both survivors, whatever their local policies.
+  const auto v1 = parts[1]->space.render(1);
+  const auto v2 = parts[2]->space.render(1);
+  EXPECT_EQ(v1, v2);
+  ASSERT_EQ(v1.size(), 3u);  // agenda, minutes (updated in place), actions
+  EXPECT_EQ(parts[1]->space.get("minutes")->value, "approved");
+  EXPECT_EQ(parts[2]->space.get("minutes")->value, "approved");
 }
 
 TEST_F(ViewsTest, CustomSpecCombinesFilterPresentOrder) {
