@@ -18,6 +18,10 @@
 //   awareness (E12 shape) — thousands of tiny timer events (heartbeats,
 //                           digest flushes) around an indexed awareness
 //                           engine: pure kernel scheduling pressure.
+//   sharded   (E13 shape)  — the sharded parallel kernel driving a
+//                           space-time-matrix tick/message workload across
+//                           8 shards with conservative lookahead; its hash
+//                           pins the cross-shard merge order.
 //
 // Each driver is a pure function of its seed in virtual time: it folds an
 // FNV-1a hash over its delivery sequence and final counters.  The hashes
@@ -78,7 +82,7 @@ struct DriverReport {
   Outcome out;
 };
 
-DriverReport g_reports[3];
+DriverReport g_reports[4];
 double g_calib_mhps = 0;  ///< calibration: FNV MB hashed per wall second
 
 // --- drivers ---------------------------------------------------------------
@@ -290,6 +294,102 @@ Outcome run_awareness_churn(std::uint64_t seed) {
   return out;
 }
 
+/// E13 shape: the sharded parallel kernel under a space-time-matrix
+/// workload — participants in rooms, each ticking and sending one
+/// intra-room (same-shard) and one cross-room (cross-shard, WAN-latency)
+/// datagram per tick.  All stochastic choices draw from per-participant
+/// rngs, so the outcome hash is a pure function of the seed and pins the
+/// deterministic cross-shard merge.  (bench_e13_million_users runs the
+/// same shape at 10k-1M participants with a serial differential oracle;
+/// this driver is the small, gate-tracked sentinel.)
+Outcome run_sharded_storm(std::uint64_t seed) {
+  constexpr std::uint32_t kParticipants = 2048;
+  constexpr std::uint32_t kRoom = 16;
+  constexpr std::uint32_t kRooms = kParticipants / kRoom;
+  constexpr std::uint32_t kShards = 8;
+  const sim::Duration lookahead = sim::msec(32);
+  const sim::TimePoint horizon = sim::sec(2);
+
+  sim::ShardedConfig cfg;
+  cfg.shards = kShards;
+  cfg.lookahead = lookahead;
+  cfg.seed = seed;
+  sim::ShardedEngine eng(cfg);
+
+  struct P {
+    sim::Rng rng{0};
+    std::uint64_t acc = 0;
+    std::uint64_t msg_seq = 0;
+  };
+  struct World {
+    std::vector<P> ps;
+    sim::ShardedEngine* eng = nullptr;
+    Outcome* out = nullptr;
+    static std::uint16_t shard_of(std::uint32_t p) {
+      return static_cast<std::uint16_t>((p / kRoom) * kShards / kRooms);
+    }
+    void tick(std::uint32_t p, sim::TimePoint t) {
+      P& me = ps[p];
+      me.acc = me.acc * 6364136223846793005ULL + me.rng.next();
+      const std::uint32_t room = p / kRoom;
+      const std::uint32_t partner =
+          ((room + kRooms / 2) % kRooms) * kRoom + p % kRoom;
+      const std::uint32_t neighbour = room * kRoom + (p + 1) % kRoom;
+      const auto rd = static_cast<sim::Duration>(
+          static_cast<std::uint64_t>(sim::msec(32)) + me.rng.next() % 8000);
+      const std::uint64_t rpay = me.rng.next();
+      const auto ld = static_cast<sim::Duration>(
+          static_cast<std::uint64_t>(sim::usec(300)) + me.rng.next() % 100);
+      const std::uint64_t lpay = me.rng.next();
+      eng->send({t + rd, p, partner, shard_of(p), shard_of(partner),
+                 static_cast<std::uint32_t>(me.msg_seq++), rpay});
+      eng->send({t + ld, p, neighbour, shard_of(p), shard_of(neighbour),
+                 static_cast<std::uint32_t>(me.msg_seq++), lpay});
+      const sim::TimePoint next = t + sim::msec(room % 2 == 0 ? 20 : 100);
+      World* w = this;
+      eng->schedule_at(shard_of(p), next, [w, p, next] { w->tick(p, next); });
+    }
+  };
+
+  Outcome out;
+  World world;
+  world.ps.resize(kParticipants);
+  world.eng = &eng;
+  world.out = &out;
+  for (std::uint32_t p = 0; p < kParticipants; ++p)
+    world.ps[p].rng = sim::Rng(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
+  eng.set_msg_handler(
+      [](void* ctx, const sim::ShardMsg& m) {
+        auto* w = static_cast<World*>(ctx);
+        ++w->out->deliveries;
+        fnv_mix(w->out->hash, static_cast<std::uint64_t>(m.dst));
+        fnv_mix(w->out->hash, static_cast<std::uint64_t>(m.at));
+        fnv_mix(w->out->hash, m.payload);
+      },
+      &world);
+  for (std::uint32_t p = 0; p < kParticipants; ++p) {
+    const sim::TimePoint first =
+        sim::msec(1) + sim::usec((p % 97) * 11);
+    World* w = &world;
+    eng.schedule_at(World::shard_of(p), first,
+                    [w, p, first] { w->tick(p, first); });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.run_until(horizon);
+  out.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  out.kernel_events = eng.events_processed();
+  out.messages = eng.cross_shard_messages();
+  out.sim_span_us = eng.now();
+  for (const P& p : world.ps) fnv_mix(out.hash, p.acc);
+  fnv_mix(out.hash, eng.epochs() != 0 ? 1 : 0);
+  fnv_mix(out.hash, eng.lookahead_violations());
+  fnv_mix(out.hash, out.kernel_events);
+  return out;
+}
+
 /// Fixed CPU-bound work (FNV over 64 MiB), timed: a machine-speed score so
 /// the regression gate compares events/sec *per unit of host speed* and a
 /// slower CI box does not read as a platform regression.
@@ -344,9 +444,17 @@ void BM_T1_Awareness(benchmark::State& state) {
   report(state, out);
 }
 
+void BM_T1_Sharded(benchmark::State& state) {
+  Outcome out;
+  for (auto _ : state) out = run_sharded_storm(/*seed=*/104);
+  g_reports[3] = {"sharded", out};
+  report(state, out);
+}
+
 BENCHMARK(BM_T1_Group)->Iterations(1);
 BENCHMARK(BM_T1_Rpc)->Iterations(1);
 BENCHMARK(BM_T1_Awareness)->Iterations(1);
+BENCHMARK(BM_T1_Sharded)->Iterations(1);
 
 /// Machine-readable report for scripts/bench_t1_gate.sh.  Wall-clock
 /// figures are nondeterministic by nature, so they live here rather than
@@ -356,7 +464,7 @@ bool write_t1_report(const char* path) {
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"calibration_mbps\": %.1f,\n", g_calib_mhps);
   std::fprintf(f, "  \"drivers\": {\n");
-  for (int i = 0; i < 3; ++i) {
+  for (int i = 0; i < 4; ++i) {
     const DriverReport& r = g_reports[i];
     const double eps = static_cast<double>(r.out.kernel_events) / r.out.wall_s;
     const double mps = static_cast<double>(r.out.messages) / r.out.wall_s;
@@ -371,7 +479,7 @@ bool write_t1_report(const char* path) {
                  static_cast<unsigned long long>(r.out.messages),
                  static_cast<unsigned long long>(r.out.deliveries),
                  static_cast<long long>(r.out.sim_span_us), r.out.wall_s, eps,
-                 mps, eps / g_calib_mhps, i + 1 < 3 ? "," : "");
+                 mps, eps / g_calib_mhps, i + 1 < 4 ? "," : "");
   }
   std::fprintf(f, "  }\n}\n");
   std::fclose(f);

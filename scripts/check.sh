@@ -110,6 +110,14 @@ if ! diff <(grep -v wall_ms "${soak_a}/BENCH_e12_awareness.json") \
 fi
 echo "awareness parity: deliveries identical, artifact reproducible"
 
+echo "== shard parity: sharded kernel == serial differential oracle =="
+# bench_e13_million_users replays the space-time-matrix workload through
+# the sharded kernel (shard counts x seeds x topologies, including the
+# zero-lookahead barrier mode) and the serial oracle; the binary exits
+# non-zero on any divergence, and the gate additionally requires the
+# artifact to reproduce byte-for-byte modulo wall_ms.
+run scripts/shard_parity_gate.sh build-check
+
 echo "== T1 throughput gate: hot-path speed + behaviour pin =="
 # bench_t1_throughput re-runs the three hot-path drivers and the gate
 # compares (a) their outcome hashes — any drift means simulated behaviour
@@ -143,5 +151,6 @@ asan_overload="$(pwd)/build-asan/bench/bench_r2_overload"
 asan_awareness="$(pwd)/build-asan/bench/bench_e12_awareness_scaling"
 (cd "${soak_a}" && run "${asan_awareness}" --benchmark_filter=Parity \
     >/dev/null)
+run scripts/shard_parity_gate.sh build-asan
 
 echo "== all checks passed =="

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Shard-parity gate: the sharded kernel must be indistinguishable from the
+# serial differential oracle.
+#
+# Runs bench_e13_million_users's parity seed matrix (seeds x topologies —
+# including a zero-lookahead topology that forces barrier-synchronized
+# epochs — x shard counts {1,2,4,8}, each cell hashed against a serial
+# run of the same scenario) plus the 10k space-time cell.  The binary
+# exits non-zero on any hash/count divergence or lookahead violation, so
+# the matrix itself is the assertion; on top of that the gate requires
+# the BENCH artifact to reproduce byte-for-byte (modulo wall_ms) across
+# two runs — the same determinism contract every other soak obeys.
+#
+# Usage:
+#   scripts/shard_parity_gate.sh [--full] [build-dir]
+#
+#   --full     also run the 100k and 1M cells (several minutes; the
+#              default keeps the gate CI-sized).
+#   build-dir  tree containing bench/bench_e13_million_users
+#              (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FULL=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "${arg}" in
+    --full) FULL=1 ;;
+    *) BUILD_DIR="${arg}" ;;
+  esac
+done
+
+BIN="$(pwd)/${BUILD_DIR}/bench/bench_e13_million_users"
+if [[ ! -x "${BIN}" ]]; then
+  echo "shard_parity_gate: ${BIN} not built" >&2
+  exit 2
+fi
+
+FILTER="ParityMatrix|SpaceTime/10000$"
+[[ "${FULL}" == "1" ]] && FILTER=".*"
+
+run_a="$(mktemp -d)"
+run_b="$(mktemp -d)"
+trap 'rm -rf "${run_a}" "${run_b}"' EXIT
+
+echo "shard_parity_gate: oracle matrix (filter: ${FILTER})"
+(cd "${run_a}" && "${BIN}" --benchmark_filter="${FILTER}" >/dev/null)
+(cd "${run_b}" && "${BIN}" --benchmark_filter="${FILTER}" >/dev/null)
+
+if ! diff <(grep -v wall_ms "${run_a}/BENCH_e13_million_users.json") \
+          <(grep -v wall_ms "${run_b}/BENCH_e13_million_users.json"); then
+  echo "shard_parity_gate: artifact is not reproducible across runs" >&2
+  exit 1
+fi
+# Keep one artifact where CI can pick it up.
+cp "${run_a}"/BENCH_e13_million_users* "${BUILD_DIR}/" 2>/dev/null || true
+echo "shard_parity_gate: sharded == serial across the matrix," \
+     "artifact reproducible"

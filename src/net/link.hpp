@@ -30,6 +30,17 @@ struct LinkModel {
     return static_cast<sim::Duration>(seconds * 1e6);
   }
 
+  /// Guaranteed minimum propagation delay: the worst-case downward jitter
+  /// excursion, clamped at zero.  This is the conservative-lookahead bound
+  /// the sharded kernel builds its epoch window from (sim/shard.hpp): no
+  /// datagram on this link can arrive sooner than min_latency() after it
+  /// was sent, so shards separated by the link are independent inside a
+  /// window of that width.
+  [[nodiscard]] sim::Duration min_latency() const noexcept {
+    const sim::Duration d = latency - jitter;
+    return d > 0 ? d : 0;
+  }
+
   /// Propagation delay sample (latency ± jitter).
   [[nodiscard]] sim::Duration propagation(sim::Rng& rng) const {
     if (jitter <= 0) return latency;

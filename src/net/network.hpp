@@ -10,6 +10,7 @@
 // multicast and RPC layers must (and do) repair.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -87,6 +88,21 @@ class Network {
   [[nodiscard]] const LinkModel& link(NodeId from, NodeId to) const {
     auto it = links_.find(key(from, to));
     return it != links_.end() ? it->second : default_link_;
+  }
+
+  /// Conservative lookahead for the sharded kernel: the smallest
+  /// min_latency() any datagram on this topology can experience — the
+  /// minimum over the default link, every explicit link, and (when any
+  /// node has a mobile-connectivity override installed) the radio model.
+  /// Disturbances only ever *add* delay, so they cannot invalidate the
+  /// bound.  Recompute after topology or mobility changes; a zero result
+  /// tells ShardedEngine to fall back to barrier-synchronized epochs.
+  [[nodiscard]] sim::Duration lookahead() const noexcept {
+    sim::Duration la = default_link_.min_latency();
+    for (const auto& [k, m] : links_) la = std::min(la, m.min_latency());
+    if (!connectivity_.empty())
+      la = std::min(la, radio_model_.min_latency());
+    return la;
   }
 
   // --- endpoints -----------------------------------------------------------

@@ -29,15 +29,21 @@ class LiveBits {
  public:
   LiveBits() { words_.reserve(kInitialWords); }
 
-  /// Marks @p seq live.  Sequence numbers must arrive in increasing
-  /// order (the kernel allocates them that way).
-  void insert(std::uint64_t seq) {
+  /// Marks @p seq live.  Idempotent: re-inserting a live id is a no-op
+  /// rather than a silent double-increment of size() — with per-shard
+  /// sequence windows an id can legitimately be offered twice, and the
+  /// old behaviour skewed pending() forever.  Returns true if the id was
+  /// newly marked.
+  bool insert(std::uint64_t seq) {
     assert(seq >= base_);
     const std::uint64_t idx = seq - base_;
     const std::size_t w = static_cast<std::size_t>(idx >> 6);
     if (w >= words_.size()) words_.resize(w + 1, 0);
-    words_[w] |= std::uint64_t{1} << (idx & 63);
+    const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+    if ((words_[w] & bit) != 0) return false;  // already live
+    words_[w] |= bit;
     ++size_;
+    return true;
   }
 
   [[nodiscard]] bool contains(std::uint64_t seq) const {

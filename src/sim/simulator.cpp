@@ -156,7 +156,7 @@ std::size_t Simulator::run_until(TimePoint t) {
 void PeriodicTimer::start(Duration initial_delay) {
   stop();
   running_ = true;
-  arm(initial_delay >= 0 ? initial_delay : period_);
+  arm(initial_delay >= 0 ? initial_delay : effective_period());
 }
 
 void PeriodicTimer::stop() {
@@ -168,6 +168,10 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::arm(Duration delay) {
+  // An explicit zero initial delay ("first tick now") is fine — only the
+  // repeating period needs a floor, and effective_period() supplies it at
+  // every re-arm site.  The jitter path keeps the same guarantee: its
+  // scale factor never rounds a positive delay below one microsecond.
   if (jitter_ > 0.0 && jitter_rng_ != nullptr && delay > 0) {
     const double f = jitter_rng_->uniform(1.0 - jitter_, 1.0 + jitter_);
     delay = std::max<Duration>(
@@ -177,7 +181,10 @@ void PeriodicTimer::arm(Duration delay) {
     pending_ = kInvalidEvent;
     if (!running_) return;
     on_tick_();
-    if (running_) arm(period_);  // on_tick_ may have stopped the timer
+    // on_tick_ may have stopped the timer.  Re-arm with the clamped
+    // period: a non-positive period_ would otherwise re-schedule at the
+    // current timestamp forever, an event storm run() can never get past.
+    if (running_) arm(effective_period());
   });
 }
 

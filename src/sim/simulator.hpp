@@ -70,9 +70,12 @@ class Simulator {
   /// now() if in the past).  Returns a handle usable with cancel().
   EventId schedule_at(TimePoint when, EventFn fn);
 
-  /// Schedules @p fn to run @p delay after the current time.
+  /// Schedules @p fn to run @p delay after the current time.  The sum
+  /// saturates at kTimeMax: a huge "never" sentinel delay schedules an
+  /// event at the end of simulated time instead of wrapping negative and
+  /// firing immediately through the past-event clamp.
   EventId schedule_after(Duration delay, EventFn fn) {
-    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+    return schedule_at(saturating_after(now_, delay), std::move(fn));
   }
 
   /// Cancels a pending event.  Returns true only if the event was still
@@ -92,8 +95,8 @@ class Simulator {
   /// exactly @p t.  Returns the number of events processed.
   std::size_t run_until(TimePoint t);
 
-  /// Runs the simulation forward by @p d.
-  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+  /// Runs the simulation forward by @p d (saturating at kTimeMax).
+  std::size_t run_for(Duration d) { return run_until(saturating_after(now_, d)); }
 
   /// The kernel's deterministic random stream.
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -178,6 +181,13 @@ class Simulator {
 /// A repeating timer bound to a Simulator.  Used for heartbeats, media frame
 /// clocks and monitoring windows.  RAII: destroying (or stop()ping) the
 /// timer cancels the pending tick.
+///
+/// A non-positive period (constructed that way, or via set_period(0)) is
+/// clamped to one microsecond per re-arm: virtual time always advances
+/// between ticks, so a misconfigured timer degrades to a fast-but-finite
+/// cadence instead of an unbounded same-timestamp event storm that run()
+/// can never get past.  An explicit start(0) is untouched — "first tick
+/// now" is a one-shot and cannot storm.
 class PeriodicTimer {
  public:
   /// Creates a stopped timer.  Call start().
@@ -214,6 +224,12 @@ class PeriodicTimer {
 
  private:
   void arm(Duration delay);
+
+  /// The re-arm cadence: the configured period, floored at one
+  /// microsecond so a misconfigured timer cannot stall virtual time.
+  [[nodiscard]] Duration effective_period() const noexcept {
+    return period_ > 0 ? period_ : 1;
+  }
 
   Simulator& sim_;
   Duration period_;

@@ -17,6 +17,19 @@ using TimePoint = std::int64_t;
 /// intermediate arithmetic (e.g. lateness = deadline - now).
 using Duration = std::int64_t;
 
+/// Largest representable instant — the "end of simulated time".  Used as a
+/// saturation bound (schedule_after clamps here instead of wrapping) and as
+/// the "no pending event" sentinel in the sharded kernel.
+inline constexpr TimePoint kTimeMax = INT64_MAX;
+
+/// now + delay without signed wraparound: a "never" sentinel delay (or any
+/// sum past the epoch horizon) saturates to kTimeMax instead of wrapping
+/// negative.  Negative delays clamp to zero.
+constexpr TimePoint saturating_after(TimePoint now, Duration delay) noexcept {
+  if (delay <= 0) return now;
+  return delay > kTimeMax - now ? kTimeMax : now + delay;
+}
+
 /// Duration of @p us microseconds.
 constexpr Duration usec(std::int64_t us) noexcept { return us; }
 

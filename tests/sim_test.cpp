@@ -403,5 +403,86 @@ TEST(PeriodicTimer, ZeroJitterKeepsLockstep) {
                                            msec(400), msec(500)}));
 }
 
+// Regression: scheduling a "never" sentinel delay used to wrap the sum
+// now + delay negative, trip the past-event clamp, and fire the event
+// immediately.  The saturating add parks it at kTimeMax instead.
+TEST(Simulator, HugeDelaySaturatesInsteadOfFiringImmediately) {
+  Simulator sim;
+  sim.schedule_at(msec(1), [] {});
+  sim.run();  // move the clock off zero so the old wrap was negative
+  ASSERT_EQ(sim.now(), msec(1));
+  bool fired = false;
+  sim.schedule_after(kTimeMax, [&] { fired = true; });
+  sim.run_until(sec(3600));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  // The event is real, not lost: running to the end of time fires it.
+  sim.run_until(kTimeMax);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RunForSaturatesAtEndOfTime) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(msec(5), [&] { ++fired; });
+  sim.run_for(kTimeMax);  // must not wrap into the past and run nothing
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), kTimeMax);
+}
+
+// Regression: a non-positive period used to re-arm with delay 0, spinning
+// an unbounded same-timestamp event storm run() could never get past.
+TEST(PeriodicTimer, NonPositivePeriodDegradesToOneMicrosecond) {
+  Simulator s;
+  std::uint64_t ticks = 0;
+  PeriodicTimer t(s, 0, [&] { ++ticks; });
+  t.start();
+  s.run_until(usec(100));
+  EXPECT_EQ(ticks, 100u);  // one per microsecond, clock always advancing
+  EXPECT_EQ(s.now(), usec(100));
+}
+
+TEST(PeriodicTimer, SetPeriodZeroMidFlightStillAdvancesClock) {
+  Simulator s;
+  std::uint64_t ticks = 0;
+  PeriodicTimer t(s, msec(1), [&] { ++ticks; });
+  t.start();
+  s.run_until(msec(2));
+  EXPECT_EQ(ticks, 2u);
+  t.set_period(-5);
+  t.start();  // re-arm now: the non-positive period clamps to 1us per tick
+  s.run_until(msec(2) + usec(50));
+  EXPECT_EQ(ticks, 2u + 50u);
+  // The event cap is a backstop, not the terminator: the run above ended
+  // because virtual time reached the bound.
+  EXPECT_EQ(s.now(), msec(2) + usec(50));
+}
+
+TEST(PeriodicTimer, JitterNeverRoundsDelayToZero) {
+  Simulator s(11);
+  std::uint64_t ticks = 0;
+  PeriodicTimer t(s, usec(1), [&] { ++ticks; });
+  t.set_jitter(0.9, &s.rng());  // scale can reach 0.1 => floor at 1us
+  t.start();
+  s.run_until(usec(500));
+  EXPECT_LE(ticks, 500u);  // impossible unless every gap is >= 1us
+  EXPECT_GT(ticks, 0u);
+}
+
+// Regression: re-inserting an already-live id used to double-increment
+// size(), skewing pending() forever.
+TEST(LiveBits, InsertIsIdempotent) {
+  LiveBits bits;
+  EXPECT_TRUE(bits.insert(7));
+  EXPECT_EQ(bits.size(), 1u);
+  EXPECT_FALSE(bits.insert(7));  // no-op, reported as such
+  EXPECT_EQ(bits.size(), 1u);
+  EXPECT_TRUE(bits.erase(7));
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_FALSE(bits.erase(7));  // really gone after one erase
+  EXPECT_TRUE(bits.insert(7));  // and re-insertable afterwards
+  EXPECT_EQ(bits.size(), 1u);
+}
+
 }  // namespace
 }  // namespace coop::sim
